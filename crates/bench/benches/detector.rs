@@ -1,0 +1,86 @@
+//! Criterion benches: raw race-detector throughput (host wall-clock).
+//!
+//! Complements experiment A1's simulated-cycle view with real machine
+//! time: FastTrack's epoch fast path versus Djit's full vector clocks
+//! versus the lockset baseline, on synthetic access patterns isolating
+//! each regime (private, read-shared, lock-protected).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ddrace_detector::{DetectorConfig, Djit, FastTrack, LockSet, RaceDetector};
+use ddrace_program::{AccessKind, Addr, LockId, Op, ThreadId};
+
+const OPS: u64 = 50_000;
+
+fn make<D: RaceDetector>(mut d: D, threads: u32) -> D {
+    d.on_thread_start(ThreadId(0), None);
+    for t in 1..threads {
+        d.on_thread_start(ThreadId(t), Some(ThreadId(0)));
+    }
+    d
+}
+
+/// Each thread re-reads and re-writes its own words: the same-epoch fast
+/// path regime that dominates real programs.
+fn drive_private<D: RaceDetector>(d: &mut D) {
+    for i in 0..OPS {
+        let t = ThreadId((i % 4) as u32);
+        let addr = Addr(0x1_0000 + (i % 4) * 0x1000 + (i % 64) * 8);
+        let kind = if i % 4 == 0 {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
+        d.on_access(t, addr, kind);
+    }
+}
+
+/// All threads read a common region: the shared-read (vector-clock
+/// escalation) regime.
+fn drive_read_shared<D: RaceDetector>(d: &mut D) {
+    for i in 0..OPS {
+        let t = ThreadId((i % 4) as u32);
+        d.on_access(t, Addr(0x1_0000 + (i % 256) * 8), AccessKind::Read);
+    }
+}
+
+/// Lock-protected round-robin updates: the sync-heavy regime.
+fn drive_locked<D: RaceDetector>(d: &mut D) {
+    for i in 0..OPS / 4 {
+        let t = ThreadId((i % 4) as u32);
+        let lock = LockId((i % 8) as u32);
+        let addr = Addr(0x1_0000 + (i % 64) * 8);
+        d.on_sync(t, &Op::Lock { lock });
+        d.on_access(t, addr, AccessKind::Read);
+        d.on_access(t, addr, AccessKind::Write);
+        d.on_sync(t, &Op::Unlock { lock });
+    }
+}
+
+fn drive<D: RaceDetector>(d: &mut D, regime: &str) -> u64 {
+    match regime {
+        "private" => drive_private(d),
+        "read_shared" => drive_read_shared(d),
+        _ => drive_locked(d),
+    }
+    d.stats().accesses_checked
+}
+
+fn bench_detectors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("detector_throughput");
+    group.throughput(Throughput::Elements(OPS));
+    for regime in ["private", "read_shared", "locked"] {
+        group.bench_with_input(BenchmarkId::new("fasttrack", regime), regime, |b, r| {
+            b.iter(|| drive(&mut make(FastTrack::new(DetectorConfig::default()), 4), r))
+        });
+        group.bench_with_input(BenchmarkId::new("djit", regime), regime, |b, r| {
+            b.iter(|| drive(&mut make(Djit::new(DetectorConfig::default()), 4), r))
+        });
+        group.bench_with_input(BenchmarkId::new("lockset", regime), regime, |b, r| {
+            b.iter(|| drive(&mut make(LockSet::new(DetectorConfig::default()), 4), r))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_detectors);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion benches: end-to-end simulation wall-clock per analysis mode.
+//!
+//! The simulated-cycle speedups (F4/F5) have a host-time counterpart:
+//! demand-driven runs are genuinely cheaper for *us* too, because skipped
+//! analysis skips detector work. These benches measure that on one
+//! low-sharing and one high-sharing benchmark.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ddrace_core::{AnalysisMode, SimConfig, Simulation};
+use ddrace_workloads::{parsec, phoenix, Scale, WorkloadSpec};
+
+fn run(spec: &WorkloadSpec, mode: AnalysisMode) -> u64 {
+    let mut cfg = SimConfig::new(8, mode);
+    cfg.scheduler.seed = 42;
+    Simulation::new(cfg)
+        .run(spec.program(Scale::TEST, 42))
+        .expect("benchmark runs")
+        .makespan
+}
+
+fn bench_modes(c: &mut Criterion) {
+    let specs = [phoenix::linear_regression(), parsec::canneal()];
+    let modes = [
+        ("native", AnalysisMode::Native),
+        ("continuous", AnalysisMode::Continuous),
+        ("demand-hitm", AnalysisMode::demand_hitm()),
+        ("demand-oracle", AnalysisMode::demand_oracle()),
+    ];
+    let mut group = c.benchmark_group("simulation_modes");
+    group.sample_size(10);
+    for spec in &specs {
+        for (label, mode) in modes {
+            group.bench_with_input(
+                BenchmarkId::new(spec.name.clone(), label),
+                &mode,
+                |b, &m| b.iter(|| run(spec, m)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_modes);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Criterion benches: substrate throughput (scheduler, cache hierarchy,
+//! PMU) in isolation — the costs everything else is built on.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ddrace_cache::{CacheConfig, CacheHierarchy, CoreId};
+use ddrace_pmu::{CounterConfig, Pmu, PmuEventKind};
+use ddrace_program::{
+    run_program, AccessKind, Addr, NullListener, Program, SchedulerConfig, StartMode,
+};
+
+fn bench_scheduler(c: &mut Criterion) {
+    let ops_per_thread = 20_000u64;
+    let mut group = c.benchmark_group("scheduler");
+    group.throughput(Throughput::Elements(ops_per_thread * 4));
+    group.bench_function("interleave_4_threads", |b| {
+        b.iter(|| {
+            let threads: Vec<Vec<ddrace_program::Op>> = (0..4u64)
+                .map(|t| {
+                    (0..ops_per_thread)
+                        .map(|i| ddrace_program::Op::Read {
+                            addr: Addr(0x1000 + t * 0x10000 + (i % 512) * 8),
+                        })
+                        .collect()
+                })
+                .collect();
+            let program = Program::from_thread_vecs(threads, StartMode::AllStart);
+            run_program(program, SchedulerConfig::jittered(7), &mut NullListener).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let accesses = 100_000u64;
+    let mut group = c.benchmark_group("cache");
+    group.throughput(Throughput::Elements(accesses));
+    group.bench_function("private_streams", |b| {
+        b.iter(|| {
+            let mut m = CacheHierarchy::new(CacheConfig::nehalem(4));
+            for i in 0..accesses {
+                let core = CoreId((i % 4) as u32);
+                m.access(
+                    core,
+                    Addr(0x10_0000 + u64::from(core.0) * 0x10_0000 + (i % 4096) * 8),
+                    if i % 3 == 0 {
+                        AccessKind::Write
+                    } else {
+                        AccessKind::Read
+                    },
+                );
+            }
+            m.stats().total_accesses()
+        })
+    });
+    group.bench_function("hitm_ping_pong", |b| {
+        b.iter(|| {
+            let mut m = CacheHierarchy::new(CacheConfig::nehalem(2));
+            for i in 0..accesses {
+                let core = CoreId((i % 2) as u32);
+                m.access(
+                    core,
+                    Addr(0x10_0000 + (i % 16) * 64),
+                    if i % 2 == 0 {
+                        AccessKind::Write
+                    } else {
+                        AccessKind::Read
+                    },
+                );
+            }
+            m.stats().total_hitm_loads()
+        })
+    });
+    group.finish();
+}
+
+fn bench_pmu(c: &mut Criterion) {
+    let events = 100_000u64;
+    let mut group = c.benchmark_group("pmu");
+    group.throughput(Throughput::Elements(events));
+    group.bench_function("sampling_counter", |b| {
+        let mut mem = CacheHierarchy::new(CacheConfig::nehalem(2));
+        mem.access(CoreId(0), Addr(0x40), AccessKind::Write);
+        let hitm = mem.access(CoreId(1), Addr(0x40), AccessKind::Read);
+        b.iter(|| {
+            let mut pmu = Pmu::new(
+                2,
+                vec![CounterConfig::sampling(PmuEventKind::HitmLoad, 100, 20)],
+            );
+            let mut delivered = 0u64;
+            for _ in 0..events {
+                delivered += pmu.on_access(CoreId(1), &hitm, AccessKind::Read).len() as u64;
+            }
+            delivered
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheduler, bench_cache, bench_pmu);
+criterion_main!(benches);

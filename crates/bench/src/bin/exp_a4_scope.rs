@@ -1,0 +1,102 @@
+//! Experiment A4 — enable-scope ablation (extension).
+//!
+//! The paper enables analysis globally on a sharing signal; it discusses
+//! finer-grained enabling as an alternative. This experiment compares
+//! [`EnableScope::Global`] against [`EnableScope::PerCore`] (only the
+//! interrupted core's thread is instrumented). The measured trade-off is
+//! *not* a free win for per-core: toggles are cheaper and truly
+//! sharing-free cores stay dark, but every sharing core must ride out its
+//! **own** cooldown independently — on iterative communication patterns
+//! total residency comes out *higher* than one global controller, and the
+//! producer side of each pair can stay unobserved.
+//!
+//! [`EnableScope::Global`]: ddrace_core::EnableScope::Global
+//! [`EnableScope::PerCore`]: ddrace_core::EnableScope::PerCore
+
+use ddrace_bench::{pct, print_table, ratio, run_one, run_one_with, save_json, ExpContext};
+use ddrace_core::{AnalysisMode, ControllerConfig, EnableScope};
+use ddrace_pmu::IndicatorMode;
+use ddrace_workloads::{parsec, phoenix, racy, WorkloadSpec};
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct ScopeRow {
+    workload: String,
+    speedup_global: f64,
+    speedup_per_core: f64,
+    analyzed_global: f64,
+    analyzed_per_core: f64,
+    racy_vars_global: usize,
+    racy_vars_per_core: usize,
+}
+
+fn demand(scope: EnableScope) -> AnalysisMode {
+    AnalysisMode::Demand {
+        indicator: IndicatorMode::hitm_default(),
+        controller: ControllerConfig {
+            scope,
+            ..ControllerConfig::default()
+        },
+    }
+}
+
+fn main() {
+    let ctx = ExpContext::from_env();
+    println!(
+        "A4: global vs per-core enable scope (scale {:?})\n",
+        ctx.scale
+    );
+
+    let specs: Vec<WorkloadSpec> = vec![
+        phoenix::kmeans(),
+        phoenix::word_count(),
+        parsec::bodytrack(),
+        parsec::streamcluster(),
+        racy::unprotected_counter(),
+        racy::mostly_locked(),
+    ];
+
+    let mut rows = Vec::new();
+    for spec in &specs {
+        let cont = run_one(&ctx, spec, AnalysisMode::Continuous);
+        let global = run_one_with(&ctx, spec, ctx.sim_config(demand(EnableScope::Global)));
+        let per_core = run_one_with(&ctx, spec, ctx.sim_config(demand(EnableScope::PerCore)));
+        rows.push(ScopeRow {
+            workload: spec.name.clone(),
+            speedup_global: global.speedup_over(&cont),
+            speedup_per_core: per_core.speedup_over(&cont),
+            analyzed_global: global.analyzed_fraction(),
+            analyzed_per_core: per_core.analyzed_fraction(),
+            racy_vars_global: global.races.distinct_addresses,
+            racy_vars_per_core: per_core.races.distinct_addresses,
+        });
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.workload.clone(),
+                ratio(r.speedup_global),
+                ratio(r.speedup_per_core),
+                pct(r.analyzed_global),
+                pct(r.analyzed_per_core),
+                r.racy_vars_global.to_string(),
+                r.racy_vars_per_core.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "workload",
+            "speedup (global)",
+            "speedup (per-core)",
+            "analyzed (global)",
+            "analyzed (per-core)",
+            "racy vars (global)",
+            "racy vars (per-core)",
+        ],
+        &table,
+    );
+    save_json("exp_a4_scope", &rows);
+}

@@ -1,0 +1,86 @@
+//! Experiment A6 — hardware prefetcher perturbation (extension).
+//!
+//! Real machines ship next-line prefetchers; a prefetch that hits a
+//! remote modified line downgrades it *before* the demand load retires,
+//! so the retired-load HITM event never fires. On streaming
+//! producer→consumer sharing this hides most of the signal: the indicator
+//! sees a trickle instead of a torrent. With a sample-after of 1 the
+//! trickle still wakes the tool; combined with larger sampling periods
+//! (as F6 motivates for overhead) it goes fully blind.
+
+use ddrace_bench::{pct, print_table, save_json, ExpContext};
+use ddrace_core::{AnalysisMode, ControllerConfig, Simulation};
+use ddrace_pmu::IndicatorMode;
+use ddrace_workloads::racy;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct PrefetchRow {
+    prefetch: bool,
+    period: u64,
+    hitm_loads: u64,
+    prefetch_steals: u64,
+    hitm_recall: f64,
+    racy_vars: usize,
+}
+
+fn main() {
+    let ctx = ExpContext::from_env();
+    println!("A6: next-line prefetcher vs HITM visibility\n");
+
+    // Sequential handoff with negligible eviction pressure: without a
+    // prefetcher every consumed line is a HITM; with one, the prefetcher
+    // races ahead of the consumer and swallows the events.
+    let program = || racy::delayed_sharing(1024, 4_096, 6);
+
+    let mut rows = Vec::new();
+    for prefetch in [false, true] {
+        for period in [1u64, 10] {
+            let mode = AnalysisMode::Demand {
+                indicator: IndicatorMode::HitmSampling {
+                    period,
+                    skid: 20,
+                    include_rfo: false,
+                },
+                controller: ControllerConfig::default(),
+            };
+            let mut config = ctx.sim_config(mode);
+            config.cache.prefetch_next_line = prefetch;
+            let r = Simulation::new(config).run(program()).unwrap();
+            rows.push(PrefetchRow {
+                prefetch,
+                period,
+                hitm_loads: r.cache.total_hitm_loads(),
+                prefetch_steals: r.cache.prefetch_steals,
+                hitm_recall: r.cache.hitm_recall(),
+                racy_vars: r.races.distinct_addresses,
+            });
+        }
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                if r.prefetch { "on" } else { "off" }.to_string(),
+                r.period.to_string(),
+                r.hitm_loads.to_string(),
+                r.prefetch_steals.to_string(),
+                pct(r.hitm_recall),
+                r.racy_vars.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "prefetcher",
+            "sample-after",
+            "HITM loads",
+            "stolen HITMs",
+            "HITM recall",
+            "racy vars found",
+        ],
+        &table,
+    );
+    save_json("exp_a6_prefetch", &rows);
+}

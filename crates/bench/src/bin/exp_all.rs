@@ -1,0 +1,57 @@
+//! Runs every experiment binary in sequence — the one-shot "regenerate
+//! the whole evaluation" entry point.
+//!
+//! Equivalent to running each `exp_*` binary by hand; honours the same
+//! `DDRACE_*` environment variables.
+
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "exp_t1_characterization",
+    "exp_f1_continuous_overhead",
+    "exp_f2_sharing_fraction",
+    "exp_f3_indicator_accuracy",
+    "exp_f4_speedup_phoenix",
+    "exp_f5_speedup_parsec",
+    "exp_t2_accuracy",
+    "exp_t3_negative_controls",
+    "exp_f6_sampling_sweep",
+    "exp_f7_enabled_fraction",
+    "exp_f8_seed_stability",
+    "exp_a1_fasttrack_ablation",
+    "exp_a2_cooldown_sweep",
+    "exp_a3_cache_sweep",
+    "exp_a4_scope",
+    "exp_a5_smt",
+    "exp_a6_prefetch",
+    "exp_a7_granularity",
+];
+
+fn main() {
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    let mut failures = Vec::new();
+    for name in EXPERIMENTS {
+        println!("\n======================================================================");
+        println!("== {name}");
+        println!("======================================================================\n");
+        let status = Command::new(dir.join(name)).status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("{name} exited with {s}");
+                failures.push(*name);
+            }
+            Err(e) => {
+                eprintln!("{name} failed to start: {e} (build with `cargo build --release -p ddrace-bench` first)");
+                failures.push(*name);
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!("\nAll {} experiments completed.", EXPERIMENTS.len());
+    } else {
+        eprintln!("\nFailed experiments: {failures:?}");
+        std::process::exit(1);
+    }
+}

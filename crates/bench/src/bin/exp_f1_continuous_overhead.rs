@@ -1,0 +1,59 @@
+//! Experiment F1 — continuous-analysis overhead.
+//!
+//! Slowdown of conventional always-on happens-before analysis relative to
+//! native execution, per benchmark. The paper's motivation figure: this
+//! is the 30×–100×+ cost demand-driven analysis attacks.
+
+use ddrace_bench::{print_table, ratio, run_matrix, save_json, ExpContext};
+use ddrace_core::{geomean, AnalysisMode};
+use ddrace_workloads::all_benchmarks;
+
+fn main() {
+    let ctx = ExpContext::from_env();
+    println!(
+        "F1: continuous-analysis slowdown (scale {:?}, seed {})\n",
+        ctx.scale, ctx.seed
+    );
+    let specs = all_benchmarks();
+    let rows = run_matrix(
+        &ctx,
+        &specs,
+        &[AnalysisMode::Native, AnalysisMode::Continuous],
+    );
+
+    let mut per_suite: std::collections::BTreeMap<String, Vec<f64>> = Default::default();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|row| {
+            let native = &row.runs[0];
+            let cont = &row.runs[1];
+            let slowdown = cont.slowdown_vs(native);
+            per_suite
+                .entry(row.suite.clone())
+                .or_default()
+                .push(slowdown);
+            vec![
+                row.name.clone(),
+                row.suite.clone(),
+                native.makespan.to_string(),
+                cont.makespan.to_string(),
+                ratio(slowdown),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "benchmark",
+            "suite",
+            "native cycles",
+            "continuous cycles",
+            "slowdown",
+        ],
+        &table,
+    );
+    println!();
+    for (suite, v) in &per_suite {
+        println!("{suite} geomean continuous slowdown: {}", ratio(geomean(v)));
+    }
+    save_json("exp_f1_continuous_overhead", &rows);
+}

@@ -1,0 +1,52 @@
+//! Experiment F2 — inter-thread sharing fraction.
+//!
+//! The fraction of memory accesses that constitute ground-truth
+//! inter-core communication (W→R / W→W / R→W at cache-line granularity),
+//! per benchmark. The paper's key observation: this fraction is tiny in
+//! most programs, so most of continuous analysis is wasted work.
+
+use ddrace_bench::{pct, print_table, run_matrix, save_json, ExpContext};
+use ddrace_core::AnalysisMode;
+use ddrace_workloads::all_benchmarks;
+
+fn main() {
+    let ctx = ExpContext::from_env();
+    println!(
+        "F2: sharing fraction of all accesses (scale {:?}, seed {})\n",
+        ctx.scale, ctx.seed
+    );
+    let specs = all_benchmarks();
+    let rows = run_matrix(&ctx, &specs, &[AnalysisMode::Native]);
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|row| {
+            let r = &row.runs[0];
+            let wr_frac = if r.accesses_total == 0 {
+                0.0
+            } else {
+                r.cache.sharing.write_read as f64 / r.accesses_total as f64
+            };
+            vec![
+                row.name.clone(),
+                row.suite.clone(),
+                r.accesses_total.to_string(),
+                r.cache.sharing.total().to_string(),
+                pct(r.cache.sharing_fraction()),
+                pct(wr_frac),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "benchmark",
+            "suite",
+            "accesses",
+            "sharing events",
+            "any sharing",
+            "W→R only",
+        ],
+        &table,
+    );
+    save_json("exp_f2_sharing_fraction", &rows);
+}

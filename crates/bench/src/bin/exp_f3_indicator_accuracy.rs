@@ -1,0 +1,59 @@
+//! Experiment F3 — hardware indicator accuracy.
+//!
+//! Compares the HITM events the PMU can actually observe against
+//! ground-truth W→R communication. The gap is the hardware indicator's
+//! blind spot: modified lines evicted before the consumer arrives produce
+//! no HITM, and W→W/R→W-only communication is invisible to the load
+//! event. The oracle column is what the paper's idealized "perfect
+//! sharing detector" would see.
+
+use ddrace_bench::{pct, print_table, run_matrix, save_json, ExpContext};
+use ddrace_core::AnalysisMode;
+use ddrace_workloads::all_benchmarks;
+
+fn main() {
+    let ctx = ExpContext::from_env();
+    println!(
+        "F3: HITM indicator vs ground truth (scale {:?}, seed {})\n",
+        ctx.scale, ctx.seed
+    );
+    let specs = all_benchmarks();
+    let rows = run_matrix(&ctx, &specs, &[AnalysisMode::Native]);
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|row| {
+            let r = &row.runs[0];
+            let truth = r.cache.sharing.total();
+            let wr = r.cache.sharing.write_read;
+            let hitm = r.cache.total_hitm_loads();
+            let rfo = r.cache.total_rfo_hitms();
+            vec![
+                row.name.clone(),
+                truth.to_string(),
+                wr.to_string(),
+                hitm.to_string(),
+                rfo.to_string(),
+                pct(r.cache.hitm_recall()),
+                pct(if truth == 0 {
+                    1.0
+                } else {
+                    ((hitm + rfo) as f64 / truth as f64).min(1.0)
+                }),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "benchmark",
+            "true sharing (oracle)",
+            "true W→R",
+            "HITM loads",
+            "RFO HITMs",
+            "HITM recall of W→R",
+            "any-HITM recall",
+        ],
+        &table,
+    );
+    save_json("exp_f3_indicator_accuracy", &rows);
+}

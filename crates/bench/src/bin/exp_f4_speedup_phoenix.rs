@@ -1,0 +1,69 @@
+//! Experiment F4 — headline speedups, Phoenix suite.
+//!
+//! Demand-driven analysis (HITM indicator and oracle indicator) versus
+//! continuous analysis, per Phoenix benchmark plus the suite geometric
+//! mean. The paper's abstract claims ≈10× for this suite with 51× for
+//! one program (our `linear_regression`).
+
+use ddrace_bench::{pct, print_table, ratio, run_matrix, save_json, ExpContext};
+use ddrace_core::{geomean, AnalysisMode};
+use ddrace_workloads::phoenix;
+
+fn main() {
+    let ctx = ExpContext::from_env();
+    println!(
+        "F4: demand-driven speedup over continuous, Phoenix (scale {:?})\n",
+        ctx.scale
+    );
+    let specs = phoenix::suite();
+    let modes = [
+        AnalysisMode::Native,
+        AnalysisMode::Continuous,
+        AnalysisMode::demand_hitm(),
+        AnalysisMode::demand_oracle(),
+    ];
+    let rows = run_matrix(&ctx, &specs, &modes);
+
+    let mut hitm_speedups = Vec::new();
+    let mut oracle_speedups = Vec::new();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|row| {
+            let [native, cont, hitm, oracle] = &row.runs[..] else {
+                unreachable!()
+            };
+            let sp_h = hitm.speedup_over(cont);
+            let sp_o = oracle.speedup_over(cont);
+            hitm_speedups.push(sp_h);
+            oracle_speedups.push(sp_o);
+            vec![
+                row.name.clone(),
+                ratio(cont.slowdown_vs(native)),
+                ratio(hitm.slowdown_vs(native)),
+                ratio(sp_h),
+                ratio(sp_o),
+                pct(hitm.analyzed_fraction()),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "benchmark",
+            "continuous slowdown",
+            "demand slowdown",
+            "speedup (HITM)",
+            "speedup (oracle)",
+            "accesses analyzed",
+        ],
+        &table,
+    );
+    println!();
+    println!(
+        "Phoenix geomean speedup: HITM {}  oracle {}   (paper: ~10x, max 51x)",
+        ratio(geomean(&hitm_speedups)),
+        ratio(geomean(&oracle_speedups)),
+    );
+    let max = hitm_speedups.iter().cloned().fold(0.0f64, f64::max);
+    println!("Phoenix max speedup (HITM): {}", ratio(max));
+    save_json("exp_f4_speedup_phoenix", &rows);
+}

@@ -1,0 +1,66 @@
+//! Experiment F5 — headline speedups, PARSEC suite.
+//!
+//! Same measurement as F4 for the PARSEC-like suite; the paper's abstract
+//! claims ≈3× here (PARSEC genuinely shares more, so analysis must stay
+//! on longer).
+
+use ddrace_bench::{pct, print_table, ratio, run_matrix, save_json, ExpContext};
+use ddrace_core::{geomean, AnalysisMode};
+use ddrace_workloads::parsec;
+
+fn main() {
+    let ctx = ExpContext::from_env();
+    println!(
+        "F5: demand-driven speedup over continuous, PARSEC (scale {:?})\n",
+        ctx.scale
+    );
+    let specs = parsec::suite();
+    let modes = [
+        AnalysisMode::Native,
+        AnalysisMode::Continuous,
+        AnalysisMode::demand_hitm(),
+        AnalysisMode::demand_oracle(),
+    ];
+    let rows = run_matrix(&ctx, &specs, &modes);
+
+    let mut hitm_speedups = Vec::new();
+    let mut oracle_speedups = Vec::new();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|row| {
+            let [native, cont, hitm, oracle] = &row.runs[..] else {
+                unreachable!()
+            };
+            let sp_h = hitm.speedup_over(cont);
+            let sp_o = oracle.speedup_over(cont);
+            hitm_speedups.push(sp_h);
+            oracle_speedups.push(sp_o);
+            vec![
+                row.name.clone(),
+                ratio(cont.slowdown_vs(native)),
+                ratio(hitm.slowdown_vs(native)),
+                ratio(sp_h),
+                ratio(sp_o),
+                pct(hitm.analyzed_fraction()),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "benchmark",
+            "continuous slowdown",
+            "demand slowdown",
+            "speedup (HITM)",
+            "speedup (oracle)",
+            "accesses analyzed",
+        ],
+        &table,
+    );
+    println!();
+    println!(
+        "PARSEC geomean speedup: HITM {}  oracle {}   (paper: ~3x)",
+        ratio(geomean(&hitm_speedups)),
+        ratio(geomean(&oracle_speedups)),
+    );
+    save_json("exp_f5_speedup_parsec", &rows);
+}

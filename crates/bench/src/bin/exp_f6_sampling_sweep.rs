@@ -1,0 +1,127 @@
+//! Experiment F6 — sampling-period and skid sensitivity.
+//!
+//! Sweeps the HITM counter's sample-after value: a larger period takes
+//! fewer interrupts (less overhead while idle) but reacts later and can
+//! miss short sharing bursts entirely. Reported per period: speedup over
+//! continuous and racy variables found on a racy workload. A second
+//! sweep varies the interrupt **skid** at period 1: a late-delivered PMI
+//! enables analysis after the racy burst has already passed.
+
+use ddrace_bench::{print_table, ratio, run_one, run_one_with, save_json, ExpContext};
+use ddrace_core::{AnalysisMode, ControllerConfig};
+use ddrace_pmu::IndicatorMode;
+use ddrace_workloads::{phoenix, racy};
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct SweepPoint {
+    period: u64,
+    speedup_clean: f64,
+    pmis_clean: u64,
+    racy_vars_found: usize,
+    speedup_racy: f64,
+}
+
+fn main() {
+    let ctx = ExpContext::from_env();
+    println!(
+        "F6: sample-after sweep (scale {:?}, seed {})\n",
+        ctx.scale, ctx.seed
+    );
+
+    let clean = phoenix::kmeans();
+    let racy_spec = racy::sparse_race();
+    let cont_clean = run_one(&ctx, &clean, AnalysisMode::Continuous);
+    let cont_racy = run_one(&ctx, &racy_spec, AnalysisMode::Continuous);
+
+    let mut points = Vec::new();
+    for period in [1u64, 2, 5, 10, 20, 50, 100, 500, 1000] {
+        let mode = AnalysisMode::Demand {
+            indicator: IndicatorMode::HitmSampling {
+                period,
+                skid: 20,
+                include_rfo: false,
+            },
+            controller: ControllerConfig::default(),
+        };
+        let demand_clean = run_one_with(&ctx, &clean, ctx.sim_config(mode));
+        let demand_racy = run_one_with(&ctx, &racy_spec, ctx.sim_config(mode));
+        points.push(SweepPoint {
+            period,
+            speedup_clean: demand_clean.speedup_over(&cont_clean),
+            pmis_clean: demand_clean.pmis,
+            racy_vars_found: demand_racy.races.distinct_addresses,
+            speedup_racy: demand_racy.speedup_over(&cont_racy),
+        });
+    }
+
+    let table: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.period.to_string(),
+                ratio(p.speedup_clean),
+                p.pmis_clean.to_string(),
+                p.racy_vars_found.to_string(),
+                ratio(p.speedup_racy),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "sample-after",
+            "speedup kmeans (clean)",
+            "PMIs (clean)",
+            "racy vars found (sparse_race)",
+            "speedup sparse_race",
+        ],
+        &table,
+    );
+    println!(
+        "\ncontinuous finds {} racy var(s) on sparse_race",
+        cont_racy.races.distinct_addresses
+    );
+
+    // Skid sweep at period 1: how late may the interrupt land before the
+    // enable misses the burst?
+    #[derive(Debug, Serialize)]
+    struct SkidPoint {
+        skid: u32,
+        racy_vars_found: usize,
+        pmis: u64,
+    }
+    let mut skid_points = Vec::new();
+    for skid in [0u32, 10, 20, 100, 500, 2_000] {
+        let mode = AnalysisMode::Demand {
+            indicator: IndicatorMode::HitmSampling {
+                period: 1,
+                skid,
+                include_rfo: false,
+            },
+            controller: ControllerConfig::default(),
+        };
+        let r = run_one_with(&ctx, &racy_spec, ctx.sim_config(mode));
+        skid_points.push(SkidPoint {
+            skid,
+            racy_vars_found: r.races.distinct_addresses,
+            pmis: r.pmis,
+        });
+    }
+    println!();
+    let skid_table: Vec<Vec<String>> = skid_points
+        .iter()
+        .map(|p| {
+            vec![
+                p.skid.to_string(),
+                p.racy_vars_found.to_string(),
+                p.pmis.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &["skid (accesses)", "racy vars found (sparse_race)", "PMIs"],
+        &skid_table,
+    );
+    save_json("exp_f6_sampling_sweep", &points);
+    save_json("exp_f6_skid_sweep", &skid_points);
+}

@@ -1,0 +1,50 @@
+//! Experiment F7 — analysis residency.
+//!
+//! For demand-driven (HITM) runs: the fraction of execution cycles spent
+//! with analysis enabled, the fraction of accesses analyzed, and the
+//! number of enable/disable transitions. This is the mechanism view of
+//! F4/F5: speedups come precisely from low residency.
+
+use ddrace_bench::{pct, print_table, run_matrix, save_json, ExpContext};
+use ddrace_core::AnalysisMode;
+use ddrace_workloads::all_benchmarks;
+
+fn main() {
+    let ctx = ExpContext::from_env();
+    println!(
+        "F7: analysis residency under demand-HITM (scale {:?})\n",
+        ctx.scale
+    );
+    let specs = all_benchmarks();
+    let rows = run_matrix(&ctx, &specs, &[AnalysisMode::demand_hitm()]);
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|row| {
+            let r = &row.runs[0];
+            let ctrl = r.controller.expect("demand mode has controller stats");
+            vec![
+                row.name.clone(),
+                row.suite.clone(),
+                pct(r.enabled_cycle_fraction()),
+                pct(r.analyzed_fraction()),
+                ctrl.enables.to_string(),
+                ctrl.disables.to_string(),
+                r.pmis.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "benchmark",
+            "suite",
+            "cycles enabled",
+            "accesses analyzed",
+            "enables",
+            "disables",
+            "PMIs",
+        ],
+        &table,
+    );
+    save_json("exp_f7_enabled_fraction", &rows);
+}

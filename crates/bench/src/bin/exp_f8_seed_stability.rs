@@ -1,0 +1,80 @@
+//! Experiment F8 — seed stability (methodology check).
+//!
+//! Every headline number comes from seeded, jittered interleavings; this
+//! experiment reruns the F4/F5 speedup measurement across several seeds
+//! and reports min/mean/max per benchmark, demonstrating that the
+//! reproduction's conclusions do not hinge on one lucky schedule.
+
+use ddrace_bench::{print_table, ratio, save_json, ExpContext};
+use ddrace_core::{geomean, AnalysisMode, Simulation};
+use ddrace_workloads::{parsec, phoenix, WorkloadSpec};
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct StabilityRow {
+    benchmark: String,
+    speedups: Vec<f64>,
+    min: f64,
+    mean: f64,
+    max: f64,
+}
+
+fn main() {
+    let ctx = ExpContext::from_env();
+    let seeds: Vec<u64> = (0..5).map(|i| ctx.seed + i * 1_000).collect();
+    println!(
+        "F8: speedup stability across seeds {seeds:?} (scale {:?})\n",
+        ctx.scale
+    );
+
+    let specs: Vec<WorkloadSpec> = vec![
+        phoenix::linear_regression(),
+        phoenix::kmeans(),
+        phoenix::word_count(),
+        parsec::canneal(),
+        parsec::swaptions(),
+        parsec::dedup(),
+    ];
+
+    let mut rows = Vec::new();
+    for spec in &specs {
+        let mut speedups = Vec::new();
+        for &seed in &seeds {
+            let run = |mode| {
+                let mut cfg = ctx.sim_config(mode);
+                cfg.scheduler.seed = seed;
+                Simulation::new(cfg)
+                    .run(spec.program(ctx.scale, seed))
+                    .unwrap()
+            };
+            let cont = run(AnalysisMode::Continuous);
+            let demand = run(AnalysisMode::demand_hitm());
+            speedups.push(demand.speedup_over(&cont));
+        }
+        let min = speedups.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = speedups.iter().cloned().fold(0.0f64, f64::max);
+        let mean = geomean(&speedups);
+        rows.push(StabilityRow {
+            benchmark: spec.name.clone(),
+            speedups,
+            min,
+            mean,
+            max,
+        });
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.benchmark.clone(),
+                ratio(r.min),
+                ratio(r.mean),
+                ratio(r.max),
+                format!("{:.1}%", (r.max - r.min) / r.mean * 100.0),
+            ]
+        })
+        .collect();
+    print_table(&["benchmark", "min", "geomean", "max", "spread"], &table);
+    save_json("exp_f8_seed_stability", &rows);
+}

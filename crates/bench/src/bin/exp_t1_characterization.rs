@@ -1,0 +1,54 @@
+//! Experiment T1 — benchmark characterization table.
+//!
+//! For every benchmark: threads, executed memory/sync operation counts,
+//! and the fraction of accesses that exhibit ground-truth inter-thread
+//! sharing. This is the table that motivates the whole paper: the sharing
+//! column is tiny for Phoenix and visibly larger for PARSEC.
+
+use ddrace_bench::{pct, print_table, run_matrix, save_json, ExpContext};
+use ddrace_core::AnalysisMode;
+use ddrace_workloads::all_benchmarks;
+
+fn main() {
+    let ctx = ExpContext::from_env();
+    println!(
+        "T1: benchmark characterization (scale {:?}, seed {})\n",
+        ctx.scale, ctx.seed
+    );
+    let specs = all_benchmarks();
+    let rows = run_matrix(&ctx, &specs, &[AnalysisMode::Native]);
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .zip(&specs)
+        .map(|(row, spec)| {
+            let r = &row.runs[0];
+            vec![
+                row.name.clone(),
+                row.suite.clone(),
+                spec.total_threads().to_string(),
+                r.ops.memory_accesses().to_string(),
+                r.ops.sync_ops().to_string(),
+                r.cache.sharing.write_read.to_string(),
+                r.cache.sharing.write_write.to_string(),
+                r.cache.sharing.read_write.to_string(),
+                pct(r.cache.sharing_fraction()),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "benchmark",
+            "suite",
+            "threads",
+            "mem ops",
+            "sync ops",
+            "W→R",
+            "W→W",
+            "R→W",
+            "shared frac",
+        ],
+        &table,
+    );
+    save_json("exp_t1_characterization", &rows);
+}

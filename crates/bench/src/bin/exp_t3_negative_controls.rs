@@ -1,0 +1,129 @@
+//! Experiment T3 — false-positive validation (negative controls).
+//!
+//! Every clean workload — the full Phoenix + PARSEC suites plus the
+//! structured synchronization kernels (bounded buffer, stencil, work
+//! queue) — under both happens-before detectors, across several seeds.
+//! The required value in every HB cell is **0**: happens-before analysis
+//! is precise on observed executions, and a single false positive would
+//! be a detector bug. The lockset column shows why the field moved away
+//! from Eraser: structurally clean fork/join and barrier programs light
+//! it up.
+
+use ddrace_bench::{print_table, save_json, ExpContext};
+use ddrace_core::{AnalysisMode, DetectorKind, SimConfig, Simulation};
+use ddrace_program::Program;
+use ddrace_workloads::{all_benchmarks, clean, Scale};
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct ControlRow {
+    workload: String,
+    fasttrack: usize,
+    djit: usize,
+    lockset: usize,
+}
+
+fn run(program: Program, kind: DetectorKind, cores: usize, seed: u64) -> usize {
+    let mut cfg = SimConfig::new(cores, AnalysisMode::Continuous);
+    cfg.scheduler = ddrace_program::SchedulerConfig {
+        quantum: 16,
+        seed,
+        jitter: true,
+    };
+    cfg.detector_kind = kind;
+    Simulation::new(cfg)
+        .run(program)
+        .expect("clean program schedules")
+        .races
+        .distinct
+}
+
+fn main() {
+    let ctx = ExpContext::from_env();
+    // Negative controls are about correctness, not scale: TEST size keeps
+    // the full sweep fast without changing the verdicts.
+    let scale = Scale::TEST;
+    println!("T3: false positives on race-free workloads (3 seeds each)\n");
+
+    let mut rows: Vec<ControlRow> = Vec::new();
+    let kernels: Vec<(String, Box<dyn Fn() -> Program>)> = vec![
+        (
+            "bounded_buffer".into(),
+            Box::new(|| clean::bounded_buffer(4, 80)),
+        ),
+        ("stencil".into(), Box::new(|| clean::stencil(4, 8, 4))),
+        ("work_queue".into(), Box::new(|| clean::work_queue(4, 40))),
+    ];
+
+    for spec in all_benchmarks() {
+        let mut row = ControlRow {
+            workload: spec.name.clone(),
+            fasttrack: 0,
+            djit: 0,
+            lockset: 0,
+        };
+        for seed in [1u64, 2, 3] {
+            row.fasttrack += run(
+                spec.program(scale, seed),
+                DetectorKind::FastTrack,
+                ctx.cores,
+                seed,
+            );
+            row.djit += run(
+                spec.program(scale, seed),
+                DetectorKind::Djit,
+                ctx.cores,
+                seed,
+            );
+            row.lockset += run(
+                spec.program(scale, seed),
+                DetectorKind::LockSet,
+                ctx.cores,
+                seed,
+            );
+        }
+        rows.push(row);
+    }
+    for (name, make) in &kernels {
+        let mut row = ControlRow {
+            workload: name.clone(),
+            fasttrack: 0,
+            djit: 0,
+            lockset: 0,
+        };
+        for seed in [1u64, 2, 3] {
+            row.fasttrack += run(make(), DetectorKind::FastTrack, 4, seed);
+            row.djit += run(make(), DetectorKind::Djit, 4, seed);
+            row.lockset += run(make(), DetectorKind::LockSet, 4, seed);
+        }
+        rows.push(row);
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.workload.clone(),
+                r.fasttrack.to_string(),
+                r.djit.to_string(),
+                r.lockset.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "workload (race-free)",
+            "fasttrack FPs",
+            "djit FPs",
+            "lockset FPs",
+        ],
+        &table,
+    );
+
+    let hb_fps: usize = rows.iter().map(|r| r.fasttrack + r.djit).sum();
+    println!("\nHB detectors: {hb_fps} false positives total (must be 0).");
+    if hb_fps > 0 {
+        std::process::exit(1);
+    }
+    save_json("exp_t3_negative_controls", &rows);
+}

@@ -1,0 +1,264 @@
+//! Experiment harness for the ddrace paper reproduction.
+//!
+//! One binary per table/figure (see `DESIGN.md` for the experiment
+//! index); this library holds what they share: an environment-driven
+//! [`ExpContext`], mode runners that parallelize *across* benchmarks (each
+//! simulated run is single-threaded and deterministic), plain-text table
+//! printing, and JSON result dumps under `results/`.
+//!
+//! Environment knobs:
+//!
+//! * `DDRACE_SCALE` — `test`, `small` (default), or `large`;
+//! * `DDRACE_SEED` — base RNG seed (default 42);
+//! * `DDRACE_CORES` — simulated cores (default 8);
+//! * `DDRACE_RESULTS_DIR` — where JSON dumps go (default `results/`).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+use ddrace_core::{AnalysisMode, RunResult, SimConfig, Simulation};
+use ddrace_program::SchedulerConfig;
+use ddrace_workloads::{Scale, WorkloadSpec};
+use parking_lot::Mutex;
+use serde::Serialize;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// Shared experiment configuration, read from the environment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExpContext {
+    /// Workload scale.
+    pub scale: Scale,
+    /// Base seed; workload generation and the scheduler derive from it.
+    pub seed: u64,
+    /// Simulated core count.
+    pub cores: usize,
+}
+
+impl ExpContext {
+    /// Reads the context from `DDRACE_*` environment variables.
+    pub fn from_env() -> Self {
+        let scale = match std::env::var("DDRACE_SCALE").as_deref() {
+            Ok("test") => Scale::TEST,
+            Ok("large") => Scale::LARGE,
+            _ => Scale::SMALL,
+        };
+        let seed = std::env::var("DDRACE_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(42);
+        let cores = std::env::var("DDRACE_CORES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(8);
+        ExpContext { scale, seed, cores }
+    }
+
+    /// The scheduler configuration every experiment uses: jittered with
+    /// the context seed, so interleavings vary by seed but are
+    /// reproducible.
+    pub fn scheduler(&self) -> SchedulerConfig {
+        SchedulerConfig {
+            quantum: 32,
+            seed: self.seed,
+            jitter: true,
+        }
+    }
+
+    /// A simulation config for `mode` under this context.
+    pub fn sim_config(&self, mode: AnalysisMode) -> SimConfig {
+        let mut cfg = SimConfig::new(self.cores, mode);
+        cfg.scheduler = self.scheduler();
+        cfg
+    }
+}
+
+impl Default for ExpContext {
+    fn default() -> Self {
+        ExpContext {
+            scale: Scale::SMALL,
+            seed: 42,
+            cores: 8,
+        }
+    }
+}
+
+/// Runs one workload under one mode.
+///
+/// # Panics
+///
+/// Panics if the workload program is ill-formed (a bug in the generator,
+/// not in user input).
+pub fn run_one(ctx: &ExpContext, spec: &WorkloadSpec, mode: AnalysisMode) -> RunResult {
+    run_one_with(ctx, spec, ctx.sim_config(mode))
+}
+
+/// Runs one workload under an explicit simulation config (for sweeps that
+/// vary more than the mode).
+///
+/// # Panics
+///
+/// Panics if the workload program is ill-formed.
+pub fn run_one_with(ctx: &ExpContext, spec: &WorkloadSpec, config: SimConfig) -> RunResult {
+    let program = spec.program(ctx.scale, ctx.seed);
+    Simulation::new(config)
+        .run(program)
+        .unwrap_or_else(|e| panic!("workload {} failed to schedule: {e}", spec.name))
+}
+
+/// One benchmark's results across a set of modes.
+#[derive(Debug, Clone, Serialize)]
+pub struct ModeRow {
+    /// Benchmark name.
+    pub name: String,
+    /// Suite label.
+    pub suite: String,
+    /// Results in the same order as the requested modes.
+    pub runs: Vec<RunResult>,
+}
+
+/// Runs every workload under every mode, parallelizing across workloads
+/// with host threads. Results keep the input order.
+pub fn run_matrix(
+    ctx: &ExpContext,
+    specs: &[WorkloadSpec],
+    modes: &[AnalysisMode],
+) -> Vec<ModeRow> {
+    let results: Mutex<Vec<Option<ModeRow>>> = Mutex::new(vec![None; specs.len()]);
+    let next: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    crossbeam::scope(|scope| {
+        for _ in 0..host_threads.min(specs.len()) {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= specs.len() {
+                    break;
+                }
+                let spec = &specs[i];
+                let runs: Vec<RunResult> = modes.iter().map(|&m| run_one(ctx, spec, m)).collect();
+                results.lock()[i] = Some(ModeRow {
+                    name: spec.name.clone(),
+                    suite: spec.suite.to_string(),
+                    runs,
+                });
+            });
+        }
+    })
+    .expect("experiment worker panicked");
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("all rows filled"))
+        .collect()
+}
+
+/// Prints a fixed-width table: a header row then data rows.
+///
+/// # Panics
+///
+/// Panics if a row's length differs from the header's.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), headers.len(), "row width mismatch");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let print_row = |cells: &[String]| {
+        let line: Vec<String> = cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect();
+        println!("{}", line.join("  "));
+    };
+    print_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+    println!("{}", "-".repeat(total));
+    for row in rows {
+        print_row(row);
+    }
+}
+
+/// Serializes `value` to `results/<name>.json` (directory from
+/// `DDRACE_RESULTS_DIR`), creating the directory if needed. Prints the
+/// path written. Failures are reported but not fatal — the printed table
+/// is the primary output.
+pub fn save_json<T: Serialize>(name: &str, value: &T) {
+    let dir = std::env::var("DDRACE_RESULTS_DIR").unwrap_or_else(|_| "results".to_string());
+    let dir = PathBuf::from(dir);
+    let write = || -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{name}.json"));
+        let mut f = std::fs::File::create(&path)?;
+        let json = serde_json::to_string_pretty(value)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::Other, e))?;
+        f.write_all(json.as_bytes())?;
+        Ok(path)
+    };
+    match write() {
+        Ok(path) => println!("\n[saved {}]", path.display()),
+        Err(e) => eprintln!("warning: could not save {name}.json: {e}"),
+    }
+}
+
+/// Formats a ratio like `12.3x`.
+pub fn ratio(v: f64) -> String {
+    format!("{v:.1}x")
+}
+
+/// Formats a fraction as a percentage like `12.3%`.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddrace_workloads::racy;
+
+    #[test]
+    fn context_defaults() {
+        let ctx = ExpContext::default();
+        assert_eq!(ctx.cores, 8);
+        assert_eq!(ctx.scale, Scale::SMALL);
+        assert!(ctx.scheduler().jitter);
+    }
+
+    #[test]
+    fn run_matrix_preserves_order_and_modes() {
+        let ctx = ExpContext {
+            scale: Scale::TEST,
+            seed: 1,
+            cores: 4,
+        };
+        let specs = racy::kernels();
+        let modes = [AnalysisMode::Native, AnalysisMode::Continuous];
+        let rows = run_matrix(&ctx, &specs, &modes);
+        assert_eq!(rows.len(), specs.len());
+        for (row, spec) in rows.iter().zip(&specs) {
+            assert_eq!(row.name, spec.name);
+            assert_eq!(row.runs.len(), 2);
+            assert_eq!(row.runs[0].mode, "native");
+            assert_eq!(row.runs[1].mode, "continuous");
+            // Same program, same schedule: identical op counts.
+            assert_eq!(row.runs[0].ops, row.runs[1].ops);
+        }
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(ratio(12.34), "12.3x");
+        assert_eq!(pct(0.1234), "12.3%");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn table_rejects_ragged_rows() {
+        print_table(&["a", "b"], &[vec!["1".into()]]);
+    }
+}

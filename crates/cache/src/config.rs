@@ -1,0 +1,259 @@
+//! Cache hierarchy configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry of one cache level.
+///
+/// # Examples
+///
+/// ```
+/// use ddrace_cache::LevelConfig;
+/// let l1 = LevelConfig { sets: 64, ways: 8, latency: 4 };
+/// assert_eq!(l1.lines(), 512);
+/// assert_eq!(l1.capacity_bytes(64), 32 * 1024);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LevelConfig {
+    /// Number of sets. Must be a power of two.
+    pub sets: usize,
+    /// Associativity (lines per set).
+    pub ways: usize,
+    /// Access latency in cycles.
+    pub latency: u32,
+}
+
+impl LevelConfig {
+    /// Total number of line slots in the level.
+    pub fn lines(&self) -> usize {
+        self.sets * self.ways
+    }
+
+    /// Capacity in bytes for a given line size.
+    pub fn capacity_bytes(&self, line_size: u64) -> u64 {
+        self.lines() as u64 * line_size
+    }
+
+    /// Validates the geometry, panicking with a descriptive message if it
+    /// is unusable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a power of two or either dimension is zero.
+    pub fn validate(&self, name: &str) {
+        assert!(
+            self.sets.is_power_of_two(),
+            "{name}: sets must be a power of two"
+        );
+        assert!(self.ways > 0, "{name}: ways must be positive");
+    }
+}
+
+/// Full configuration of the simulated memory system.
+///
+/// Defaults model a Nehalem-class part, the microarchitecture the paper's
+/// `MEM_UNCORE_RETIRED.OTHER_CORE_L2_HITM` event belongs to: 32 KiB L1 and
+/// 256 KiB L2 per core, shared inclusive 8 MiB L3, 64-byte lines.
+///
+/// # Examples
+///
+/// ```
+/// use ddrace_cache::CacheConfig;
+/// let cfg = CacheConfig::nehalem(8);
+/// assert_eq!(cfg.cores, 8);
+/// assert_eq!(cfg.line_size, 64);
+/// let tiny = CacheConfig::tiny(2);
+/// assert!(tiny.l1.lines() < cfg.l1.lines());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Number of cores (each with a private L1 and L2). At most 64.
+    pub cores: usize,
+    /// Cache line size in bytes. Must be a power of two.
+    pub line_size: u64,
+    /// Private L1 geometry.
+    pub l1: LevelConfig,
+    /// Private L2 geometry.
+    pub l2: LevelConfig,
+    /// Shared, inclusive L3 geometry.
+    pub l3: LevelConfig,
+    /// Main memory latency in cycles.
+    pub mem_latency: u32,
+    /// Cache-to-cache (HITM) transfer latency in cycles.
+    pub c2c_latency: u32,
+    /// Extra cycles for an S→M upgrade (invalidation round-trip).
+    pub upgrade_latency: u32,
+    /// Extra cycles for an atomic (locked) access.
+    pub atomic_latency: u32,
+    /// Whether to maintain the ground-truth sharing tracker (the oracle
+    /// indicator). Costs one hash-map lookup per access.
+    pub track_sharing: bool,
+    /// Enable the next-line hardware prefetcher: every private-cache miss
+    /// also pulls the following line into the requesting core's L2.
+    /// Prefetches that hit a remote **modified** line downgrade it early,
+    /// so the later demand load hits locally and the PMU's retired-load
+    /// HITM event never fires — a real-hardware perturbation of the
+    /// paper's indicator.
+    pub prefetch_next_line: bool,
+}
+
+impl CacheConfig {
+    /// Nehalem-class configuration for `cores` cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is 0 or greater than 64.
+    pub fn nehalem(cores: usize) -> Self {
+        let cfg = CacheConfig {
+            cores,
+            line_size: 64,
+            l1: LevelConfig {
+                sets: 64,
+                ways: 8,
+                latency: 4,
+            },
+            l2: LevelConfig {
+                sets: 512,
+                ways: 8,
+                latency: 12,
+            },
+            l3: LevelConfig {
+                sets: 8192,
+                ways: 16,
+                latency: 40,
+            },
+            mem_latency: 200,
+            c2c_latency: 60,
+            upgrade_latency: 20,
+            atomic_latency: 8,
+            track_sharing: true,
+            prefetch_next_line: false,
+        };
+        cfg.validate();
+        cfg
+    }
+
+    /// A deliberately tiny hierarchy for unit tests: high eviction pressure
+    /// with only a handful of accesses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is 0 or greater than 64.
+    pub fn tiny(cores: usize) -> Self {
+        let cfg = CacheConfig {
+            cores,
+            line_size: 64,
+            l1: LevelConfig {
+                sets: 2,
+                ways: 2,
+                latency: 4,
+            },
+            l2: LevelConfig {
+                sets: 4,
+                ways: 2,
+                latency: 12,
+            },
+            l3: LevelConfig {
+                sets: 16,
+                ways: 4,
+                latency: 40,
+            },
+            mem_latency: 200,
+            c2c_latency: 60,
+            upgrade_latency: 20,
+            atomic_latency: 8,
+            track_sharing: true,
+            prefetch_next_line: false,
+        };
+        cfg.validate();
+        cfg
+    }
+
+    /// Validates the whole configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is unusable, if `cores` is 0 or exceeds 64
+    /// (the directory presence mask is a `u64`), or if the L3 is smaller
+    /// than a single private L2 (inclusion would thrash pathologically).
+    pub fn validate(&self) {
+        assert!(
+            self.cores >= 1 && self.cores <= 64,
+            "cores must be in 1..=64"
+        );
+        assert!(
+            self.line_size.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        self.l1.validate("L1");
+        self.l2.validate("L2");
+        self.l3.validate("L3");
+        assert!(
+            self.l3.lines() >= self.l2.lines(),
+            "inclusive L3 must be at least as large as one private L2"
+        );
+    }
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        Self::nehalem(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nehalem_capacities() {
+        let cfg = CacheConfig::nehalem(4);
+        assert_eq!(cfg.l1.capacity_bytes(cfg.line_size), 32 * 1024);
+        assert_eq!(cfg.l2.capacity_bytes(cfg.line_size), 256 * 1024);
+        assert_eq!(cfg.l3.capacity_bytes(cfg.line_size), 8 * 1024 * 1024);
+    }
+
+    #[test]
+    fn default_is_nehalem_8() {
+        assert_eq!(CacheConfig::default(), CacheConfig::nehalem(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "cores must be in 1..=64")]
+    fn zero_cores_rejected() {
+        CacheConfig {
+            cores: 0,
+            ..CacheConfig::nehalem(1)
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "cores must be in 1..=64")]
+    fn too_many_cores_rejected() {
+        CacheConfig {
+            cores: 65,
+            ..CacheConfig::nehalem(1)
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_sets_rejected() {
+        let mut cfg = CacheConfig::tiny(1);
+        cfg.l1.sets = 3;
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "inclusive L3")]
+    fn l3_smaller_than_l2_rejected() {
+        let mut cfg = CacheConfig::tiny(1);
+        cfg.l3 = LevelConfig {
+            sets: 1,
+            ways: 1,
+            latency: 40,
+        };
+        cfg.validate();
+    }
+}

@@ -1,0 +1,50 @@
+//! Multicore MESI cache-hierarchy simulator for the ddrace reproduction of
+//! *"Demand-driven software race detection using hardware performance
+//! counters"* (Greathouse et al., ISCA 2011).
+//!
+//! The paper's mechanism hinges on a hardware observation: inter-thread
+//! sharing of recently-written data shows up as **HITM** coherence events
+//! (a load served cache-to-cache from another core's Modified line). This
+//! crate reproduces that substrate: per-core private L1/L2 caches, a
+//! shared inclusive L3 with an in-cache directory, and MESI coherence —
+//! with the same *imprecision* real hardware has (evicted modified lines
+//! produce no HITM; stores that hit remote modified lines are RFO-HITMs
+//! the monitored load event does not count).
+//!
+//! It also maintains a ground-truth [`SharingTracker`] that never forgets,
+//! providing the paper's idealized "oracle" sharing indicator for
+//! comparison.
+//!
+//! # Example
+//!
+//! ```
+//! use ddrace_cache::{CacheConfig, CacheHierarchy, CoreId, HitWhere};
+//! use ddrace_program::{AccessKind, Addr};
+//!
+//! let mut mem = CacheHierarchy::new(CacheConfig::nehalem(2));
+//! mem.access(CoreId(0), Addr(0x40), AccessKind::Write);
+//! let read = mem.access(CoreId(1), Addr(0x40), AccessKind::Read);
+//! assert_eq!(read.hit, HitWhere::RemoteCache);
+//! assert!(read.is_hitm_load());
+//! assert!(read.is_true_sharing());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+mod array;
+mod config;
+mod event;
+mod hierarchy;
+mod mesi;
+mod sharing;
+mod stats;
+
+pub use array::CacheArray;
+pub use config::{CacheConfig, LevelConfig};
+pub use event::{AccessResult, CoreId, HitWhere, SharingKind};
+pub use hierarchy::CacheHierarchy;
+pub use mesi::MesiState;
+pub use sharing::{SharingCounts, SharingTracker};
+pub use stats::{CacheStats, CoreCacheStats};

@@ -1,0 +1,90 @@
+//! MESI coherence states.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The MESI state of a line in a private cache.
+///
+/// `Invalid` doubles as "not present"; the arrays never store `Invalid`
+/// slots explicitly.
+///
+/// # Examples
+///
+/// ```
+/// use ddrace_cache::MesiState;
+/// assert!(MesiState::Modified.is_dirty());
+/// assert!(MesiState::Exclusive.can_write_silently());
+/// assert!(!MesiState::Shared.can_write_silently());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MesiState {
+    /// Only copy, dirty with respect to lower levels.
+    Modified,
+    /// Only copy, clean.
+    Exclusive,
+    /// Possibly one of several copies, clean.
+    Shared,
+    /// Not present / stale.
+    Invalid,
+}
+
+impl MesiState {
+    /// Returns `true` if the line holds data newer than lower levels.
+    pub fn is_dirty(self) -> bool {
+        self == MesiState::Modified
+    }
+
+    /// Returns `true` if a write can proceed without a coherence
+    /// transaction (M or E).
+    pub fn can_write_silently(self) -> bool {
+        matches!(self, MesiState::Modified | MesiState::Exclusive)
+    }
+
+    /// Returns `true` if the line is present (not `Invalid`).
+    pub fn is_present(self) -> bool {
+        self != MesiState::Invalid
+    }
+}
+
+impl fmt::Display for MesiState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self {
+            MesiState::Modified => 'M',
+            MesiState::Exclusive => 'E',
+            MesiState::Shared => 'S',
+            MesiState::Invalid => 'I',
+        };
+        write!(f, "{c}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_predicates() {
+        assert!(MesiState::Modified.is_dirty());
+        assert!(!MesiState::Exclusive.is_dirty());
+        assert!(!MesiState::Shared.is_dirty());
+        assert!(!MesiState::Invalid.is_dirty());
+
+        assert!(MesiState::Modified.can_write_silently());
+        assert!(MesiState::Exclusive.can_write_silently());
+        assert!(!MesiState::Shared.can_write_silently());
+        assert!(!MesiState::Invalid.can_write_silently());
+
+        assert!(MesiState::Modified.is_present());
+        assert!(MesiState::Exclusive.is_present());
+        assert!(MesiState::Shared.is_present());
+        assert!(!MesiState::Invalid.is_present());
+    }
+
+    #[test]
+    fn display_single_letters() {
+        assert_eq!(format!("{}", MesiState::Modified), "M");
+        assert_eq!(format!("{}", MesiState::Exclusive), "E");
+        assert_eq!(format!("{}", MesiState::Shared), "S");
+        assert_eq!(format!("{}", MesiState::Invalid), "I");
+    }
+}

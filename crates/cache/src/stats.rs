@@ -1,0 +1,168 @@
+//! Counters maintained by the cache hierarchy.
+
+use crate::sharing::SharingCounts;
+use serde::{Deserialize, Serialize};
+
+/// Per-core cache activity counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoreCacheStats {
+    /// Total accesses issued by the core.
+    pub accesses: u64,
+    /// Loads (including the read half of atomics).
+    pub reads: u64,
+    /// Stores (including atomics).
+    pub writes: u64,
+    /// Accesses satisfied in the private L1.
+    pub l1_hits: u64,
+    /// Accesses satisfied in the private L2.
+    pub l2_hits: u64,
+    /// Accesses satisfied in the shared L3.
+    pub l3_hits: u64,
+    /// Accesses served cache-to-cache from a remote private cache.
+    pub remote_hits: u64,
+    /// Accesses that went to main memory.
+    pub mem_accesses: u64,
+    /// Loads served by a remote **modified** line — the PMU-visible HITM
+    /// event.
+    pub hitm_loads: u64,
+    /// Stores whose ownership request hit a remote modified line.
+    pub rfo_hitms: u64,
+    /// S→M upgrades performed by this core.
+    pub upgrades: u64,
+    /// Lines invalidated out of this core's private caches by remote
+    /// activity (including inclusion back-invalidations).
+    pub invalidations_received: u64,
+    /// Lines this core evicted from its private L2.
+    pub l2_evictions: u64,
+    /// Modified lines this core evicted (wrote back) from its private L2.
+    pub l2_dirty_evictions: u64,
+    /// Cumulative access latency in cycles.
+    pub total_latency: u64,
+}
+
+impl CoreCacheStats {
+    /// Fraction of accesses satisfied in the private L1 (0 when idle).
+    pub fn l1_hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.l1_hits as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// Machine-wide cache statistics.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Per-core counters, indexed by core id.
+    pub per_core: Vec<CoreCacheStats>,
+    /// Ground-truth sharing totals (from the oracle tracker).
+    pub sharing: SharingCounts,
+    /// L3 evictions (each back-invalidates any private copies).
+    pub l3_evictions: u64,
+    /// Private-cache lines invalidated due to L3 evictions (inclusion).
+    pub back_invalidations: u64,
+    /// Writebacks from L3 to memory.
+    pub memory_writebacks: u64,
+    /// Next-line prefetches issued (when the prefetcher is enabled).
+    pub prefetches: u64,
+    /// Prefetches that pulled a line out of a remote core's **Modified**
+    /// state — sharing the demand load would have reported as HITM, now
+    /// hidden from the PMU.
+    pub prefetch_steals: u64,
+}
+
+impl CacheStats {
+    /// Creates zeroed stats for `cores` cores.
+    pub fn new(cores: usize) -> Self {
+        CacheStats {
+            per_core: vec![CoreCacheStats::default(); cores],
+            ..Default::default()
+        }
+    }
+
+    /// Total accesses across all cores.
+    pub fn total_accesses(&self) -> u64 {
+        self.per_core.iter().map(|c| c.accesses).sum()
+    }
+
+    /// Total PMU-visible HITM loads across all cores.
+    pub fn total_hitm_loads(&self) -> u64 {
+        self.per_core.iter().map(|c| c.hitm_loads).sum()
+    }
+
+    /// Total RFO-HITM events across all cores.
+    pub fn total_rfo_hitms(&self) -> u64 {
+        self.per_core.iter().map(|c| c.rfo_hitms).sum()
+    }
+
+    /// Fraction of all accesses that exhibited ground-truth sharing of any
+    /// kind (0 when idle).
+    pub fn sharing_fraction(&self) -> f64 {
+        let total = self.total_accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.sharing.total() as f64 / total as f64
+        }
+    }
+
+    /// Recall of the HITM load event against ground-truth W→R sharing:
+    /// what fraction of true W→R communications produced a PMU-visible
+    /// HITM (1.0 when there was no W→R sharing at all).
+    pub fn hitm_recall(&self) -> f64 {
+        if self.sharing.write_read == 0 {
+            1.0
+        } else {
+            (self.total_hitm_loads() as f64 / self.sharing.write_read as f64).min(1.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_construction() {
+        let s = CacheStats::new(4);
+        assert_eq!(s.per_core.len(), 4);
+        assert_eq!(s.total_accesses(), 0);
+        assert_eq!(s.sharing_fraction(), 0.0);
+        assert_eq!(s.hitm_recall(), 1.0);
+        assert_eq!(s.per_core[0].l1_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn aggregates_sum_per_core() {
+        let mut s = CacheStats::new(2);
+        s.per_core[0].accesses = 10;
+        s.per_core[0].hitm_loads = 2;
+        s.per_core[1].accesses = 5;
+        s.per_core[1].hitm_loads = 1;
+        s.per_core[1].rfo_hitms = 3;
+        assert_eq!(s.total_accesses(), 15);
+        assert_eq!(s.total_hitm_loads(), 3);
+        assert_eq!(s.total_rfo_hitms(), 3);
+    }
+
+    #[test]
+    fn recall_is_capped_at_one() {
+        let mut s = CacheStats::new(1);
+        s.sharing.write_read = 2;
+        s.per_core[0].hitm_loads = 5; // e.g. false sharing noise
+        assert_eq!(s.hitm_recall(), 1.0);
+        s.per_core[0].hitm_loads = 1;
+        assert_eq!(s.hitm_recall(), 0.5);
+    }
+
+    #[test]
+    fn hit_rate_math() {
+        let c = CoreCacheStats {
+            accesses: 10,
+            l1_hits: 7,
+            ..Default::default()
+        };
+        assert!((c.l1_hit_rate() - 0.7).abs() < 1e-12);
+    }
+}

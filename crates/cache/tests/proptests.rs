@@ -1,0 +1,123 @@
+//! Property-based tests for the cache hierarchy and sharing tracker.
+
+use ddrace_cache::{CacheConfig, CacheHierarchy, CoreId};
+use ddrace_program::{AccessKind, Addr};
+use proptest::prelude::*;
+
+fn arb_accesses(
+    cores: u32,
+    lines: u64,
+    len: usize,
+) -> impl Strategy<Value = Vec<(CoreId, Addr, AccessKind)>> {
+    proptest::collection::vec(
+        (
+            0..cores,
+            0..lines,
+            prop_oneof![
+                3 => Just(AccessKind::Read),
+                2 => Just(AccessKind::Write),
+                1 => Just(AccessKind::AtomicRmw),
+            ],
+        )
+            .prop_map(|(c, l, k)| (CoreId(c), Addr(0x1000 + l * 64 + (l % 8) * 8), k)),
+        1..len,
+    )
+}
+
+proptest! {
+    /// Structural invariants (inclusion, directory precision, MESI
+    /// exclusivity) hold after any access sequence, even on tiny caches
+    /// with heavy eviction pressure — with and without the prefetcher.
+    #[test]
+    fn invariants_hold_under_random_traffic(
+        accesses in arb_accesses(4, 256, 400),
+        prefetch in any::<bool>(),
+    ) {
+        let mut cfg = CacheConfig::tiny(4);
+        cfg.prefetch_next_line = prefetch;
+        let mut m = CacheHierarchy::new(cfg);
+        for (core, addr, kind) in accesses {
+            m.access(core, addr, kind);
+            // Checking after every access is what makes this test sharp.
+        }
+        m.check_invariants().map_err(TestCaseError::fail)?;
+    }
+
+    /// The hardware HITM load counter never exceeds the oracle's count of
+    /// W→R communications: hardware can only miss sharing, never invent a
+    /// *new* first-communication... except line-granularity re-reads after
+    /// invalidation. We therefore check the weaker, always-true bound:
+    /// HITM loads ≤ reads that left the core.
+    #[test]
+    fn hitm_loads_bounded_by_remote_hits(
+        accesses in arb_accesses(4, 64, 400),
+    ) {
+        let mut m = CacheHierarchy::new(CacheConfig::tiny(4));
+        for (core, addr, kind) in accesses {
+            m.access(core, addr, kind);
+        }
+        let s = m.stats();
+        let remote: u64 = s.per_core.iter().map(|c| c.remote_hits).sum();
+        prop_assert!(s.total_hitm_loads() + s.total_rfo_hitms() <= remote + s.total_rfo_hitms());
+        prop_assert!(s.total_hitm_loads() <= remote);
+    }
+
+    /// Replaying the same access sequence yields identical stats
+    /// (the hierarchy is fully deterministic).
+    #[test]
+    fn hierarchy_is_deterministic(accesses in arb_accesses(3, 128, 300)) {
+        let run = |seq: &[(CoreId, Addr, AccessKind)]| {
+            let mut m = CacheHierarchy::new(CacheConfig::tiny(3));
+            let results: Vec<_> = seq.iter().map(|&(c, a, k)| m.access(c, a, k)).collect();
+            (results, m.stats().clone())
+        };
+        prop_assert_eq!(run(&accesses), run(&accesses));
+    }
+
+    /// Single-core traffic never produces HITM, RFO-HITM, invalidations,
+    /// or ground-truth sharing.
+    #[test]
+    fn single_core_never_shares(accesses in arb_accesses(1, 512, 400)) {
+        let mut m = CacheHierarchy::new(CacheConfig::tiny(1));
+        for (core, addr, kind) in accesses {
+            let r = m.access(core, addr, kind);
+            prop_assert!(r.hitm_owner.is_none());
+            prop_assert!(r.rfo_hitm_owner.is_none());
+            prop_assert_eq!(r.invalidations, 0);
+            prop_assert!(!r.is_true_sharing());
+        }
+        prop_assert_eq!(m.stats().sharing.total(), 0);
+    }
+
+    /// Latency is always positive and bounded by the worst-case path
+    /// (memory + upgrade + atomic).
+    #[test]
+    fn latency_bounds(accesses in arb_accesses(4, 64, 200)) {
+        let cfg = CacheConfig::tiny(4);
+        let max = cfg.mem_latency + cfg.upgrade_latency + cfg.atomic_latency + cfg.l1.latency;
+        let mut m = CacheHierarchy::new(cfg);
+        for (core, addr, kind) in accesses {
+            let r = m.access(core, addr, kind);
+            prop_assert!(r.latency > 0);
+            prop_assert!(r.latency <= max, "latency {} exceeds bound {}", r.latency, max);
+        }
+    }
+
+    /// Stats are conserved: every access lands in exactly one hit bucket.
+    #[test]
+    fn hit_buckets_partition_accesses(accesses in arb_accesses(4, 64, 300)) {
+        let mut m = CacheHierarchy::new(CacheConfig::tiny(4));
+        let n = accesses.len() as u64;
+        for (core, addr, kind) in accesses {
+            m.access(core, addr, kind);
+        }
+        let s = m.stats();
+        let bucketed: u64 = s
+            .per_core
+            .iter()
+            .map(|c| c.l1_hits + c.l2_hits + c.l3_hits + c.remote_hits + c.mem_accesses)
+            .sum();
+        prop_assert_eq!(bucketed, n);
+        prop_assert_eq!(s.total_accesses(), n);
+    }
+}

@@ -1,0 +1,104 @@
+//! The cycle cost model.
+//!
+//! The paper's speedups are ratios of execution times under different
+//! analysis configurations. We account simulated cycles per core:
+//!
+//! * native work costs what the cache hierarchy says (plus declared
+//!   compute cycles);
+//! * running under the tool at all (any mode but native) costs a small
+//!   multiplicative translator overhead — the thin binary-instrumentation
+//!   layer stays resident even with analysis off;
+//! * each *analyzed* memory access pays the shadow-memory/vector-clock
+//!   cost; each sync operation pays sync-instrumentation cost whenever the
+//!   tool is attached (sync tracking is always on);
+//! * performance-monitoring interrupts and global analysis toggles cost
+//!   cycles.
+//!
+//! Defaults are calibrated so continuous analysis lands in the 30–100×
+//! slowdown band the paper reports for Inspector XE-class tools.
+
+use serde::{Deserialize, Serialize};
+
+/// Cycle costs of the tool and machine events.
+///
+/// # Examples
+///
+/// ```
+/// use ddrace_core::CostModel;
+/// let m = CostModel::default();
+/// // Tool-attached execution inflates a 100-cycle op only slightly while
+/// // analysis is off...
+/// assert_eq!(m.translated(100), 102);
+/// // ...but analyzed accesses pay the full instrumentation cost.
+/// assert!(m.analysis_per_access > 50);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Added cycles per analyzed memory access (shadow lookup, epoch/VC
+    /// comparison, occasional report path).
+    pub analysis_per_access: u32,
+    /// Added cycles per synchronization operation while the tool is
+    /// attached (sync tracking never turns off).
+    pub analysis_per_sync: u32,
+    /// Percent overhead on every operation while the tool is attached but
+    /// analysis is off (the resident translator).
+    pub translator_overhead_pct: u32,
+    /// Cycles to take one performance-monitoring interrupt.
+    pub pmi_cost: u32,
+    /// Stop-the-world cycles, charged to *every* core, for one global
+    /// analysis enable or disable transition (code patching / mode flush).
+    pub toggle_cost: u64,
+    /// Cycles for thread management operations (fork, join) themselves.
+    pub thread_mgmt_cost: u32,
+}
+
+impl CostModel {
+    /// Applies the resident-translator multiplier to a base cost.
+    pub fn translated(&self, base: u32) -> u32 {
+        base + base * self.translator_overhead_pct / 100
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            analysis_per_access: 250,
+            analysis_per_sync: 400,
+            translator_overhead_pct: 2,
+            pmi_cost: 3_000,
+            toggle_cost: 50_000,
+            thread_mgmt_cost: 2_000,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn translated_applies_percentage() {
+        let m = CostModel {
+            translator_overhead_pct: 10,
+            ..CostModel::default()
+        };
+        assert_eq!(m.translated(100), 110);
+        assert_eq!(m.translated(4), 4); // integer floor on tiny costs
+        let zero = CostModel {
+            translator_overhead_pct: 0,
+            ..CostModel::default()
+        };
+        assert_eq!(zero.translated(100), 100);
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let m = CostModel::default();
+        assert!(
+            m.analysis_per_access >= 100,
+            "must dominate an L1 hit by ~30x"
+        );
+        assert!(m.toggle_cost > u64::from(m.pmi_cost));
+        assert!(m.translator_overhead_pct < 10);
+    }
+}

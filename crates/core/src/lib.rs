@@ -1,0 +1,61 @@
+//! **ddrace-core** — the demand-driven race-detection controller: the
+//! primary contribution of *"Demand-driven software race detection using
+//! hardware performance counters"* (Greathouse, Ma, Frank, Peri, Austin;
+//! ISCA 2011), reproduced as a deterministic simulation.
+//!
+//! Software race detectors that instrument every memory access cost
+//! 30–300×. The paper's observation: races require inter-thread sharing,
+//! and sharing of recently-written data is visible to hardware as HITM
+//! cache-coherence events countable by the PMU. So run uninstrumented by
+//! default, arm a HITM counter, and enable the expensive race detector
+//! only when the hardware says sharing is happening; turn it back off
+//! after software observes a long enough sharing-free streak.
+//!
+//! This crate binds the substrates together:
+//!
+//! * [`Simulation`] drives a program (from `ddrace-program`) through the
+//!   cache hierarchy (`ddrace-cache`), feeds the [`SharingIndicator`]
+//!   (`ddrace-pmu`) while analysis is off, and the race detector
+//!   (`ddrace-detector`) while on;
+//! * [`DemandController`] is the enable/disable state machine;
+//! * [`CostModel`] accounts simulated cycles so mode-vs-mode slowdowns
+//!   reproduce the paper's headline ratios;
+//! * [`RunResult`] carries everything the experiments report.
+//!
+//! # Example
+//!
+//! ```
+//! use ddrace_core::{AnalysisMode, run_program};
+//! use ddrace_program::{ProgramBuilder, ThreadId};
+//!
+//! // An unsynchronized write-write pair.
+//! let mut b = ProgramBuilder::new();
+//! let x = b.alloc_shared(8).base();
+//! let t1 = b.add_thread();
+//! b.on(ThreadId::MAIN).fork(t1).write(x).join(t1);
+//! b.on(t1).write(x);
+//!
+//! let result = run_program(b.build(), 2, AnalysisMode::Continuous)?;
+//! assert_eq!(result.races.distinct, 1);
+//! # Ok::<(), ddrace_program::ScheduleError>(())
+//! ```
+//!
+//! [`SharingIndicator`]: ddrace_pmu::SharingIndicator
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+mod controller;
+mod cost;
+mod mode;
+mod result;
+mod sim;
+mod timeline;
+
+pub use controller::{AnalysisState, ControllerStats, DemandController};
+pub use cost::CostModel;
+pub use mode::{AnalysisMode, ControllerConfig, DetectorKind, EnableScope, SimConfig};
+pub use result::{geomean, RaceSummary, RunResult};
+pub use sim::{run_program, Simulation};
+pub use timeline::{render_timeline, result_timeline, ToggleEvent, ToggleKind};

@@ -1,0 +1,163 @@
+//! Results of one simulated run and derived metrics.
+
+use crate::controller::ControllerStats;
+use crate::timeline::ToggleEvent;
+use ddrace_cache::CacheStats;
+use ddrace_detector::{DetectorStats, RaceReport};
+use ddrace_program::{OpCounts, RunStats};
+use serde::{Deserialize, Serialize};
+
+/// Summary of the races a run detected.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RaceSummary {
+    /// Distinct races (deduplicated pairs).
+    pub distinct: usize,
+    /// Distinct shadow units (≈ variables) involved.
+    pub distinct_addresses: usize,
+    /// Total racy events observed including duplicates.
+    pub occurrences: u64,
+    /// The distinct reports themselves.
+    pub reports: Vec<RaceReport>,
+    /// Occurrence counts aligned with `reports`.
+    pub report_occurrences: Vec<u64>,
+}
+
+/// Everything measured in one run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunResult {
+    /// The mode label ("native", "continuous", "demand-hitm", ...).
+    pub mode: String,
+    /// Simulated end-to-end time: the maximum per-core cycle count.
+    pub makespan: u64,
+    /// Cycles accumulated per core.
+    pub core_cycles: Vec<u64>,
+    /// Races found (empty in native mode).
+    pub races: RaceSummary,
+    /// Cache and coherence statistics.
+    pub cache: CacheStats,
+    /// Detector work counters, if a tool was attached.
+    pub detector: Option<DetectorStats>,
+    /// Controller transition counters, if demand-driven.
+    pub controller: Option<ControllerStats>,
+    /// Scheduler statistics.
+    pub schedule: RunStats,
+    /// Executed operation counts.
+    pub ops: OpCounts,
+    /// Memory accesses executed (data + sync words).
+    pub accesses_total: u64,
+    /// Memory accesses that went through the race detector.
+    pub accesses_analyzed: u64,
+    /// Performance-monitoring interrupts delivered.
+    pub pmis: u64,
+    /// Cycles spent (across all cores) while analysis was enabled.
+    pub enabled_cycles: u64,
+    /// Cycles spent across all cores in total.
+    pub total_cycles: u64,
+    /// Analysis enable/disable transitions in aggregate-cycle time
+    /// (empty outside demand modes). Render with
+    /// [`result_timeline`](crate::result_timeline).
+    pub timeline: Vec<ToggleEvent>,
+}
+
+impl RunResult {
+    /// Slowdown of this run relative to a native run of the same program
+    /// and schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `native.makespan` is zero.
+    pub fn slowdown_vs(&self, native: &RunResult) -> f64 {
+        assert!(native.makespan > 0, "native makespan must be positive");
+        self.makespan as f64 / native.makespan as f64
+    }
+
+    /// Speedup of this run over `other` (e.g. demand over continuous).
+    ///
+    /// # Panics
+    ///
+    /// Panics if this run's makespan is zero.
+    pub fn speedup_over(&self, other: &RunResult) -> f64 {
+        assert!(self.makespan > 0, "makespan must be positive");
+        other.makespan as f64 / self.makespan as f64
+    }
+
+    /// Fraction of memory accesses that were analyzed.
+    pub fn analyzed_fraction(&self) -> f64 {
+        if self.accesses_total == 0 {
+            0.0
+        } else {
+            self.accesses_analyzed as f64 / self.accesses_total as f64
+        }
+    }
+
+    /// Fraction of execution cycles spent with analysis enabled.
+    pub fn enabled_cycle_fraction(&self) -> f64 {
+        if self.total_cycles == 0 {
+            0.0
+        } else {
+            self.enabled_cycles as f64 / self.total_cycles as f64
+        }
+    }
+}
+
+/// Geometric mean of a slice of positive ratios; 0.0 for an empty slice.
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(makespan: u64) -> RunResult {
+        RunResult {
+            mode: "test".into(),
+            makespan,
+            core_cycles: vec![makespan],
+            races: RaceSummary::default(),
+            cache: CacheStats::new(1),
+            detector: None,
+            controller: None,
+            schedule: RunStats::default(),
+            ops: OpCounts::default(),
+            accesses_total: 100,
+            accesses_analyzed: 25,
+            pmis: 0,
+            enabled_cycles: 10,
+            total_cycles: 40,
+            timeline: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn ratios() {
+        let native = result(100);
+        let slow = result(5_000);
+        assert!((slow.slowdown_vs(&native) - 50.0).abs() < 1e-12);
+        assert!((native.speedup_over(&slow) - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fractions() {
+        let r = result(100);
+        assert!((r.analyzed_fraction() - 0.25).abs() < 1e-12);
+        assert!((r.enabled_cycle_fraction() - 0.25).abs() < 1e-12);
+        let mut idle = result(100);
+        idle.accesses_total = 0;
+        idle.total_cycles = 0;
+        assert_eq!(idle.analyzed_fraction(), 0.0);
+        assert_eq!(idle.enabled_cycle_fraction(), 0.0);
+    }
+
+    #[test]
+    fn geomean_math() {
+        assert_eq!(geomean(&[]), 0.0);
+        assert!((geomean(&[4.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,192 @@
+//! Analysis-residency timelines: when, over the course of a run, the
+//! demand-driven detector was actually on.
+//!
+//! The simulation records every enable/disable transition with a
+//! timestamp in aggregate-cycle space; [`render_timeline`] turns that
+//! into an ASCII strip — the quickest way to *see* the mechanism work
+//! (short `#` bursts inside long `-` stretches on a Phoenix program;
+//! nearly solid `#` on canneal).
+
+use crate::result::RunResult;
+use serde::{Deserialize, Serialize};
+
+/// What happened at a timeline point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ToggleKind {
+    /// Analysis switched on (a sharing signal arrived while off).
+    Enable,
+    /// Analysis switched off (cooldown elapsed).
+    Disable,
+}
+
+/// One analysis transition, stamped in aggregate-cycle time (the sum of
+/// cycles charged across all cores up to that moment — monotonic and
+/// schedule-stable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ToggleEvent {
+    /// Aggregate cycles consumed when the transition happened.
+    pub at_total_cycles: u64,
+    /// The transition direction.
+    pub kind: ToggleKind,
+}
+
+/// Renders the run's analysis residency as an ASCII strip of `width`
+/// characters: `#` where analysis was enabled, `-` where it was off.
+/// Continuous runs render as all `#`, native runs as all `-`.
+///
+/// # Examples
+///
+/// ```
+/// use ddrace_core::{render_timeline, ToggleEvent, ToggleKind};
+/// let strip = render_timeline(
+///     &[
+///         ToggleEvent { at_total_cycles: 250, kind: ToggleKind::Enable },
+///         ToggleEvent { at_total_cycles: 500, kind: ToggleKind::Disable },
+///     ],
+///     1_000,
+///     true,
+///     20,
+/// );
+/// assert_eq!(strip.len(), 20);
+/// assert_eq!(&strip[5..10], "#####");
+/// assert!(strip.starts_with("-----"));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `width` is zero.
+pub fn render_timeline(
+    timeline: &[ToggleEvent],
+    total_cycles: u64,
+    starts_off: bool,
+    width: usize,
+) -> String {
+    assert!(width > 0, "timeline width must be positive");
+    if total_cycles == 0 {
+        return "-".repeat(width);
+    }
+    let mut strip = vec![b'-'; width];
+    let to_col = |cycles: u64| -> usize {
+        ((cycles as u128 * width as u128 / total_cycles as u128) as usize).min(width - 1)
+    };
+    let mut on = !starts_off;
+    let mut since = 0u64;
+    let paint = |from: u64, to: u64, strip: &mut Vec<u8>| {
+        let (a, b) = (to_col(from), to_col(to));
+        for c in strip.iter_mut().take(b + 1).skip(a) {
+            *c = b'#';
+        }
+    };
+    for ev in timeline {
+        match ev.kind {
+            ToggleKind::Enable => {
+                on = true;
+                since = ev.at_total_cycles;
+            }
+            ToggleKind::Disable => {
+                if on {
+                    paint(since, ev.at_total_cycles, &mut strip);
+                }
+                on = false;
+            }
+        }
+    }
+    if on {
+        paint(since, total_cycles, &mut strip);
+    }
+    String::from_utf8(strip).expect("ASCII strip")
+}
+
+/// Convenience: renders the strip for a [`RunResult`]. Continuous-mode
+/// results (no controller) render as fully enabled; native as fully off.
+pub fn result_timeline(result: &RunResult, width: usize) -> String {
+    match (&result.controller, result.mode.as_str()) {
+        (None, "continuous") => "#".repeat(width),
+        (None, _) => "-".repeat(width),
+        (Some(_), _) => render_timeline(&result.timeline, result.total_cycles, true, width),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_timeline_off() {
+        assert_eq!(render_timeline(&[], 100, true, 10), "----------");
+    }
+
+    #[test]
+    fn empty_timeline_on_paints_everything() {
+        assert_eq!(render_timeline(&[], 100, false, 10), "##########");
+    }
+
+    #[test]
+    fn single_burst() {
+        let strip = render_timeline(
+            &[
+                ToggleEvent {
+                    at_total_cycles: 40,
+                    kind: ToggleKind::Enable,
+                },
+                ToggleEvent {
+                    at_total_cycles: 60,
+                    kind: ToggleKind::Disable,
+                },
+            ],
+            100,
+            true,
+            10,
+        );
+        assert_eq!(strip, "----###---"); // end column inclusive
+    }
+
+    #[test]
+    fn open_ended_enable_runs_to_the_end() {
+        let strip = render_timeline(
+            &[ToggleEvent {
+                at_total_cycles: 80,
+                kind: ToggleKind::Enable,
+            }],
+            100,
+            true,
+            10,
+        );
+        assert_eq!(strip, "--------##");
+    }
+
+    #[test]
+    fn multiple_bursts() {
+        let strip = render_timeline(
+            &[
+                ToggleEvent {
+                    at_total_cycles: 0,
+                    kind: ToggleKind::Enable,
+                },
+                ToggleEvent {
+                    at_total_cycles: 10,
+                    kind: ToggleKind::Disable,
+                },
+                ToggleEvent {
+                    at_total_cycles: 90,
+                    kind: ToggleKind::Enable,
+                },
+            ],
+            100,
+            true,
+            10,
+        );
+        assert_eq!(strip, "##-------#");
+    }
+
+    #[test]
+    fn zero_total_cycles_is_all_off() {
+        assert_eq!(render_timeline(&[], 0, true, 5), "-----");
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn zero_width_panics() {
+        let _ = render_timeline(&[], 10, true, 0);
+    }
+}

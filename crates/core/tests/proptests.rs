@@ -1,0 +1,160 @@
+//! Property-based tests for the simulation engine and demand controller.
+
+use ddrace_core::{
+    run_program, AnalysisMode, ControllerConfig, DemandController, SimConfig, Simulation,
+};
+use ddrace_pmu::IndicatorMode;
+use ddrace_program::{Op, Program, SchedulerConfig, StartMode};
+use proptest::prelude::*;
+
+/// Random well-formed fork-join-free programs: every thread does private
+/// work plus occasional accesses to a shared region.
+fn arb_program(max_threads: usize, len: usize) -> impl Strategy<Value = Vec<Vec<Op>>> {
+    let thread_ops = proptest::collection::vec(
+        prop_oneof![
+            4 => (0u64..128).prop_map(|a| Op::Read { addr: ddrace_program::Addr(0x10_000 + a * 8) }),
+            3 => (0u64..128).prop_map(|a| Op::Write { addr: ddrace_program::Addr(0x10_000 + a * 8) }),
+            1 => (0u64..8).prop_map(|a| Op::Read { addr: ddrace_program::Addr(0x90_000 + a * 8) }),
+            1 => (0u64..8).prop_map(|a| Op::Write { addr: ddrace_program::Addr(0x90_000 + a * 8) }),
+            1 => (1u32..10).prop_map(|c| Op::Compute { cycles: c }),
+            1 => (0u64..4).prop_map(|a| Op::AtomicRmw { addr: ddrace_program::Addr(0xA0_000 + a * 8) }),
+        ],
+        1..len,
+    );
+    proptest::collection::vec(thread_ops, 1..=max_threads)
+}
+
+fn sim(mode: AnalysisMode, seed: u64) -> Simulation {
+    let mut cfg = SimConfig::new(4, mode);
+    cfg.scheduler = SchedulerConfig {
+        quantum: 8,
+        seed,
+        jitter: true,
+    };
+    Simulation::new(cfg)
+}
+
+fn program(threads: &[Vec<Op>]) -> Program {
+    Program::from_thread_vecs(threads.to_vec(), StartMode::AllStart)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The simulation is deterministic end to end.
+    #[test]
+    fn simulation_is_deterministic(
+        threads in arb_program(4, 80),
+        seed in any::<u64>(),
+    ) {
+        let a = sim(AnalysisMode::demand_hitm(), seed).run(program(&threads)).unwrap();
+        let b = sim(AnalysisMode::demand_hitm(), seed).run(program(&threads)).unwrap();
+        prop_assert_eq!(a.makespan, b.makespan);
+        prop_assert_eq!(a.races.distinct, b.races.distinct);
+        prop_assert_eq!(a.pmis, b.pmis);
+        prop_assert_eq!(&a.core_cycles, &b.core_cycles);
+    }
+
+    /// Cost ordering: native ≤ any tool-attached mode; demand ≤
+    /// continuous + toggle slack. Schedules are identical, so these hold
+    /// per-run, not just on average.
+    #[test]
+    fn native_is_cheapest(threads in arb_program(4, 80), seed in any::<u64>()) {
+        let native = sim(AnalysisMode::Native, seed).run(program(&threads)).unwrap();
+        let cont = sim(AnalysisMode::Continuous, seed).run(program(&threads)).unwrap();
+        let demand = sim(AnalysisMode::demand_hitm(), seed).run(program(&threads)).unwrap();
+        prop_assert!(native.makespan <= cont.makespan);
+        prop_assert!(native.makespan <= demand.makespan);
+    }
+
+    /// Demand-driven analysis never checks more accesses than continuous,
+    /// and continuous checks exactly the data accesses.
+    #[test]
+    fn analyzed_access_bounds(threads in arb_program(4, 80), seed in any::<u64>()) {
+        let cont = sim(AnalysisMode::Continuous, seed).run(program(&threads)).unwrap();
+        let demand = sim(AnalysisMode::demand_hitm(), seed).run(program(&threads)).unwrap();
+        prop_assert_eq!(cont.accesses_analyzed, cont.ops.reads + cont.ops.writes);
+        prop_assert!(demand.accesses_analyzed <= cont.accesses_analyzed);
+    }
+
+    /// Races reported by demand modes are a subset (by shadow key) of
+    /// those continuous analysis reports on the same schedule: demand can
+    /// only miss, never invent.
+    #[test]
+    fn demand_races_are_a_subset(threads in arb_program(4, 100), seed in any::<u64>()) {
+        let keys = |r: &ddrace_core::RunResult| {
+            let mut v: Vec<u64> = r.races.reports.iter().map(|x| x.shadow_key).collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        let cont = sim(AnalysisMode::Continuous, seed).run(program(&threads)).unwrap();
+        let demand = sim(AnalysisMode::demand_oracle(), seed).run(program(&threads)).unwrap();
+        let ck = keys(&cont);
+        for k in keys(&demand) {
+            prop_assert!(ck.contains(&k), "demand invented race on key {k:#x}");
+        }
+    }
+
+    /// Residency accounting is internally consistent.
+    #[test]
+    fn residency_fractions_in_range(threads in arb_program(4, 80), seed in any::<u64>()) {
+        let r = sim(AnalysisMode::demand_hitm(), seed).run(program(&threads)).unwrap();
+        let f = r.enabled_cycle_fraction();
+        prop_assert!((0.0..=1.0).contains(&f));
+        prop_assert!(r.enabled_cycles <= r.total_cycles);
+        prop_assert!(r.accesses_analyzed <= r.accesses_total);
+        let ctrl = r.controller.unwrap();
+        prop_assert!(ctrl.disables <= ctrl.enables);
+    }
+
+    /// The controller state machine never disables before the minimum
+    /// residency, regardless of the shared/quiet pattern it observes.
+    #[test]
+    fn controller_honours_min_residency(
+        pattern in proptest::collection::vec(any::<bool>(), 1..500),
+        min_on in 1u64..100,
+    ) {
+        let mut c = DemandController::new(ControllerConfig { cooldown_accesses: 1, min_on_accesses: min_on, ..ControllerConfig::default() });
+        c.on_sharing_signal();
+        let mut analyzed = 0u64;
+        for shared in pattern {
+            if !c.is_on() {
+                break;
+            }
+            let disabled = c.on_analyzed_access(shared);
+            analyzed += 1;
+            if disabled {
+                prop_assert!(analyzed >= min_on, "disabled after {analyzed} < {min_on}");
+                break;
+            }
+        }
+    }
+
+    /// A disabled indicator behaves exactly like native execution plus
+    /// constant tool overhead: no analysis, no PMIs, no races.
+    #[test]
+    fn disabled_indicator_never_wakes(threads in arb_program(3, 60), seed in any::<u64>()) {
+        let mode = AnalysisMode::Demand {
+            indicator: IndicatorMode::Disabled,
+            controller: ControllerConfig::default(),
+        };
+        let r = sim(mode, seed).run(program(&threads)).unwrap();
+        prop_assert_eq!(r.accesses_analyzed, 0);
+        prop_assert_eq!(r.pmis, 0);
+        prop_assert_eq!(r.races.distinct, 0);
+        prop_assert_eq!(r.enabled_cycles, 0);
+    }
+}
+
+#[test]
+fn run_program_helper_works() {
+    let threads = vec![vec![Op::Compute { cycles: 5 }]];
+    let r = run_program(
+        Program::from_thread_vecs(threads, StartMode::AllStart),
+        1,
+        AnalysisMode::Native,
+    )
+    .unwrap();
+    assert_eq!(r.makespan, 5);
+}

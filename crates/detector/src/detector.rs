@@ -1,0 +1,146 @@
+//! The common interface every race detector implements, plus shared
+//! configuration and statistics.
+
+use crate::report::RaceReportSet;
+use ddrace_program::{AccessKind, Addr, BarrierId, Op, ThreadId};
+use serde::{Deserialize, Serialize};
+
+/// Shadow-memory granularity: the unit at which accesses are checked.
+///
+/// Commercial detectors commonly shadow at 4- or 8-byte granularity;
+/// line granularity trades false sharing for memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Granularity {
+    /// Every byte is its own shadow unit.
+    Byte,
+    /// 8-byte units (the default; workload generators emit word-aligned
+    /// accesses).
+    #[default]
+    Word,
+    /// 64-byte cache-line units.
+    Line,
+}
+
+impl Granularity {
+    /// The right-shift that maps a byte address to its shadow key.
+    pub fn shift(self) -> u32 {
+        match self {
+            Granularity::Byte => 0,
+            Granularity::Word => 3,
+            Granularity::Line => 6,
+        }
+    }
+
+    /// Maps an address to its shadow key.
+    pub fn key(self, addr: Addr) -> u64 {
+        addr.0 >> self.shift()
+    }
+}
+
+/// Configuration shared by all detectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DetectorConfig {
+    /// Shadow granularity.
+    pub granularity: Granularity,
+    /// Cap on *distinct* reports retained (repeat occurrences of known
+    /// races are always counted). Prevents pathological blowup.
+    pub max_reports: usize,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            granularity: Granularity::Word,
+            max_reports: 10_000,
+        }
+    }
+}
+
+/// What one checked access told the analysis.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AccessReport {
+    /// A (new or repeated) race was detected on this access.
+    pub race: bool,
+    /// The access touched data previously accessed by a different thread —
+    /// the *software-observed sharing* signal the demand controller uses
+    /// to decide when it is safe to switch analysis back off.
+    pub shared: bool,
+}
+
+/// Work counters for a detector, used by the cost model and ablations.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DetectorStats {
+    /// Memory accesses checked.
+    pub accesses_checked: u64,
+    /// Accesses handled by a same-epoch O(1) fast path.
+    pub fast_path_hits: u64,
+    /// Read states escalated from epoch to full vector clock.
+    pub escalations: u64,
+    /// Racy events observed (including duplicates).
+    pub races_observed: u64,
+    /// Sync operations processed.
+    pub sync_ops: u64,
+}
+
+/// A dynamic data-race detector fed by the execution event stream.
+///
+/// Synchronization callbacks (`on_sync`, `on_barrier_release`, thread
+/// lifecycle) must be invoked for the **whole** execution even while
+/// memory-access analysis is disabled; `on_access` is only called for the
+/// accesses the tool chooses to analyze. This split is exactly how the
+/// paper's modified Inspector XE works: sync tracking is cheap and always
+/// on, per-access instrumentation is the expensive part that demand-driven
+/// analysis toggles.
+pub trait RaceDetector {
+    /// A thread became runnable; `parent` is `None` only for the root.
+    fn on_thread_start(&mut self, tid: ThreadId, parent: Option<ThreadId>);
+
+    /// A thread executed its last operation.
+    fn on_thread_finish(&mut self, tid: ThreadId);
+
+    /// A synchronization operation executed. Implementations must ignore
+    /// non-sync ops so callers may forward everything.
+    fn on_sync(&mut self, tid: ThreadId, op: &Op);
+
+    /// A barrier released all its participants.
+    fn on_barrier_release(&mut self, barrier: BarrierId, participants: &[ThreadId]);
+
+    /// Checks one analyzed memory access.
+    fn on_access(&mut self, tid: ThreadId, addr: Addr, kind: AccessKind) -> AccessReport;
+
+    /// The races found so far.
+    fn reports(&self) -> &RaceReportSet;
+
+    /// Work counters.
+    fn stats(&self) -> DetectorStats;
+
+    /// A short name for tables ("fasttrack", "djit", "lockset").
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn granularity_keys() {
+        assert_eq!(Granularity::Byte.key(Addr(0x47)), 0x47);
+        assert_eq!(Granularity::Word.key(Addr(0x47)), 0x8);
+        assert_eq!(Granularity::Line.key(Addr(0x47)), 0x1);
+        assert_eq!(Granularity::default(), Granularity::Word);
+    }
+
+    #[test]
+    fn word_granularity_groups_same_word() {
+        let g = Granularity::Word;
+        assert_eq!(g.key(Addr(0x40)), g.key(Addr(0x47)));
+        assert_ne!(g.key(Addr(0x40)), g.key(Addr(0x48)));
+    }
+
+    #[test]
+    fn default_config() {
+        let c = DetectorConfig::default();
+        assert_eq!(c.granularity, Granularity::Word);
+        assert!(c.max_reports > 0);
+    }
+}

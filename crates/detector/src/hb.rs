@@ -1,0 +1,328 @@
+//! Shared happens-before clock machinery: per-thread vector clocks plus
+//! the clocks of every synchronization object.
+//!
+//! Both happens-before detectors ([FastTrack](crate::FastTrack) and the
+//! full-vector-clock [Djit](crate::Djit) ablation) maintain identical sync
+//! state; only their shadow-memory representation differs. This module
+//! factors out the sync handling, which — as in the paper's tool — stays
+//! **always on** even when memory-access analysis is disabled, so clocks
+//! are correct whenever analysis re-enables.
+//!
+//! Semaphore modelling is conservative: a `WaitSem` acquires the
+//! semaphore's accumulated clock even if the matching `Post` cannot be
+//! identified, which can only *add* happens-before edges (possibly hiding
+//! a race, never inventing one) — the standard sound-for-false-positives
+//! choice.
+
+use crate::vc::{Epoch, VectorClock};
+use ddrace_program::{Addr, BarrierId, LockId, Op, SemId, ThreadId};
+use std::collections::HashMap;
+
+/// The full happens-before clock state of an execution.
+#[derive(Debug, Clone, Default)]
+pub struct HbClocks {
+    threads: Vec<VectorClock>,
+    locks: HashMap<LockId, VectorClock>,
+    sems: HashMap<SemId, VectorClock>,
+    barriers: HashMap<BarrierId, VectorClock>,
+    atomics: HashMap<Addr, VectorClock>,
+}
+
+impl HbClocks {
+    /// Creates empty clock state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn ensure(&mut self, tid: ThreadId) {
+        if self.threads.len() <= tid.index() {
+            self.threads.resize_with(tid.index() + 1, VectorClock::new);
+        }
+    }
+
+    /// The vector clock of `tid` (zero if the thread has not started).
+    pub fn thread(&self, tid: ThreadId) -> &VectorClock {
+        static ZERO: std::sync::OnceLock<VectorClock> = std::sync::OnceLock::new();
+        self.threads
+            .get(tid.index())
+            .unwrap_or_else(|| ZERO.get_or_init(VectorClock::new))
+    }
+
+    /// The current epoch of `tid`.
+    pub fn epoch(&self, tid: ThreadId) -> Epoch {
+        Epoch::of(tid, self.thread(tid))
+    }
+
+    /// Handles a thread becoming runnable. `parent` is `None` for the
+    /// root.
+    pub fn on_thread_start(&mut self, tid: ThreadId, parent: Option<ThreadId>) {
+        self.ensure(tid);
+        if let Some(p) = parent {
+            self.ensure(p);
+            let pvc = self.threads[p.index()].clone();
+            self.threads[tid.index()].join(&pvc);
+            self.threads[p.index()].increment(p);
+        }
+        self.threads[tid.index()].increment(tid);
+    }
+
+    /// Handles a thread finishing. The clock is retained for joiners.
+    pub fn on_thread_finish(&mut self, _tid: ThreadId) {}
+
+    /// Handles a synchronization operation by `tid`. Non-sync ops are
+    /// ignored, so callers may forward every op unconditionally.
+    pub fn on_sync(&mut self, tid: ThreadId, op: &Op) {
+        self.ensure(tid);
+        match *op {
+            Op::Lock { lock } => {
+                if let Some(lvc) = self.locks.get(&lock) {
+                    let lvc = lvc.clone();
+                    self.threads[tid.index()].join(&lvc);
+                }
+            }
+            Op::Unlock { lock } => {
+                let tvc = self.threads[tid.index()].clone();
+                self.locks
+                    .entry(lock)
+                    .and_modify(|l| l.join(&tvc))
+                    .or_insert_with(|| tvc.clone());
+                self.threads[tid.index()].increment(tid);
+            }
+            Op::Barrier { barrier, .. } => {
+                // Arrival: contribute our clock to the episode accumulator.
+                let tvc = self.threads[tid.index()].clone();
+                self.barriers
+                    .entry(barrier)
+                    .and_modify(|b| b.join(&tvc))
+                    .or_insert(tvc);
+            }
+            Op::Post { sem } => {
+                let tvc = self.threads[tid.index()].clone();
+                self.sems
+                    .entry(sem)
+                    .and_modify(|s| s.join(&tvc))
+                    .or_insert_with(|| tvc.clone());
+                self.threads[tid.index()].increment(tid);
+            }
+            Op::WaitSem { sem } => {
+                if let Some(svc) = self.sems.get(&sem) {
+                    let svc = svc.clone();
+                    self.threads[tid.index()].join(&svc);
+                }
+            }
+            Op::Join { child } => {
+                self.ensure(child);
+                let cvc = self.threads[child.index()].clone();
+                self.threads[tid.index()].join(&cvc);
+            }
+            // Fork edges are delivered through `on_thread_start` (the
+            // scheduler reports the parent there), so the Fork op itself
+            // needs no clock work.
+            Op::Fork { .. } => {}
+            Op::AtomicRmw { addr } => {
+                // Acquire + release on a per-address clock.
+                let entry = self.atomics.entry(addr).or_default();
+                self.threads[tid.index()].join(entry);
+                let tvc = self.threads[tid.index()].clone();
+                entry.join(&tvc);
+                self.threads[tid.index()].increment(tid);
+            }
+            Op::Read { .. } | Op::Write { .. } | Op::Compute { .. } => {}
+        }
+    }
+
+    /// Handles a barrier release: every participant adopts the episode's
+    /// accumulated clock, and the accumulator resets for reuse.
+    pub fn on_barrier_release(&mut self, barrier: BarrierId, participants: &[ThreadId]) {
+        let acc = self.barriers.remove(&barrier).unwrap_or_default();
+        for &p in participants {
+            self.ensure(p);
+            self.threads[p.index()].join(&acc);
+            self.threads[p.index()].increment(p);
+        }
+    }
+
+    /// Number of thread clocks allocated.
+    pub fn thread_count(&self) -> usize {
+        self.threads.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T0: ThreadId = ThreadId(0);
+    const T1: ThreadId = ThreadId(1);
+    const T2: ThreadId = ThreadId(2);
+
+    fn started_pair() -> HbClocks {
+        let mut hb = HbClocks::new();
+        hb.on_thread_start(T0, None);
+        hb.on_thread_start(T1, Some(T0));
+        hb
+    }
+
+    #[test]
+    fn root_thread_starts_at_one() {
+        let mut hb = HbClocks::new();
+        hb.on_thread_start(T0, None);
+        assert_eq!(hb.epoch(T0), Epoch::new(T0, 1));
+    }
+
+    #[test]
+    fn fork_creates_edge_parent_to_child() {
+        let hb = started_pair();
+        // Child saw the parent's pre-fork epoch.
+        assert_eq!(hb.thread(T1).get(T0), 1);
+        // Parent advanced past the forked point.
+        assert_eq!(hb.thread(T0).get(T0), 2);
+        // Parent knows nothing of the child.
+        assert_eq!(hb.thread(T0).get(T1), 0);
+    }
+
+    #[test]
+    fn join_creates_edge_child_to_parent() {
+        let mut hb = started_pair();
+        hb.on_sync(T1, &Op::Compute { cycles: 1 }); // no-op
+        hb.on_thread_finish(T1);
+        hb.on_sync(T0, &Op::Join { child: T1 });
+        assert_eq!(hb.thread(T0).get(T1), 1);
+    }
+
+    #[test]
+    fn lock_release_acquire_transfers_clock() {
+        let mut hb = started_pair();
+        let l = LockId(0);
+        let before = hb.thread(T0).get(T0);
+        hb.on_sync(T0, &Op::Lock { lock: l });
+        hb.on_sync(T0, &Op::Unlock { lock: l });
+        assert_eq!(hb.thread(T0).get(T0), before + 1, "release increments");
+        hb.on_sync(T1, &Op::Lock { lock: l });
+        // T1 now knows T0 up to the release point.
+        assert_eq!(hb.thread(T1).get(T0), before);
+    }
+
+    #[test]
+    fn first_acquire_of_fresh_lock_is_noop() {
+        let mut hb = started_pair();
+        let before = hb.thread(T1).clone();
+        hb.on_sync(T1, &Op::Lock { lock: LockId(9) });
+        assert_eq!(hb.thread(T1), &before);
+    }
+
+    #[test]
+    fn barrier_joins_all_participants() {
+        let mut hb = HbClocks::new();
+        hb.on_thread_start(T0, None);
+        hb.on_thread_start(T1, Some(T0));
+        hb.on_thread_start(T2, Some(T0));
+        let b = BarrierId(0);
+        for t in [T0, T1, T2] {
+            hb.on_sync(
+                t,
+                &Op::Barrier {
+                    barrier: b,
+                    participants: 3,
+                },
+            );
+        }
+        hb.on_barrier_release(b, &[T0, T1, T2]);
+        // Everyone has seen everyone's arrival clock.
+        for t in [T0, T1, T2] {
+            for u in [T0, T1, T2] {
+                assert!(hb.thread(t).get(u) >= 1, "{t} must know {u}");
+            }
+        }
+    }
+
+    #[test]
+    fn barrier_is_reusable_per_episode() {
+        let mut hb = started_pair();
+        let b = BarrierId(0);
+        hb.on_sync(
+            T0,
+            &Op::Barrier {
+                barrier: b,
+                participants: 2,
+            },
+        );
+        hb.on_sync(
+            T1,
+            &Op::Barrier {
+                barrier: b,
+                participants: 2,
+            },
+        );
+        hb.on_barrier_release(b, &[T0, T1]);
+        let t0_after_first = hb.thread(T0).get(T0);
+        // Second episode accumulates fresh clocks (not the stale ones).
+        hb.on_sync(
+            T0,
+            &Op::Barrier {
+                barrier: b,
+                participants: 2,
+            },
+        );
+        hb.on_sync(
+            T1,
+            &Op::Barrier {
+                barrier: b,
+                participants: 2,
+            },
+        );
+        hb.on_barrier_release(b, &[T0, T1]);
+        assert!(hb.thread(T1).get(T0) >= t0_after_first);
+    }
+
+    #[test]
+    fn semaphore_post_wait_edge() {
+        let mut hb = started_pair();
+        let s = SemId(0);
+        let t0_clock = hb.thread(T0).get(T0);
+        hb.on_sync(T0, &Op::Post { sem: s });
+        hb.on_sync(T1, &Op::WaitSem { sem: s });
+        assert_eq!(hb.thread(T1).get(T0), t0_clock);
+    }
+
+    #[test]
+    fn wait_on_unposted_sem_is_noop() {
+        let mut hb = started_pair();
+        let before = hb.thread(T1).clone();
+        hb.on_sync(T1, &Op::WaitSem { sem: SemId(5) });
+        assert_eq!(hb.thread(T1), &before);
+    }
+
+    #[test]
+    fn atomic_rmw_orders_through_address() {
+        let mut hb = started_pair();
+        let a = Addr(0x40);
+        let t0_clock = hb.thread(T0).get(T0);
+        hb.on_sync(T0, &Op::AtomicRmw { addr: a });
+        hb.on_sync(T1, &Op::AtomicRmw { addr: a });
+        assert_eq!(hb.thread(T1).get(T0), t0_clock);
+        // Different address: no edge.
+        let mut hb2 = started_pair();
+        hb2.on_sync(T0, &Op::AtomicRmw { addr: Addr(0x40) });
+        hb2.on_sync(T1, &Op::AtomicRmw { addr: Addr(0x80) });
+        assert_eq!(hb2.thread(T1).get(T0), 1); // only the fork edge
+    }
+
+    #[test]
+    fn plain_ops_do_not_touch_clocks() {
+        let mut hb = started_pair();
+        let before = hb.thread(T0).clone();
+        hb.on_sync(T0, &Op::Read { addr: Addr(8) });
+        hb.on_sync(T0, &Op::Write { addr: Addr(8) });
+        hb.on_sync(T0, &Op::Compute { cycles: 5 });
+        hb.on_sync(T0, &Op::Fork { child: T2 }); // edge made at start, not here
+        assert_eq!(hb.thread(T0), &before);
+    }
+
+    #[test]
+    fn unstarted_thread_has_zero_clock() {
+        let hb = HbClocks::new();
+        assert!(hb.thread(ThreadId(7)).is_zero());
+        assert_eq!(hb.thread_count(), 0);
+    }
+}

@@ -1,0 +1,335 @@
+//! An Eraser-style lockset detector (Savage et al., SOSP 1997): the
+//! classic pre-happens-before baseline.
+//!
+//! Tracks, per shadow unit, the set of locks consistently held across all
+//! accesses; an empty candidate set on a written-and-shared variable is
+//! reported as a race. Lockset analysis ignores fork/join and barrier
+//! ordering, so it *over-reports* on structured parallel programs — the
+//! known trade-off that pushed commercial tools to happens-before, and a
+//! useful accuracy foil in experiments.
+
+use crate::detector::{AccessReport, DetectorConfig, DetectorStats, Granularity, RaceDetector};
+use crate::report::{RaceAccess, RaceKind, RaceReport, RaceReportSet};
+use ddrace_program::{AccessKind, Addr, BarrierId, LockId, Op, ThreadId};
+use std::collections::{HashMap, HashSet};
+
+/// Eraser's per-variable state machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Phase {
+    /// Never accessed.
+    Virgin,
+    /// Accessed by exactly one thread so far.
+    Exclusive(ThreadId),
+    /// Read by multiple threads, never written after becoming shared.
+    Shared,
+    /// Written while shared: races are reportable.
+    SharedModified,
+}
+
+#[derive(Debug, Clone)]
+struct VarState {
+    phase: Phase,
+    /// Candidate locks. `None` = "all locks" (not yet refined).
+    candidates: Option<HashSet<LockId>>,
+    /// Last accessor, for report attribution.
+    last: RaceAccess,
+    /// Already reported (Eraser reports each variable once).
+    reported: bool,
+}
+
+impl VarState {
+    fn fresh() -> Self {
+        VarState {
+            phase: Phase::Virgin,
+            candidates: None,
+            last: RaceAccess {
+                tid: ThreadId(0),
+                kind: AccessKind::Read,
+                clock: 0,
+            },
+            reported: false,
+        }
+    }
+}
+
+/// The lockset detector.
+///
+/// # Examples
+///
+/// ```
+/// use ddrace_detector::{LockSet, DetectorConfig, RaceDetector};
+/// use ddrace_program::{AccessKind, Addr, ThreadId};
+///
+/// let mut d = LockSet::new(DetectorConfig::default());
+/// d.on_thread_start(ThreadId(0), None);
+/// d.on_thread_start(ThreadId(1), Some(ThreadId(0)));
+/// d.on_access(ThreadId(0), Addr(0x40), AccessKind::Write);
+/// // No common lock protects the variable: race.
+/// assert!(d.on_access(ThreadId(1), Addr(0x40), AccessKind::Write).race);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LockSet {
+    held: Vec<HashSet<LockId>>,
+    shadow: HashMap<u64, VarState>,
+    reports: RaceReportSet,
+    stats: DetectorStats,
+    granularity: Granularity,
+    max_reports: usize,
+}
+
+impl LockSet {
+    /// Creates a detector.
+    pub fn new(config: DetectorConfig) -> Self {
+        LockSet {
+            held: Vec::new(),
+            shadow: HashMap::new(),
+            reports: RaceReportSet::new(),
+            stats: DetectorStats::default(),
+            granularity: config.granularity,
+            max_reports: config.max_reports,
+        }
+    }
+
+    /// Shadow units currently tracked.
+    pub fn shadow_size(&self) -> usize {
+        self.shadow.len()
+    }
+
+    fn held(&mut self, tid: ThreadId) -> &mut HashSet<LockId> {
+        if self.held.len() <= tid.index() {
+            self.held.resize_with(tid.index() + 1, HashSet::new);
+        }
+        &mut self.held[tid.index()]
+    }
+
+    fn held_ref(&self, tid: ThreadId) -> Option<&HashSet<LockId>> {
+        self.held.get(tid.index())
+    }
+}
+
+impl RaceDetector for LockSet {
+    fn on_thread_start(&mut self, _tid: ThreadId, _parent: Option<ThreadId>) {}
+
+    fn on_thread_finish(&mut self, _tid: ThreadId) {}
+
+    fn on_sync(&mut self, tid: ThreadId, op: &Op) {
+        if op.is_sync() {
+            self.stats.sync_ops += 1;
+        }
+        match *op {
+            Op::Lock { lock } => {
+                self.held(tid).insert(lock);
+            }
+            Op::Unlock { lock } => {
+                self.held(tid).remove(&lock);
+            }
+            // Pure lockset analysis has no notion of fork/join, barrier,
+            // or semaphore ordering.
+            _ => {}
+        }
+    }
+
+    fn on_barrier_release(&mut self, _barrier: BarrierId, _participants: &[ThreadId]) {}
+
+    fn on_access(&mut self, tid: ThreadId, addr: Addr, kind: AccessKind) -> AccessReport {
+        self.stats.accesses_checked += 1;
+        let key = self.granularity.key(addr);
+        let held: HashSet<LockId> = self.held_ref(tid).cloned().unwrap_or_default();
+        let var = self.shadow.entry(key).or_insert_with(VarState::fresh);
+        let me = RaceAccess {
+            tid,
+            kind,
+            clock: 0, // lockset analysis has no logical clocks
+        };
+
+        let mut shared = false;
+        match var.phase {
+            Phase::Virgin => {
+                var.phase = Phase::Exclusive(tid);
+                self.stats.fast_path_hits += 1;
+            }
+            Phase::Exclusive(owner) if owner == tid => {
+                self.stats.fast_path_hits += 1;
+            }
+            Phase::Exclusive(_) => {
+                shared = true;
+                var.phase = if kind.is_write() {
+                    Phase::SharedModified
+                } else {
+                    Phase::Shared
+                };
+                var.candidates = Some(held.clone());
+            }
+            Phase::Shared => {
+                shared = true;
+                if kind.is_write() {
+                    var.phase = Phase::SharedModified;
+                }
+                refine(&mut var.candidates, &held);
+            }
+            Phase::SharedModified => {
+                shared = true;
+                refine(&mut var.candidates, &held);
+            }
+        }
+
+        let mut report = None;
+        if var.phase == Phase::SharedModified
+            && var.candidates.as_ref().is_some_and(HashSet::is_empty)
+            && !var.reported
+        {
+            var.reported = true;
+            report = Some(RaceReport {
+                addr,
+                shadow_key: key,
+                kind: match (var.last.kind.is_write(), kind.is_write()) {
+                    (true, true) => RaceKind::WriteWrite,
+                    (true, false) => RaceKind::WriteRead,
+                    (false, _) => RaceKind::ReadWrite,
+                },
+                prior: var.last,
+                current: me,
+            });
+        }
+        var.last = me;
+
+        let raced = report.is_some();
+        if let Some(report) = report {
+            self.stats.races_observed += 1;
+            if self.reports.distinct() < self.max_reports {
+                self.reports.record(report);
+            }
+        }
+        AccessReport {
+            race: raced,
+            shared,
+        }
+    }
+
+    fn reports(&self) -> &RaceReportSet {
+        &self.reports
+    }
+
+    fn stats(&self) -> DetectorStats {
+        self.stats
+    }
+
+    fn name(&self) -> &'static str {
+        "lockset"
+    }
+}
+
+fn refine(candidates: &mut Option<HashSet<LockId>>, held: &HashSet<LockId>) {
+    match candidates {
+        Some(set) => set.retain(|l| held.contains(l)),
+        None => *candidates = Some(held.clone()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T0: ThreadId = ThreadId(0);
+    const T1: ThreadId = ThreadId(1);
+    const X: Addr = Addr(0x40);
+    const L: LockId = LockId(0);
+    const L2: LockId = LockId(1);
+
+    fn pair() -> LockSet {
+        let mut d = LockSet::new(DetectorConfig::default());
+        d.on_thread_start(T0, None);
+        d.on_thread_start(T1, Some(T0));
+        d
+    }
+
+    #[test]
+    fn consistent_lock_discipline_is_clean() {
+        let mut d = pair();
+        for &t in &[T0, T1, T0, T1] {
+            d.on_sync(t, &Op::Lock { lock: L });
+            d.on_access(t, X, AccessKind::Write);
+            d.on_sync(t, &Op::Unlock { lock: L });
+        }
+        assert!(d.reports().is_empty());
+    }
+
+    #[test]
+    fn unprotected_shared_write_races() {
+        let mut d = pair();
+        d.on_access(T0, X, AccessKind::Write);
+        assert!(d.on_access(T1, X, AccessKind::Write).race);
+        assert_eq!(d.reports().distinct(), 1);
+    }
+
+    #[test]
+    fn inconsistent_locks_race() {
+        // T0 protects with L, T1 with L2. The candidate set is seeded at
+        // the access that makes the variable shared ({L2}), so the race
+        // surfaces on the next refinement ({L2} ∩ {L} = ∅).
+        let mut d = pair();
+        d.on_sync(T0, &Op::Lock { lock: L });
+        d.on_access(T0, X, AccessKind::Write);
+        d.on_sync(T0, &Op::Unlock { lock: L });
+        d.on_sync(T1, &Op::Lock { lock: L2 });
+        let first_shared = d.on_access(T1, X, AccessKind::Write);
+        d.on_sync(T1, &Op::Unlock { lock: L2 });
+        assert!(!first_shared.race, "candidates just seeded with {{L2}}");
+        d.on_sync(T0, &Op::Lock { lock: L });
+        let r = d.on_access(T0, X, AccessKind::Write);
+        d.on_sync(T0, &Op::Unlock { lock: L });
+        assert!(r.race);
+    }
+
+    #[test]
+    fn read_shared_data_is_not_racy_until_written() {
+        let mut d = pair();
+        d.on_access(T0, X, AccessKind::Read);
+        assert!(!d.on_access(T1, X, AccessKind::Read).race);
+        assert!(d.reports().is_empty());
+        // A write with no locks flips it to SharedModified: race.
+        assert!(d.on_access(T0, X, AccessKind::Write).race);
+    }
+
+    #[test]
+    fn exclusive_phase_never_races() {
+        let mut d = pair();
+        for _ in 0..10 {
+            assert!(!d.on_access(T0, X, AccessKind::Write).race);
+        }
+        assert!(d.reports().is_empty());
+        assert!(d.stats().fast_path_hits >= 10);
+    }
+
+    #[test]
+    fn fork_join_false_positive_is_expected() {
+        // HB analysis would see the fork edge and stay quiet; lockset
+        // flags it — the documented over-reporting.
+        let mut d = pair();
+        d.on_access(T0, X, AccessKind::Write); // parent init
+        let r = d.on_access(T1, X, AccessKind::Write); // child, no locks
+        assert!(r.race, "lockset cannot see fork edges");
+    }
+
+    #[test]
+    fn reports_each_variable_once() {
+        let mut d = pair();
+        d.on_access(T0, X, AccessKind::Write);
+        assert!(d.on_access(T1, X, AccessKind::Write).race);
+        assert!(!d.on_access(T0, X, AccessKind::Write).race);
+        assert!(!d.on_access(T1, X, AccessKind::Write).race);
+        assert_eq!(d.reports().distinct(), 1);
+    }
+
+    #[test]
+    fn shared_flag_reflects_multi_thread_access() {
+        let mut d = pair();
+        assert!(!d.on_access(T0, X, AccessKind::Read).shared);
+        assert!(d.on_access(T1, X, AccessKind::Read).shared);
+    }
+
+    #[test]
+    fn name_is_lockset() {
+        assert_eq!(LockSet::new(DetectorConfig::default()).name(), "lockset");
+    }
+}

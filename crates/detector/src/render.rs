@@ -1,0 +1,137 @@
+//! Human-readable rendering of race reports, in the multi-line style of
+//! ThreadSanitizer / Inspector summaries.
+
+use crate::report::{RaceReport, RaceReportSet};
+use std::fmt::Write as _;
+
+/// Renders one report as a multi-line block.
+///
+/// # Examples
+///
+/// ```
+/// use ddrace_detector::{render_report, RaceAccess, RaceKind, RaceReport};
+/// use ddrace_program::{AccessKind, Addr, ThreadId};
+///
+/// let report = RaceReport {
+///     addr: Addr(0x1040),
+///     shadow_key: 0x208,
+///     kind: RaceKind::WriteRead,
+///     prior: RaceAccess { tid: ThreadId(0), kind: AccessKind::Write, clock: 1 },
+///     current: RaceAccess { tid: ThreadId(1), kind: AccessKind::Read, clock: 1 },
+/// };
+/// let text = render_report(&report, 3);
+/// assert!(text.contains("WARNING: data race"));
+/// assert!(text.contains("0x1040"));
+/// assert!(text.contains("3 occurrence(s)"));
+/// ```
+pub fn render_report(report: &RaceReport, occurrences: u64) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "WARNING: data race ({}) at {}",
+        report.kind, report.addr
+    );
+    let _ = writeln!(
+        out,
+        "  {} by thread {} at epoch {}  (the racing access)",
+        capitalize(report.current.kind),
+        report.current.tid,
+        report.current.clock
+    );
+    let _ = writeln!(
+        out,
+        "  {} by thread {} at epoch {}  (unordered earlier access)",
+        capitalize(report.prior.kind),
+        report.prior.tid,
+        report.prior.clock
+    );
+    let _ = writeln!(
+        out,
+        "  Shadow unit {:#x}; no happens-before edge connects the pair.",
+        report.shadow_key
+    );
+    let _ = writeln!(out, "  Seen {occurrences} occurrence(s) of this pair.");
+    out
+}
+
+/// Renders the whole set as a numbered summary.
+pub fn render_summary(set: &RaceReportSet) -> String {
+    if set.is_empty() {
+        return "No data races detected.\n".to_string();
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} distinct data race(s) on {} variable(s), {} racy event(s) total:\n",
+        set.distinct(),
+        set.distinct_addresses(),
+        set.total_occurrences()
+    );
+    for (i, report) in set.reports().iter().enumerate() {
+        let _ = writeln!(out, "#{} {}", i + 1, report);
+    }
+    out
+}
+
+fn capitalize(kind: ddrace_program::AccessKind) -> &'static str {
+    match kind {
+        ddrace_program::AccessKind::Read => "Read",
+        ddrace_program::AccessKind::Write => "Write",
+        ddrace_program::AccessKind::AtomicRmw => "Atomic RMW",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{RaceAccess, RaceKind};
+    use ddrace_program::{AccessKind, Addr, ThreadId};
+
+    fn report() -> RaceReport {
+        RaceReport {
+            addr: Addr(0x40),
+            shadow_key: 8,
+            kind: RaceKind::WriteWrite,
+            prior: RaceAccess {
+                tid: ThreadId(0),
+                kind: AccessKind::Write,
+                clock: 2,
+            },
+            current: RaceAccess {
+                tid: ThreadId(1),
+                kind: AccessKind::Write,
+                clock: 3,
+            },
+        }
+    }
+
+    #[test]
+    fn report_block_is_complete() {
+        let text = render_report(&report(), 5);
+        assert!(text.contains("WARNING"));
+        assert!(text.contains("write-write"));
+        assert!(text.contains("T0"));
+        assert!(text.contains("T1"));
+        assert!(text.contains("5 occurrence(s)"));
+        assert!(text.lines().count() >= 4);
+    }
+
+    #[test]
+    fn summary_counts_and_numbers() {
+        let mut set = RaceReportSet::new();
+        set.record(report());
+        set.record(report());
+        let text = render_summary(&set);
+        assert!(text.contains("1 distinct"));
+        assert!(text.contains("2 racy event(s)"));
+        assert!(text.contains("#1"));
+    }
+
+    #[test]
+    fn empty_summary() {
+        assert_eq!(
+            render_summary(&RaceReportSet::new()),
+            "No data races detected.\n"
+        );
+    }
+}

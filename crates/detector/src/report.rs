@@ -1,0 +1,263 @@
+//! Race reports and their deduplicated collection.
+
+use ddrace_program::{AccessKind, Addr, ThreadId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// The temporal shape of a detected race: which unordered pair was seen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RaceKind {
+    /// A write unordered with a prior write.
+    WriteWrite,
+    /// A read unordered with a prior write.
+    WriteRead,
+    /// A write unordered with a prior read.
+    ReadWrite,
+}
+
+impl fmt::Display for RaceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RaceKind::WriteWrite => "write-write",
+            RaceKind::WriteRead => "write-read",
+            RaceKind::ReadWrite => "read-write",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One side of a racy pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RaceAccess {
+    /// The thread that performed the access.
+    pub tid: ThreadId,
+    /// What it did.
+    pub kind: AccessKind,
+    /// The thread's logical clock (epoch) at the access — the detector's
+    /// timestamp, useful for relating reports to program phases. Zero
+    /// when the detector does not track clocks (lockset).
+    pub clock: u32,
+}
+
+/// A detected data race: two accesses to the same shadow unit, at least
+/// one a write, with no happens-before edge between them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RaceReport {
+    /// Representative byte address (the first access observed racing).
+    pub addr: Addr,
+    /// The shadow-memory unit (address at detector granularity).
+    pub shadow_key: u64,
+    /// The pair's shape.
+    pub kind: RaceKind,
+    /// The earlier access of the pair.
+    pub prior: RaceAccess,
+    /// The access that exposed the race.
+    pub current: RaceAccess,
+}
+
+impl fmt::Display for RaceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} race on {}: {} {} vs {} {}",
+            self.kind,
+            self.addr,
+            self.prior.tid,
+            self.prior.kind,
+            self.current.tid,
+            self.current.kind
+        )
+    }
+}
+
+/// Deduplicated collection of race reports.
+///
+/// Commercial tools report each racy *program location* once; lacking code
+/// locations, we deduplicate by `(shadow_key, kind, prior thread, current
+/// thread)` and count repeat occurrences.
+///
+/// # Examples
+///
+/// ```
+/// use ddrace_detector::{RaceReportSet, RaceReport, RaceKind, RaceAccess};
+/// use ddrace_program::{AccessKind, Addr, ThreadId};
+///
+/// let mut set = RaceReportSet::new();
+/// let report = RaceReport {
+///     addr: Addr(0x40),
+///     shadow_key: 8,
+///     kind: RaceKind::WriteRead,
+///     prior: RaceAccess { tid: ThreadId(0), kind: AccessKind::Write, clock: 1 },
+///     current: RaceAccess { tid: ThreadId(1), kind: AccessKind::Read, clock: 1 },
+/// };
+/// assert!(set.record(report));   // new
+/// assert!(!set.record(report));  // duplicate, merged
+/// assert_eq!(set.distinct(), 1);
+/// assert_eq!(set.total_occurrences(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RaceReportSet {
+    reports: Vec<RaceReport>,
+    occurrences: Vec<u64>,
+    index: HashMap<(u64, RaceKind, ThreadId, ThreadId), usize>,
+}
+
+impl RaceReportSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a race. Returns `true` if it is a new distinct race,
+    /// `false` if it merged into an existing report.
+    pub fn record(&mut self, report: RaceReport) -> bool {
+        let key = (
+            report.shadow_key,
+            report.kind,
+            report.prior.tid,
+            report.current.tid,
+        );
+        match self.index.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                self.occurrences[*e.get()] += 1;
+                false
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(self.reports.len());
+                self.reports.push(report);
+                self.occurrences.push(1);
+                true
+            }
+        }
+    }
+
+    /// Increments the occurrence count if an identical race is already
+    /// recorded; otherwise drops the report. Used once a detector's
+    /// distinct-report cap is reached. Returns `true` if it merged.
+    pub fn merge_only(&mut self, report: &RaceReport) -> bool {
+        let key = (
+            report.shadow_key,
+            report.kind,
+            report.prior.tid,
+            report.current.tid,
+        );
+        if let Some(&i) = self.index.get(&key) {
+            self.occurrences[i] += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// All distinct reports, in first-detection order.
+    pub fn reports(&self) -> &[RaceReport] {
+        &self.reports
+    }
+
+    /// Occurrence counts aligned with [`reports`](Self::reports).
+    pub fn occurrences(&self) -> &[u64] {
+        &self.occurrences
+    }
+
+    /// Number of distinct races.
+    pub fn distinct(&self) -> usize {
+        self.reports.len()
+    }
+
+    /// Number of distinct shadow units (≈ variables) involved in races.
+    pub fn distinct_addresses(&self) -> usize {
+        let mut keys: Vec<u64> = self.reports.iter().map(|r| r.shadow_key).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        keys.len()
+    }
+
+    /// Total racy events observed, counting duplicates.
+    pub fn total_occurrences(&self) -> u64 {
+        self.occurrences.iter().sum()
+    }
+
+    /// Returns `true` if no race has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.reports.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(key: u64, kind: RaceKind, t0: u32, t1: u32) -> RaceReport {
+        RaceReport {
+            addr: Addr(key * 8),
+            shadow_key: key,
+            kind,
+            prior: RaceAccess {
+                tid: ThreadId(t0),
+                kind: AccessKind::Write,
+                clock: 1,
+            },
+            current: RaceAccess {
+                tid: ThreadId(t1),
+                kind: AccessKind::Read,
+                clock: 1,
+            },
+        }
+    }
+
+    #[test]
+    fn dedup_merges_same_pair() {
+        let mut set = RaceReportSet::new();
+        assert!(set.record(report(1, RaceKind::WriteRead, 0, 1)));
+        assert!(!set.record(report(1, RaceKind::WriteRead, 0, 1)));
+        assert_eq!(set.distinct(), 1);
+        assert_eq!(set.total_occurrences(), 2);
+        assert!(!set.is_empty());
+    }
+
+    #[test]
+    fn different_kinds_are_distinct() {
+        let mut set = RaceReportSet::new();
+        set.record(report(1, RaceKind::WriteRead, 0, 1));
+        set.record(report(1, RaceKind::WriteWrite, 0, 1));
+        assert_eq!(set.distinct(), 2);
+        assert_eq!(set.distinct_addresses(), 1);
+    }
+
+    #[test]
+    fn different_threads_are_distinct() {
+        let mut set = RaceReportSet::new();
+        set.record(report(1, RaceKind::WriteRead, 0, 1));
+        set.record(report(1, RaceKind::WriteRead, 2, 1));
+        set.record(report(1, RaceKind::WriteRead, 0, 2));
+        assert_eq!(set.distinct(), 3);
+    }
+
+    #[test]
+    fn different_addresses_are_distinct() {
+        let mut set = RaceReportSet::new();
+        set.record(report(1, RaceKind::WriteRead, 0, 1));
+        set.record(report(2, RaceKind::WriteRead, 0, 1));
+        assert_eq!(set.distinct_addresses(), 2);
+    }
+
+    #[test]
+    fn empty_set() {
+        let set = RaceReportSet::new();
+        assert!(set.is_empty());
+        assert_eq!(set.distinct(), 0);
+        assert_eq!(set.total_occurrences(), 0);
+        assert_eq!(set.distinct_addresses(), 0);
+        assert!(set.reports().is_empty());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let r = report(1, RaceKind::WriteRead, 0, 1);
+        let text = format!("{r}");
+        assert!(text.contains("write-read"));
+        assert!(text.contains("T0"));
+        assert!(text.contains("T1"));
+    }
+}

@@ -1,0 +1,276 @@
+//! A single programmable performance counter with sampling and skid.
+
+use crate::event::PmuEventKind;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterConfig {
+    /// The event to count.
+    pub event: PmuEventKind,
+    /// Overflow threshold ("sample-after value"): an interrupt is raised
+    /// every `period` events. `None` counts without sampling.
+    pub period: Option<u64>,
+    /// Interrupt skid: the overflow interrupt is delivered this many
+    /// *retired memory accesses* after the event that crossed the
+    /// threshold, mimicking the imprecise delivery of real PMIs.
+    pub skid: u32,
+}
+
+impl CounterConfig {
+    /// A counting-only configuration (no interrupts).
+    pub fn counting(event: PmuEventKind) -> Self {
+        CounterConfig {
+            event,
+            period: None,
+            skid: 0,
+        }
+    }
+
+    /// A sampling configuration interrupting every `period` events with
+    /// `skid` accesses of delivery delay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is 0.
+    pub fn sampling(event: PmuEventKind, period: u64, skid: u32) -> Self {
+        assert!(period > 0, "sample period must be positive");
+        CounterConfig {
+            event,
+            period: Some(period),
+            skid,
+        }
+    }
+}
+
+/// A delivered counter-overflow interrupt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Overflow {
+    /// The event whose counter overflowed.
+    pub event: PmuEventKind,
+    /// Counter value at delivery (events seen so far).
+    pub count: u64,
+    /// Accesses that retired between the threshold crossing and delivery
+    /// (the realized skid).
+    pub skid: u32,
+}
+
+/// One hardware performance counter.
+///
+/// Count events with [`observe`](Counter::observe); call
+/// [`retire`](Counter::retire) once per retired memory access to advance
+/// skid countdowns. Overflows are returned from whichever call delivers
+/// them.
+///
+/// # Examples
+///
+/// ```
+/// use ddrace_pmu::{Counter, CounterConfig, PmuEventKind};
+/// let mut c = Counter::new(CounterConfig::sampling(PmuEventKind::HitmLoad, 2, 0));
+/// assert!(c.observe(1).is_none()); // 1 event: below threshold
+/// let ov = c.observe(1).expect("second event crosses threshold");
+/// assert_eq!(ov.count, 2);
+/// assert_eq!(c.value(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counter {
+    config: CounterConfig,
+    value: u64,
+    since_overflow: u64,
+    /// Remaining accesses until a pending overflow is delivered, plus the
+    /// skid accumulated so far.
+    pending: Option<PendingOverflow>,
+    enabled: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct PendingOverflow {
+    remaining: u32,
+    elapsed: u32,
+}
+
+impl Counter {
+    /// Creates an enabled counter with `config`.
+    pub fn new(config: CounterConfig) -> Self {
+        Counter {
+            config,
+            value: 0,
+            since_overflow: 0,
+            pending: None,
+            enabled: true,
+        }
+    }
+
+    /// The counter's configuration.
+    pub fn config(&self) -> CounterConfig {
+        self.config
+    }
+
+    /// Total events counted since creation (or [`reset`](Counter::reset)).
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+
+    /// Whether the counter is currently counting.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Starts or stops counting. Disabling also cancels any pending
+    /// (skidding) overflow, like clearing the hardware's PMI enable bit.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+        if !enabled {
+            self.pending = None;
+        }
+    }
+
+    /// Zeroes the counter and cancels pending overflows.
+    pub fn reset(&mut self) {
+        self.value = 0;
+        self.since_overflow = 0;
+        self.pending = None;
+    }
+
+    /// Records `events` occurrences of the counted event. Returns an
+    /// overflow if the threshold is crossed *and* the configured skid is
+    /// zero; with nonzero skid the overflow is delivered by a later
+    /// [`retire`](Counter::retire).
+    pub fn observe(&mut self, events: u64) -> Option<Overflow> {
+        if !self.enabled || events == 0 {
+            return None;
+        }
+        self.value += events;
+        let period = self.config.period?;
+        self.since_overflow += events;
+        if self.since_overflow >= period && self.pending.is_none() {
+            self.since_overflow = 0;
+            if self.config.skid == 0 {
+                return Some(Overflow {
+                    event: self.config.event,
+                    count: self.value,
+                    skid: 0,
+                });
+            }
+            self.pending = Some(PendingOverflow {
+                remaining: self.config.skid,
+                elapsed: 0,
+            });
+        }
+        None
+    }
+
+    /// Advances skid countdowns by one retired access; returns the
+    /// overflow if one becomes deliverable.
+    pub fn retire(&mut self) -> Option<Overflow> {
+        let pending = self.pending.as_mut()?;
+        pending.elapsed += 1;
+        pending.remaining -= 1;
+        if pending.remaining == 0 {
+            let skid = pending.elapsed;
+            self.pending = None;
+            Some(Overflow {
+                event: self.config.event,
+                count: self.value,
+                skid,
+            })
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_mode_never_overflows() {
+        let mut c = Counter::new(CounterConfig::counting(PmuEventKind::HitmLoad));
+        for _ in 0..1000 {
+            assert!(c.observe(1).is_none());
+            assert!(c.retire().is_none());
+        }
+        assert_eq!(c.value(), 1000);
+    }
+
+    #[test]
+    fn zero_skid_overflow_is_immediate() {
+        let mut c = Counter::new(CounterConfig::sampling(PmuEventKind::HitmLoad, 3, 0));
+        assert!(c.observe(1).is_none());
+        assert!(c.observe(1).is_none());
+        let ov = c.observe(1).unwrap();
+        assert_eq!(ov.count, 3);
+        assert_eq!(ov.skid, 0);
+        // The next period starts fresh.
+        assert!(c.observe(2).is_none());
+        assert!(c.observe(1).is_some());
+    }
+
+    #[test]
+    fn skid_delays_delivery_by_retired_accesses() {
+        let mut c = Counter::new(CounterConfig::sampling(PmuEventKind::HitmLoad, 1, 3));
+        assert!(
+            c.observe(1).is_none(),
+            "overflow must skid, not deliver inline"
+        );
+        assert!(c.retire().is_none());
+        assert!(c.retire().is_none());
+        let ov = c.retire().unwrap();
+        assert_eq!(ov.skid, 3);
+        assert!(c.retire().is_none(), "no double delivery");
+    }
+
+    #[test]
+    fn overflow_while_skidding_is_merged() {
+        let mut c = Counter::new(CounterConfig::sampling(PmuEventKind::HitmLoad, 1, 2));
+        assert!(c.observe(1).is_none()); // arms skid
+        assert!(c.observe(1).is_none()); // second crossing merged
+        assert!(c.retire().is_none());
+        let ov = c.retire().unwrap();
+        assert_eq!(ov.count, 2);
+        assert!(c.retire().is_none());
+    }
+
+    #[test]
+    fn disable_cancels_pending_and_stops_counting() {
+        let mut c = Counter::new(CounterConfig::sampling(PmuEventKind::HitmLoad, 1, 2));
+        c.observe(1);
+        c.set_enabled(false);
+        assert!(!c.is_enabled());
+        assert!(c.retire().is_none());
+        assert!(c.observe(5).is_none());
+        assert_eq!(c.value(), 1);
+        c.set_enabled(true);
+        assert!(c.observe(1).is_none()); // arms a fresh skid
+        c.retire();
+        assert!(c.retire().is_some());
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let mut c = Counter::new(CounterConfig::sampling(PmuEventKind::HitmLoad, 5, 1));
+        c.observe(4);
+        c.reset();
+        assert_eq!(c.value(), 0);
+        // 4 more events do not overflow: the partial period was cleared.
+        assert!(c.observe(4).is_none());
+        assert!(c.retire().is_none());
+    }
+
+    #[test]
+    fn batch_events_cross_threshold_once() {
+        let mut c = Counter::new(CounterConfig::sampling(PmuEventKind::TrueSharing, 4, 0));
+        let ov = c.observe(9);
+        assert!(ov.is_some(), "9 events cross a period of 4");
+        // `since_overflow` resets; periods are not retroactively replayed.
+        assert!(c.observe(3).is_none());
+        assert!(c.observe(1).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "sample period must be positive")]
+    fn zero_period_rejected() {
+        let _ = CounterConfig::sampling(PmuEventKind::HitmLoad, 0, 0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Performance-monitoring event definitions.
+
+use ddrace_cache::AccessResult;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Hardware events a simulated counter can be programmed to count.
+///
+/// `HitmLoad` is the event at the heart of the paper —
+/// `MEM_UNCORE_RETIRED.OTHER_CORE_L2_HITM` on Nehalem: retired loads that
+/// were served by a modified line in another core's private cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PmuEventKind {
+    /// Loads served by a remote modified line (cache-to-cache, HITM).
+    HitmLoad,
+    /// Stores whose ownership request hit a remote modified line. Real
+    /// load-event hardware does *not* count these; exposed for ablations.
+    RfoHitm,
+    /// Either of the above.
+    AnyHitm,
+    /// Ground-truth inter-core communication of any kind — W→R, W→W, R→W —
+    /// as seen by the oracle tracker (which never loses events to cache
+    /// evictions). Not implementable in real hardware; this is the paper's
+    /// idealized indicator.
+    TrueSharing,
+    /// Retired loads.
+    Loads,
+    /// Retired stores.
+    Stores,
+    /// Accesses that missed the entire cache hierarchy.
+    LlcMiss,
+    /// All retired memory accesses.
+    Accesses,
+}
+
+impl PmuEventKind {
+    /// How many events of this kind `result` constitutes.
+    pub fn count_in(self, result: &AccessResult, is_load: bool, is_store: bool) -> u64 {
+        match self {
+            PmuEventKind::HitmLoad => u64::from(result.hitm_owner.is_some()),
+            PmuEventKind::RfoHitm => u64::from(result.rfo_hitm_owner.is_some()),
+            PmuEventKind::AnyHitm => {
+                u64::from(result.hitm_owner.is_some() || result.rfo_hitm_owner.is_some())
+            }
+            PmuEventKind::TrueSharing => result.sharing_kinds().count() as u64,
+            PmuEventKind::Loads => u64::from(is_load),
+            PmuEventKind::Stores => u64::from(is_store),
+            PmuEventKind::LlcMiss => u64::from(result.hit.is_memory()),
+            PmuEventKind::Accesses => 1,
+        }
+    }
+}
+
+impl fmt::Display for PmuEventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PmuEventKind::HitmLoad => "MEM_UNCORE_RETIRED.OTHER_CORE_L2_HITM",
+            PmuEventKind::RfoHitm => "RFO_HITM",
+            PmuEventKind::AnyHitm => "ANY_HITM",
+            PmuEventKind::TrueSharing => "TRUE_SHARING(oracle)",
+            PmuEventKind::Loads => "MEM_INST_RETIRED.LOADS",
+            PmuEventKind::Stores => "MEM_INST_RETIRED.STORES",
+            PmuEventKind::LlcMiss => "LLC_MISSES",
+            PmuEventKind::Accesses => "MEM_INST_RETIRED.ANY",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddrace_cache::{CoreId, HitWhere, SharingKind};
+
+    fn result() -> AccessResult {
+        AccessResult {
+            latency: 4,
+            hit: HitWhere::L1,
+            line: 1,
+            hitm_owner: None,
+            rfo_hitm_owner: None,
+            invalidations: 0,
+            sharing: (None, None),
+        }
+    }
+
+    #[test]
+    fn counts_plain_load() {
+        let r = result();
+        assert_eq!(PmuEventKind::Loads.count_in(&r, true, false), 1);
+        assert_eq!(PmuEventKind::Stores.count_in(&r, true, false), 0);
+        assert_eq!(PmuEventKind::Accesses.count_in(&r, true, false), 1);
+        assert_eq!(PmuEventKind::HitmLoad.count_in(&r, true, false), 0);
+        assert_eq!(PmuEventKind::LlcMiss.count_in(&r, true, false), 0);
+    }
+
+    #[test]
+    fn counts_hitm_variants() {
+        let mut r = result();
+        r.hitm_owner = Some(CoreId(1));
+        assert_eq!(PmuEventKind::HitmLoad.count_in(&r, true, false), 1);
+        assert_eq!(PmuEventKind::AnyHitm.count_in(&r, true, false), 1);
+        assert_eq!(PmuEventKind::RfoHitm.count_in(&r, true, false), 0);
+
+        let mut r2 = result();
+        r2.rfo_hitm_owner = Some(CoreId(1));
+        assert_eq!(PmuEventKind::HitmLoad.count_in(&r2, false, true), 0);
+        assert_eq!(PmuEventKind::RfoHitm.count_in(&r2, false, true), 1);
+        assert_eq!(PmuEventKind::AnyHitm.count_in(&r2, false, true), 1);
+    }
+
+    #[test]
+    fn counts_true_sharing_events() {
+        let mut r = result();
+        r.sharing = (Some(SharingKind::WriteWrite), Some(SharingKind::ReadWrite));
+        assert_eq!(PmuEventKind::TrueSharing.count_in(&r, false, true), 2);
+        r.sharing = (Some(SharingKind::WriteRead), None);
+        assert_eq!(PmuEventKind::TrueSharing.count_in(&r, true, false), 1);
+    }
+
+    #[test]
+    fn counts_llc_miss() {
+        let mut r = result();
+        r.hit = HitWhere::Memory;
+        assert_eq!(PmuEventKind::LlcMiss.count_in(&r, true, false), 1);
+    }
+
+    #[test]
+    fn display_names_are_distinct() {
+        let kinds = [
+            PmuEventKind::HitmLoad,
+            PmuEventKind::RfoHitm,
+            PmuEventKind::AnyHitm,
+            PmuEventKind::TrueSharing,
+            PmuEventKind::Loads,
+            PmuEventKind::Stores,
+            PmuEventKind::LlcMiss,
+            PmuEventKind::Accesses,
+        ];
+        let names: std::collections::HashSet<String> =
+            kinds.iter().map(|k| k.to_string()).collect();
+        assert_eq!(names.len(), kinds.len());
+    }
+}

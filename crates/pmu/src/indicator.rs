@@ -1,0 +1,315 @@
+//! The sharing indicator: the paper's hardware trigger, packaged.
+//!
+//! The demand-driven controller does not care about raw counters; it asks
+//! one question — *"did this access suggest inter-thread sharing?"* —
+//! and three answers exist:
+//!
+//! * [`IndicatorMode::HitmSampling`]: the realistic answer. A performance
+//!   counter samples HITM loads with a configurable sample-after value and
+//!   interrupt skid. Misses sharing that hardware misses (evicted modified
+//!   lines, W→W/R→W-only communication) and fires spuriously on false
+//!   sharing — exactly the trade-offs the paper evaluates.
+//! * [`IndicatorMode::Oracle`]: the idealized answer used for the paper's
+//!   "perfect hardware sharing detector" comparison: every true
+//!   communication event fires, immediately, with no skid.
+//! * [`IndicatorMode::Disabled`]: never fires (native execution, or
+//!   continuous-analysis mode where no trigger is needed).
+
+use crate::counter::CounterConfig;
+use crate::event::PmuEventKind;
+use crate::pmu::Pmu;
+use ddrace_cache::{AccessResult, CoreId};
+use ddrace_program::AccessKind;
+use serde::{Deserialize, Serialize};
+
+/// How the sharing indicator is realized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IndicatorMode {
+    /// Sample the HITM-load performance counter.
+    HitmSampling {
+        /// Sample-after value: interrupt every `period` HITM events.
+        period: u64,
+        /// Interrupt skid in retired accesses.
+        skid: u32,
+        /// Also count RFO-HITMs (stores hitting remote modified lines) —
+        /// a capability real Nehalem load-event hardware lacks; exposed as
+        /// an ablation.
+        include_rfo: bool,
+    },
+    /// Perfect indicator: every ground-truth communication fires.
+    Oracle,
+    /// Never fires.
+    Disabled,
+}
+
+impl IndicatorMode {
+    /// The paper's default realistic configuration: interrupt on every
+    /// HITM load (sample-after 1) with a small skid.
+    pub fn hitm_default() -> Self {
+        IndicatorMode::HitmSampling {
+            period: 1,
+            skid: 20,
+            include_rfo: false,
+        }
+    }
+}
+
+impl Default for IndicatorMode {
+    fn default() -> Self {
+        Self::hitm_default()
+    }
+}
+
+/// A delivered sharing signal (in hardware terms, the PMI).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SharingSignal {
+    /// Core on which the interrupt was delivered.
+    pub core: CoreId,
+    /// The event that triggered it.
+    pub event: PmuEventKind,
+    /// Retired accesses between threshold crossing and delivery.
+    pub skid: u32,
+}
+
+/// Watches the access stream and raises [`SharingSignal`]s according to an
+/// [`IndicatorMode`].
+///
+/// # Examples
+///
+/// ```
+/// use ddrace_pmu::{IndicatorMode, SharingIndicator};
+/// use ddrace_cache::{CacheConfig, CacheHierarchy, CoreId};
+/// use ddrace_program::{AccessKind, Addr};
+///
+/// let mut mem = CacheHierarchy::new(CacheConfig::nehalem(2));
+/// let mut ind = SharingIndicator::new(
+///     IndicatorMode::HitmSampling { period: 1, skid: 0, include_rfo: false },
+///     2,
+/// );
+/// mem.access(CoreId(0), Addr(0x40), AccessKind::Write);
+/// let r = mem.access(CoreId(1), Addr(0x40), AccessKind::Read);
+/// let signal = ind.observe(CoreId(1), &r, AccessKind::Read).expect("HITM fires");
+/// assert_eq!(signal.core, CoreId(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SharingIndicator {
+    mode: IndicatorMode,
+    pmu: Pmu,
+    signals_raised: u64,
+}
+
+impl SharingIndicator {
+    /// Creates an indicator for a `cores`-core machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    pub fn new(mode: IndicatorMode, cores: usize) -> Self {
+        let configs = match mode {
+            IndicatorMode::HitmSampling {
+                period,
+                skid,
+                include_rfo,
+            } => {
+                let event = if include_rfo {
+                    PmuEventKind::AnyHitm
+                } else {
+                    PmuEventKind::HitmLoad
+                };
+                vec![CounterConfig::sampling(event, period, skid)]
+            }
+            IndicatorMode::Oracle => {
+                vec![CounterConfig::sampling(PmuEventKind::TrueSharing, 1, 0)]
+            }
+            IndicatorMode::Disabled => Vec::new(),
+        };
+        SharingIndicator {
+            mode,
+            pmu: Pmu::new(cores, configs),
+            signals_raised: 0,
+        }
+    }
+
+    /// The mode this indicator runs in.
+    pub fn mode(&self) -> IndicatorMode {
+        self.mode
+    }
+
+    /// Feeds one retired access; returns a signal if an interrupt was
+    /// delivered on it.
+    pub fn observe(
+        &mut self,
+        core: CoreId,
+        result: &AccessResult,
+        kind: AccessKind,
+    ) -> Option<SharingSignal> {
+        let overflows = self.pmu.on_access(core, result, kind);
+        let first = overflows.first()?;
+        self.signals_raised += 1;
+        Some(SharingSignal {
+            core,
+            event: first.event,
+            skid: first.skid,
+        })
+    }
+
+    /// Total signals (interrupts) raised so far.
+    pub fn signals_raised(&self) -> u64 {
+        self.signals_raised
+    }
+
+    /// Total trigger events counted so far (HITMs or true-sharing events,
+    /// depending on mode), including ones below the sampling threshold.
+    pub fn events_counted(&self) -> u64 {
+        match self.mode {
+            IndicatorMode::HitmSampling {
+                include_rfo: false, ..
+            } => self.pmu.total(PmuEventKind::HitmLoad),
+            IndicatorMode::HitmSampling {
+                include_rfo: true, ..
+            } => self.pmu.total(PmuEventKind::AnyHitm),
+            IndicatorMode::Oracle => self.pmu.total(PmuEventKind::TrueSharing),
+            IndicatorMode::Disabled => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddrace_cache::{HitWhere, SharingKind};
+
+    fn hitm_result() -> AccessResult {
+        AccessResult {
+            latency: 60,
+            hit: HitWhere::RemoteCache,
+            line: 1,
+            hitm_owner: Some(CoreId(0)),
+            rfo_hitm_owner: None,
+            invalidations: 0,
+            sharing: (Some(SharingKind::WriteRead), None),
+        }
+    }
+
+    /// Sharing the cache missed (e.g. after eviction): ground truth fires,
+    /// no HITM.
+    fn lost_sharing_result() -> AccessResult {
+        AccessResult {
+            latency: 200,
+            hit: HitWhere::Memory,
+            line: 1,
+            hitm_owner: None,
+            rfo_hitm_owner: None,
+            invalidations: 0,
+            sharing: (Some(SharingKind::WriteRead), None),
+        }
+    }
+
+    fn rfo_result() -> AccessResult {
+        AccessResult {
+            latency: 60,
+            hit: HitWhere::RemoteCache,
+            line: 1,
+            hitm_owner: None,
+            rfo_hitm_owner: Some(CoreId(0)),
+            invalidations: 1,
+            sharing: (Some(SharingKind::WriteWrite), None),
+        }
+    }
+
+    #[test]
+    fn hitm_mode_fires_on_hitm_only() {
+        let mut ind = SharingIndicator::new(
+            IndicatorMode::HitmSampling {
+                period: 1,
+                skid: 0,
+                include_rfo: false,
+            },
+            2,
+        );
+        assert!(ind
+            .observe(CoreId(1), &hitm_result(), AccessKind::Read)
+            .is_some());
+        assert!(ind
+            .observe(CoreId(1), &lost_sharing_result(), AccessKind::Read)
+            .is_none());
+        assert!(ind
+            .observe(CoreId(1), &rfo_result(), AccessKind::Write)
+            .is_none());
+        assert_eq!(ind.signals_raised(), 1);
+        assert_eq!(ind.events_counted(), 1);
+    }
+
+    #[test]
+    fn oracle_mode_catches_lost_sharing() {
+        let mut ind = SharingIndicator::new(IndicatorMode::Oracle, 2);
+        assert!(ind
+            .observe(CoreId(1), &lost_sharing_result(), AccessKind::Read)
+            .is_some());
+        assert!(ind
+            .observe(CoreId(1), &rfo_result(), AccessKind::Write)
+            .is_some());
+        assert_eq!(ind.signals_raised(), 2);
+    }
+
+    #[test]
+    fn disabled_mode_never_fires() {
+        let mut ind = SharingIndicator::new(IndicatorMode::Disabled, 2);
+        assert!(ind
+            .observe(CoreId(1), &hitm_result(), AccessKind::Read)
+            .is_none());
+        assert_eq!(ind.signals_raised(), 0);
+        assert_eq!(ind.events_counted(), 0);
+    }
+
+    #[test]
+    fn include_rfo_widens_the_event() {
+        let mut ind = SharingIndicator::new(
+            IndicatorMode::HitmSampling {
+                period: 1,
+                skid: 0,
+                include_rfo: true,
+            },
+            2,
+        );
+        assert!(ind
+            .observe(CoreId(1), &rfo_result(), AccessKind::Write)
+            .is_some());
+        assert_eq!(ind.events_counted(), 1);
+    }
+
+    #[test]
+    fn sampling_period_thins_signals() {
+        let mut ind = SharingIndicator::new(
+            IndicatorMode::HitmSampling {
+                period: 10,
+                skid: 0,
+                include_rfo: false,
+            },
+            1,
+        );
+        let mut signals = 0;
+        for _ in 0..100 {
+            if ind
+                .observe(CoreId(0), &hitm_result(), AccessKind::Read)
+                .is_some()
+            {
+                signals += 1;
+            }
+        }
+        assert_eq!(signals, 10);
+        assert_eq!(ind.events_counted(), 100);
+    }
+
+    #[test]
+    fn default_mode_is_hitm_sampling() {
+        assert_eq!(
+            IndicatorMode::default(),
+            IndicatorMode::HitmSampling {
+                period: 1,
+                skid: 20,
+                include_rfo: false
+            }
+        );
+    }
+}

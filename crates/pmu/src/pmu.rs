@@ -1,0 +1,205 @@
+//! Per-core PMU arrays.
+
+use crate::counter::{Counter, CounterConfig, Overflow};
+use crate::event::PmuEventKind;
+use ddrace_cache::{AccessResult, CoreId};
+use ddrace_program::AccessKind;
+
+/// The machine's performance monitoring units: one set of identically
+/// programmed counters per core.
+///
+/// # Examples
+///
+/// ```
+/// use ddrace_pmu::{Pmu, CounterConfig, PmuEventKind};
+/// use ddrace_cache::{CacheConfig, CacheHierarchy, CoreId};
+/// use ddrace_program::{AccessKind, Addr};
+///
+/// let mut mem = CacheHierarchy::new(CacheConfig::nehalem(2));
+/// let mut pmu = Pmu::new(2, vec![CounterConfig::sampling(PmuEventKind::HitmLoad, 1, 0)]);
+///
+/// mem.access(CoreId(0), Addr(0x40), AccessKind::Write);
+/// let r = mem.access(CoreId(1), Addr(0x40), AccessKind::Read);
+/// let overflows = pmu.on_access(CoreId(1), &r, AccessKind::Read);
+/// assert_eq!(overflows.len(), 1); // the HITM load fired an interrupt
+/// assert_eq!(pmu.total(PmuEventKind::HitmLoad), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Pmu {
+    cores: Vec<Vec<Counter>>,
+    overflow_buf: Vec<Overflow>,
+}
+
+impl Pmu {
+    /// Creates a PMU array for `cores` cores, each programmed with the
+    /// same `configs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    pub fn new(cores: usize, configs: Vec<CounterConfig>) -> Self {
+        assert!(cores > 0, "a machine needs at least one core");
+        Pmu {
+            cores: (0..cores)
+                .map(|_| configs.iter().map(|&c| Counter::new(c)).collect())
+                .collect(),
+            overflow_buf: Vec::new(),
+        }
+    }
+
+    /// Number of cores.
+    pub fn core_count(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Feeds one retired memory access on `core` into its counters and
+    /// returns any overflow interrupts delivered on this access (threshold
+    /// crossings plus skid expirations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn on_access(
+        &mut self,
+        core: CoreId,
+        result: &AccessResult,
+        kind: AccessKind,
+    ) -> &[Overflow] {
+        self.overflow_buf.clear();
+        let is_load = kind.is_read();
+        let is_store = kind.is_write();
+        let counters = &mut self.cores[core.index()];
+        for counter in counters.iter_mut() {
+            let events = counter.config().event.count_in(result, is_load, is_store);
+            if let Some(ov) = counter.observe(events) {
+                self.overflow_buf.push(ov);
+            }
+            if let Some(ov) = counter.retire() {
+                self.overflow_buf.push(ov);
+            }
+        }
+        &self.overflow_buf
+    }
+
+    /// Current value of counter `slot` on `core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` or `slot` is out of range.
+    pub fn value(&self, core: CoreId, slot: usize) -> u64 {
+        self.cores[core.index()][slot].value()
+    }
+
+    /// Sum over all cores of every counter programmed for `event`.
+    pub fn total(&self, event: PmuEventKind) -> u64 {
+        self.cores
+            .iter()
+            .flatten()
+            .filter(|c| c.config().event == event)
+            .map(Counter::value)
+            .sum()
+    }
+
+    /// Enables or disables every counter on every core.
+    pub fn set_all_enabled(&mut self, enabled: bool) {
+        for counter in self.cores.iter_mut().flatten() {
+            counter.set_enabled(enabled);
+        }
+    }
+
+    /// Resets every counter on every core.
+    pub fn reset_all(&mut self) {
+        for counter in self.cores.iter_mut().flatten() {
+            counter.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddrace_cache::{HitWhere, SharingKind};
+
+    fn hitm_result() -> AccessResult {
+        AccessResult {
+            latency: 60,
+            hit: HitWhere::RemoteCache,
+            line: 1,
+            hitm_owner: Some(CoreId(0)),
+            rfo_hitm_owner: None,
+            invalidations: 0,
+            sharing: (Some(SharingKind::WriteRead), None),
+        }
+    }
+
+    fn quiet_result() -> AccessResult {
+        AccessResult {
+            latency: 4,
+            hit: HitWhere::L1,
+            line: 1,
+            hitm_owner: None,
+            rfo_hitm_owner: None,
+            invalidations: 0,
+            sharing: (None, None),
+        }
+    }
+
+    #[test]
+    fn counters_are_per_core() {
+        let mut pmu = Pmu::new(2, vec![CounterConfig::counting(PmuEventKind::Accesses)]);
+        pmu.on_access(CoreId(0), &quiet_result(), AccessKind::Read);
+        pmu.on_access(CoreId(0), &quiet_result(), AccessKind::Read);
+        pmu.on_access(CoreId(1), &quiet_result(), AccessKind::Read);
+        assert_eq!(pmu.value(CoreId(0), 0), 2);
+        assert_eq!(pmu.value(CoreId(1), 0), 1);
+        assert_eq!(pmu.total(PmuEventKind::Accesses), 3);
+    }
+
+    #[test]
+    fn sampling_interrupt_delivered_with_skid() {
+        let mut pmu = Pmu::new(
+            1,
+            vec![CounterConfig::sampling(PmuEventKind::HitmLoad, 1, 2)],
+        );
+        assert!(pmu
+            .on_access(CoreId(0), &hitm_result(), AccessKind::Read)
+            .is_empty());
+        // The HITM access itself advanced the skid countdown by one; one
+        // more quiet access delivers the PMI.
+        let ovs = pmu.on_access(CoreId(0), &quiet_result(), AccessKind::Read);
+        assert_eq!(ovs.len(), 1);
+        assert_eq!(ovs[0].event, PmuEventKind::HitmLoad);
+        assert_eq!(ovs[0].skid, 2);
+    }
+
+    #[test]
+    fn multiple_counters_fire_together() {
+        let mut pmu = Pmu::new(
+            1,
+            vec![
+                CounterConfig::sampling(PmuEventKind::HitmLoad, 1, 0),
+                CounterConfig::sampling(PmuEventKind::TrueSharing, 1, 0),
+            ],
+        );
+        let ovs = pmu.on_access(CoreId(0), &hitm_result(), AccessKind::Read);
+        assert_eq!(ovs.len(), 2);
+    }
+
+    #[test]
+    fn disable_and_reset_all() {
+        let mut pmu = Pmu::new(2, vec![CounterConfig::counting(PmuEventKind::Accesses)]);
+        pmu.on_access(CoreId(0), &quiet_result(), AccessKind::Read);
+        pmu.set_all_enabled(false);
+        pmu.on_access(CoreId(0), &quiet_result(), AccessKind::Read);
+        assert_eq!(pmu.total(PmuEventKind::Accesses), 1);
+        pmu.set_all_enabled(true);
+        pmu.reset_all();
+        assert_eq!(pmu.total(PmuEventKind::Accesses), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_panics() {
+        let _ = Pmu::new(0, vec![]);
+    }
+}

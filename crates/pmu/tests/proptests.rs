@@ -1,0 +1,127 @@
+//! Property-based tests for counters, sampling and skid.
+
+use ddrace_cache::{AccessResult, CoreId, HitWhere, SharingKind};
+use ddrace_pmu::{Counter, CounterConfig, IndicatorMode, PmuEventKind, SharingIndicator};
+use ddrace_program::AccessKind;
+use proptest::prelude::*;
+
+fn hitm_result() -> AccessResult {
+    AccessResult {
+        latency: 60,
+        hit: HitWhere::RemoteCache,
+        line: 1,
+        hitm_owner: Some(CoreId(0)),
+        rfo_hitm_owner: None,
+        invalidations: 0,
+        sharing: (Some(SharingKind::WriteRead), None),
+    }
+}
+
+fn quiet_result() -> AccessResult {
+    AccessResult {
+        latency: 4,
+        hit: HitWhere::L1,
+        line: 1,
+        hitm_owner: None,
+        rfo_hitm_owner: None,
+        invalidations: 0,
+        sharing: (None, None),
+    }
+}
+
+proptest! {
+    /// A counter's value always equals the number of events observed
+    /// while enabled, regardless of sampling configuration.
+    #[test]
+    fn counter_value_is_exact(
+        period in 1u64..50,
+        skid in 0u32..10,
+        events in proptest::collection::vec(0u64..4, 1..200),
+    ) {
+        let mut c = Counter::new(CounterConfig::sampling(PmuEventKind::HitmLoad, period, skid));
+        let mut total = 0u64;
+        for e in events {
+            c.observe(e);
+            c.retire();
+            total += e;
+        }
+        prop_assert_eq!(c.value(), total);
+    }
+
+    /// With zero skid, the number of overflows delivered over a run of
+    /// single events is exactly floor(events / period).
+    #[test]
+    fn overflow_count_matches_period(period in 1u64..40, n in 1u64..500) {
+        let mut c = Counter::new(CounterConfig::sampling(PmuEventKind::HitmLoad, period, 0));
+        let mut overflows = 0u64;
+        for _ in 0..n {
+            if c.observe(1).is_some() {
+                overflows += 1;
+            }
+        }
+        prop_assert_eq!(overflows, n / period);
+    }
+
+    /// Skid delays delivery by exactly `skid` retired accesses, and no
+    /// overflow is ever lost while enabled (merging crossings aside).
+    #[test]
+    fn skid_delivery_distance(skid in 1u32..30) {
+        let mut c = Counter::new(CounterConfig::sampling(PmuEventKind::HitmLoad, 1, skid));
+        prop_assert!(c.observe(1).is_none());
+        for i in 1..skid {
+            prop_assert!(c.retire().is_none(), "delivered early at {i}");
+        }
+        let ov = c.retire().expect("delivered at skid distance");
+        prop_assert_eq!(ov.skid, skid);
+    }
+
+    /// The sharing indicator raises exactly events/period signals on a
+    /// pure HITM stream with zero skid, and none on a quiet stream.
+    #[test]
+    fn indicator_signal_rate(period in 1u64..50, n in 1u64..300) {
+        let mut ind = SharingIndicator::new(
+            IndicatorMode::HitmSampling { period, skid: 0, include_rfo: false },
+            1,
+        );
+        let mut signals = 0u64;
+        for _ in 0..n {
+            if ind.observe(CoreId(0), &hitm_result(), AccessKind::Read).is_some() {
+                signals += 1;
+            }
+        }
+        prop_assert_eq!(signals, n / period);
+        prop_assert_eq!(ind.events_counted(), n);
+        prop_assert_eq!(ind.signals_raised(), signals);
+
+        let mut quiet = SharingIndicator::new(IndicatorMode::hitm_default(), 1);
+        for _ in 0..n {
+            prop_assert!(quiet.observe(CoreId(0), &quiet_result(), AccessKind::Read).is_none());
+        }
+        prop_assert_eq!(quiet.events_counted(), 0);
+    }
+
+    /// The oracle fires on every true-sharing access and never on quiet
+    /// ones, independent of HITM visibility.
+    #[test]
+    fn oracle_tracks_truth(flags in proptest::collection::vec(any::<bool>(), 1..300)) {
+        let mut ind = SharingIndicator::new(IndicatorMode::Oracle, 1);
+        let mut expected = 0u64;
+        for shared in flags {
+            let r = if shared {
+                // Sharing the hardware missed (memory hit, no HITM).
+                AccessResult {
+                    hitm_owner: None,
+                    hit: HitWhere::Memory,
+                    latency: 200,
+                    ..hitm_result()
+                }
+            } else {
+                quiet_result()
+            };
+            let signal = ind.observe(CoreId(0), &r, AccessKind::Read);
+            prop_assert_eq!(signal.is_some(), shared);
+            expected += u64::from(shared);
+        }
+        prop_assert_eq!(ind.signals_raised(), expected);
+    }
+}

@@ -1,0 +1,255 @@
+//! Carving of the simulated flat address space into non-overlapping regions.
+//!
+//! Workload generators need three kinds of memory:
+//!
+//! * **private** per-thread regions (stack/heap data only one thread touches),
+//! * **shared** regions (data structures several threads touch),
+//! * a **sync** region holding the memory words behind locks, barriers and
+//!   semaphores — real synchronization objects live in memory and their
+//!   cache lines ping-pong between cores, which is visible to the coherence
+//!   simulator exactly like data sharing.
+//!
+//! [`AddressSpace`] hands out aligned, non-overlapping regions for each.
+
+use crate::op::{Addr, BarrierId, LockId, SemId, ThreadId};
+use serde::{Deserialize, Serialize};
+
+/// Default cache line size used to pad sync objects apart.
+pub const DEFAULT_LINE_SIZE: u64 = 64;
+
+/// A contiguous, half-open region `[base, base + len)` of simulated memory.
+///
+/// # Examples
+///
+/// ```
+/// use ddrace_program::{AddressSpace, Region};
+/// let mut space = AddressSpace::new();
+/// let r: Region = space.alloc_region(4096);
+/// assert_eq!(r.len(), 4096);
+/// assert!(r.contains(r.index(0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Region {
+    base: u64,
+    len: u64,
+}
+
+impl Region {
+    /// Creates a region from a base address and a byte length.
+    pub fn new(base: Addr, len: u64) -> Self {
+        Region { base: base.0, len }
+    }
+
+    /// Returns the first address of the region.
+    pub fn base(&self) -> Addr {
+        Addr(self.base)
+    }
+
+    /// Returns the length of the region in bytes.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Returns `true` if the region is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns the address at byte offset `off` within the region, wrapping
+    /// modulo the region length so any `u64` is a valid index. Wrapping makes
+    /// the region convenient as a working set for generated access streams.
+    pub fn index(&self, off: u64) -> Addr {
+        debug_assert!(self.len > 0, "cannot index an empty region");
+        Addr(self.base + (off % self.len))
+    }
+
+    /// Returns the `i`-th 8-byte word of the region, wrapping modulo the
+    /// number of words.
+    pub fn word(&self, i: u64) -> Addr {
+        debug_assert!(self.len >= 8, "region too small for word indexing");
+        let words = self.len / 8;
+        Addr(self.base + (i % words) * 8)
+    }
+
+    /// Returns `true` if `addr` lies inside the region.
+    pub fn contains(&self, addr: Addr) -> bool {
+        addr.0 >= self.base && addr.0 < self.base + self.len
+    }
+
+    /// Number of distinct cache lines the region spans for `line_size`.
+    pub fn line_count(&self, line_size: u64) -> u64 {
+        if self.len == 0 {
+            return 0;
+        }
+        let first = self.base / line_size;
+        let last = (self.base + self.len - 1) / line_size;
+        last - first + 1
+    }
+}
+
+/// Allocator for non-overlapping regions of the simulated address space.
+///
+/// Also provides the canonical mapping of synchronization objects to the
+/// memory addresses that back them (one cache line each, so false sharing
+/// between sync objects does not muddy experiments unless asked for).
+///
+/// # Examples
+///
+/// ```
+/// use ddrace_program::{AddressSpace, ThreadId, LockId};
+/// let mut space = AddressSpace::new();
+/// let private = space.alloc_private(ThreadId::new(1), 1024);
+/// let shared = space.alloc_region(1 << 20);
+/// assert!(!shared.contains(private.base()));
+/// let lock_word = AddressSpace::lock_addr(LockId::new(3));
+/// assert!(AddressSpace::is_sync_addr(lock_word));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AddressSpace {
+    next: u64,
+}
+
+impl AddressSpace {
+    /// Base of the region reserved for synchronization-object words.
+    /// Ordinary allocations never reach this (it is at the top of the
+    /// address space).
+    pub const SYNC_BASE: u64 = 0xFFFF_0000_0000_0000;
+
+    /// Creates an empty address space. Allocation starts at a small non-zero
+    /// base so address 0 is never valid data (it is useful as a sentinel).
+    pub fn new() -> Self {
+        AddressSpace { next: 0x1000 }
+    }
+
+    /// Allocates a fresh region of `len` bytes, aligned to a cache line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is 0 or the space is exhausted (practically
+    /// impossible with a 64-bit space).
+    pub fn alloc_region(&mut self, len: u64) -> Region {
+        assert!(len > 0, "cannot allocate an empty region");
+        let base = (self.next + DEFAULT_LINE_SIZE - 1) & !(DEFAULT_LINE_SIZE - 1);
+        assert!(
+            base.checked_add(len).is_some() && base + len < Self::SYNC_BASE,
+            "simulated address space exhausted"
+        );
+        self.next = base + len;
+        Region { base, len }
+    }
+
+    /// Allocates a private region for `thread`. Identical to
+    /// [`alloc_region`](Self::alloc_region); the thread id parameter exists
+    /// to document intent at call sites and for future region bookkeeping.
+    pub fn alloc_private(&mut self, _thread: ThreadId, len: u64) -> Region {
+        self.alloc_region(len)
+    }
+
+    /// The memory word backing lock `lock` (one full line per lock).
+    pub fn lock_addr(lock: LockId) -> Addr {
+        Addr(Self::SYNC_BASE + (lock.0 as u64) * DEFAULT_LINE_SIZE)
+    }
+
+    /// The memory word backing barrier `barrier`.
+    pub fn barrier_addr(barrier: BarrierId) -> Addr {
+        Addr(Self::SYNC_BASE + 0x4000_0000 + (barrier.0 as u64) * DEFAULT_LINE_SIZE)
+    }
+
+    /// The memory word backing semaphore `sem`.
+    pub fn sem_addr(sem: SemId) -> Addr {
+        Addr(Self::SYNC_BASE + 0x8000_0000 + (sem.0 as u64) * DEFAULT_LINE_SIZE)
+    }
+
+    /// Returns `true` if `addr` lies in the synchronization-object region.
+    /// Race detectors use this to exempt sync words from data-race checks.
+    pub fn is_sync_addr(addr: Addr) -> bool {
+        addr.0 >= Self::SYNC_BASE
+    }
+}
+
+impl Default for AddressSpace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_do_not_overlap() {
+        let mut space = AddressSpace::new();
+        let a = space.alloc_region(100);
+        let b = space.alloc_region(100);
+        let c = space.alloc_region(4096);
+        for i in 0..100 {
+            assert!(!b.contains(a.index(i)));
+            assert!(!c.contains(a.index(i)));
+            assert!(!a.contains(b.index(i)));
+            assert!(!c.contains(b.index(i)));
+        }
+    }
+
+    #[test]
+    fn regions_are_line_aligned() {
+        let mut space = AddressSpace::new();
+        let a = space.alloc_region(1);
+        let b = space.alloc_region(1);
+        assert_eq!(a.base().0 % DEFAULT_LINE_SIZE, 0);
+        assert_eq!(b.base().0 % DEFAULT_LINE_SIZE, 0);
+        assert_ne!(a.base(), b.base());
+    }
+
+    #[test]
+    fn region_index_wraps() {
+        let mut space = AddressSpace::new();
+        let r = space.alloc_region(64);
+        assert_eq!(r.index(0), r.base());
+        assert_eq!(r.index(64), r.base());
+        assert_eq!(r.index(65), r.base().offset(1));
+    }
+
+    #[test]
+    fn region_word_indexing() {
+        let mut space = AddressSpace::new();
+        let r = space.alloc_region(64);
+        assert_eq!(r.word(0), r.base());
+        assert_eq!(r.word(1), r.base().offset(8));
+        assert_eq!(r.word(8), r.base()); // 8 words of 8 bytes wrap
+    }
+
+    #[test]
+    fn region_line_count() {
+        let mut space = AddressSpace::new();
+        let r = space.alloc_region(64);
+        assert_eq!(r.line_count(64), 1);
+        let r2 = space.alloc_region(65);
+        assert_eq!(r2.line_count(64), 2);
+        let empty = Region::new(Addr(0), 0);
+        assert_eq!(empty.line_count(64), 0);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn sync_addrs_are_distinct_lines() {
+        let l0 = AddressSpace::lock_addr(LockId(0));
+        let l1 = AddressSpace::lock_addr(LockId(1));
+        let b0 = AddressSpace::barrier_addr(BarrierId(0));
+        let s0 = AddressSpace::sem_addr(SemId(0));
+        assert_ne!(l0.line(64), l1.line(64));
+        assert_ne!(l0.line(64), b0.line(64));
+        assert_ne!(b0.line(64), s0.line(64));
+        assert!(AddressSpace::is_sync_addr(l0));
+        assert!(AddressSpace::is_sync_addr(b0));
+        assert!(AddressSpace::is_sync_addr(s0));
+    }
+
+    #[test]
+    fn data_addrs_are_not_sync() {
+        let mut space = AddressSpace::new();
+        let r = space.alloc_region(1 << 20);
+        assert!(!AddressSpace::is_sync_addr(r.base()));
+        assert!(!AddressSpace::is_sync_addr(r.index(r.len() - 1)));
+    }
+}

@@ -1,0 +1,291 @@
+//! Fluent construction of small, explicit programs for tests and examples.
+//!
+//! Workload generators build [`crate::OpStream`]s directly; the builder is
+//! for hand-written scenarios where every operation is spelled out.
+//!
+//! # Examples
+//!
+//! A two-thread program with a racy write/read pair:
+//!
+//! ```
+//! use ddrace_program::{ProgramBuilder, ThreadId};
+//!
+//! let mut b = ProgramBuilder::new();
+//! let x = b.alloc_shared(8).base();
+//! let worker = b.add_thread();
+//! b.on(ThreadId::MAIN).fork(worker).write(x).join(worker);
+//! b.on(worker).read(x);
+//! let program = b.build();
+//! assert_eq!(program.thread_count(), 2);
+//! ```
+
+use crate::address::{AddressSpace, Region};
+use crate::op::{Addr, BarrierId, LockId, Op, SemId, ThreadId};
+use crate::program::{Program, StartMode};
+
+/// Incrementally constructs a [`Program`] plus the ids and regions it uses.
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    threads: Vec<Vec<Op>>,
+    space: AddressSpace,
+    next_lock: u32,
+    next_barrier: u32,
+    next_sem: u32,
+    start_mode: StartMode,
+}
+
+impl ProgramBuilder {
+    /// Creates a builder with only the main thread, in
+    /// [`StartMode::ForkExplicit`].
+    pub fn new() -> Self {
+        ProgramBuilder {
+            threads: vec![Vec::new()],
+            space: AddressSpace::new(),
+            next_lock: 0,
+            next_barrier: 0,
+            next_sem: 0,
+            start_mode: StartMode::ForkExplicit,
+        }
+    }
+
+    /// Switches the program to [`StartMode::AllStart`], so threads need no
+    /// explicit forks (the scheduler synthesizes creation edges).
+    pub fn all_start(&mut self) -> &mut Self {
+        self.start_mode = StartMode::AllStart;
+        self
+    }
+
+    /// Adds a new (initially empty) thread and returns its id.
+    pub fn add_thread(&mut self) -> ThreadId {
+        self.threads.push(Vec::new());
+        ThreadId::new((self.threads.len() - 1) as u32)
+    }
+
+    /// Allocates a shared data region of `len` bytes.
+    pub fn alloc_shared(&mut self, len: u64) -> Region {
+        self.space.alloc_region(len)
+    }
+
+    /// Allocates a private data region for `thread` of `len` bytes.
+    pub fn alloc_private(&mut self, thread: ThreadId, len: u64) -> Region {
+        self.space.alloc_private(thread, len)
+    }
+
+    /// Creates a fresh lock id.
+    pub fn new_lock(&mut self) -> LockId {
+        let id = LockId::new(self.next_lock);
+        self.next_lock += 1;
+        id
+    }
+
+    /// Creates a fresh barrier id.
+    pub fn new_barrier(&mut self) -> BarrierId {
+        let id = BarrierId::new(self.next_barrier);
+        self.next_barrier += 1;
+        id
+    }
+
+    /// Creates a fresh semaphore id.
+    pub fn new_sem(&mut self) -> SemId {
+        let id = SemId::new(self.next_sem);
+        self.next_sem += 1;
+        id
+    }
+
+    /// Returns a cursor appending operations to `thread`'s body.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thread` was not created by this builder.
+    pub fn on(&mut self, thread: ThreadId) -> ThreadCursor<'_> {
+        assert!(
+            thread.index() < self.threads.len(),
+            "thread {thread} does not exist in this builder"
+        );
+        ThreadCursor {
+            builder: self,
+            thread,
+        }
+    }
+
+    /// Number of threads added so far (including main).
+    pub fn thread_count(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Finishes construction and returns the program.
+    pub fn build(self) -> Program {
+        Program::from_thread_vecs(self.threads, self.start_mode)
+    }
+}
+
+impl Default for ProgramBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Appends operations to one thread's body. Returned by
+/// [`ProgramBuilder::on`]; methods chain.
+#[derive(Debug)]
+pub struct ThreadCursor<'a> {
+    builder: &'a mut ProgramBuilder,
+    thread: ThreadId,
+}
+
+impl ThreadCursor<'_> {
+    fn push(self, op: Op) -> Self {
+        self.builder.threads[self.thread.index()].push(op);
+        self
+    }
+
+    /// Appends a load from `addr`.
+    pub fn read(self, addr: Addr) -> Self {
+        self.push(Op::Read { addr })
+    }
+
+    /// Appends a store to `addr`.
+    pub fn write(self, addr: Addr) -> Self {
+        self.push(Op::Write { addr })
+    }
+
+    /// Appends an atomic read-modify-write on `addr`.
+    pub fn atomic_rmw(self, addr: Addr) -> Self {
+        self.push(Op::AtomicRmw { addr })
+    }
+
+    /// Appends a lock acquisition.
+    pub fn lock(self, lock: LockId) -> Self {
+        self.push(Op::Lock { lock })
+    }
+
+    /// Appends a lock release.
+    pub fn unlock(self, lock: LockId) -> Self {
+        self.push(Op::Unlock { lock })
+    }
+
+    /// Appends a barrier arrival for a barrier of `participants` threads.
+    pub fn barrier(self, barrier: BarrierId, participants: u32) -> Self {
+        self.push(Op::Barrier {
+            barrier,
+            participants,
+        })
+    }
+
+    /// Appends a fork of `child`.
+    pub fn fork(self, child: ThreadId) -> Self {
+        self.push(Op::Fork { child })
+    }
+
+    /// Appends a join of `child`.
+    pub fn join(self, child: ThreadId) -> Self {
+        self.push(Op::Join { child })
+    }
+
+    /// Appends a semaphore post.
+    pub fn post(self, sem: SemId) -> Self {
+        self.push(Op::Post { sem })
+    }
+
+    /// Appends a semaphore wait.
+    pub fn wait_sem(self, sem: SemId) -> Self {
+        self.push(Op::WaitSem { sem })
+    }
+
+    /// Appends pure computation of `cycles` cycles.
+    pub fn compute(self, cycles: u32) -> Self {
+        self.push(Op::Compute { cycles })
+    }
+
+    /// Appends an arbitrary operation.
+    pub fn op(self, op: Op) -> Self {
+        self.push(op)
+    }
+
+    /// Appends a whole sequence of operations.
+    pub fn ops<I: IntoIterator<Item = Op>>(self, ops: I) -> Self {
+        let mut cursor = self;
+        for op in ops {
+            cursor = cursor.push(op);
+        }
+        cursor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_constructs_expected_bodies() {
+        let mut b = ProgramBuilder::new();
+        let x = b.alloc_shared(64).base();
+        let l = b.new_lock();
+        let t1 = b.add_thread();
+        b.on(ThreadId::MAIN)
+            .fork(t1)
+            .lock(l)
+            .write(x)
+            .unlock(l)
+            .join(t1);
+        b.on(t1).lock(l).read(x).unlock(l);
+        let program = b.build();
+        assert_eq!(program.thread_count(), 2);
+        let (mut streams, mode) = program.into_parts();
+        assert_eq!(mode, StartMode::ForkExplicit);
+        assert_eq!(streams[0].next_op(), Some(Op::Fork { child: t1 }));
+        assert_eq!(streams[0].next_op(), Some(Op::Lock { lock: l }));
+        assert_eq!(streams[0].next_op(), Some(Op::Write { addr: x }));
+        assert_eq!(streams[1].next_op(), Some(Op::Lock { lock: l }));
+    }
+
+    #[test]
+    fn ids_are_fresh() {
+        let mut b = ProgramBuilder::new();
+        assert_ne!(b.new_lock(), b.new_lock());
+        assert_ne!(b.new_barrier(), b.new_barrier());
+        assert_ne!(b.new_sem(), b.new_sem());
+        assert_ne!(b.add_thread(), b.add_thread());
+        assert_eq!(b.thread_count(), 3);
+    }
+
+    #[test]
+    fn all_start_mode_propagates() {
+        let mut b = ProgramBuilder::new();
+        b.all_start();
+        b.add_thread();
+        let p = b.build();
+        assert_eq!(p.start_mode(), StartMode::AllStart);
+    }
+
+    #[test]
+    fn regions_from_builder_do_not_overlap() {
+        let mut b = ProgramBuilder::new();
+        let t1 = b.add_thread();
+        let shared = b.alloc_shared(256);
+        let private = b.alloc_private(t1, 256);
+        assert!(!shared.contains(private.base()));
+        assert!(!private.contains(shared.base()));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exist")]
+    fn cursor_on_unknown_thread_panics() {
+        let mut b = ProgramBuilder::new();
+        let _ = b.on(ThreadId::new(5));
+    }
+
+    #[test]
+    fn ops_bulk_append() {
+        let mut b = ProgramBuilder::new();
+        b.on(ThreadId::MAIN)
+            .ops((0..4).map(|i| Op::Compute { cycles: i }))
+            .op(Op::Read { addr: Addr(8) });
+        let (mut streams, _) = b.build().into_parts();
+        for i in 0..4 {
+            assert_eq!(streams[0].next_op(), Some(Op::Compute { cycles: i }));
+        }
+        assert_eq!(streams[0].next_op(), Some(Op::Read { addr: Addr(8) }));
+        assert_eq!(streams[0].next_op(), None);
+    }
+}

@@ -1,0 +1,243 @@
+//! Error types for program construction and scheduling.
+
+use crate::op::{BarrierId, LockId, Op, ThreadId};
+use std::error::Error;
+use std::fmt;
+
+/// Why a thread is blocked, as reported in deadlock diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BlockReason {
+    /// Waiting to acquire a lock held by another thread.
+    Lock(LockId),
+    /// Waiting at a barrier for the remaining participants.
+    Barrier(BarrierId),
+    /// Waiting for a thread to finish.
+    Join(ThreadId),
+    /// Waiting for a semaphore to become positive.
+    Semaphore(crate::op::SemId),
+}
+
+impl fmt::Display for BlockReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlockReason::Lock(l) => write!(f, "acquiring {l}"),
+            BlockReason::Barrier(b) => write!(f, "waiting at {b}"),
+            BlockReason::Join(t) => write!(f, "joining {t}"),
+            BlockReason::Semaphore(s) => write!(f, "waiting on {s}"),
+        }
+    }
+}
+
+/// An error detected while executing a simulated program.
+///
+/// These indicate structurally ill-formed programs (the simulated analogue
+/// of undefined behaviour or a hang), not data races — races are the
+/// detector's business and are never scheduler errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// All unfinished threads are blocked; nothing can make progress.
+    Deadlock {
+        /// The blocked threads and what each is waiting for.
+        blocked: Vec<(ThreadId, BlockReason)>,
+    },
+    /// A thread released a lock it does not hold.
+    UnlockNotHeld {
+        /// The offending thread.
+        tid: ThreadId,
+        /// The lock it tried to release.
+        lock: LockId,
+    },
+    /// A thread tried to re-acquire a (non-reentrant) lock it already holds.
+    RelockHeld {
+        /// The offending thread.
+        tid: ThreadId,
+        /// The lock it already holds.
+        lock: LockId,
+    },
+    /// A thread finished while still holding locks.
+    FinishedHoldingLocks {
+        /// The offending thread.
+        tid: ThreadId,
+        /// The locks still held.
+        locks: Vec<LockId>,
+    },
+    /// A fork named a thread that does not exist.
+    ForkUnknownThread {
+        /// The forking thread.
+        tid: ThreadId,
+        /// The nonexistent target.
+        child: ThreadId,
+    },
+    /// A fork named a thread that has already been started.
+    ForkAlreadyStarted {
+        /// The forking thread.
+        tid: ThreadId,
+        /// The already-started target.
+        child: ThreadId,
+    },
+    /// A join named a thread that does not exist, or the thread joined
+    /// itself.
+    JoinInvalid {
+        /// The joining thread.
+        tid: ThreadId,
+        /// The invalid target.
+        child: ThreadId,
+    },
+    /// Two arrivals at the same barrier declared different participant
+    /// counts.
+    BarrierMismatch {
+        /// The barrier in question.
+        barrier: BarrierId,
+        /// The participant count from the first arrival.
+        expected: u32,
+        /// The conflicting count.
+        found: u32,
+    },
+    /// More threads arrived at a barrier than it declared participants.
+    BarrierOverflow {
+        /// The barrier in question.
+        barrier: BarrierId,
+        /// Declared participant count.
+        participants: u32,
+    },
+    /// An op was produced by a thread that was never started — a bug in an
+    /// [`crate::OpStream`] implementation rather than in the program.
+    InternalInvariant {
+        /// Human-readable description of the broken invariant.
+        what: &'static str,
+        /// The operation being processed, if any.
+        op: Option<Op>,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::Deadlock { blocked } => {
+                write!(f, "deadlock: {} thread(s) blocked (", blocked.len())?;
+                for (i, (tid, why)) in blocked.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{tid} {why}")?;
+                }
+                f.write_str(")")
+            }
+            ScheduleError::UnlockNotHeld { tid, lock } => {
+                write!(f, "{tid} released {lock} which it does not hold")
+            }
+            ScheduleError::RelockHeld { tid, lock } => {
+                write!(f, "{tid} re-acquired non-reentrant {lock} it already holds")
+            }
+            ScheduleError::FinishedHoldingLocks { tid, locks } => {
+                write!(f, "{tid} finished while holding {} lock(s)", locks.len())
+            }
+            ScheduleError::ForkUnknownThread { tid, child } => {
+                write!(f, "{tid} forked unknown thread {child}")
+            }
+            ScheduleError::ForkAlreadyStarted { tid, child } => {
+                write!(f, "{tid} forked already-started thread {child}")
+            }
+            ScheduleError::JoinInvalid { tid, child } => {
+                write!(f, "{tid} joined invalid thread {child}")
+            }
+            ScheduleError::BarrierMismatch {
+                barrier,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "{barrier} arrival declared {found} participants, expected {expected}"
+                )
+            }
+            ScheduleError::BarrierOverflow {
+                barrier,
+                participants,
+            } => {
+                write!(f, "more than {participants} thread(s) arrived at {barrier}")
+            }
+            ScheduleError::InternalInvariant { what, .. } => {
+                write!(f, "internal scheduler invariant violated: {what}")
+            }
+        }
+    }
+}
+
+impl Error for ScheduleError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::SemId;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let errors: Vec<ScheduleError> = vec![
+            ScheduleError::Deadlock {
+                blocked: vec![
+                    (ThreadId(1), BlockReason::Lock(LockId(0))),
+                    (ThreadId(2), BlockReason::Join(ThreadId(1))),
+                ],
+            },
+            ScheduleError::UnlockNotHeld {
+                tid: ThreadId(0),
+                lock: LockId(3),
+            },
+            ScheduleError::RelockHeld {
+                tid: ThreadId(0),
+                lock: LockId(3),
+            },
+            ScheduleError::FinishedHoldingLocks {
+                tid: ThreadId(1),
+                locks: vec![LockId(0)],
+            },
+            ScheduleError::ForkUnknownThread {
+                tid: ThreadId(0),
+                child: ThreadId(9),
+            },
+            ScheduleError::ForkAlreadyStarted {
+                tid: ThreadId(0),
+                child: ThreadId(1),
+            },
+            ScheduleError::JoinInvalid {
+                tid: ThreadId(0),
+                child: ThreadId(0),
+            },
+            ScheduleError::BarrierMismatch {
+                barrier: BarrierId(0),
+                expected: 4,
+                found: 2,
+            },
+            ScheduleError::BarrierOverflow {
+                barrier: BarrierId(0),
+                participants: 2,
+            },
+            ScheduleError::InternalInvariant {
+                what: "x",
+                op: None,
+            },
+        ];
+        for e in errors {
+            let text = format!("{e}");
+            assert!(!text.is_empty());
+            // Ensure the error is usable as a boxed std error.
+            let boxed: Box<dyn Error> = Box::new(e);
+            assert!(!boxed.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn block_reason_display() {
+        assert_eq!(format!("{}", BlockReason::Lock(LockId(1))), "acquiring L1");
+        assert_eq!(
+            format!("{}", BlockReason::Barrier(BarrierId(2))),
+            "waiting at B2"
+        );
+        assert_eq!(format!("{}", BlockReason::Join(ThreadId(3))), "joining T3");
+        assert_eq!(
+            format!("{}", BlockReason::Semaphore(SemId(4))),
+            "waiting on S4"
+        );
+    }
+}

@@ -1,0 +1,472 @@
+//! Core vocabulary types: thread ids, addresses, synchronization object ids,
+//! and the operations a simulated thread can perform.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a simulated thread.
+///
+/// Thread 0 is always the root ("main") thread. Thread ids are dense: a
+/// program with `n` threads uses ids `0..n`.
+///
+/// # Examples
+///
+/// ```
+/// use ddrace_program::ThreadId;
+/// let main = ThreadId::MAIN;
+/// assert_eq!(main.index(), 0);
+/// assert_eq!(ThreadId::new(3).index(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ThreadId(pub u32);
+
+impl ThreadId {
+    /// The root thread: the thread that exists when the program starts.
+    pub const MAIN: ThreadId = ThreadId(0);
+
+    /// Creates a thread id from a dense index.
+    pub fn new(index: u32) -> Self {
+        ThreadId(index)
+    }
+
+    /// Returns the dense index of this thread id.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl From<u32> for ThreadId {
+    fn from(v: u32) -> Self {
+        ThreadId(v)
+    }
+}
+
+/// A byte address in the simulated program's flat address space.
+///
+/// The simulator does not model virtual memory; addresses are opaque `u64`
+/// values. Helpers on [`crate::AddressSpace`] carve the space into
+/// non-overlapping regions (per-thread private heaps, shared heaps, and a
+/// region reserved for synchronization objects).
+///
+/// # Examples
+///
+/// ```
+/// use ddrace_program::Addr;
+/// let a = Addr(0x1000);
+/// assert_eq!(a.line(64), 0x40);
+/// assert_eq!(a.offset(8), Addr(0x1008));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Addr(pub u64);
+
+impl Addr {
+    /// Returns the cache-line index of this address for the given line size.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `line_size` is not a power of two.
+    pub fn line(self, line_size: u64) -> u64 {
+        debug_assert!(
+            line_size.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        self.0 / line_size
+    }
+
+    /// Returns this address advanced by `bytes`.
+    pub fn offset(self, bytes: u64) -> Addr {
+        Addr(self.0 + bytes)
+    }
+
+    /// Returns this address rounded down to the start of its cache line.
+    pub fn align_down(self, line_size: u64) -> Addr {
+        Addr(self.0 & !(line_size - 1))
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:x}", self.0)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(v: u64) -> Self {
+        Addr(v)
+    }
+}
+
+/// Identifier of a lock (mutex) object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LockId(pub u32);
+
+impl LockId {
+    /// Creates a lock id.
+    pub fn new(index: u32) -> Self {
+        LockId(index)
+    }
+
+    /// Returns the dense index of this lock id.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for LockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// Identifier of a barrier object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BarrierId(pub u32);
+
+impl BarrierId {
+    /// Creates a barrier id.
+    pub fn new(index: u32) -> Self {
+        BarrierId(index)
+    }
+
+    /// Returns the dense index of this barrier id.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BarrierId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "B{}", self.0)
+    }
+}
+
+/// Identifier of a counting semaphore used for signal/wait edges
+/// (condition-variable-like communication with semaphore semantics, so
+/// signals are never lost and generated programs cannot deadlock on a
+/// signal/wait ordering quirk).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SemId(pub u32);
+
+impl SemId {
+    /// Creates a semaphore id.
+    pub fn new(index: u32) -> Self {
+        SemId(index)
+    }
+
+    /// Returns the dense index of this semaphore id.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+/// Whether a memory access reads or writes (or atomically updates) memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// A plain load.
+    Read,
+    /// A plain store.
+    Write,
+    /// An atomic read-modify-write (e.g. `fetch_add`, CAS). Counts as both a
+    /// read and a write for coherence, and as a synchronizing access for
+    /// happens-before purposes.
+    AtomicRmw,
+}
+
+impl AccessKind {
+    /// Returns `true` if the access observes memory (reads or RMWs).
+    pub fn is_read(self) -> bool {
+        matches!(self, AccessKind::Read | AccessKind::AtomicRmw)
+    }
+
+    /// Returns `true` if the access mutates memory (writes or RMWs).
+    pub fn is_write(self) -> bool {
+        matches!(self, AccessKind::Write | AccessKind::AtomicRmw)
+    }
+
+    /// Returns `true` for atomic (synchronizing) accesses.
+    pub fn is_atomic(self) -> bool {
+        matches!(self, AccessKind::AtomicRmw)
+    }
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AccessKind::Read => "read",
+            AccessKind::Write => "write",
+            AccessKind::AtomicRmw => "atomic-rmw",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One operation performed by a simulated thread.
+///
+/// Programs are per-thread streams of `Op`s; the [`crate::Scheduler`]
+/// interleaves them and enforces blocking semantics for the synchronization
+/// variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Op {
+    /// Load from `addr`.
+    Read {
+        /// The address being read.
+        addr: Addr,
+    },
+    /// Store to `addr`.
+    Write {
+        /// The address being written.
+        addr: Addr,
+    },
+    /// Atomic read-modify-write on `addr`. Synchronizing: establishes
+    /// happens-before edges through the address like a tiny lock.
+    AtomicRmw {
+        /// The address being atomically updated.
+        addr: Addr,
+    },
+    /// Acquire `lock`, blocking while another thread holds it.
+    Lock {
+        /// The lock being acquired.
+        lock: LockId,
+    },
+    /// Release `lock`.
+    ///
+    /// The scheduler reports an error if the releasing thread does not hold
+    /// the lock.
+    Unlock {
+        /// The lock being released.
+        lock: LockId,
+    },
+    /// Wait at `barrier` until `participants` threads (including this one)
+    /// have arrived, then all proceed.
+    Barrier {
+        /// The barrier being waited on.
+        barrier: BarrierId,
+        /// Total number of threads that must arrive before any proceeds.
+        participants: u32,
+    },
+    /// Make thread `child` runnable. Establishes a happens-before edge from
+    /// the forking thread to the first operation of the child.
+    Fork {
+        /// The thread being started.
+        child: ThreadId,
+    },
+    /// Block until thread `child` has executed all of its operations.
+    /// Establishes a happens-before edge from the last operation of the
+    /// child to the joining thread.
+    Join {
+        /// The thread being joined.
+        child: ThreadId,
+    },
+    /// Increment semaphore `sem` (a "signal"/"post").
+    Post {
+        /// The semaphore being posted.
+        sem: SemId,
+    },
+    /// Block until semaphore `sem` is positive, then decrement it.
+    WaitSem {
+        /// The semaphore being waited on.
+        sem: SemId,
+    },
+    /// Pure computation costing `cycles` cycles; no memory traffic.
+    Compute {
+        /// Number of cycles the computation takes.
+        cycles: u32,
+    },
+}
+
+impl Op {
+    /// If this op is a plain or atomic memory access, returns its address
+    /// and kind.
+    pub fn memory_access(&self) -> Option<(Addr, AccessKind)> {
+        match *self {
+            Op::Read { addr } => Some((addr, AccessKind::Read)),
+            Op::Write { addr } => Some((addr, AccessKind::Write)),
+            Op::AtomicRmw { addr } => Some((addr, AccessKind::AtomicRmw)),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` for synchronization operations (everything that can
+    /// establish a happens-before edge: locks, barriers, fork/join,
+    /// semaphores, and atomic RMWs).
+    pub fn is_sync(&self) -> bool {
+        !matches!(
+            self,
+            Op::Read { .. } | Op::Write { .. } | Op::Compute { .. }
+        )
+    }
+
+    /// Returns `true` for operations that may block the issuing thread.
+    pub fn may_block(&self) -> bool {
+        matches!(
+            self,
+            Op::Lock { .. } | Op::Barrier { .. } | Op::Join { .. } | Op::WaitSem { .. }
+        )
+    }
+
+    /// A short lowercase name for the operation kind, used in stats keys.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Op::Read { .. } => "read",
+            Op::Write { .. } => "write",
+            Op::AtomicRmw { .. } => "atomic_rmw",
+            Op::Lock { .. } => "lock",
+            Op::Unlock { .. } => "unlock",
+            Op::Barrier { .. } => "barrier",
+            Op::Fork { .. } => "fork",
+            Op::Join { .. } => "join",
+            Op::Post { .. } => "post",
+            Op::WaitSem { .. } => "wait_sem",
+            Op::Compute { .. } => "compute",
+        }
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Op::Read { addr } => write!(f, "read {addr}"),
+            Op::Write { addr } => write!(f, "write {addr}"),
+            Op::AtomicRmw { addr } => write!(f, "rmw {addr}"),
+            Op::Lock { lock } => write!(f, "lock {lock}"),
+            Op::Unlock { lock } => write!(f, "unlock {lock}"),
+            Op::Barrier {
+                barrier,
+                participants,
+            } => {
+                write!(f, "barrier {barrier} ({participants})")
+            }
+            Op::Fork { child } => write!(f, "fork {child}"),
+            Op::Join { child } => write!(f, "join {child}"),
+            Op::Post { sem } => write!(f, "post {sem}"),
+            Op::WaitSem { sem } => write!(f, "wait {sem}"),
+            Op::Compute { cycles } => write!(f, "compute {cycles}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_id_basics() {
+        assert_eq!(ThreadId::MAIN, ThreadId::new(0));
+        assert_eq!(ThreadId::new(7).index(), 7);
+        assert_eq!(ThreadId::from(3), ThreadId(3));
+        assert_eq!(format!("{}", ThreadId(2)), "T2");
+    }
+
+    #[test]
+    fn addr_line_math() {
+        assert_eq!(Addr(0).line(64), 0);
+        assert_eq!(Addr(63).line(64), 0);
+        assert_eq!(Addr(64).line(64), 1);
+        assert_eq!(Addr(130).align_down(64), Addr(128));
+        assert_eq!(Addr(100).offset(28), Addr(128));
+        assert_eq!(format!("{}", Addr(0xff)), "0xff");
+    }
+
+    #[test]
+    fn access_kind_predicates() {
+        assert!(AccessKind::Read.is_read());
+        assert!(!AccessKind::Read.is_write());
+        assert!(AccessKind::Write.is_write());
+        assert!(!AccessKind::Write.is_read());
+        assert!(AccessKind::AtomicRmw.is_read());
+        assert!(AccessKind::AtomicRmw.is_write());
+        assert!(AccessKind::AtomicRmw.is_atomic());
+        assert!(!AccessKind::Write.is_atomic());
+    }
+
+    #[test]
+    fn op_memory_access_extraction() {
+        assert_eq!(
+            Op::Read { addr: Addr(8) }.memory_access(),
+            Some((Addr(8), AccessKind::Read))
+        );
+        assert_eq!(
+            Op::Write { addr: Addr(8) }.memory_access(),
+            Some((Addr(8), AccessKind::Write))
+        );
+        assert_eq!(
+            Op::AtomicRmw { addr: Addr(8) }.memory_access(),
+            Some((Addr(8), AccessKind::AtomicRmw))
+        );
+        assert_eq!(Op::Lock { lock: LockId(0) }.memory_access(), None);
+        assert_eq!(Op::Compute { cycles: 5 }.memory_access(), None);
+    }
+
+    #[test]
+    fn op_sync_classification() {
+        assert!(!Op::Read { addr: Addr(0) }.is_sync());
+        assert!(!Op::Write { addr: Addr(0) }.is_sync());
+        assert!(!Op::Compute { cycles: 1 }.is_sync());
+        assert!(Op::AtomicRmw { addr: Addr(0) }.is_sync());
+        assert!(Op::Lock { lock: LockId(0) }.is_sync());
+        assert!(Op::Unlock { lock: LockId(0) }.is_sync());
+        assert!(Op::Barrier {
+            barrier: BarrierId(0),
+            participants: 2
+        }
+        .is_sync());
+        assert!(Op::Fork { child: ThreadId(1) }.is_sync());
+        assert!(Op::Join { child: ThreadId(1) }.is_sync());
+        assert!(Op::Post { sem: SemId(0) }.is_sync());
+        assert!(Op::WaitSem { sem: SemId(0) }.is_sync());
+    }
+
+    #[test]
+    fn op_blocking_classification() {
+        assert!(Op::Lock { lock: LockId(0) }.may_block());
+        assert!(Op::Barrier {
+            barrier: BarrierId(0),
+            participants: 2
+        }
+        .may_block());
+        assert!(Op::Join { child: ThreadId(1) }.may_block());
+        assert!(Op::WaitSem { sem: SemId(0) }.may_block());
+        assert!(!Op::Unlock { lock: LockId(0) }.may_block());
+        assert!(!Op::Post { sem: SemId(0) }.may_block());
+        assert!(!Op::Fork { child: ThreadId(1) }.may_block());
+        assert!(!Op::Read { addr: Addr(0) }.may_block());
+    }
+
+    #[test]
+    fn op_display_is_nonempty() {
+        let ops = [
+            Op::Read { addr: Addr(1) },
+            Op::Write { addr: Addr(1) },
+            Op::AtomicRmw { addr: Addr(1) },
+            Op::Lock { lock: LockId(1) },
+            Op::Unlock { lock: LockId(1) },
+            Op::Barrier {
+                barrier: BarrierId(1),
+                participants: 4,
+            },
+            Op::Fork { child: ThreadId(1) },
+            Op::Join { child: ThreadId(1) },
+            Op::Post { sem: SemId(1) },
+            Op::WaitSem { sem: SemId(1) },
+            Op::Compute { cycles: 10 },
+        ];
+        for op in ops {
+            assert!(!format!("{op}").is_empty());
+            assert!(!op.kind_name().is_empty());
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Program representation: a set of per-thread operation streams.
+//!
+//! Threads are *lazy*: each is an [`OpStream`] that produces its next
+//! operation on demand, so billion-operation workloads stream in O(1)
+//! memory. A [`Program`] bundles the streams with start-up metadata.
+
+use crate::op::{Op, ThreadId};
+
+/// A lazy, single-pass source of operations for one simulated thread.
+///
+/// Implementations must be deterministic: two streams constructed the same
+/// way must yield the same sequence (workload generators take explicit RNG
+/// seeds). The scheduler buffers at most one pending operation per thread,
+/// so implementations never need to support look-ahead.
+///
+/// Any `Iterator<Item = Op> + Send` automatically implements `OpStream`.
+///
+/// # Examples
+///
+/// ```
+/// use ddrace_program::{Op, Addr, OpStream};
+/// let mut s = vec![Op::Read { addr: Addr(8) }].into_iter();
+/// assert_eq!(OpStream::next_op(&mut s), Some(Op::Read { addr: Addr(8) }));
+/// assert_eq!(OpStream::next_op(&mut s), None);
+/// ```
+pub trait OpStream: Send {
+    /// Produces the next operation, or `None` when the thread has finished.
+    fn next_op(&mut self) -> Option<Op>;
+}
+
+impl<I> OpStream for I
+where
+    I: Iterator<Item = Op> + Send,
+{
+    fn next_op(&mut self) -> Option<Op> {
+        self.next()
+    }
+}
+
+/// How a program's non-main threads become runnable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum StartMode {
+    /// Only thread 0 starts; other threads wait for an explicit
+    /// [`Op::Fork`] naming them. This is how real programs behave and is
+    /// what workload generators emit.
+    #[default]
+    ForkExplicit,
+    /// All threads start immediately. The scheduler synthesizes a fork
+    /// event from thread 0 to every other thread before execution begins,
+    /// so happens-before analysis still sees correct creation edges.
+    /// Convenient for hand-built test programs.
+    AllStart,
+}
+
+/// A complete simulated program: one [`OpStream`] per thread plus start-up
+/// metadata.
+///
+/// Thread ids are positional: the stream at index `i` runs as
+/// `ThreadId(i)`. Thread 0 is the main thread.
+///
+/// # Examples
+///
+/// ```
+/// use ddrace_program::{Program, Op, Addr, StartMode};
+/// let t0 = vec![Op::Write { addr: Addr(64) }];
+/// let t1 = vec![Op::Read { addr: Addr(64) }];
+/// let program = Program::from_thread_vecs(vec![t0, t1], StartMode::AllStart);
+/// assert_eq!(program.thread_count(), 2);
+/// ```
+pub struct Program {
+    threads: Vec<Box<dyn OpStream>>,
+    start_mode: StartMode,
+}
+
+impl Program {
+    /// Creates a program from boxed per-thread streams.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is empty (every program needs a main thread).
+    pub fn new(threads: Vec<Box<dyn OpStream>>, start_mode: StartMode) -> Self {
+        assert!(
+            !threads.is_empty(),
+            "a program needs at least a main thread"
+        );
+        Program {
+            threads,
+            start_mode,
+        }
+    }
+
+    /// Convenience constructor from concrete `Vec<Op>` bodies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is empty.
+    pub fn from_thread_vecs(threads: Vec<Vec<Op>>, start_mode: StartMode) -> Self {
+        let streams = threads
+            .into_iter()
+            .map(|ops| Box::new(ops.into_iter()) as Box<dyn OpStream>)
+            .collect();
+        Program::new(streams, start_mode)
+    }
+
+    /// Number of threads (including main).
+    pub fn thread_count(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// The program's start mode.
+    pub fn start_mode(&self) -> StartMode {
+        self.start_mode
+    }
+
+    /// Returns `true` if `tid` names a thread of this program.
+    pub fn contains_thread(&self, tid: ThreadId) -> bool {
+        tid.index() < self.threads.len()
+    }
+
+    /// Deconstructs the program into its streams and start mode. Used by
+    /// the scheduler.
+    pub fn into_parts(self) -> (Vec<Box<dyn OpStream>>, StartMode) {
+        (self.threads, self.start_mode)
+    }
+}
+
+impl std::fmt::Debug for Program {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Program")
+            .field("threads", &self.threads.len())
+            .field("start_mode", &self.start_mode)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Addr;
+
+    #[test]
+    fn iterator_is_op_stream() {
+        let mut s = (0..3).map(|i| Op::Compute { cycles: i });
+        assert_eq!(OpStream::next_op(&mut s), Some(Op::Compute { cycles: 0 }));
+        assert_eq!(OpStream::next_op(&mut s), Some(Op::Compute { cycles: 1 }));
+        assert_eq!(OpStream::next_op(&mut s), Some(Op::Compute { cycles: 2 }));
+        assert_eq!(OpStream::next_op(&mut s), None);
+    }
+
+    #[test]
+    fn program_metadata() {
+        let p = Program::from_thread_vecs(
+            vec![vec![Op::Read { addr: Addr(8) }], vec![], vec![]],
+            StartMode::AllStart,
+        );
+        assert_eq!(p.thread_count(), 3);
+        assert_eq!(p.start_mode(), StartMode::AllStart);
+        assert!(p.contains_thread(ThreadId(2)));
+        assert!(!p.contains_thread(ThreadId(3)));
+        assert!(format!("{p:?}").contains("threads"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least a main thread")]
+    fn empty_program_panics() {
+        let _ = Program::from_thread_vecs(vec![], StartMode::AllStart);
+    }
+
+    #[test]
+    fn into_parts_roundtrip() {
+        let p = Program::from_thread_vecs(
+            vec![vec![Op::Compute { cycles: 1 }]],
+            StartMode::ForkExplicit,
+        );
+        let (mut streams, mode) = p.into_parts();
+        assert_eq!(mode, StartMode::ForkExplicit);
+        assert_eq!(streams.len(), 1);
+        assert_eq!(streams[0].next_op(), Some(Op::Compute { cycles: 1 }));
+        assert_eq!(streams[0].next_op(), None);
+    }
+}

@@ -1,0 +1,1057 @@
+//! Deterministic interleaving scheduler.
+//!
+//! The scheduler round-robins over runnable threads, executing up to a
+//! quantum of operations per turn (optionally jittered by a seeded RNG so
+//! different seeds expose different interleavings), and enforces blocking
+//! semantics for locks, barriers, joins, and semaphores. Every executed
+//! operation is delivered, in a single global order, to an
+//! [`ExecutionListener`] — the hook through which the cache simulator, cost
+//! model, and race detector observe the program.
+//!
+//! Determinism: given the same program and [`SchedulerConfig`], the event
+//! sequence is bit-for-bit identical. Crucially the schedule depends only on
+//! the *operations*, never on the listener or any cost accounting, so the
+//! same seed yields the same interleaving whether analysis is on or off —
+//! exactly what is needed to compare analysis modes apples-to-apples.
+
+use crate::error::{BlockReason, ScheduleError};
+use crate::op::{BarrierId, LockId, Op, SemId, ThreadId};
+use crate::program::{Program, StartMode};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Configuration of the interleaving scheduler.
+///
+/// # Examples
+///
+/// ```
+/// use ddrace_program::SchedulerConfig;
+/// let cfg = SchedulerConfig { quantum: 16, seed: 42, jitter: true };
+/// assert_eq!(cfg.quantum, 16);
+/// let default = SchedulerConfig::default();
+/// assert!(default.quantum >= 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedulerConfig {
+    /// Maximum operations a thread executes per turn.
+    pub quantum: u32,
+    /// Seed for the jitter RNG.
+    pub seed: u64,
+    /// When `true`, each turn's quantum is drawn uniformly from
+    /// `1..=quantum`, exposing more interleavings.
+    pub jitter: bool,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            quantum: 32,
+            seed: 0,
+            jitter: false,
+        }
+    }
+}
+
+impl SchedulerConfig {
+    /// A config with jitter enabled and the given seed; quantum stays at
+    /// the default.
+    pub fn jittered(seed: u64) -> Self {
+        SchedulerConfig {
+            jitter: true,
+            seed,
+            ..Self::default()
+        }
+    }
+}
+
+/// An observation delivered to an [`ExecutionListener`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event<'a> {
+    /// A thread became runnable. `parent` is `None` only for the main
+    /// thread; for every other thread it names the forker (or the main
+    /// thread, under [`StartMode::AllStart`]).
+    ThreadStarted {
+        /// The thread that started.
+        tid: ThreadId,
+        /// The thread that created it, if any.
+        parent: Option<ThreadId>,
+    },
+    /// A thread executed an operation. For blocking operations this is
+    /// delivered when the operation *completes* (e.g. the lock is actually
+    /// acquired), except barrier arrivals which are delivered on arrival.
+    Op {
+        /// The executing thread.
+        tid: ThreadId,
+        /// The operation.
+        op: Op,
+    },
+    /// All participants arrived at a barrier and it released.
+    BarrierReleased {
+        /// The barrier that released.
+        barrier: BarrierId,
+        /// Every participant of this episode, in arrival order.
+        participants: &'a [ThreadId],
+    },
+    /// A thread executed its last operation.
+    ThreadFinished {
+        /// The finished thread.
+        tid: ThreadId,
+    },
+}
+
+/// Receives the global event stream of a scheduled execution.
+///
+/// Implemented for closures: any `FnMut(Event<'_>)` is a listener.
+pub trait ExecutionListener {
+    /// Called for every event, in global execution order.
+    fn on_event(&mut self, event: Event<'_>);
+}
+
+impl<F: FnMut(Event<'_>)> ExecutionListener for F {
+    fn on_event(&mut self, event: Event<'_>) {
+        self(event)
+    }
+}
+
+/// A listener that discards all events. Useful for running a program only
+/// for its scheduler-level statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullListener;
+
+impl ExecutionListener for NullListener {
+    fn on_event(&mut self, _event: Event<'_>) {}
+}
+
+/// Summary statistics of one scheduled execution.
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct RunStats {
+    /// Total operations executed across all threads.
+    pub ops_executed: u64,
+    /// Operations executed per thread (indexed by thread id).
+    pub per_thread_ops: Vec<u64>,
+    /// Times a thread blocked (failed to complete an op immediately).
+    pub blocks: u64,
+    /// Scheduler turn changes.
+    pub context_switches: u64,
+    /// Barrier release episodes.
+    pub barrier_episodes: u64,
+    /// Direct lock handoffs from a releasing thread to a waiter.
+    pub lock_handoffs: u64,
+    /// Threads that were never started (declared but never forked).
+    pub orphan_threads: u32,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    NotStarted,
+    Runnable,
+    Blocked(BlockReason),
+    Finished,
+}
+
+struct ThreadState {
+    stream: Box<dyn crate::program::OpStream>,
+    status: Status,
+    /// An op whose blocking condition has been satisfied while the thread
+    /// was blocked; its event is emitted when the thread is next scheduled.
+    pending_emit: Option<Op>,
+    held_locks: Vec<LockId>,
+}
+
+#[derive(Debug, Default)]
+struct LockState {
+    holder: Option<ThreadId>,
+    waiters: std::collections::VecDeque<ThreadId>,
+}
+
+#[derive(Debug, Default)]
+struct BarrierState {
+    expected: u32,
+    arrived: Vec<ThreadId>,
+}
+
+#[derive(Debug, Default)]
+struct SemState {
+    count: u64,
+    waiters: std::collections::VecDeque<ThreadId>,
+}
+
+/// Executes a [`Program`], delivering events to a listener.
+///
+/// See the crate-level documentation for semantics. Use
+/// [`Scheduler::run`] for the common case; the scheduler is consumed by a
+/// run.
+///
+/// # Examples
+///
+/// ```
+/// use ddrace_program::{Program, ProgramBuilder, Scheduler, SchedulerConfig, ThreadId, Event};
+///
+/// let mut b = ProgramBuilder::new();
+/// let x = b.alloc_shared(8).base();
+/// let t1 = b.add_thread();
+/// b.on(ThreadId::MAIN).fork(t1).join(t1).read(x);
+/// b.on(t1).write(x);
+///
+/// let mut ops = 0u32;
+/// let stats = Scheduler::new(b.build(), SchedulerConfig::default())
+///     .run(&mut |event: Event<'_>| {
+///         if matches!(event, Event::Op { .. }) { ops += 1; }
+///     })
+///     .unwrap();
+/// assert_eq!(ops, 4); // fork, write, join, read
+/// assert_eq!(stats.ops_executed, 4);
+/// ```
+pub struct Scheduler {
+    threads: Vec<ThreadState>,
+    locks: HashMap<LockId, LockState>,
+    barriers: HashMap<BarrierId, BarrierState>,
+    sems: HashMap<SemId, SemState>,
+    join_waiters: Vec<Vec<ThreadId>>,
+    start_mode: StartMode,
+    config: SchedulerConfig,
+    rng: SmallRng,
+    stats: RunStats,
+    cursor: usize,
+}
+
+impl Scheduler {
+    /// Creates a scheduler for `program`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.quantum` is 0.
+    pub fn new(program: Program, config: SchedulerConfig) -> Self {
+        assert!(config.quantum >= 1, "scheduler quantum must be at least 1");
+        let (streams, start_mode) = program.into_parts();
+        let n = streams.len();
+        let threads = streams
+            .into_iter()
+            .map(|stream| ThreadState {
+                stream,
+                status: Status::NotStarted,
+                pending_emit: None,
+                held_locks: Vec::new(),
+            })
+            .collect();
+        Scheduler {
+            threads,
+            locks: HashMap::new(),
+            barriers: HashMap::new(),
+            sems: HashMap::new(),
+            join_waiters: vec![Vec::new(); n],
+            start_mode,
+            config,
+            rng: SmallRng::seed_from_u64(config.seed),
+            stats: RunStats {
+                per_thread_ops: vec![0; n],
+                ..RunStats::default()
+            },
+            cursor: 0,
+        }
+    }
+
+    /// Runs the program to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ScheduleError`] if the program deadlocks or misuses a
+    /// synchronization object (see the error type for the full list).
+    pub fn run<L: ExecutionListener + ?Sized>(
+        mut self,
+        listener: &mut L,
+    ) -> Result<RunStats, ScheduleError> {
+        self.start_initial_threads(listener);
+        loop {
+            let Some(tid) = self.pick_next_runnable() else {
+                if self.all_started_finished() {
+                    self.stats.orphan_threads = self
+                        .threads
+                        .iter()
+                        .filter(|t| t.status == Status::NotStarted)
+                        .count() as u32;
+                    return Ok(self.stats);
+                }
+                return Err(self.deadlock_error());
+            };
+            self.stats.context_switches += 1;
+            let quantum = if self.config.jitter {
+                self.rng.gen_range(1..=self.config.quantum)
+            } else {
+                self.config.quantum
+            };
+            for _ in 0..quantum {
+                match self.step_thread(tid, listener)? {
+                    StepOutcome::Executed => {}
+                    StepOutcome::Blocked | StepOutcome::Finished => break,
+                }
+            }
+        }
+    }
+
+    fn start_initial_threads<L: ExecutionListener + ?Sized>(&mut self, listener: &mut L) {
+        self.threads[0].status = Status::Runnable;
+        listener.on_event(Event::ThreadStarted {
+            tid: ThreadId::MAIN,
+            parent: None,
+        });
+        if self.start_mode == StartMode::AllStart {
+            for i in 1..self.threads.len() {
+                self.threads[i].status = Status::Runnable;
+                listener.on_event(Event::ThreadStarted {
+                    tid: ThreadId::new(i as u32),
+                    parent: Some(ThreadId::MAIN),
+                });
+            }
+        }
+    }
+
+    fn pick_next_runnable(&mut self) -> Option<ThreadId> {
+        let n = self.threads.len();
+        for off in 0..n {
+            let i = (self.cursor + off) % n;
+            if self.threads[i].status == Status::Runnable {
+                self.cursor = (i + 1) % n;
+                return Some(ThreadId::new(i as u32));
+            }
+        }
+        None
+    }
+
+    fn all_started_finished(&self) -> bool {
+        self.threads
+            .iter()
+            .all(|t| matches!(t.status, Status::Finished | Status::NotStarted))
+    }
+
+    fn deadlock_error(&self) -> ScheduleError {
+        let blocked = self
+            .threads
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| match t.status {
+                Status::Blocked(reason) => Some((ThreadId::new(i as u32), reason)),
+                _ => None,
+            })
+            .collect();
+        ScheduleError::Deadlock { blocked }
+    }
+
+    fn step_thread<L: ExecutionListener + ?Sized>(
+        &mut self,
+        tid: ThreadId,
+        listener: &mut L,
+    ) -> Result<StepOutcome, ScheduleError> {
+        // First emit an op whose blocking condition was satisfied while we
+        // were off-cpu (lock handoff, semaphore transfer, join target done).
+        if let Some(op) = self.threads[tid.index()].pending_emit.take() {
+            self.record_op(tid);
+            listener.on_event(Event::Op { tid, op });
+            return Ok(StepOutcome::Executed);
+        }
+        let Some(op) = self.threads[tid.index()].stream.next_op() else {
+            return self
+                .finish_thread(tid, listener)
+                .map(|()| StepOutcome::Finished);
+        };
+        self.execute_op(tid, op, listener)
+    }
+
+    fn execute_op<L: ExecutionListener + ?Sized>(
+        &mut self,
+        tid: ThreadId,
+        op: Op,
+        listener: &mut L,
+    ) -> Result<StepOutcome, ScheduleError> {
+        match op {
+            Op::Read { .. } | Op::Write { .. } | Op::AtomicRmw { .. } | Op::Compute { .. } => {
+                self.record_op(tid);
+                listener.on_event(Event::Op { tid, op });
+                Ok(StepOutcome::Executed)
+            }
+            Op::Lock { lock } => self.do_lock(tid, lock, op, listener),
+            Op::Unlock { lock } => self.do_unlock(tid, lock, op, listener),
+            Op::Barrier {
+                barrier,
+                participants,
+            } => self.do_barrier(tid, barrier, participants, op, listener),
+            Op::Fork { child } => self.do_fork(tid, child, op, listener),
+            Op::Join { child } => self.do_join(tid, child, op, listener),
+            Op::Post { sem } => self.do_post(tid, sem, op, listener),
+            Op::WaitSem { sem } => self.do_wait_sem(tid, sem, op, listener),
+        }
+    }
+
+    fn do_lock<L: ExecutionListener + ?Sized>(
+        &mut self,
+        tid: ThreadId,
+        lock: LockId,
+        op: Op,
+        listener: &mut L,
+    ) -> Result<StepOutcome, ScheduleError> {
+        let state = self.locks.entry(lock).or_default();
+        match state.holder {
+            None => {
+                state.holder = Some(tid);
+                self.threads[tid.index()].held_locks.push(lock);
+                self.record_op(tid);
+                listener.on_event(Event::Op { tid, op });
+                Ok(StepOutcome::Executed)
+            }
+            Some(holder) if holder == tid => Err(ScheduleError::RelockHeld { tid, lock }),
+            Some(_) => {
+                state.waiters.push_back(tid);
+                self.threads[tid.index()].status = Status::Blocked(BlockReason::Lock(lock));
+                self.stats.blocks += 1;
+                Ok(StepOutcome::Blocked)
+            }
+        }
+    }
+
+    fn do_unlock<L: ExecutionListener + ?Sized>(
+        &mut self,
+        tid: ThreadId,
+        lock: LockId,
+        op: Op,
+        listener: &mut L,
+    ) -> Result<StepOutcome, ScheduleError> {
+        let state = self.locks.entry(lock).or_default();
+        if state.holder != Some(tid) {
+            return Err(ScheduleError::UnlockNotHeld { tid, lock });
+        }
+        self.record_op(tid);
+        listener.on_event(Event::Op { tid, op });
+        let held = &mut self.threads[tid.index()].held_locks;
+        held.retain(|&l| l != lock);
+        let state = self.locks.get_mut(&lock).expect("lock state exists");
+        if let Some(waiter) = state.waiters.pop_front() {
+            // Direct FIFO handoff: the waiter owns the lock immediately;
+            // its Lock event is emitted when it is next scheduled.
+            state.holder = Some(waiter);
+            self.threads[waiter.index()].held_locks.push(lock);
+            self.threads[waiter.index()].status = Status::Runnable;
+            self.threads[waiter.index()].pending_emit = Some(Op::Lock { lock });
+            self.stats.lock_handoffs += 1;
+        } else {
+            state.holder = None;
+        }
+        Ok(StepOutcome::Executed)
+    }
+
+    fn do_barrier<L: ExecutionListener + ?Sized>(
+        &mut self,
+        tid: ThreadId,
+        barrier: BarrierId,
+        participants: u32,
+        op: Op,
+        listener: &mut L,
+    ) -> Result<StepOutcome, ScheduleError> {
+        if participants == 0 {
+            return Err(ScheduleError::BarrierMismatch {
+                barrier,
+                expected: 1,
+                found: 0,
+            });
+        }
+        let state = self.barriers.entry(barrier).or_default();
+        if state.arrived.is_empty() {
+            state.expected = participants;
+        } else if state.expected != participants {
+            return Err(ScheduleError::BarrierMismatch {
+                barrier,
+                expected: state.expected,
+                found: participants,
+            });
+        }
+        if state.arrived.len() as u32 >= state.expected {
+            return Err(ScheduleError::BarrierOverflow {
+                barrier,
+                participants,
+            });
+        }
+        state.arrived.push(tid);
+        // The arrival itself is always visible (the detector accumulates
+        // clocks as threads arrive).
+        self.record_op(tid);
+        listener.on_event(Event::Op { tid, op });
+        let state = self
+            .barriers
+            .get_mut(&barrier)
+            .expect("barrier state exists");
+        if state.arrived.len() as u32 == state.expected {
+            let released = std::mem::take(&mut state.arrived);
+            self.stats.barrier_episodes += 1;
+            for &t in &released {
+                self.threads[t.index()].status = Status::Runnable;
+            }
+            listener.on_event(Event::BarrierReleased {
+                barrier,
+                participants: &released,
+            });
+            Ok(StepOutcome::Executed)
+        } else {
+            self.threads[tid.index()].status = Status::Blocked(BlockReason::Barrier(barrier));
+            self.stats.blocks += 1;
+            Ok(StepOutcome::Blocked)
+        }
+    }
+
+    fn do_fork<L: ExecutionListener + ?Sized>(
+        &mut self,
+        tid: ThreadId,
+        child: ThreadId,
+        op: Op,
+        listener: &mut L,
+    ) -> Result<StepOutcome, ScheduleError> {
+        if child.index() >= self.threads.len() {
+            return Err(ScheduleError::ForkUnknownThread { tid, child });
+        }
+        if self.threads[child.index()].status != Status::NotStarted {
+            return Err(ScheduleError::ForkAlreadyStarted { tid, child });
+        }
+        self.record_op(tid);
+        listener.on_event(Event::Op { tid, op });
+        self.threads[child.index()].status = Status::Runnable;
+        listener.on_event(Event::ThreadStarted {
+            tid: child,
+            parent: Some(tid),
+        });
+        Ok(StepOutcome::Executed)
+    }
+
+    fn do_join<L: ExecutionListener + ?Sized>(
+        &mut self,
+        tid: ThreadId,
+        child: ThreadId,
+        op: Op,
+        listener: &mut L,
+    ) -> Result<StepOutcome, ScheduleError> {
+        if child == tid || child.index() >= self.threads.len() {
+            return Err(ScheduleError::JoinInvalid { tid, child });
+        }
+        if self.threads[child.index()].status == Status::Finished {
+            self.record_op(tid);
+            listener.on_event(Event::Op { tid, op });
+            Ok(StepOutcome::Executed)
+        } else {
+            self.join_waiters[child.index()].push(tid);
+            self.threads[tid.index()].status = Status::Blocked(BlockReason::Join(child));
+            self.threads[tid.index()].pending_emit = Some(op);
+            self.stats.blocks += 1;
+            Ok(StepOutcome::Blocked)
+        }
+    }
+
+    fn do_post<L: ExecutionListener + ?Sized>(
+        &mut self,
+        tid: ThreadId,
+        sem: SemId,
+        op: Op,
+        listener: &mut L,
+    ) -> Result<StepOutcome, ScheduleError> {
+        self.record_op(tid);
+        listener.on_event(Event::Op { tid, op });
+        let state = self.sems.entry(sem).or_default();
+        if let Some(waiter) = state.waiters.pop_front() {
+            // Transfer the post directly to the longest waiter.
+            self.threads[waiter.index()].status = Status::Runnable;
+            self.threads[waiter.index()].pending_emit = Some(Op::WaitSem { sem });
+        } else {
+            state.count += 1;
+        }
+        Ok(StepOutcome::Executed)
+    }
+
+    fn do_wait_sem<L: ExecutionListener + ?Sized>(
+        &mut self,
+        tid: ThreadId,
+        sem: SemId,
+        op: Op,
+        listener: &mut L,
+    ) -> Result<StepOutcome, ScheduleError> {
+        let state = self.sems.entry(sem).or_default();
+        if state.count > 0 {
+            state.count -= 1;
+            self.record_op(tid);
+            listener.on_event(Event::Op { tid, op });
+            Ok(StepOutcome::Executed)
+        } else {
+            state.waiters.push_back(tid);
+            self.threads[tid.index()].status = Status::Blocked(BlockReason::Semaphore(sem));
+            self.stats.blocks += 1;
+            Ok(StepOutcome::Blocked)
+        }
+    }
+
+    fn finish_thread<L: ExecutionListener + ?Sized>(
+        &mut self,
+        tid: ThreadId,
+        listener: &mut L,
+    ) -> Result<(), ScheduleError> {
+        let held = std::mem::take(&mut self.threads[tid.index()].held_locks);
+        if !held.is_empty() {
+            return Err(ScheduleError::FinishedHoldingLocks { tid, locks: held });
+        }
+        self.threads[tid.index()].status = Status::Finished;
+        listener.on_event(Event::ThreadFinished { tid });
+        for waiter in std::mem::take(&mut self.join_waiters[tid.index()]) {
+            // The waiter's pending Join op is already stored; just wake it.
+            self.threads[waiter.index()].status = Status::Runnable;
+        }
+        Ok(())
+    }
+
+    fn record_op(&mut self, tid: ThreadId) {
+        self.stats.ops_executed += 1;
+        self.stats.per_thread_ops[tid.index()] += 1;
+    }
+}
+
+impl std::fmt::Debug for Scheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("threads", &self.threads.len())
+            .field("config", &self.config)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StepOutcome {
+    Executed,
+    Blocked,
+    Finished,
+}
+
+/// Runs `program` with `config`, delivering events to `listener`.
+/// Convenience wrapper over [`Scheduler::new`] + [`Scheduler::run`].
+///
+/// # Errors
+///
+/// Propagates any [`ScheduleError`] from the run.
+pub fn run_program<L: ExecutionListener + ?Sized>(
+    program: Program,
+    config: SchedulerConfig,
+    listener: &mut L,
+) -> Result<RunStats, ScheduleError> {
+    Scheduler::new(program, config).run(listener)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+
+    fn collect_events(b: ProgramBuilder, config: SchedulerConfig) -> Vec<String> {
+        let mut events = Vec::new();
+        run_program(b.build(), config, &mut |e: Event<'_>| {
+            events.push(match e {
+                Event::ThreadStarted { tid, parent } => match parent {
+                    Some(p) => format!("start {tid} by {p}"),
+                    None => format!("start {tid}"),
+                },
+                Event::Op { tid, op } => format!("{tid}: {op}"),
+                Event::BarrierReleased {
+                    barrier,
+                    participants,
+                } => {
+                    format!("released {barrier} x{}", participants.len())
+                }
+                Event::ThreadFinished { tid } => format!("finish {tid}"),
+            });
+        })
+        .unwrap();
+        events
+    }
+
+    #[test]
+    fn single_thread_executes_in_order() {
+        let mut b = ProgramBuilder::new();
+        let x = b.alloc_shared(64).base();
+        b.on(ThreadId::MAIN).write(x).read(x).compute(10);
+        let events = collect_events(b, SchedulerConfig::default());
+        assert_eq!(
+            events,
+            vec![
+                "start T0".to_string(),
+                format!("T0: write {x}"),
+                format!("T0: read {x}"),
+                "T0: compute 10".to_string(),
+                "finish T0".to_string(),
+            ]
+        );
+    }
+
+    #[test]
+    fn fork_starts_child_and_join_blocks() {
+        let mut b = ProgramBuilder::new();
+        let t1 = b.add_thread();
+        b.on(ThreadId::MAIN).fork(t1).join(t1).compute(1);
+        b.on(t1).compute(2);
+        let events = collect_events(b, SchedulerConfig::default());
+        // Main forks, tries to join and blocks; t1 runs and finishes; main's
+        // join completes afterwards.
+        let join_pos = events.iter().position(|e| e == "T0: join T1").unwrap();
+        let finish_pos = events.iter().position(|e| e == "finish T1").unwrap();
+        assert!(
+            finish_pos < join_pos,
+            "join must complete after child finishes: {events:?}"
+        );
+    }
+
+    #[test]
+    fn join_of_already_finished_thread_is_immediate() {
+        let mut b = ProgramBuilder::new();
+        let t1 = b.add_thread();
+        // Give main enough filler that t1 finishes before the join, with
+        // quantum 1 forcing alternation.
+        b.on(ThreadId::MAIN)
+            .fork(t1)
+            .compute(1)
+            .compute(1)
+            .compute(1)
+            .join(t1);
+        b.on(t1).compute(2);
+        let cfg = SchedulerConfig {
+            quantum: 1,
+            ..SchedulerConfig::default()
+        };
+        let events = collect_events(b, cfg);
+        assert!(events.contains(&"T0: join T1".to_string()));
+    }
+
+    #[test]
+    fn lock_mutual_exclusion_and_handoff() {
+        let mut b = ProgramBuilder::new();
+        b.all_start();
+        let l = b.new_lock();
+        let x = b.alloc_shared(8).base();
+        let t1 = b.add_thread();
+        b.on(ThreadId::MAIN)
+            .lock(l)
+            .write(x)
+            .compute(1)
+            .compute(1)
+            .unlock(l);
+        b.on(t1).lock(l).write(x).unlock(l);
+        let cfg = SchedulerConfig {
+            quantum: 1,
+            ..SchedulerConfig::default()
+        };
+        let events = collect_events(b, cfg);
+        // T1's lock acquisition must come after T0's unlock.
+        let unlock0 = events.iter().position(|e| e == "T0: unlock L0").unwrap();
+        let lock1 = events.iter().position(|e| e == "T1: lock L0").unwrap();
+        assert!(unlock0 < lock1, "{events:?}");
+    }
+
+    #[test]
+    fn barrier_releases_all_participants_at_once() {
+        let mut b = ProgramBuilder::new();
+        b.all_start();
+        let bar = b.new_barrier();
+        let t1 = b.add_thread();
+        let t2 = b.add_thread();
+        b.on(ThreadId::MAIN).barrier(bar, 3).compute(1);
+        b.on(t1).barrier(bar, 3).compute(1);
+        b.on(t2).barrier(bar, 3).compute(1);
+        let events = collect_events(b, SchedulerConfig::default());
+        let release = events
+            .iter()
+            .position(|e| e.starts_with("released B0"))
+            .unwrap();
+        assert_eq!(events[release], "released B0 x3");
+        // No compute happens before the release.
+        for e in &events[..release] {
+            assert!(!e.contains("compute"), "{events:?}");
+        }
+    }
+
+    #[test]
+    fn barrier_is_reusable() {
+        let mut b = ProgramBuilder::new();
+        b.all_start();
+        let bar = b.new_barrier();
+        let t1 = b.add_thread();
+        b.on(ThreadId::MAIN).barrier(bar, 2).barrier(bar, 2);
+        b.on(t1).barrier(bar, 2).barrier(bar, 2);
+        let events = collect_events(b, SchedulerConfig::default());
+        let releases = events
+            .iter()
+            .filter(|e| e.starts_with("released B0"))
+            .count();
+        assert_eq!(releases, 2);
+    }
+
+    #[test]
+    fn semaphore_post_before_wait() {
+        let mut b = ProgramBuilder::new();
+        b.all_start();
+        let s = b.new_sem();
+        let t1 = b.add_thread();
+        b.on(ThreadId::MAIN).post(s);
+        b.on(t1).wait_sem(s);
+        let stats = run_program(b.build(), SchedulerConfig::default(), &mut NullListener).unwrap();
+        assert_eq!(stats.ops_executed, 2);
+    }
+
+    #[test]
+    fn semaphore_wait_blocks_until_post() {
+        let mut b = ProgramBuilder::new();
+        b.all_start();
+        let s = b.new_sem();
+        let t1 = b.add_thread();
+        b.on(ThreadId::MAIN).compute(1).compute(1).post(s);
+        b.on(t1).wait_sem(s).compute(5);
+        let cfg = SchedulerConfig {
+            quantum: 1,
+            ..SchedulerConfig::default()
+        };
+        let events = collect_events(b, cfg);
+        let post = events.iter().position(|e| e == "T0: post S0").unwrap();
+        let wait = events.iter().position(|e| e == "T1: wait S0").unwrap();
+        assert!(post < wait, "{events:?}");
+    }
+
+    #[test]
+    fn deadlock_is_reported() {
+        let mut b = ProgramBuilder::new();
+        b.all_start();
+        let s = b.new_sem();
+        b.on(ThreadId::MAIN).wait_sem(s);
+        let err =
+            run_program(b.build(), SchedulerConfig::default(), &mut NullListener).unwrap_err();
+        match err {
+            ScheduleError::Deadlock { blocked } => {
+                assert_eq!(
+                    blocked,
+                    vec![(ThreadId::MAIN, BlockReason::Semaphore(SemId(0)))]
+                );
+            }
+            other => panic!("expected deadlock, got {other}"),
+        }
+    }
+
+    #[test]
+    fn abba_deadlock_is_reported() {
+        let mut b = ProgramBuilder::new();
+        b.all_start();
+        let la = b.new_lock();
+        let lb = b.new_lock();
+        let t1 = b.add_thread();
+        b.on(ThreadId::MAIN)
+            .lock(la)
+            .compute(1)
+            .lock(lb)
+            .unlock(lb)
+            .unlock(la);
+        b.on(t1).lock(lb).compute(1).lock(la).unlock(la).unlock(lb);
+        let cfg = SchedulerConfig {
+            quantum: 2,
+            ..SchedulerConfig::default()
+        };
+        let err = run_program(b.build(), cfg, &mut NullListener).unwrap_err();
+        assert!(matches!(err, ScheduleError::Deadlock { .. }), "{err}");
+    }
+
+    #[test]
+    fn unlock_not_held_is_error() {
+        let mut b = ProgramBuilder::new();
+        let l = b.new_lock();
+        b.on(ThreadId::MAIN).unlock(l);
+        let err =
+            run_program(b.build(), SchedulerConfig::default(), &mut NullListener).unwrap_err();
+        assert_eq!(
+            err,
+            ScheduleError::UnlockNotHeld {
+                tid: ThreadId::MAIN,
+                lock: l
+            }
+        );
+    }
+
+    #[test]
+    fn relock_is_error() {
+        let mut b = ProgramBuilder::new();
+        let l = b.new_lock();
+        b.on(ThreadId::MAIN).lock(l).lock(l);
+        let err =
+            run_program(b.build(), SchedulerConfig::default(), &mut NullListener).unwrap_err();
+        assert_eq!(
+            err,
+            ScheduleError::RelockHeld {
+                tid: ThreadId::MAIN,
+                lock: l
+            }
+        );
+    }
+
+    #[test]
+    fn finish_holding_lock_is_error() {
+        let mut b = ProgramBuilder::new();
+        let l = b.new_lock();
+        b.on(ThreadId::MAIN).lock(l);
+        let err =
+            run_program(b.build(), SchedulerConfig::default(), &mut NullListener).unwrap_err();
+        assert!(matches!(err, ScheduleError::FinishedHoldingLocks { .. }));
+    }
+
+    #[test]
+    fn fork_errors() {
+        let mut b = ProgramBuilder::new();
+        b.on(ThreadId::MAIN).fork(ThreadId::new(9));
+        let err =
+            run_program(b.build(), SchedulerConfig::default(), &mut NullListener).unwrap_err();
+        assert!(matches!(err, ScheduleError::ForkUnknownThread { .. }));
+
+        let mut b = ProgramBuilder::new();
+        let t1 = b.add_thread();
+        b.on(ThreadId::MAIN).fork(t1).fork(t1);
+        b.on(t1).compute(1);
+        let err =
+            run_program(b.build(), SchedulerConfig::default(), &mut NullListener).unwrap_err();
+        assert!(matches!(err, ScheduleError::ForkAlreadyStarted { .. }));
+    }
+
+    #[test]
+    fn join_self_is_error() {
+        let mut b = ProgramBuilder::new();
+        b.on(ThreadId::MAIN).join(ThreadId::MAIN);
+        let err =
+            run_program(b.build(), SchedulerConfig::default(), &mut NullListener).unwrap_err();
+        assert!(matches!(err, ScheduleError::JoinInvalid { .. }));
+    }
+
+    #[test]
+    fn barrier_mismatch_is_error() {
+        let mut b = ProgramBuilder::new();
+        b.all_start();
+        let bar = b.new_barrier();
+        let t1 = b.add_thread();
+        b.on(ThreadId::MAIN).barrier(bar, 2);
+        b.on(t1).barrier(bar, 3);
+        let err =
+            run_program(b.build(), SchedulerConfig::default(), &mut NullListener).unwrap_err();
+        assert!(matches!(err, ScheduleError::BarrierMismatch { .. }));
+    }
+
+    #[test]
+    fn orphan_threads_are_counted_not_fatal() {
+        let mut b = ProgramBuilder::new();
+        let _t1 = b.add_thread(); // declared, never forked
+        b.on(ThreadId::MAIN).compute(1);
+        let stats = run_program(b.build(), SchedulerConfig::default(), &mut NullListener).unwrap();
+        assert_eq!(stats.orphan_threads, 1);
+    }
+
+    #[test]
+    fn deterministic_across_runs_with_same_seed() {
+        let build = || {
+            let mut b = ProgramBuilder::new();
+            b.all_start();
+            let l = b.new_lock();
+            let x = b.alloc_shared(256);
+            let t1 = b.add_thread();
+            let t2 = b.add_thread();
+            for t in [ThreadId::MAIN, t1, t2] {
+                let mut c = b.on(t);
+                for i in 0..50 {
+                    c = c.read(x.index(i * 8)).compute(1);
+                    if i % 10 == 0 {
+                        c = c.lock(l).write(x.index(i)).unlock(l);
+                    }
+                }
+            }
+            b.build()
+        };
+        let cfg = SchedulerConfig {
+            quantum: 4,
+            seed: 123,
+            jitter: true,
+        };
+        let run = |program| {
+            let mut trace = Vec::new();
+            run_program(program, cfg, &mut |e: Event<'_>| {
+                if let Event::Op { tid, op } = e {
+                    trace.push((tid, op));
+                }
+            })
+            .unwrap();
+            trace
+        };
+        assert_eq!(run(build()), run(build()));
+    }
+
+    #[test]
+    fn different_seeds_change_interleaving() {
+        let build = || {
+            let mut b = ProgramBuilder::new();
+            b.all_start();
+            let x = b.alloc_shared(8).base();
+            let t1 = b.add_thread();
+            for t in [ThreadId::MAIN, t1] {
+                let mut c = b.on(t);
+                for _ in 0..100 {
+                    c = c.write(x);
+                }
+            }
+            b.build()
+        };
+        let trace_for = |seed| {
+            let cfg = SchedulerConfig {
+                quantum: 8,
+                seed,
+                jitter: true,
+            };
+            let mut trace = Vec::new();
+            run_program(build(), cfg, &mut |e: Event<'_>| {
+                if let Event::Op { tid, .. } = e {
+                    trace.push(tid);
+                }
+            })
+            .unwrap();
+            trace
+        };
+        assert_ne!(trace_for(1), trace_for(2));
+    }
+
+    #[test]
+    fn stats_count_blocks_and_handoffs() {
+        let mut b = ProgramBuilder::new();
+        b.all_start();
+        let l = b.new_lock();
+        let t1 = b.add_thread();
+        b.on(ThreadId::MAIN)
+            .lock(l)
+            .compute(1)
+            .compute(1)
+            .compute(1)
+            .unlock(l);
+        b.on(t1).lock(l).unlock(l);
+        let cfg = SchedulerConfig {
+            quantum: 2,
+            ..SchedulerConfig::default()
+        };
+        let stats = run_program(b.build(), cfg, &mut NullListener).unwrap();
+        assert!(stats.blocks >= 1);
+        assert_eq!(stats.lock_handoffs, 1);
+        assert!(stats.context_switches >= 2);
+        assert_eq!(stats.per_thread_ops.len(), 2);
+        assert_eq!(stats.per_thread_ops.iter().sum::<u64>(), stats.ops_executed);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantum must be at least 1")]
+    fn zero_quantum_panics() {
+        let b = ProgramBuilder::new();
+        let _ = Scheduler::new(
+            b.build(),
+            SchedulerConfig {
+                quantum: 0,
+                ..Default::default()
+            },
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! Synthetic workloads for the ddrace reproduction of *"Demand-driven
+//! software race detection using hardware performance counters"*
+//! (Greathouse et al., ISCA 2011).
+//!
+//! The paper evaluates on Phoenix and PARSEC. We cannot ship those C
+//! suites; instead each benchmark is reproduced as a [`WorkloadSpec`]
+//! whose **sharing profile** — the fraction and pattern of inter-thread
+//! communication, the phase structure, the synchronization style — is
+//! shaped to the published characteristics of the original. Since the
+//! demand-driven mechanism responds exactly to sharing behaviour, this
+//! substitution preserves what the experiments measure (see DESIGN.md).
+//!
+//! * [`phoenix::suite`] — 8 map-reduce style kernels, very low sharing;
+//! * [`parsec::suite`] — 13 applications: barrier-phased data parallel,
+//!   fine-grained amorphous, and semaphore pipelines;
+//! * [`racy`] — kernels with planted races for accuracy experiments;
+//! * [`WorkloadSpec::with_injected_race`] — racy variant of any benchmark.
+//!
+//! # Example
+//!
+//! ```
+//! use ddrace_workloads::{phoenix, Scale};
+//! use ddrace_program::{run_program, NullListener, SchedulerConfig};
+//!
+//! let spec = phoenix::linear_regression();
+//! let program = spec.program(Scale::TEST, 42);
+//! let stats = run_program(program, SchedulerConfig::default(), &mut NullListener)?;
+//! assert!(stats.ops_executed > 0);
+//! # Ok::<(), ddrace_program::ScheduleError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod clean;
+pub mod parsec;
+mod phases;
+pub mod phoenix;
+pub mod racy;
+mod scale;
+mod spec;
+
+pub use phases::{Phase, PlanStream};
+pub use scale::Scale;
+pub use spec::{IterProfile, Structure, Suite, WorkloadSpec};
+
+/// Every benchmark of both suites, Phoenix first.
+pub fn all_benchmarks() -> Vec<WorkloadSpec> {
+    let mut v = phoenix::suite();
+    v.extend(parsec::suite());
+    v
+}
+
+/// Looks up a benchmark (or racy kernel) by name across all suites.
+pub fn by_name(name: &str) -> Option<WorkloadSpec> {
+    all_benchmarks()
+        .into_iter()
+        .chain(racy::kernels())
+        .find(|w| w.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_benchmarks_is_both_suites() {
+        assert_eq!(all_benchmarks().len(), 21);
+    }
+
+    #[test]
+    fn by_name_finds_everything() {
+        for w in all_benchmarks().iter().chain(racy::kernels().iter()) {
+            assert_eq!(by_name(&w.name).unwrap().name, w.name);
+        }
+        assert!(by_name("nonexistent").is_none());
+    }
+}

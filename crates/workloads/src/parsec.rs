@@ -1,0 +1,348 @@
+//! PARSEC-like workloads.
+//!
+//! PARSEC (Bienia et al., PACT 2008) spans data-parallel, pipeline, and
+//! amorphous applications with markedly more inter-thread communication
+//! than Phoenix — which is why the paper's demand-driven detector gains
+//! "only" ≈3× there: analysis genuinely has to stay on during sharing
+//! phases. Our thirteen specs reproduce the communication *shapes*:
+//! barrier-phased data parallelism (blackscholes, streamcluster),
+//! fine-grained amorphous sharing (canneal, fluidanimate), and
+//! semaphore-linked pipelines with producer→consumer buffers (dedup,
+//! ferret, vips, x264).
+
+use crate::spec::{IterProfile, Structure, Suite, WorkloadSpec};
+
+/// Default worker count for the suite.
+pub const PARSEC_WORKERS: u32 = 8;
+
+fn base(name: &str, iter: IterProfile) -> WorkloadSpec {
+    WorkloadSpec {
+        name: name.to_string(),
+        suite: Suite::Parsec,
+        workers: PARSEC_WORKERS,
+        structure: Structure::ForkJoin {
+            iterations: 1,
+            barrier_per_iter: false,
+        },
+        iter,
+        init_shared_words: 256,
+        final_merge_words: 128,
+        // Larger working sets than Phoenix: more natural cache misses,
+        // so continuous analysis hurts (relatively) less.
+        private_bytes: 64 * 1024,
+        shared_bytes: 256 * 1024,
+        hot_words: 64,
+        lock_count: 32,
+    }
+}
+
+fn pipeline(name: &str, stages: u32, items: u64, work: u64, slot_words: u64) -> WorkloadSpec {
+    let mut spec = base(name, IterProfile::private_only(0));
+    spec.workers = stages;
+    spec.structure = Structure::Pipeline {
+        items,
+        work_per_item: work,
+        slot_words,
+    };
+    spec
+}
+
+/// `blackscholes`: embarrassingly parallel option pricing with barrier
+/// phases; near-zero communication.
+pub fn blackscholes() -> WorkloadSpec {
+    let mut spec = base(
+        "blackscholes",
+        IterProfile {
+            private_ops: 80_000,
+            private_read_pct: 70,
+            compute_pct: 40,
+            shared_reads: 10_000,
+            shared_rw_pairs: 0,
+            locked_updates: 0,
+            atomic_ops: 0,
+            racy_pairs: 0,
+        },
+    );
+    spec.structure = Structure::ForkJoin {
+        iterations: 4,
+        barrier_per_iter: true,
+    };
+    spec.init_shared_words = 1_024;
+    spec
+}
+
+/// `bodytrack`: per-frame particle filter; the model is updated and
+/// re-read every frame.
+pub fn bodytrack() -> WorkloadSpec {
+    let mut spec = base(
+        "bodytrack",
+        IterProfile {
+            private_ops: 40_000,
+            private_read_pct: 72,
+            compute_pct: 20,
+            shared_reads: 3_000,
+            shared_rw_pairs: 80,
+            locked_updates: 60,
+            atomic_ops: 0,
+            racy_pairs: 0,
+        },
+    );
+    spec.structure = Structure::ForkJoin {
+        iterations: 12,
+        barrier_per_iter: true,
+    };
+    spec.init_shared_words = 512;
+    spec
+}
+
+/// `canneal`: random element swaps across a large shared netlist with
+/// lock-free atomics — the suite's fine-grained-sharing extreme.
+pub fn canneal() -> WorkloadSpec {
+    let mut spec = base(
+        "canneal",
+        IterProfile {
+            private_ops: 100_000,
+            private_read_pct: 70,
+            compute_pct: 10,
+            shared_reads: 10_000,
+            shared_rw_pairs: 8_000,
+            locked_updates: 0,
+            atomic_ops: 4_000,
+            racy_pairs: 0,
+        },
+    );
+    spec.shared_bytes = 1024 * 1024;
+    spec.hot_words = 2_048;
+    spec
+}
+
+/// `dedup`: the canonical pipeline (chunk → hash → compress → write)
+/// streaming every item through shared buffers.
+pub fn dedup() -> WorkloadSpec {
+    pipeline("dedup", 5, 40, 18_000, 8)
+}
+
+/// `facesim`: iterative physics with neighbour-boundary exchange.
+pub fn facesim() -> WorkloadSpec {
+    let mut spec = base(
+        "facesim",
+        IterProfile {
+            private_ops: 30_000,
+            private_read_pct: 75,
+            compute_pct: 25,
+            shared_reads: 5_000,
+            shared_rw_pairs: 400,
+            locked_updates: 50,
+            atomic_ops: 0,
+            racy_pairs: 0,
+        },
+    );
+    spec.structure = Structure::ForkJoin {
+        iterations: 10,
+        barrier_per_iter: true,
+    };
+    spec.private_bytes = 128 * 1024;
+    spec
+}
+
+/// `ferret`: the six-stage similarity-search pipeline.
+pub fn ferret() -> WorkloadSpec {
+    pipeline("ferret", 6, 30, 15_000, 8)
+}
+
+/// `fluidanimate`: grid physics with very fine-grained per-cell locks and
+/// boundary sharing.
+pub fn fluidanimate() -> WorkloadSpec {
+    let mut spec = base(
+        "fluidanimate",
+        IterProfile {
+            private_ops: 25_000,
+            private_read_pct: 70,
+            compute_pct: 20,
+            shared_reads: 2_000,
+            shared_rw_pairs: 600,
+            locked_updates: 2_000,
+            atomic_ops: 0,
+            racy_pairs: 0,
+        },
+    );
+    spec.structure = Structure::ForkJoin {
+        iterations: 8,
+        barrier_per_iter: true,
+    };
+    spec.lock_count = 128;
+    spec
+}
+
+/// `freqmine`: frequent-itemset mining over a shared FP-tree built under
+/// locks.
+pub fn freqmine() -> WorkloadSpec {
+    let mut spec = base(
+        "freqmine",
+        IterProfile {
+            private_ops: 60_000,
+            private_read_pct: 78,
+            compute_pct: 12,
+            shared_reads: 8_000,
+            shared_rw_pairs: 100,
+            locked_updates: 1_500,
+            atomic_ops: 0,
+            racy_pairs: 0,
+        },
+    );
+    spec.structure = Structure::ForkJoin {
+        iterations: 4,
+        barrier_per_iter: true,
+    };
+    spec.shared_bytes = 512 * 1024;
+    spec
+}
+
+/// `raytrace`: read-only scene, private framebuffer tiles; low sharing.
+pub fn raytrace() -> WorkloadSpec {
+    let mut spec = base(
+        "raytrace",
+        IterProfile {
+            private_ops: 300_000,
+            private_read_pct: 75,
+            compute_pct: 30,
+            shared_reads: 20_000,
+            shared_rw_pairs: 0,
+            locked_updates: 0,
+            atomic_ops: 0,
+            racy_pairs: 0,
+        },
+    );
+    spec.init_shared_words = 1_024;
+    spec.shared_bytes = 512 * 1024;
+    spec
+}
+
+/// `streamcluster`: many short barrier-separated phases with shared
+/// center updates — the suite's barrier extreme.
+pub fn streamcluster() -> WorkloadSpec {
+    let mut spec = base(
+        "streamcluster",
+        IterProfile {
+            private_ops: 12_000,
+            private_read_pct: 75,
+            compute_pct: 15,
+            shared_reads: 4_000,
+            shared_rw_pairs: 500,
+            locked_updates: 0,
+            atomic_ops: 200,
+            racy_pairs: 0,
+        },
+    );
+    spec.structure = Structure::ForkJoin {
+        iterations: 15,
+        barrier_per_iter: true,
+    };
+    spec.hot_words = 128;
+    spec
+}
+
+/// `swaptions`: Monte-Carlo pricing, embarrassingly parallel; minimal
+/// sharing.
+pub fn swaptions() -> WorkloadSpec {
+    let mut spec = base(
+        "swaptions",
+        IterProfile {
+            private_ops: 350_000,
+            private_read_pct: 72,
+            compute_pct: 35,
+            shared_reads: 500,
+            shared_rw_pairs: 0,
+            locked_updates: 0,
+            atomic_ops: 0,
+            racy_pairs: 0,
+        },
+    );
+    spec.init_shared_words = 64;
+    spec
+}
+
+/// `vips`: image-processing pipeline.
+pub fn vips() -> WorkloadSpec {
+    pipeline("vips", 4, 40, 20_000, 8)
+}
+
+/// `x264`: video-encoding pipeline with bigger frames flowing between
+/// stages.
+pub fn x264() -> WorkloadSpec {
+    pipeline("x264", 6, 30, 16_000, 16)
+}
+
+/// The full PARSEC-like suite, in canonical order.
+pub fn suite() -> Vec<WorkloadSpec> {
+    vec![
+        blackscholes(),
+        bodytrack(),
+        canneal(),
+        dedup(),
+        facesim(),
+        ferret(),
+        fluidanimate(),
+        freqmine(),
+        raytrace(),
+        streamcluster(),
+        swaptions(),
+        vips(),
+        x264(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scale;
+    use ddrace_program::{run_program, NullListener, SchedulerConfig};
+
+    #[test]
+    fn suite_has_thirteen_distinct_benchmarks() {
+        let s = suite();
+        assert_eq!(s.len(), 13);
+        let names: std::collections::HashSet<&str> = s.iter().map(|w| w.name.as_str()).collect();
+        assert_eq!(names.len(), 13);
+        for w in &s {
+            assert_eq!(w.suite, Suite::Parsec);
+            assert_eq!(w.iter.racy_pairs, 0, "{} must be race-clean", w.name);
+        }
+    }
+
+    #[test]
+    fn every_benchmark_runs_cleanly_at_test_scale() {
+        for spec in suite() {
+            let program = spec.program(Scale::TEST, 7);
+            let stats = run_program(program, SchedulerConfig::jittered(2), &mut NullListener)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", spec.name));
+            assert!(stats.ops_executed > 0, "{} executed nothing", spec.name);
+            assert_eq!(stats.orphan_threads, 0, "{} left orphans", spec.name);
+        }
+    }
+
+    #[test]
+    fn pipelines_use_pipeline_structure() {
+        for name in ["dedup", "ferret", "vips", "x264"] {
+            let spec = suite().into_iter().find(|w| w.name == name).unwrap();
+            assert!(
+                matches!(spec.structure, Structure::Pipeline { .. }),
+                "{name} must be a pipeline"
+            );
+        }
+    }
+
+    #[test]
+    fn canneal_is_the_sharing_extreme() {
+        let canneal = canneal();
+        let sharing =
+            canneal.iter.shared_rw_pairs + canneal.iter.atomic_ops + canneal.iter.locked_updates;
+        for w in suite() {
+            if matches!(w.structure, Structure::Pipeline { .. }) || w.name == "canneal" {
+                continue;
+            }
+            let other = w.iter.shared_rw_pairs + w.iter.atomic_ops + w.iter.locked_updates;
+            assert!(sharing >= other, "canneal must share most (vs {})", w.name);
+        }
+    }
+}

@@ -1,0 +1,294 @@
+//! Phoenix-like workloads.
+//!
+//! Phoenix (Ranger et al., HPCA 2007) is a shared-memory map-reduce suite;
+//! its programs scan large inputs with thread-private intermediate state
+//! and communicate only during small merge phases. The paper's
+//! demand-driven detector shines here — almost no inter-thread sharing
+//! means analysis stays off almost always (the abstract's 10× suite mean,
+//! and 51× for the most communication-free program, which our
+//! reconstruction maps to `linear_regression`).
+//!
+//! Input scans read a shared region that is *never written* in-program
+//! (real Phoenix mmaps input files, so no thread "wrote" those pages) —
+//! read-only sharing produces no HITM traffic and no detector work.
+
+use crate::spec::{IterProfile, Structure, Suite, WorkloadSpec};
+
+/// Default worker count for the suite.
+pub const PHOENIX_WORKERS: u32 = 8;
+
+fn base(name: &str, iter: IterProfile) -> WorkloadSpec {
+    WorkloadSpec {
+        name: name.to_string(),
+        suite: Suite::Phoenix,
+        workers: PHOENIX_WORKERS,
+        structure: Structure::ForkJoin {
+            iterations: 1,
+            barrier_per_iter: false,
+        },
+        iter,
+        init_shared_words: 64,
+        final_merge_words: 128,
+        // L1-resident private working sets: the scan loop runs at cache
+        // speed natively, which is exactly when instrumentation overhead
+        // is at its worst (the 30-60x continuous slowdowns Phoenix shows).
+        private_bytes: 16 * 1024,
+        shared_bytes: 64 * 1024,
+        hot_words: 8,
+        lock_count: 8,
+    }
+}
+
+/// `histogram`: bucket counts over a pixel scan; per-thread local
+/// histograms merged under locks at the end.
+pub fn histogram() -> WorkloadSpec {
+    let mut spec = base(
+        "histogram",
+        IterProfile {
+            private_ops: 400_000,
+            private_read_pct: 85,
+            compute_pct: 5,
+            shared_reads: 5_000,
+            shared_rw_pairs: 0,
+            locked_updates: 1_200,
+            atomic_ops: 0,
+            racy_pairs: 0,
+        },
+    );
+    spec.init_shared_words = 128;
+    spec.final_merge_words = 256;
+    spec
+}
+
+/// `kmeans`: iterative clustering; every iteration ends with a barrier
+/// and a locked centroid update all threads read next iteration.
+pub fn kmeans() -> WorkloadSpec {
+    let mut spec = base(
+        "kmeans",
+        IterProfile {
+            private_ops: 40_000,
+            private_read_pct: 75,
+            compute_pct: 15,
+            shared_reads: 4_000,
+            shared_rw_pairs: 30,
+            locked_updates: 60,
+            atomic_ops: 0,
+            racy_pairs: 0,
+        },
+    );
+    spec.structure = Structure::ForkJoin {
+        iterations: 8,
+        barrier_per_iter: true,
+    };
+    spec.init_shared_words = 256;
+    spec.hot_words = 16;
+    spec.lock_count = 16;
+    spec
+}
+
+/// `linear_regression`: a pure streaming scan with per-thread
+/// accumulators and a minuscule final reduction — the suite's
+/// near-zero-sharing extreme (the paper's 51× program in our mapping).
+pub fn linear_regression() -> WorkloadSpec {
+    let mut spec = base(
+        "linear_regression",
+        IterProfile {
+            private_ops: 700_000,
+            private_read_pct: 90,
+            compute_pct: 5,
+            shared_reads: 1_000,
+            shared_rw_pairs: 0,
+            locked_updates: 8,
+            atomic_ops: 0,
+            racy_pairs: 0,
+        },
+    );
+    // Real linear_regression mmaps its input: no thread writes it, so
+    // there is no first-touch W→R burst at startup.
+    spec.init_shared_words = 0;
+    spec.final_merge_words = 16;
+    spec.lock_count = 1;
+    spec
+}
+
+/// `matrix_multiply`: workers read main-initialized input matrices
+/// (one-time W→R sharing spread over the run) and write private output
+/// blocks.
+pub fn matrix_multiply() -> WorkloadSpec {
+    let mut spec = base(
+        "matrix_multiply",
+        IterProfile {
+            private_ops: 350_000,
+            private_read_pct: 80,
+            compute_pct: 15,
+            shared_reads: 30_000,
+            shared_rw_pairs: 0,
+            locked_updates: 0,
+            atomic_ops: 0,
+            racy_pairs: 0,
+        },
+    );
+    spec.init_shared_words = 2_048;
+    spec.final_merge_words = 512;
+    spec.shared_bytes = 128 * 1024;
+    spec
+}
+
+/// `pca`: two passes (means, covariance) with locked accumulator merges.
+pub fn pca() -> WorkloadSpec {
+    let mut spec = base(
+        "pca",
+        IterProfile {
+            private_ops: 180_000,
+            private_read_pct: 80,
+            compute_pct: 12,
+            shared_reads: 8_000,
+            shared_rw_pairs: 0,
+            locked_updates: 800,
+            atomic_ops: 0,
+            racy_pairs: 0,
+        },
+    );
+    spec.structure = Structure::ForkJoin {
+        iterations: 2,
+        barrier_per_iter: true,
+    };
+    spec.init_shared_words = 256;
+    spec.final_merge_words = 256;
+    spec.lock_count = 16;
+    spec
+}
+
+/// `reverse_index`: builds a shared link index under per-bucket locks —
+/// the most lock-intensive Phoenix program.
+pub fn reverse_index() -> WorkloadSpec {
+    let mut spec = base(
+        "reverse_index",
+        IterProfile {
+            private_ops: 200_000,
+            private_read_pct: 80,
+            compute_pct: 10,
+            shared_reads: 4_000,
+            shared_rw_pairs: 0,
+            locked_updates: 2_000,
+            atomic_ops: 0,
+            racy_pairs: 0,
+        },
+    );
+    spec.init_shared_words = 128;
+    spec.final_merge_words = 512;
+    spec.lock_count = 64;
+    spec.shared_bytes = 256 * 1024;
+    spec
+}
+
+/// `string_match`: scan for key matches; essentially no communication.
+pub fn string_match() -> WorkloadSpec {
+    let mut spec = base(
+        "string_match",
+        IterProfile {
+            private_ops: 450_000,
+            private_read_pct: 88,
+            compute_pct: 8,
+            shared_reads: 500,
+            shared_rw_pairs: 0,
+            locked_updates: 16,
+            atomic_ops: 0,
+            racy_pairs: 0,
+        },
+    );
+    spec.init_shared_words = 32;
+    spec.final_merge_words = 32;
+    spec
+}
+
+/// `word_count`: scan plus per-thread counts merged under bucket locks.
+pub fn word_count() -> WorkloadSpec {
+    let mut spec = base(
+        "word_count",
+        IterProfile {
+            private_ops: 300_000,
+            private_read_pct: 82,
+            compute_pct: 8,
+            shared_reads: 3_000,
+            shared_rw_pairs: 0,
+            locked_updates: 2_500,
+            atomic_ops: 0,
+            racy_pairs: 0,
+        },
+    );
+    spec.init_shared_words = 64;
+    spec.final_merge_words = 1_024;
+    spec.lock_count = 32;
+    spec.shared_bytes = 128 * 1024;
+    spec
+}
+
+/// The full Phoenix-like suite, in canonical order.
+pub fn suite() -> Vec<WorkloadSpec> {
+    vec![
+        histogram(),
+        kmeans(),
+        linear_regression(),
+        matrix_multiply(),
+        pca(),
+        reverse_index(),
+        string_match(),
+        word_count(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scale;
+    use ddrace_program::{run_program, NullListener, SchedulerConfig};
+
+    #[test]
+    fn suite_has_eight_distinct_benchmarks() {
+        let s = suite();
+        assert_eq!(s.len(), 8);
+        let names: std::collections::HashSet<&str> = s.iter().map(|w| w.name.as_str()).collect();
+        assert_eq!(names.len(), 8);
+        for w in &s {
+            assert_eq!(w.suite, Suite::Phoenix);
+            assert_eq!(w.iter.racy_pairs, 0, "{} must be race-clean", w.name);
+        }
+    }
+
+    #[test]
+    fn every_benchmark_runs_cleanly_at_test_scale() {
+        for spec in suite() {
+            let program = spec.program(Scale::TEST, 42);
+            let stats = run_program(program, SchedulerConfig::jittered(1), &mut NullListener)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", spec.name));
+            assert!(stats.ops_executed > 0, "{} executed nothing", spec.name);
+            assert_eq!(stats.orphan_threads, 0);
+        }
+    }
+
+    #[test]
+    fn linear_regression_is_the_low_sharing_extreme() {
+        // Communication per benchmark ≈ explicit sharing ops plus the
+        // main-initialized data workers will consume (per 8-word line).
+        let comm = |w: &WorkloadSpec| {
+            let iters = match w.structure {
+                Structure::ForkJoin { iterations, .. } => u64::from(iterations),
+                Structure::Pipeline { .. } => 1,
+            };
+            (w.iter.shared_rw_pairs + w.iter.locked_updates + w.iter.atomic_ops) * iters
+                + w.init_shared_words / 8
+        };
+        let lr = linear_regression();
+        for other in suite() {
+            if other.name == "linear_regression" {
+                continue;
+            }
+            assert!(
+                comm(&lr) < comm(&other),
+                "linear_regression must share least (vs {})",
+                other.name
+            );
+        }
+    }
+}

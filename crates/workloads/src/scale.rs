@@ -1,0 +1,68 @@
+//! Workload size presets.
+
+use serde::{Deserialize, Serialize};
+
+/// Scales the operation counts of every workload, like PARSEC's
+/// `simsmall`/`simlarge` input sets.
+///
+/// # Examples
+///
+/// ```
+/// use ddrace_workloads::Scale;
+/// assert!(Scale::TEST.apply(1_000) < Scale::SMALL.apply(1_000));
+/// assert_eq!(Scale::TEST.apply(0), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Scale {
+    /// Numerator of the scaling ratio applied to base op counts.
+    pub num: u64,
+    /// Denominator of the scaling ratio.
+    pub den: u64,
+}
+
+impl Scale {
+    /// Minimal size for unit tests: runs in milliseconds.
+    pub const TEST: Scale = Scale { num: 1, den: 10 };
+    /// Default experiment size: seconds per run.
+    pub const SMALL: Scale = Scale { num: 1, den: 1 };
+    /// Large size for headline numbers: tens of seconds per suite.
+    pub const LARGE: Scale = Scale { num: 8, den: 1 };
+
+    /// Applies the scale to a base count, keeping at least 1 for nonzero
+    /// bases (a scaled-down phase never disappears entirely).
+    pub fn apply(&self, base: u64) -> u64 {
+        if base == 0 {
+            return 0;
+        }
+        (base * self.num / self.den).max(1)
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale::SMALL
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered() {
+        let base = 10_000;
+        assert!(Scale::TEST.apply(base) < Scale::SMALL.apply(base));
+        assert!(Scale::SMALL.apply(base) < Scale::LARGE.apply(base));
+    }
+
+    #[test]
+    fn nonzero_floors_at_one() {
+        assert_eq!(Scale::TEST.apply(3), 1);
+        assert_eq!(Scale::TEST.apply(0), 0);
+    }
+
+    #[test]
+    fn default_is_small() {
+        assert_eq!(Scale::default(), Scale::SMALL);
+    }
+}

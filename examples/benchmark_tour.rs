@@ -1,0 +1,52 @@
+//! Benchmark tour: the paper's headline result in miniature.
+//!
+//! Runs one low-sharing Phoenix program and one high-sharing PARSEC
+//! program under native / continuous / demand-driven analysis and prints
+//! the slowdowns side by side — the reason demand-driven analysis is 10×
+//! on one suite and 3× on the other.
+//!
+//! ```sh
+//! cargo run --release --example benchmark_tour
+//! ```
+
+use ddrace::{parsec, phoenix, AnalysisMode, Scale, ScheduleError, SimConfig, Simulation};
+
+fn main() -> Result<(), ScheduleError> {
+    let scale = Scale::SMALL;
+    let seed = 42;
+
+    for spec in [
+        phoenix::linear_regression(),
+        phoenix::word_count(),
+        parsec::canneal(),
+    ] {
+        println!("=== {} ({}) ===", spec.name, spec.suite);
+        let run = |mode| Simulation::new(SimConfig::new(8, mode)).run(spec.program(scale, seed));
+        let native = run(AnalysisMode::Native)?;
+        let cont = run(AnalysisMode::Continuous)?;
+        let demand = run(AnalysisMode::demand_hitm())?;
+        println!("  native      {:>12} cycles", native.makespan);
+        println!(
+            "  continuous  {:>12} cycles   ({:.1}x slowdown)",
+            cont.makespan,
+            cont.slowdown_vs(&native)
+        );
+        println!(
+            "  demand      {:>12} cycles   ({:.1}x slowdown, {:.1}x speedup over continuous)",
+            demand.makespan,
+            demand.slowdown_vs(&native),
+            demand.speedup_over(&cont)
+        );
+        println!(
+            "  demand analyzed {:.2}% of accesses across {} enable(s); {} HITM loads seen",
+            demand.analyzed_fraction() * 100.0,
+            demand.controller.map(|c| c.enables).unwrap_or(0),
+            demand.cache.total_hitm_loads(),
+        );
+        println!(
+            "  analysis timeline  [{}]\n",
+            ddrace::result_timeline(&demand, 56)
+        );
+    }
+    Ok(())
+}

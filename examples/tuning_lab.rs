@@ -1,0 +1,54 @@
+//! Tuning lab: how the demand controller's knobs trade speed for
+//! detection coverage on a sparse racy workload.
+//!
+//! ```sh
+//! cargo run --release --example tuning_lab
+//! ```
+
+use ddrace::{
+    racy, AnalysisMode, ControllerConfig, IndicatorMode, Scale, ScheduleError, SimConfig,
+    Simulation,
+};
+
+fn main() -> Result<(), ScheduleError> {
+    let spec = racy::sparse_race();
+    let program = || spec.program(Scale::SMALL, 11);
+
+    let cont = Simulation::new(SimConfig::new(4, AnalysisMode::Continuous)).run(program())?;
+    println!(
+        "continuous baseline: {} cycles, {} racy vars\n",
+        cont.makespan, cont.races.distinct_addresses
+    );
+
+    println!(
+        "{:>10} {:>8} {:>10} {:>10} {:>10}",
+        "cooldown", "period", "speedup", "racy vars", "enables"
+    );
+    for period in [1u64, 10, 100] {
+        for cooldown in [500u64, 6_000, 50_000] {
+            let mode = AnalysisMode::Demand {
+                indicator: IndicatorMode::HitmSampling {
+                    period,
+                    skid: 20,
+                    include_rfo: false,
+                },
+                controller: ControllerConfig {
+                    cooldown_accesses: cooldown,
+                    min_on_accesses: 200,
+                    ..ControllerConfig::default()
+                },
+            };
+            let r = Simulation::new(SimConfig::new(4, mode)).run(program())?;
+            println!(
+                "{:>10} {:>8} {:>9.1}x {:>10} {:>10}",
+                cooldown,
+                period,
+                r.speedup_over(&cont),
+                r.races.distinct_addresses,
+                r.controller.map(|c| c.enables).unwrap_or(0),
+            );
+        }
+    }
+    println!("\nLarger sampling periods and shorter cooldowns are faster but miss more.");
+    Ok(())
+}

@@ -1,0 +1,340 @@
+//! `ddrace` — command-line front end for the simulator.
+//!
+//! ```text
+//! ddrace list
+//! ddrace run     --bench kmeans [--mode demand-hitm] [--scale small]
+//!                [--seed 42] [--cores 8] [--detector fasttrack]
+//!                [--inject-race N] [--json]
+//! ddrace compare --bench kmeans [--scale small] [--seed 42] [--cores 8]
+//! ddrace record  --bench kmeans --out trace.json [--scale test] [--seed 42]
+//! ddrace analyze --trace trace.json [--mode continuous] [--cores 8]
+//! ```
+
+use ddrace::{
+    AnalysisMode, DetectorKind, RunResult, Scale, SchedulerConfig, SimConfig, Simulation,
+    WorkloadSpec,
+};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let flags = match parse_flags(&args[1..]) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "list" => cmd_list(),
+        "run" => cmd_run(&flags),
+        "compare" => cmd_compare(&flags),
+        "record" => cmd_record(&flags),
+        "analyze" => cmd_analyze(&flags),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+ddrace — demand-driven race detection simulator
+
+USAGE:
+    ddrace list
+    ddrace run     (--bench NAME | --spec FILE) [--mode MODE] [--scale SCALE]
+                   [--seed N] [--cores N] [--detector KIND] [--inject-race N]
+                   [--json] [--detail] [--timeline]
+    ddrace compare --bench NAME [--scale SCALE] [--seed N] [--cores N]
+    ddrace record  --bench NAME --out FILE [--scale SCALE] [--seed N]
+    ddrace analyze --trace FILE [--mode MODE] [--cores N] [--detector KIND]
+
+MODES:      native | continuous | demand-hitm | demand-oracle
+SCALES:     test | small | large
+DETECTORS:  fasttrack | djit | lockset
+BENCHES:    see `ddrace list`";
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected a --flag, found `{}`", args[i]))?;
+        if key == "json" || key == "detail" || key == "timeline" {
+            flags.insert(key.to_string(), "true".to_string());
+            i += 1;
+            continue;
+        }
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("flag --{key} needs a value"))?;
+        flags.insert(key.to_string(), value.clone());
+        i += 2;
+    }
+    Ok(flags)
+}
+
+fn parse_mode(s: &str) -> Result<AnalysisMode, String> {
+    Ok(match s {
+        "native" => AnalysisMode::Native,
+        "continuous" => AnalysisMode::Continuous,
+        "demand-hitm" => AnalysisMode::demand_hitm(),
+        "demand-oracle" => AnalysisMode::demand_oracle(),
+        other => return Err(format!("unknown mode `{other}`")),
+    })
+}
+
+fn parse_scale(s: &str) -> Result<Scale, String> {
+    Ok(match s {
+        "test" => Scale::TEST,
+        "small" => Scale::SMALL,
+        "large" => Scale::LARGE,
+        other => return Err(format!("unknown scale `{other}`")),
+    })
+}
+
+fn parse_detector(s: &str) -> Result<DetectorKind, String> {
+    Ok(match s {
+        "fasttrack" => DetectorKind::FastTrack,
+        "djit" => DetectorKind::Djit,
+        "lockset" => DetectorKind::LockSet,
+        other => return Err(format!("unknown detector `{other}`")),
+    })
+}
+
+struct Common {
+    spec: WorkloadSpec,
+    scale: Scale,
+    seed: u64,
+    cores: usize,
+}
+
+fn parse_common(flags: &HashMap<String, String>) -> Result<Common, String> {
+    let mut spec = if let Some(path) = flags.get("spec") {
+        let json = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+        serde_json::from_str::<WorkloadSpec>(&json)
+            .map_err(|e| format!("invalid workload spec {path}: {e}"))?
+    } else {
+        let name = flags
+            .get("bench")
+            .ok_or("--bench NAME or --spec FILE is required")?;
+        ddrace::workloads::by_name(name)
+            .ok_or_else(|| format!("unknown benchmark `{name}` (try `ddrace list`)"))?
+    };
+    if let Some(n) = flags.get("inject-race") {
+        let pairs: u64 = n.parse().map_err(|_| "--inject-race takes a number")?;
+        spec = spec.with_injected_race(pairs);
+    }
+    let scale = parse_scale(flags.get("scale").map(String::as_str).unwrap_or("small"))?;
+    let seed = flags
+        .get("seed")
+        .map(|s| s.parse().map_err(|_| "--seed takes a number"))
+        .transpose()?
+        .unwrap_or(42);
+    let cores = flags
+        .get("cores")
+        .map(|s| s.parse().map_err(|_| "--cores takes a number"))
+        .transpose()?
+        .unwrap_or(8);
+    Ok(Common {
+        spec,
+        scale,
+        seed,
+        cores,
+    })
+}
+
+fn sim_config(
+    flags: &HashMap<String, String>,
+    cores: usize,
+    seed: u64,
+) -> Result<SimConfig, String> {
+    let mode = parse_mode(
+        flags
+            .get("mode")
+            .map(String::as_str)
+            .unwrap_or("demand-hitm"),
+    )?;
+    let mut cfg = SimConfig::new(cores, mode);
+    cfg.scheduler = SchedulerConfig {
+        quantum: 32,
+        seed,
+        jitter: true,
+    };
+    if let Some(d) = flags.get("detector") {
+        cfg.detector_kind = parse_detector(d)?;
+    }
+    Ok(cfg)
+}
+
+fn print_result(r: &RunResult, json: bool, detail: bool, timeline: bool) -> Result<(), String> {
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(r).map_err(|e| e.to_string())?
+        );
+        return Ok(());
+    }
+    println!("mode:               {}", r.mode);
+    println!("makespan:           {} cycles", r.makespan);
+    println!(
+        "memory accesses:    {} ({} analyzed)",
+        r.accesses_total, r.accesses_analyzed
+    );
+    println!("HITM loads:         {}", r.cache.total_hitm_loads());
+    println!("PMIs delivered:     {}", r.pmis);
+    if let Some(c) = r.controller {
+        println!(
+            "analysis toggles:   {} enables, {} disables",
+            c.enables, c.disables
+        );
+    }
+    println!("races (distinct):   {}", r.races.distinct);
+    if timeline {
+        println!("analysis timeline:  [{}]", ddrace::result_timeline(r, 60));
+    }
+    if detail {
+        for (report, &occ) in r
+            .races
+            .reports
+            .iter()
+            .zip(&r.races.report_occurrences)
+            .take(20)
+        {
+            println!();
+            print!("{}", ddrace::detector::render_report(report, occ));
+        }
+    } else {
+        for report in r.races.reports.iter().take(20) {
+            println!("  {report}");
+        }
+    }
+    if r.races.reports.len() > 20 {
+        println!("  ... and {} more", r.races.reports.len() - 20);
+    }
+    Ok(())
+}
+
+fn cmd_list() -> Result<(), String> {
+    println!("{:<22} {:<8} {:>8}", "benchmark", "suite", "threads");
+    println!("{}", "-".repeat(40));
+    for spec in ddrace::workloads::all_benchmarks()
+        .into_iter()
+        .chain(ddrace::racy::kernels())
+    {
+        println!(
+            "{:<22} {:<8} {:>8}",
+            spec.name,
+            spec.suite.to_string(),
+            spec.total_threads()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
+    let common = parse_common(flags)?;
+    let cfg = sim_config(flags, common.cores, common.seed)?;
+    let result = Simulation::new(cfg)
+        .run(common.spec.program(common.scale, common.seed))
+        .map_err(|e| e.to_string())?;
+    print_result(
+        &result,
+        flags.contains_key("json"),
+        flags.contains_key("detail"),
+        flags.contains_key("timeline"),
+    )
+}
+
+fn cmd_compare(flags: &HashMap<String, String>) -> Result<(), String> {
+    let common = parse_common(flags)?;
+    let run = |mode| -> Result<RunResult, String> {
+        let mut cfg = SimConfig::new(common.cores, mode);
+        cfg.scheduler = SchedulerConfig {
+            quantum: 32,
+            seed: common.seed,
+            jitter: true,
+        };
+        Simulation::new(cfg)
+            .run(common.spec.program(common.scale, common.seed))
+            .map_err(|e| e.to_string())
+    };
+    let native = run(AnalysisMode::Native)?;
+    println!(
+        "{:<14} {:>14} {:>10} {:>7} {:>10}",
+        "mode", "cycles", "slowdown", "races", "analyzed"
+    );
+    println!("{}", "-".repeat(60));
+    for mode in [
+        AnalysisMode::Native,
+        AnalysisMode::Continuous,
+        AnalysisMode::demand_hitm(),
+        AnalysisMode::demand_oracle(),
+    ] {
+        let r = run(mode)?;
+        println!(
+            "{:<14} {:>14} {:>9.1}x {:>7} {:>9.1}%",
+            r.mode,
+            r.makespan,
+            r.slowdown_vs(&native),
+            r.races.distinct,
+            r.analyzed_fraction() * 100.0
+        );
+    }
+    Ok(())
+}
+
+fn cmd_record(flags: &HashMap<String, String>) -> Result<(), String> {
+    let common = parse_common(flags)?;
+    let out = flags.get("out").ok_or("--out FILE is required")?;
+    let scheduler = SchedulerConfig {
+        quantum: 32,
+        seed: common.seed,
+        jitter: true,
+    };
+    let trace =
+        ddrace::program::Trace::record(common.spec.program(common.scale, common.seed), scheduler)
+            .map_err(|e| e.to_string())?;
+    let json = serde_json::to_string(&trace).map_err(|e| e.to_string())?;
+    std::fs::write(out, json).map_err(|e| e.to_string())?;
+    println!(
+        "recorded {} ops across {} threads to {out}",
+        trace.op_count(),
+        trace.thread_count()
+    );
+    Ok(())
+}
+
+fn cmd_analyze(flags: &HashMap<String, String>) -> Result<(), String> {
+    let path = flags.get("trace").ok_or("--trace FILE is required")?;
+    let json = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let trace: ddrace::program::Trace = serde_json::from_str(&json).map_err(|e| e.to_string())?;
+    let cores = flags
+        .get("cores")
+        .map(|s| s.parse().map_err(|_| "--cores takes a number"))
+        .transpose()?
+        .unwrap_or(8);
+    let cfg = sim_config(flags, cores, 0)?;
+    let result = Simulation::new(cfg).run_trace(&trace);
+    print_result(
+        &result,
+        flags.contains_key("json"),
+        flags.contains_key("detail"),
+        flags.contains_key("timeline"),
+    )
+}

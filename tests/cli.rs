@@ -1,0 +1,171 @@
+//! End-to-end tests of the `ddrace` CLI binary.
+
+use std::process::Command;
+
+fn ddrace() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ddrace"))
+}
+
+fn stdout_of(mut cmd: Command) -> String {
+    let out = cmd.output().expect("binary runs");
+    assert!(
+        out.status.success(),
+        "command failed: {}\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf8 output")
+}
+
+#[test]
+fn list_shows_all_suites() {
+    let out = stdout_of({
+        let mut c = ddrace();
+        c.arg("list");
+        c
+    });
+    for name in ["linear_regression", "canneal", "x264", "sparse_race"] {
+        assert!(out.contains(name), "missing {name} in:\n{out}");
+    }
+}
+
+#[test]
+fn run_reports_races_on_a_racy_kernel() {
+    let out = stdout_of({
+        let mut c = ddrace();
+        c.args([
+            "run",
+            "--bench",
+            "unprotected_counter",
+            "--scale",
+            "test",
+            "--mode",
+            "continuous",
+        ]);
+        c
+    });
+    assert!(out.contains("races (distinct)"));
+    assert!(!out.contains("races (distinct):   0"), "{out}");
+}
+
+#[test]
+fn run_with_timeline_and_detail() {
+    let out = stdout_of({
+        let mut c = ddrace();
+        c.args([
+            "run",
+            "--bench",
+            "mostly_locked",
+            "--scale",
+            "test",
+            "--mode",
+            "demand-hitm",
+            "--timeline",
+            "--detail",
+        ]);
+        c
+    });
+    assert!(out.contains("analysis timeline:"));
+    assert!(out.contains("WARNING: data race"));
+}
+
+#[test]
+fn run_json_is_parseable() {
+    let out = stdout_of({
+        let mut c = ddrace();
+        c.args([
+            "run",
+            "--bench",
+            "swaptions",
+            "--scale",
+            "test",
+            "--mode",
+            "native",
+            "--json",
+        ]);
+        c
+    });
+    let v: serde_json::Value = serde_json::from_str(&out).expect("valid JSON");
+    assert_eq!(v["mode"], "native");
+    assert!(v["makespan"].as_u64().unwrap() > 0);
+}
+
+#[test]
+fn compare_prints_all_modes() {
+    let out = stdout_of({
+        let mut c = ddrace();
+        c.args(["compare", "--bench", "string_match", "--scale", "test"]);
+        c
+    });
+    for mode in ["native", "continuous", "demand-hitm", "demand-oracle"] {
+        assert!(out.contains(mode), "missing {mode} in:\n{out}");
+    }
+}
+
+#[test]
+fn record_then_analyze_roundtrip() {
+    let dir = std::env::temp_dir().join(format!("ddrace-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace_path = dir.join("trace.json");
+
+    let out = stdout_of({
+        let mut c = ddrace();
+        c.args([
+            "record",
+            "--bench",
+            "sparse_race",
+            "--scale",
+            "test",
+            "--out",
+            trace_path.to_str().unwrap(),
+        ]);
+        c
+    });
+    assert!(out.contains("recorded"));
+
+    let out = stdout_of({
+        let mut c = ddrace();
+        c.args([
+            "analyze",
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--mode",
+            "continuous",
+        ]);
+        c
+    });
+    assert!(out.contains("races (distinct)"));
+    assert!(!out.contains("races (distinct):   0"), "{out}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unknown_benchmark_fails_helpfully() {
+    let out = ddrace()
+        .args(["run", "--bench", "nonexistent"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown benchmark"), "{stderr}");
+}
+
+#[test]
+fn inject_race_flag_plants_races() {
+    let out = stdout_of({
+        let mut c = ddrace();
+        c.args([
+            "run",
+            "--bench",
+            "string_match",
+            "--scale",
+            "test",
+            "--mode",
+            "continuous",
+            "--inject-race",
+            "50",
+        ]);
+        c
+    });
+    assert!(!out.contains("races (distinct):   0"), "{out}");
+}

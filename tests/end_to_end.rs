@@ -1,0 +1,170 @@
+//! Cross-crate integration: whole-pipeline behaviour of the simulator.
+
+use ddrace::{parsec, phoenix, racy, AnalysisMode, Scale, SimConfig, Simulation, WorkloadSpec};
+
+fn run(spec: &WorkloadSpec, cores: usize, mode: AnalysisMode) -> ddrace::RunResult {
+    let mut cfg = SimConfig::new(cores, mode);
+    cfg.scheduler = ddrace::SchedulerConfig {
+        quantum: 16,
+        seed: 3,
+        jitter: true,
+    };
+    Simulation::new(cfg)
+        .run(spec.program(Scale::TEST, 3))
+        .unwrap_or_else(|e| panic!("{} failed: {e}", spec.name))
+}
+
+#[test]
+fn every_benchmark_runs_under_every_mode() {
+    let modes = [
+        AnalysisMode::Native,
+        AnalysisMode::Continuous,
+        AnalysisMode::demand_hitm(),
+        AnalysisMode::demand_oracle(),
+    ];
+    for spec in ddrace::workloads::all_benchmarks() {
+        for mode in modes {
+            let r = run(&spec, 8, mode);
+            assert!(r.makespan > 0, "{}: empty run", spec.name);
+            assert_eq!(
+                r.schedule.orphan_threads, 0,
+                "{}: orphan threads",
+                spec.name
+            );
+        }
+    }
+}
+
+#[test]
+fn clean_benchmarks_report_no_races_in_any_mode() {
+    for spec in ddrace::workloads::all_benchmarks() {
+        for mode in [AnalysisMode::Continuous, AnalysisMode::demand_oracle()] {
+            let r = run(&spec, 8, mode);
+            assert_eq!(
+                r.races.distinct, 0,
+                "{} reported false races under {}: {:?}",
+                spec.name, r.mode, r.races.reports
+            );
+        }
+    }
+}
+
+#[test]
+fn schedules_are_mode_invariant() {
+    // Identical op streams and scheduler decisions regardless of the
+    // analysis mode — the property that makes slowdown ratios meaningful.
+    let spec = phoenix::kmeans();
+    let a = run(&spec, 8, AnalysisMode::Native);
+    let b = run(&spec, 8, AnalysisMode::Continuous);
+    let c = run(&spec, 8, AnalysisMode::demand_hitm());
+    assert_eq!(a.ops, b.ops);
+    assert_eq!(b.ops, c.ops);
+    assert_eq!(a.schedule, b.schedule);
+    assert_eq!(b.schedule, c.schedule);
+    // And the cache sees the same traffic.
+    assert_eq!(a.cache.sharing, b.cache.sharing);
+    assert_eq!(a.accesses_total, b.accesses_total);
+}
+
+#[test]
+fn mode_cost_ordering_holds() {
+    // native ≤ demand ≤ continuous on a low-sharing benchmark.
+    let spec = phoenix::linear_regression();
+    let native = run(&spec, 8, AnalysisMode::Native);
+    let demand = run(&spec, 8, AnalysisMode::demand_hitm());
+    let cont = run(&spec, 8, AnalysisMode::Continuous);
+    assert!(native.makespan <= demand.makespan);
+    assert!(demand.makespan <= cont.makespan);
+}
+
+#[test]
+fn demand_analyzes_a_strict_subset_of_accesses() {
+    for spec in [phoenix::histogram(), parsec::bodytrack()] {
+        let demand = run(&spec, 8, AnalysisMode::demand_hitm());
+        let cont = run(&spec, 8, AnalysisMode::Continuous);
+        assert!(
+            demand.accesses_analyzed < cont.accesses_analyzed,
+            "{}",
+            spec.name
+        );
+        // Continuous analyzes every data access it sees.
+        assert_eq!(
+            cont.accesses_analyzed,
+            cont.ops.reads + cont.ops.writes,
+            "{}: continuous must analyze all data accesses",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn racy_kernels_detected_under_demand() {
+    for spec in racy::kernels() {
+        let r = run(&spec, 4, AnalysisMode::demand_hitm());
+        if spec.name == "sparse_race" {
+            // The sparse kernel is *designed* to be missable by a
+            // demand-driven tool (a handful of racy accesses in a sea of
+            // private work); at TEST scale a miss is legitimate. The
+            // software baseline must still catch it.
+            let cont = run(&spec, 4, AnalysisMode::Continuous);
+            assert!(cont.races.distinct > 0, "continuous must catch sparse_race");
+            continue;
+        }
+        assert!(
+            r.races.distinct > 0,
+            "{}: demand-HITM missed all planted races",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn oracle_never_finds_fewer_racy_workloads_than_hitm() {
+    for spec in racy::kernels() {
+        let hitm = run(&spec, 4, AnalysisMode::demand_hitm());
+        let oracle = run(&spec, 4, AnalysisMode::demand_oracle());
+        assert!(
+            (oracle.races.distinct > 0) || (hitm.races.distinct == 0),
+            "{}: HITM found races the oracle missed entirely",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn pipeline_semaphores_balance() {
+    let spec = parsec::dedup();
+    let r = run(&spec, 8, AnalysisMode::Native);
+    assert_eq!(
+        r.ops.posts, r.ops.waits,
+        "pipeline posts and waits must pair"
+    );
+    assert!(r.ops.posts > 0);
+}
+
+#[test]
+fn residency_is_consistent_with_speedup() {
+    // More analyzed accesses must not make the run cheaper.
+    let low = run(&phoenix::string_match(), 8, AnalysisMode::demand_hitm());
+    let high = run(&parsec::canneal(), 8, AnalysisMode::demand_hitm());
+    assert!(low.analyzed_fraction() < high.analyzed_fraction());
+    let low_cont = run(&phoenix::string_match(), 8, AnalysisMode::Continuous);
+    let high_cont = run(&parsec::canneal(), 8, AnalysisMode::Continuous);
+    assert!(low.speedup_over(&low_cont) > high.speedup_over(&high_cont));
+}
+
+#[test]
+fn results_serialize_to_json() {
+    let r = run(&racy::unprotected_counter(), 4, AnalysisMode::demand_hitm());
+    let json = serde_json_roundtrip(&r);
+    assert!(json.contains("\"mode\""));
+    assert!(json.contains("demand-hitm"));
+}
+
+fn serde_json_roundtrip(r: &ddrace::RunResult) -> String {
+    // ddrace itself avoids a serde_json dependency; encode via the
+    // serde-serializable struct using a minimal in-test serializer check.
+    let json = serde_json::to_string(r).expect("RunResult serializes");
+    let _back: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+    json
+}

@@ -1,0 +1,117 @@
+//! The paper's qualitative claims, asserted as fast integration tests.
+//!
+//! These run at TEST scale so they are cheap; the quantitative versions
+//! live in `crates/bench` (see EXPERIMENTS.md). What must hold at any
+//! scale is the *shape*: who wins, and in what order.
+
+use ddrace::{parsec, phoenix, AnalysisMode, Scale, SchedulerConfig, SimConfig, Simulation};
+
+fn run(spec: &ddrace::WorkloadSpec, mode: AnalysisMode) -> ddrace::RunResult {
+    let mut cfg = SimConfig::new(8, mode);
+    cfg.scheduler = SchedulerConfig {
+        quantum: 32,
+        seed: 42,
+        jitter: true,
+    };
+    Simulation::new(cfg)
+        .run(spec.program(Scale::TEST, 42))
+        .unwrap()
+}
+
+fn speedup(spec: &ddrace::WorkloadSpec) -> f64 {
+    let cont = run(spec, AnalysisMode::Continuous);
+    let demand = run(spec, AnalysisMode::demand_hitm());
+    demand.speedup_over(&cont)
+}
+
+#[test]
+fn continuous_analysis_costs_an_order_of_magnitude_or_more() {
+    // Memory-bound programs (canneal at TEST scale is mostly cold
+    // misses) amortize instrumentation more, so their floor is lower.
+    for (spec, floor) in [
+        (phoenix::linear_regression(), 10.0),
+        (phoenix::histogram(), 10.0),
+        (parsec::canneal(), 4.0),
+    ] {
+        let native = run(&spec, AnalysisMode::Native);
+        let cont = run(&spec, AnalysisMode::Continuous);
+        let slowdown = cont.slowdown_vs(&native);
+        assert!(
+            slowdown > floor,
+            "{}: continuous slowdown {slowdown:.1}x suspiciously low",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn demand_driven_wins_and_wins_most_where_sharing_is_least() {
+    // The paper's central claim, in one ordering: the near-sharing-free
+    // Phoenix extreme gains far more than the sharing-heavy PARSEC
+    // extreme, and both beat 1x.
+    let lr = speedup(&phoenix::linear_regression());
+    let canneal = speedup(&parsec::canneal());
+    assert!(lr > 10.0, "linear_regression speedup {lr:.1}x too low");
+    assert!(
+        canneal >= 1.0,
+        "canneal must not lose outright: {canneal:.1}x"
+    );
+    assert!(
+        lr > 3.0 * canneal,
+        "ordering violated: lr {lr:.1}x vs canneal {canneal:.1}x"
+    );
+}
+
+#[test]
+fn oracle_indicator_is_at_least_as_good_as_hitm() {
+    // Residency may differ, but the oracle never analyzes less than the
+    // HITM indicator on the same schedule when both see periodic sharing.
+    for spec in [phoenix::kmeans(), parsec::bodytrack()] {
+        let hitm = run(&spec, AnalysisMode::demand_hitm());
+        let oracle = run(&spec, AnalysisMode::demand_oracle());
+        assert!(
+            oracle.accesses_analyzed >= hitm.accesses_analyzed / 2,
+            "{}: oracle analyzed drastically less than HITM",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn tool_attachment_overhead_is_small_when_analysis_never_runs() {
+    // Demand mode on a sharing-free program costs only the resident
+    // translator: a few percent, not integer factors.
+    let spec = phoenix::linear_regression();
+    let native = run(&spec, AnalysisMode::Native);
+    let demand = run(&spec, AnalysisMode::demand_hitm());
+    let slowdown = demand.slowdown_vs(&native);
+    assert!(
+        slowdown < 2.0,
+        "demand on sharing-free program should be near-native, got {slowdown:.2}x"
+    );
+}
+
+#[test]
+fn suite_ordering_phoenix_above_parsec() {
+    // Geomean over three representatives per suite — cheap but enough to
+    // pin the suite-level ordering the abstract reports (10x vs 3x).
+    let phx = [
+        phoenix::linear_regression(),
+        phoenix::histogram(),
+        phoenix::string_match(),
+    ];
+    let par = [
+        parsec::canneal(),
+        parsec::streamcluster(),
+        parsec::fluidanimate(),
+    ];
+    let gm = |specs: &[ddrace::WorkloadSpec]| {
+        ddrace::geomean(&specs.iter().map(speedup).collect::<Vec<_>>())
+    };
+    let phx_gm = gm(&phx);
+    let par_gm = gm(&par);
+    assert!(
+        phx_gm > par_gm,
+        "suite ordering violated: phoenix {phx_gm:.1}x vs parsec {par_gm:.1}x"
+    );
+}
