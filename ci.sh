@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Offline CI gate: formatting, lints, tier-1 build + tests.
+#
+# The workspace has no registry dependencies (see DESIGN.md "Dependencies"),
+# so everything here must pass with the network unplugged.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (all targets, warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> tier-1: cargo build --release"
+cargo build --release
+
+echo "==> tier-1: cargo test -q (root package)"
+cargo test -q
+
+echo "==> workspace tests"
+cargo test -q --workspace
+
+echo "CI green."

@@ -9,10 +9,9 @@
 use ddrace_bench::{pct, print_table, ratio, run_one_with, save_json, ExpContext};
 use ddrace_core::{AnalysisMode, DetectorKind};
 use ddrace_workloads::{phoenix, racy};
-use serde::Serialize;
 use std::time::Instant;
 
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 struct AblationRow {
     workload: String,
     detector: String,
@@ -21,6 +20,7 @@ struct AblationRow {
     escalations: u64,
     racy_vars: usize,
 }
+ddrace_json::json_struct!(@to AblationRow { workload, detector, wall_ms, fast_path_fraction, escalations, racy_vars });
 
 fn main() {
     let ctx = ExpContext::from_env();

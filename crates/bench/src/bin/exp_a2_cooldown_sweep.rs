@@ -9,9 +9,8 @@ use ddrace_bench::{print_table, ratio, run_one, run_one_with, save_json, ExpCont
 use ddrace_core::{AnalysisMode, ControllerConfig};
 use ddrace_pmu::IndicatorMode;
 use ddrace_workloads::{phoenix, racy};
-use serde::Serialize;
 
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 struct CooldownPoint {
     cooldown: u64,
     speedup_clean: f64,
@@ -19,6 +18,7 @@ struct CooldownPoint {
     racy_vars_found: usize,
     racy_events: u64,
 }
+ddrace_json::json_struct!(@to CooldownPoint { cooldown, speedup_clean, enables_clean, racy_vars_found, racy_events });
 
 fn main() {
     let ctx = ExpContext::from_env();

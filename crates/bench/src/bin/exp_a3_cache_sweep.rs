@@ -13,9 +13,8 @@ use ddrace_bench::{pct, print_table, save_json, ExpContext};
 use ddrace_cache::{CacheConfig, LevelConfig};
 use ddrace_core::{AnalysisMode, Simulation};
 use ddrace_workloads::racy;
-use serde::Serialize;
 
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 struct CachePoint {
     label: String,
     hitm_recall: f64,
@@ -24,6 +23,7 @@ struct CachePoint {
     racy_vars_hitm: usize,
     racy_vars_oracle: usize,
 }
+ddrace_json::json_struct!(@to CachePoint { label, hitm_recall, hitm_loads, true_wr, racy_vars_hitm, racy_vars_oracle });
 
 fn cache_with_l2(cores: usize, l2_sets: usize) -> CacheConfig {
     let mut cfg = CacheConfig::nehalem(cores);

@@ -17,9 +17,8 @@ use ddrace_bench::{pct, print_table, ratio, run_one, run_one_with, save_json, Ex
 use ddrace_core::{AnalysisMode, ControllerConfig, EnableScope};
 use ddrace_pmu::IndicatorMode;
 use ddrace_workloads::{parsec, phoenix, racy, WorkloadSpec};
-use serde::Serialize;
 
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 struct ScopeRow {
     workload: String,
     speedup_global: f64,
@@ -29,6 +28,7 @@ struct ScopeRow {
     racy_vars_global: usize,
     racy_vars_per_core: usize,
 }
+ddrace_json::json_struct!(@to ScopeRow { workload, speedup_global, speedup_per_core, analyzed_global, analyzed_per_core, racy_vars_global, racy_vars_per_core });
 
 fn demand(scope: EnableScope) -> AnalysisMode {
     AnalysisMode::Demand {

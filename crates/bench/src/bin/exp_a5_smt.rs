@@ -13,9 +13,8 @@
 use ddrace_bench::{print_table, save_json, ExpContext};
 use ddrace_core::{AnalysisMode, SimConfig, Simulation};
 use ddrace_workloads::{racy, Scale};
-use serde::Serialize;
 
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 struct SmtRow {
     cores: usize,
     threads: u32,
@@ -24,6 +23,7 @@ struct SmtRow {
     racy_vars_demand: usize,
     racy_vars_continuous: usize,
 }
+ddrace_json::json_struct!(@to SmtRow { cores, threads, hitm_loads, true_wr, racy_vars_demand, racy_vars_continuous });
 
 fn main() {
     let ctx = ExpContext::from_env();

@@ -12,9 +12,8 @@ use ddrace_bench::{pct, print_table, save_json, ExpContext};
 use ddrace_core::{AnalysisMode, ControllerConfig, Simulation};
 use ddrace_pmu::IndicatorMode;
 use ddrace_workloads::racy;
-use serde::Serialize;
 
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 struct PrefetchRow {
     prefetch: bool,
     period: u64,
@@ -23,6 +22,7 @@ struct PrefetchRow {
     hitm_recall: f64,
     racy_vars: usize,
 }
+ddrace_json::json_struct!(@to PrefetchRow { prefetch, period, hitm_loads, prefetch_steals, hitm_recall, racy_vars });
 
 fn main() {
     let ctx = ExpContext::from_env();

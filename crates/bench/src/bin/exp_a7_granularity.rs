@@ -13,9 +13,8 @@ use ddrace_core::{AnalysisMode, Simulation};
 use ddrace_detector::Granularity;
 use ddrace_program::{Program, ProgramBuilder, ThreadId};
 use ddrace_workloads::racy;
-use serde::Serialize;
 
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 struct GranRow {
     workload: String,
     granularity: String,
@@ -23,6 +22,7 @@ struct GranRow {
     distinct_reports: usize,
     shadow_accuracy_note: &'static str,
 }
+ddrace_json::json_struct!(@to GranRow { workload, granularity, racy_vars, distinct_reports, shadow_accuracy_note });
 
 /// Two threads write *different* words of the same cache line, fully
 /// fork/join ordered apart — a race-free program that only line-granular
@@ -37,12 +37,12 @@ fn false_sharing_kernel() -> Program {
     for _ in 0..100 {
         c1 = c1.write(line.index(0)).read(line.index(0));
     }
-    drop(c1);
+    let _ = c1;
     let mut c2 = b.on(t2);
     for _ in 0..100 {
         c2 = c2.write(line.index(32)).read(line.index(32));
     }
-    drop(c2);
+    let _ = c2;
     b.build()
 }
 

@@ -6,20 +6,35 @@
 //! continuous and racy variables found on a racy workload. A second
 //! sweep varies the interrupt **skid** at period 1: a late-delivered PMI
 //! enables analysis after the racy burst has already passed.
+//!
+//! Both sweeps run as [`ddrace_harness`] campaigns: the mode axis carries
+//! the sweep, so every point executes in parallel on the worker pool.
 
-use ddrace_bench::{print_table, ratio, run_one, run_one_with, save_json, ExpContext};
+use ddrace_bench::{host_workers, print_table, ratio, save_json, ExpContext};
 use ddrace_core::{AnalysisMode, ControllerConfig};
+use ddrace_harness::{run_campaign, Campaign, EventSink};
 use ddrace_pmu::IndicatorMode;
 use ddrace_workloads::{phoenix, racy};
-use serde::Serialize;
 
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 struct SweepPoint {
     period: u64,
     speedup_clean: f64,
     pmis_clean: u64,
     racy_vars_found: usize,
     speedup_racy: f64,
+}
+ddrace_json::json_struct!(@to SweepPoint { period, speedup_clean, pmis_clean, racy_vars_found, speedup_racy });
+
+fn demand_at(period: u64, skid: u32) -> AnalysisMode {
+    AnalysisMode::Demand {
+        indicator: IndicatorMode::HitmSampling {
+            period,
+            skid,
+            include_rfo: false,
+        },
+        controller: ControllerConfig::default(),
+    }
 }
 
 fn main() {
@@ -29,31 +44,45 @@ fn main() {
         ctx.scale, ctx.seed
     );
 
-    let clean = phoenix::kmeans();
-    let racy_spec = racy::sparse_race();
-    let cont_clean = run_one(&ctx, &clean, AnalysisMode::Continuous);
-    let cont_racy = run_one(&ctx, &racy_spec, AnalysisMode::Continuous);
+    let periods = [1u64, 2, 5, 10, 20, 50, 100, 500, 1000];
+    let skids = [0u32, 10, 20, 100, 500, 2_000];
 
-    let mut points = Vec::new();
-    for period in [1u64, 2, 5, 10, 20, 50, 100, 500, 1000] {
-        let mode = AnalysisMode::Demand {
-            indicator: IndicatorMode::HitmSampling {
+    // Mode axis: continuous baseline first, then one demand mode per
+    // period. Workload axis: the clean and the racy benchmark. One
+    // campaign covers the whole period sweep.
+    let mut modes = vec![AnalysisMode::Continuous];
+    modes.extend(periods.iter().map(|&p| demand_at(p, 20)));
+    let campaign = Campaign::builder("f6-period-sweep")
+        .workloads([phoenix::kmeans(), racy::sparse_race()])
+        .modes(modes.clone())
+        .seeds([ctx.seed])
+        .scale(ctx.scale)
+        .cores(ctx.cores)
+        .build();
+    let report = run_campaign(&campaign, host_workers(), &EventSink::null());
+    let get = |workload: usize, mode: usize| {
+        report
+            .result(workload * modes.len() + mode)
+            .expect("F6 job failed")
+    };
+    let cont_clean = get(0, 0);
+    let cont_racy = get(1, 0);
+
+    let points: Vec<SweepPoint> = periods
+        .iter()
+        .enumerate()
+        .map(|(i, &period)| {
+            let demand_clean = get(0, 1 + i);
+            let demand_racy = get(1, 1 + i);
+            SweepPoint {
                 period,
-                skid: 20,
-                include_rfo: false,
-            },
-            controller: ControllerConfig::default(),
-        };
-        let demand_clean = run_one_with(&ctx, &clean, ctx.sim_config(mode));
-        let demand_racy = run_one_with(&ctx, &racy_spec, ctx.sim_config(mode));
-        points.push(SweepPoint {
-            period,
-            speedup_clean: demand_clean.speedup_over(&cont_clean),
-            pmis_clean: demand_clean.pmis,
-            racy_vars_found: demand_racy.races.distinct_addresses,
-            speedup_racy: demand_racy.speedup_over(&cont_racy),
-        });
-    }
+                speedup_clean: demand_clean.speedup_over(cont_clean),
+                pmis_clean: demand_clean.pmis,
+                racy_vars_found: demand_racy.races.distinct_addresses,
+                speedup_racy: demand_racy.speedup_over(cont_racy),
+            }
+        })
+        .collect();
 
     let table: Vec<Vec<String>> = points
         .iter()
@@ -84,29 +113,34 @@ fn main() {
 
     // Skid sweep at period 1: how late may the interrupt land before the
     // enable misses the burst?
-    #[derive(Debug, Serialize)]
+    #[derive(Debug)]
     struct SkidPoint {
         skid: u32,
         racy_vars_found: usize,
         pmis: u64,
     }
-    let mut skid_points = Vec::new();
-    for skid in [0u32, 10, 20, 100, 500, 2_000] {
-        let mode = AnalysisMode::Demand {
-            indicator: IndicatorMode::HitmSampling {
-                period: 1,
+    ddrace_json::json_struct!(@to SkidPoint { skid, racy_vars_found, pmis });
+
+    let skid_campaign = Campaign::builder("f6-skid-sweep")
+        .workloads([racy::sparse_race()])
+        .modes(skids.iter().map(|&s| demand_at(1, s)))
+        .seeds([ctx.seed])
+        .scale(ctx.scale)
+        .cores(ctx.cores)
+        .build();
+    let skid_report = run_campaign(&skid_campaign, host_workers(), &EventSink::null());
+    let skid_points: Vec<SkidPoint> = skids
+        .iter()
+        .enumerate()
+        .map(|(i, &skid)| {
+            let r = skid_report.result(i).expect("F6 skid job failed");
+            SkidPoint {
                 skid,
-                include_rfo: false,
-            },
-            controller: ControllerConfig::default(),
-        };
-        let r = run_one_with(&ctx, &racy_spec, ctx.sim_config(mode));
-        skid_points.push(SkidPoint {
-            skid,
-            racy_vars_found: r.races.distinct_addresses,
-            pmis: r.pmis,
-        });
-    }
+                racy_vars_found: r.races.distinct_addresses,
+                pmis: r.pmis,
+            }
+        })
+        .collect();
     println!();
     let skid_table: Vec<Vec<String>> = skid_points
         .iter()

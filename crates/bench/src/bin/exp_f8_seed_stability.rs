@@ -8,9 +8,8 @@
 use ddrace_bench::{print_table, ratio, save_json, ExpContext};
 use ddrace_core::{geomean, AnalysisMode, Simulation};
 use ddrace_workloads::{parsec, phoenix, WorkloadSpec};
-use serde::Serialize;
 
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 struct StabilityRow {
     benchmark: String,
     speedups: Vec<f64>,
@@ -18,6 +17,7 @@ struct StabilityRow {
     mean: f64,
     max: f64,
 }
+ddrace_json::json_struct!(@to StabilityRow { benchmark, speedups, min, mean, max });
 
 fn main() {
     let ctx = ExpContext::from_env();

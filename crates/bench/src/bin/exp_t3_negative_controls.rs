@@ -13,15 +13,15 @@ use ddrace_bench::{print_table, save_json, ExpContext};
 use ddrace_core::{AnalysisMode, DetectorKind, SimConfig, Simulation};
 use ddrace_program::Program;
 use ddrace_workloads::{all_benchmarks, clean, Scale};
-use serde::Serialize;
 
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 struct ControlRow {
     workload: String,
     fasttrack: usize,
     djit: usize,
     lockset: usize,
 }
+ddrace_json::json_struct!(@to ControlRow { workload, fasttrack, djit, lockset });
 
 fn run(program: Program, kind: DetectorKind, cores: usize, seed: u64) -> usize {
     let mut cfg = SimConfig::new(cores, AnalysisMode::Continuous);

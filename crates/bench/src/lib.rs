@@ -2,15 +2,17 @@
 //!
 //! One binary per table/figure (see `DESIGN.md` for the experiment
 //! index); this library holds what they share: an environment-driven
-//! [`ExpContext`], mode runners that parallelize *across* benchmarks (each
-//! simulated run is single-threaded and deterministic), plain-text table
-//! printing, and JSON result dumps under `results/`.
+//! [`ExpContext`], mode runners built on the [`ddrace_harness`] campaign
+//! executor (each simulated run is single-threaded and deterministic, so
+//! the harness parallelizes *across* jobs), plain-text table printing,
+//! and JSON result dumps under `results/`.
 //!
 //! Environment knobs:
 //!
 //! * `DDRACE_SCALE` — `test`, `small` (default), or `large`;
 //! * `DDRACE_SEED` — base RNG seed (default 42);
 //! * `DDRACE_CORES` — simulated cores (default 8);
+//! * `DDRACE_WORKERS` — host worker threads (default: all cores);
 //! * `DDRACE_RESULTS_DIR` — where JSON dumps go (default `results/`).
 
 #![warn(missing_docs)]
@@ -18,12 +20,14 @@
 #![forbid(unsafe_code)]
 
 use ddrace_core::{AnalysisMode, RunResult, SimConfig, Simulation};
+use ddrace_harness::{run_campaign, Campaign, EventSink};
+use ddrace_json::ToJson;
 use ddrace_program::SchedulerConfig;
 use ddrace_workloads::{Scale, WorkloadSpec};
-use parking_lot::Mutex;
-use serde::Serialize;
 use std::io::Write as _;
 use std::path::PathBuf;
+
+pub use ddrace_harness::SuiteRow as ModeRow;
 
 /// Shared experiment configuration, read from the environment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -107,52 +111,57 @@ pub fn run_one_with(ctx: &ExpContext, spec: &WorkloadSpec, config: SimConfig) ->
         .unwrap_or_else(|e| panic!("workload {} failed to schedule: {e}", spec.name))
 }
 
-/// One benchmark's results across a set of modes.
-#[derive(Debug, Clone, Serialize)]
-pub struct ModeRow {
-    /// Benchmark name.
-    pub name: String,
-    /// Suite label.
-    pub suite: String,
-    /// Results in the same order as the requested modes.
-    pub runs: Vec<RunResult>,
+/// Host worker-thread count for campaign execution: `DDRACE_WORKERS`, or
+/// every available core.
+pub fn host_workers() -> usize {
+    std::env::var("DDRACE_WORKERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        })
 }
 
-/// Runs every workload under every mode, parallelizing across workloads
-/// with host threads. Results keep the input order.
+/// Builds the [`Campaign`] that [`run_matrix`] executes: every workload
+/// under every mode at the context's scale, seed, and core count.
+pub fn matrix_campaign(
+    ctx: &ExpContext,
+    name: &str,
+    specs: &[WorkloadSpec],
+    modes: &[AnalysisMode],
+) -> Campaign {
+    Campaign::builder(name)
+        .workloads(specs.iter().cloned())
+        .modes(modes.iter().copied())
+        .seeds([ctx.seed])
+        .scale(ctx.scale)
+        .cores(ctx.cores)
+        .build()
+}
+
+/// Runs every workload under every mode on the campaign harness's worker
+/// pool. Results keep the input order.
+///
+/// # Panics
+///
+/// Panics if any job fails — experiment workloads are expected to be
+/// well-formed, so a failure is a generator or simulator bug.
 pub fn run_matrix(
     ctx: &ExpContext,
     specs: &[WorkloadSpec],
     modes: &[AnalysisMode],
 ) -> Vec<ModeRow> {
-    let results: Mutex<Vec<Option<ModeRow>>> = Mutex::new(vec![None; specs.len()]);
-    let next: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
-    let host_threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4);
-    crossbeam::scope(|scope| {
-        for _ in 0..host_threads.min(specs.len()) {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= specs.len() {
-                    break;
-                }
-                let spec = &specs[i];
-                let runs: Vec<RunResult> = modes.iter().map(|&m| run_one(ctx, spec, m)).collect();
-                results.lock()[i] = Some(ModeRow {
-                    name: spec.name.clone(),
-                    suite: spec.suite.to_string(),
-                    runs,
-                });
-            });
+    let campaign = matrix_campaign(ctx, "matrix", specs, modes);
+    let report = run_campaign(&campaign, host_workers(), &EventSink::null());
+    for record in &report.records {
+        if let Err(reason) = &record.outcome {
+            panic!("workload {} failed: {reason}", record.label);
         }
-    })
-    .expect("experiment worker panicked");
-    results
-        .into_inner()
-        .into_iter()
-        .map(|r| r.expect("all rows filled"))
-        .collect()
+    }
+    report.rows()
 }
 
 /// Prints a fixed-width table: a header row then data rows.
@@ -188,15 +197,14 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
 /// `DDRACE_RESULTS_DIR`), creating the directory if needed. Prints the
 /// path written. Failures are reported but not fatal — the printed table
 /// is the primary output.
-pub fn save_json<T: Serialize>(name: &str, value: &T) {
+pub fn save_json<T: ToJson>(name: &str, value: &T) {
     let dir = std::env::var("DDRACE_RESULTS_DIR").unwrap_or_else(|_| "results".to_string());
     let dir = PathBuf::from(dir);
     let write = || -> std::io::Result<PathBuf> {
         std::fs::create_dir_all(&dir)?;
         let path = dir.join(format!("{name}.json"));
         let mut f = std::fs::File::create(&path)?;
-        let json = serde_json::to_string_pretty(value)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::Other, e))?;
+        let json = ddrace_json::to_string_pretty(value).map_err(std::io::Error::other)?;
         f.write_all(json.as_bytes())?;
         Ok(path)
     };

@@ -1,7 +1,5 @@
 //! Cache hierarchy configuration.
 
-use serde::{Deserialize, Serialize};
-
 /// Geometry of one cache level.
 ///
 /// # Examples
@@ -12,7 +10,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(l1.lines(), 512);
 /// assert_eq!(l1.capacity_bytes(64), 32 * 1024);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct LevelConfig {
     /// Number of sets. Must be a power of two.
     pub sets: usize,
@@ -64,7 +62,7 @@ impl LevelConfig {
 /// let tiny = CacheConfig::tiny(2);
 /// assert!(tiny.l1.lines() < cfg.l1.lines());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Number of cores (each with a private L1 and L2). At most 64.
     pub cores: usize,
@@ -257,3 +255,22 @@ mod tests {
         cfg.validate();
     }
 }
+
+ddrace_json::json_struct!(LevelConfig {
+    sets,
+    ways,
+    latency
+});
+ddrace_json::json_struct!(CacheConfig {
+    cores,
+    line_size,
+    l1,
+    l2,
+    l3,
+    mem_latency,
+    c2c_latency,
+    upgrade_latency,
+    atomic_latency,
+    track_sharing,
+    prefetch_next_line
+});

@@ -1,10 +1,9 @@
 //! Per-access outcomes and coherence events.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a core in the simulated machine.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct CoreId(pub u32);
 
 impl CoreId {
@@ -26,7 +25,7 @@ impl fmt::Display for CoreId {
 }
 
 /// Where in the hierarchy an access was satisfied.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum HitWhere {
     /// Private L1 hit.
     L1,
@@ -60,7 +59,7 @@ impl HitWhere {
 ///
 /// Events fire once per communication: a W→R fires the first time each
 /// remote core reads a given write, not on every subsequent re-read.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SharingKind {
     /// This read observed data last written by another core.
     WriteRead,
@@ -91,7 +90,7 @@ impl fmt::Display for SharingKind {
 /// modified line are reported separately in `rfo_hitm_owner` because the
 /// hardware load event does *not* count them (a key imprecision the paper
 /// works around).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AccessResult {
     /// Total latency of the access in cycles.
     pub latency: u32,
@@ -190,3 +189,26 @@ mod tests {
         );
     }
 }
+
+ddrace_json::json_newtype!(CoreId);
+ddrace_json::json_unit_enum!(HitWhere {
+    L1,
+    L2,
+    L3,
+    RemoteCache,
+    Memory
+});
+ddrace_json::json_unit_enum!(SharingKind {
+    WriteRead,
+    WriteWrite,
+    ReadWrite
+});
+ddrace_json::json_struct!(AccessResult {
+    latency,
+    hit,
+    line,
+    hitm_owner,
+    rfo_hitm_owner,
+    invalidations,
+    sharing
+});

@@ -1,6 +1,5 @@
 //! MESI coherence states.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The MESI state of a line in a private cache.
@@ -16,7 +15,7 @@ use std::fmt;
 /// assert!(MesiState::Exclusive.can_write_silently());
 /// assert!(!MesiState::Shared.can_write_silently());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MesiState {
     /// Only copy, dirty with respect to lower levels.
     Modified,
@@ -88,3 +87,10 @@ mod tests {
         assert_eq!(format!("{}", MesiState::Invalid), "I");
     }
 }
+
+ddrace_json::json_unit_enum!(MesiState {
+    Modified,
+    Exclusive,
+    Shared,
+    Invalid
+});

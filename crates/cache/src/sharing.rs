@@ -45,7 +45,7 @@ pub struct SharingTracker {
 }
 
 /// Totals of ground-truth sharing events by kind.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SharingCounts {
     /// Write→read communications.
     pub write_read: u64,
@@ -225,3 +225,9 @@ mod tests {
         assert_eq!(rw, Some(SharingKind::ReadWrite));
     }
 }
+
+ddrace_json::json_struct!(SharingCounts {
+    write_read,
+    write_write,
+    read_write
+});

@@ -1,10 +1,9 @@
 //! Counters maintained by the cache hierarchy.
 
 use crate::sharing::SharingCounts;
-use serde::{Deserialize, Serialize};
 
 /// Per-core cache activity counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CoreCacheStats {
     /// Total accesses issued by the core.
     pub accesses: u64,
@@ -52,7 +51,7 @@ impl CoreCacheStats {
 }
 
 /// Machine-wide cache statistics.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CacheStats {
     /// Per-core counters, indexed by core id.
     pub per_core: Vec<CoreCacheStats>,
@@ -166,3 +165,30 @@ mod tests {
         assert!((c.l1_hit_rate() - 0.7).abs() < 1e-12);
     }
 }
+
+ddrace_json::json_struct!(CoreCacheStats {
+    accesses,
+    reads,
+    writes,
+    l1_hits,
+    l2_hits,
+    l3_hits,
+    remote_hits,
+    mem_accesses,
+    hitm_loads,
+    rfo_hitms,
+    upgrades,
+    invalidations_received,
+    l2_evictions,
+    l2_dirty_evictions,
+    total_latency
+});
+ddrace_json::json_struct!(CacheStats {
+    per_core,
+    sharing,
+    l3_evictions,
+    back_invalidations,
+    memory_writebacks,
+    prefetches,
+    prefetch_steals
+});

@@ -8,10 +8,9 @@
 //! indicator re-arms.
 
 use crate::mode::ControllerConfig;
-use serde::{Deserialize, Serialize};
 
 /// Whether memory-access analysis is currently enabled.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AnalysisState {
     /// Uninstrumented execution; hardware indicator armed.
     Off,
@@ -20,7 +19,7 @@ pub enum AnalysisState {
 }
 
 /// Counters the controller exposes for experiments.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ControllerStats {
     /// Off→On transitions taken.
     pub enables: u64,
@@ -219,3 +218,10 @@ mod tests {
         assert_eq!(c.stats().disables, 0);
     }
 }
+
+ddrace_json::json_unit_enum!(AnalysisState { Off, On });
+ddrace_json::json_struct!(ControllerStats {
+    enables,
+    disables,
+    redundant_signals
+});

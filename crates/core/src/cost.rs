@@ -17,8 +17,6 @@
 //! Defaults are calibrated so continuous analysis lands in the 30–100×
 //! slowdown band the paper reports for Inspector XE-class tools.
 
-use serde::{Deserialize, Serialize};
-
 /// Cycle costs of the tool and machine events.
 ///
 /// # Examples
@@ -32,7 +30,7 @@ use serde::{Deserialize, Serialize};
 /// // ...but analyzed accesses pay the full instrumentation cost.
 /// assert!(m.analysis_per_access > 50);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CostModel {
     /// Added cycles per analyzed memory access (shadow lookup, epoch/VC
     /// comparison, occasional report path).
@@ -102,3 +100,12 @@ mod tests {
         assert!(m.translator_overhead_pct < 10);
     }
 }
+
+ddrace_json::json_struct!(CostModel {
+    analysis_per_access,
+    analysis_per_sync,
+    translator_overhead_pct,
+    pmi_cost,
+    toggle_cost,
+    thread_mgmt_cost
+});

@@ -5,10 +5,9 @@ use ddrace_cache::CacheConfig;
 use ddrace_detector::DetectorConfig;
 use ddrace_pmu::IndicatorMode;
 use ddrace_program::SchedulerConfig;
-use serde::{Deserialize, Serialize};
 
 /// Whose instrumentation a sharing signal enables.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum EnableScope {
     /// One signal anywhere enables analysis for **every** thread — the
     /// paper's design. Conservative: any access racing with the shared
@@ -24,7 +23,7 @@ pub enum EnableScope {
 }
 
 /// Demand-driven controller tuning.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ControllerConfig {
     /// Disable analysis after this many consecutive *analyzed* memory
     /// accesses with no inter-thread sharing observed in software.
@@ -48,7 +47,7 @@ impl Default for ControllerConfig {
 }
 
 /// How the race-analysis tool runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AnalysisMode {
     /// No tool attached at all: pure native execution. The baseline every
     /// slowdown is computed against.
@@ -108,7 +107,7 @@ impl AnalysisMode {
 }
 
 /// Which race-detection algorithm the tool runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum DetectorKind {
     /// FastTrack happens-before (the commercial-tool design; default).
     #[default]
@@ -215,3 +214,20 @@ mod tests {
         assert!(c.cooldown_accesses > c.min_on_accesses);
     }
 }
+
+ddrace_json::json_unit_enum!(EnableScope { Global, PerCore });
+ddrace_json::json_struct!(ControllerConfig {
+    cooldown_accesses,
+    min_on_accesses,
+    scope
+});
+ddrace_json::json_enum!(AnalysisMode {
+    Native,
+    Continuous,
+    Demand { indicator, controller }
+});
+ddrace_json::json_unit_enum!(DetectorKind {
+    FastTrack,
+    Djit,
+    LockSet
+});

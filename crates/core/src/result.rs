@@ -5,10 +5,9 @@ use crate::timeline::ToggleEvent;
 use ddrace_cache::CacheStats;
 use ddrace_detector::{DetectorStats, RaceReport};
 use ddrace_program::{OpCounts, RunStats};
-use serde::{Deserialize, Serialize};
 
 /// Summary of the races a run detected.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RaceSummary {
     /// Distinct races (deduplicated pairs).
     pub distinct: usize,
@@ -23,7 +22,7 @@ pub struct RaceSummary {
 }
 
 /// Everything measured in one run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RunResult {
     /// The mode label ("native", "continuous", "demand-hitm", ...).
     pub mode: String,
@@ -161,3 +160,28 @@ mod tests {
         assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
     }
 }
+
+ddrace_json::json_struct!(RaceSummary {
+    distinct,
+    distinct_addresses,
+    occurrences,
+    reports,
+    report_occurrences
+});
+ddrace_json::json_struct!(RunResult {
+    mode,
+    makespan,
+    core_cycles,
+    races,
+    cache,
+    detector,
+    controller,
+    schedule,
+    ops,
+    accesses_total,
+    accesses_analyzed,
+    pmis,
+    enabled_cycles,
+    total_cycles,
+    timeline
+});

@@ -79,6 +79,7 @@ impl Simulation {
     ///
     /// Propagates scheduler errors (deadlock, sync misuse).
     pub fn run(&self, program: Program) -> Result<RunResult, ScheduleError> {
+        let _span = ddrace_telemetry::span("sim.run");
         let mut state = SimState::new(&self.config);
         let schedule = Scheduler::new(program, self.config.scheduler).run(&mut state)?;
         Ok(state.into_result(schedule, self.config.mode.label()))
@@ -385,7 +386,33 @@ impl SimState {
         }
     }
 
+    /// Flushes the run's headline counters into the ambient telemetry
+    /// sink. Every value is a simulated (deterministic) quantity, so the
+    /// harness can put them in its byte-reproducible aggregate. A no-op
+    /// when no sink is installed (any non-campaign use of the simulator).
+    fn emit_telemetry(&self) {
+        use ddrace_telemetry::counter;
+        counter("sim.cycles", self.total_cycles);
+        counter("sim.cycles_enabled", self.enabled_cycles);
+        counter("sim.accesses", self.accesses_total);
+        counter("sim.accesses_analyzed", self.accesses_analyzed);
+        counter("sim.pmis", self.pmis);
+        let enables = self
+            .timeline
+            .iter()
+            .filter(|e| e.kind == ToggleKind::Enable)
+            .count() as u64;
+        counter("sim.enables", enables);
+        counter("sim.disables", self.timeline.len() as u64 - enables);
+        counter("cache.hitm_loads", self.cache.stats().total_hitm_loads());
+        counter("cache.rfo_hitms", self.cache.stats().total_rfo_hitms());
+        if let Some(d) = &self.detector {
+            d.stats().emit_telemetry();
+        }
+    }
+
     fn into_result(self, schedule: ddrace_program::RunStats, mode: &str) -> RunResult {
+        self.emit_telemetry();
         let races = match &self.detector {
             Some(d) => {
                 let set = d.reports();
@@ -492,7 +519,7 @@ mod tests {
             main = main.write(shared).read(shared);
         }
         let main = main.join(t1);
-        drop(main);
+        let _ = main;
         let mut w = b.on(t1);
         for i in 0..private_ops {
             w = w.write(priv1.index(i as u64 * 8));
@@ -500,7 +527,7 @@ mod tests {
         for _ in 0..50 {
             w = w.write(shared).read(shared);
         }
-        drop(w);
+        let _ = w;
         b.build()
     }
 
@@ -517,14 +544,14 @@ mod tests {
                 .read(priv0.index(i as u64 * 8));
         }
         let main = main.join(t1);
-        drop(main);
+        let _ = main;
         let mut w = b.on(t1);
         for i in 0..ops {
             w = w
                 .write(priv1.index(i as u64 * 8))
                 .read(priv1.index(i as u64 * 8));
         }
-        drop(w);
+        let _ = w;
         b.build()
     }
 

@@ -8,10 +8,9 @@
 //! nearly solid `#` on canneal).
 
 use crate::result::RunResult;
-use serde::{Deserialize, Serialize};
 
 /// What happened at a timeline point.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ToggleKind {
     /// Analysis switched on (a sharing signal arrived while off).
     Enable,
@@ -22,7 +21,7 @@ pub enum ToggleKind {
 /// One analysis transition, stamped in aggregate-cycle time (the sum of
 /// cycles charged across all cores up to that moment — monotonic and
 /// schedule-stable).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ToggleEvent {
     /// Aggregate cycles consumed when the transition happened.
     pub at_total_cycles: u64,
@@ -190,3 +189,9 @@ mod tests {
         let _ = render_timeline(&[], 10, true, 0);
     }
 }
+
+ddrace_json::json_unit_enum!(ToggleKind { Enable, Disable });
+ddrace_json::json_struct!(ToggleEvent {
+    at_total_cycles,
+    kind
+});

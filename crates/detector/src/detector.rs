@@ -3,13 +3,12 @@
 
 use crate::report::RaceReportSet;
 use ddrace_program::{AccessKind, Addr, BarrierId, Op, ThreadId};
-use serde::{Deserialize, Serialize};
 
 /// Shadow-memory granularity: the unit at which accesses are checked.
 ///
 /// Commercial detectors commonly shadow at 4- or 8-byte granularity;
 /// line granularity trades false sharing for memory.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Granularity {
     /// Every byte is its own shadow unit.
     Byte,
@@ -38,7 +37,7 @@ impl Granularity {
 }
 
 /// Configuration shared by all detectors.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DetectorConfig {
     /// Shadow granularity.
     pub granularity: Granularity,
@@ -68,7 +67,7 @@ pub struct AccessReport {
 }
 
 /// Work counters for a detector, used by the cost model and ablations.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DetectorStats {
     /// Memory accesses checked.
     pub accesses_checked: u64,
@@ -80,6 +79,22 @@ pub struct DetectorStats {
     pub races_observed: u64,
     /// Sync operations processed.
     pub sync_ops: u64,
+}
+
+impl DetectorStats {
+    /// Flushes these counters into the ambient [`ddrace_telemetry`] sink
+    /// under `detector.*` names; a no-op outside a campaign job.
+    ///
+    /// `accesses_checked` is reported as `detector.shadow_ops`: every
+    /// checked access is exactly one shadow-memory lookup/update.
+    pub fn emit_telemetry(&self) {
+        use ddrace_telemetry::counter;
+        counter("detector.shadow_ops", self.accesses_checked);
+        counter("detector.fast_path_hits", self.fast_path_hits);
+        counter("detector.escalations", self.escalations);
+        counter("detector.races_observed", self.races_observed);
+        counter("detector.sync_ops", self.sync_ops);
+    }
 }
 
 /// A dynamic data-race detector fed by the execution event stream.
@@ -144,3 +159,16 @@ mod tests {
         assert!(c.max_reports > 0);
     }
 }
+
+ddrace_json::json_unit_enum!(Granularity { Byte, Word, Line });
+ddrace_json::json_struct!(DetectorConfig {
+    granularity,
+    max_reports
+});
+ddrace_json::json_struct!(DetectorStats {
+    accesses_checked,
+    fast_path_hits,
+    escalations,
+    races_observed,
+    sync_ops
+});

@@ -1,12 +1,11 @@
 //! Race reports and their deduplicated collection.
 
 use ddrace_program::{AccessKind, Addr, ThreadId};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
 /// The temporal shape of a detected race: which unordered pair was seen.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RaceKind {
     /// A write unordered with a prior write.
     WriteWrite,
@@ -28,7 +27,7 @@ impl fmt::Display for RaceKind {
 }
 
 /// One side of a racy pair.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct RaceAccess {
     /// The thread that performed the access.
     pub tid: ThreadId,
@@ -42,7 +41,7 @@ pub struct RaceAccess {
 
 /// A detected data race: two accesses to the same shadow unit, at least
 /// one a write, with no happens-before edge between them.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RaceReport {
     /// Representative byte address (the first access observed racing).
     pub addr: Addr,
@@ -261,3 +260,17 @@ mod tests {
         assert!(text.contains("T1"));
     }
 }
+
+ddrace_json::json_unit_enum!(RaceKind {
+    WriteWrite,
+    WriteRead,
+    ReadWrite
+});
+ddrace_json::json_struct!(RaceAccess { tid, kind, clock });
+ddrace_json::json_struct!(RaceReport {
+    addr,
+    shadow_key,
+    kind,
+    prior,
+    current
+});

@@ -8,7 +8,6 @@
 //! zero components never distinguish two clocks.
 
 use ddrace_program::ThreadId;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::hash::{Hash, Hasher};
 
@@ -202,15 +201,20 @@ impl Hash for VectorClock {
     }
 }
 
-impl Serialize for VectorClock {
-    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        serializer.collect_seq(self.canonical())
+impl ddrace_json::ToJson for VectorClock {
+    fn to_json(&self) -> ddrace_json::Value {
+        ddrace_json::Value::Array(
+            self.canonical()
+                .iter()
+                .map(|&c| ddrace_json::Value::UInt(u64::from(c)))
+                .collect(),
+        )
     }
 }
 
-impl<'de> Deserialize<'de> for VectorClock {
-    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        let vals = Vec::<u32>::deserialize(deserializer)?;
+impl ddrace_json::FromJson for VectorClock {
+    fn from_json(value: &ddrace_json::Value) -> Result<Self, ddrace_json::JsonError> {
+        let vals = Vec::<u32>::from_json(value)?;
         let mut vc = VectorClock::new();
         for (i, v) in vals.into_iter().enumerate() {
             vc.set(ThreadId::new(i as u32), v);
@@ -251,7 +255,7 @@ impl fmt::Display for VectorClock {
 /// assert!(Epoch::ZERO.visible_to(&vc));
 /// assert!(!Epoch::new(ThreadId(2), 8).visible_to(&vc));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Epoch {
     /// The thread that produced this epoch.
     pub tid: ThreadId,
@@ -433,12 +437,12 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let mut vc = VectorClock::new();
         vc.set(T1, 2);
         vc.set(ThreadId(12), 9);
-        let json = serde_json::to_string(&vc).unwrap();
-        let back: VectorClock = serde_json::from_str(&json).unwrap();
+        let json = ddrace_json::to_string(&vc).unwrap();
+        let back: VectorClock = ddrace_json::from_str(&json).unwrap();
         assert_eq!(back, vc);
     }
 
@@ -470,3 +474,5 @@ mod tests {
         assert_eq!(format!("{}", Epoch::new(T1, 2)), "2@T1");
     }
 }
+
+ddrace_json::json_struct!(Epoch { tid, clock });

@@ -1,0 +1,163 @@
+//! Structured campaign output: a JSON Lines event stream plus a human
+//! progress summary on stderr.
+//!
+//! Each event is one compact JSON object per line with an `"event"`
+//! discriminator — `campaign_started`, `job_started`, `job_finished`,
+//! `job_failed`, `campaign_finished` — so the stream can be tailed and
+//! post-processed with line-oriented tools. Events interleave in completion
+//! order; consumers correlate on the `id` field. Wall-clock timings appear
+//! *only* here, never in the deterministic aggregate.
+
+use crate::executor::{FailReason, JobRecord};
+use ddrace_json::Value;
+use std::io::Write;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Where campaign events go: an optional JSONL writer and an optional
+/// stderr progress feed. Shared by all workers; internally synchronized.
+pub struct EventSink {
+    jsonl: Option<Mutex<Box<dyn Write + Send>>>,
+    progress: bool,
+    total: AtomicUsize,
+    done: AtomicUsize,
+}
+
+impl std::fmt::Debug for EventSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventSink")
+            .field("jsonl", &self.jsonl.is_some())
+            .field("progress", &self.progress)
+            .finish()
+    }
+}
+
+impl EventSink {
+    /// A sink that discards everything (used by tests and library callers
+    /// that only want the returned records).
+    pub fn null() -> EventSink {
+        EventSink::new(None, false)
+    }
+
+    /// A sink writing JSONL events to `jsonl` (if given) and, when
+    /// `progress` is set, human summary lines to stderr.
+    pub fn new(jsonl: Option<Box<dyn Write + Send>>, progress: bool) -> EventSink {
+        EventSink {
+            jsonl: jsonl.map(Mutex::new),
+            progress,
+            total: AtomicUsize::new(0),
+            done: AtomicUsize::new(0),
+        }
+    }
+
+    fn emit(&self, event: &str, mut fields: Vec<(String, Value)>) {
+        let Some(writer) = &self.jsonl else {
+            return;
+        };
+        let mut pairs = vec![("event".to_string(), Value::Str(event.to_string()))];
+        pairs.append(&mut fields);
+        let line = Value::Object(pairs).to_compact();
+        let mut w = writer.lock().unwrap();
+        // Event loss must not kill the campaign; the aggregate still lands.
+        let _ = writeln!(w, "{line}");
+        let _ = w.flush();
+    }
+
+    fn note(&self, line: &str) {
+        if self.progress {
+            eprintln!("{line}");
+        }
+    }
+
+    pub(crate) fn campaign_started(&self, name: &str, jobs: usize, workers: usize) {
+        self.total.store(jobs, Ordering::Relaxed);
+        self.done.store(0, Ordering::Relaxed);
+        self.emit(
+            "campaign_started",
+            vec![
+                ("campaign".to_string(), Value::Str(name.to_string())),
+                ("jobs".to_string(), Value::UInt(jobs as u64)),
+                ("workers".to_string(), Value::UInt(workers as u64)),
+            ],
+        );
+        self.note(&format!(
+            "campaign {name}: {jobs} jobs on {workers} workers"
+        ));
+    }
+
+    pub(crate) fn job_started(&self, id: usize, label: &str) {
+        self.emit(
+            "job_started",
+            vec![
+                ("id".to_string(), Value::UInt(id as u64)),
+                ("label".to_string(), Value::Str(label.to_string())),
+            ],
+        );
+    }
+
+    pub(crate) fn job_finished<T>(&self, record: &JobRecord<T>, summary: Option<Value>) {
+        let mut fields = vec![
+            ("id".to_string(), Value::UInt(record.id as u64)),
+            ("label".to_string(), Value::Str(record.label.clone())),
+            ("wall_ms".to_string(), Value::Float(ms(record.wall))),
+        ];
+        if let Some(t) = &record.telemetry {
+            fields.push(("telemetry".to_string(), ddrace_json::ToJson::to_json(t)));
+        }
+        if let Some(s) = summary {
+            fields.push(("summary".to_string(), s));
+        }
+        self.emit("job_finished", fields);
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        self.note(&format!(
+            "[{done}/{}] ok   {} ({:.1} ms)",
+            self.total.load(Ordering::Relaxed),
+            record.label,
+            ms(record.wall),
+        ));
+    }
+
+    pub(crate) fn job_failed(&self, id: usize, label: &str, reason: &FailReason, wall: Duration) {
+        self.emit(
+            "job_failed",
+            vec![
+                ("id".to_string(), Value::UInt(id as u64)),
+                ("label".to_string(), Value::Str(label.to_string())),
+                ("reason".to_string(), Value::Str(reason.to_string())),
+                ("wall_ms".to_string(), Value::Float(ms(wall))),
+            ],
+        );
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        self.note(&format!(
+            "[{done}/{}] FAIL {label}: {reason}",
+            self.total.load(Ordering::Relaxed),
+        ));
+    }
+
+    pub(crate) fn campaign_finished(
+        &self,
+        name: &str,
+        finished: usize,
+        failed: usize,
+        wall: Duration,
+    ) {
+        self.emit(
+            "campaign_finished",
+            vec![
+                ("campaign".to_string(), Value::Str(name.to_string())),
+                ("finished".to_string(), Value::UInt(finished as u64)),
+                ("failed".to_string(), Value::UInt(failed as u64)),
+                ("wall_ms".to_string(), Value::Float(ms(wall))),
+            ],
+        );
+        self.note(&format!(
+            "campaign {name}: {finished} finished, {failed} failed in {:.1} ms",
+            ms(wall)
+        ));
+    }
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}

@@ -1,0 +1,253 @@
+//! The parallel executor: a fixed worker pool over `std::thread` draining a
+//! shared queue, with per-job timeouts, cooperative cancellation, and panic
+//! isolation.
+//!
+//! Each queued job runs on a **dedicated** thread while its worker waits on
+//! a channel with a deadline. That split is what buys the guarantees:
+//!
+//! - a panicking job poisons nothing — the panic is caught on the job
+//!   thread and reported as a failure record;
+//! - a job that blows its wall-clock budget is reported as timed out, its
+//!   [`CancelToken`] is raised so cooperative bodies can wind down, and
+//!   after a short grace period the worker moves on, leaving a truly stuck
+//!   thread detached rather than hanging the campaign.
+//!
+//! Results are keyed by job id, so their order is independent of which
+//! worker ran what when.
+
+use crate::events::EventSink;
+use ddrace_telemetry::Telemetry;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// How long a timed-out job gets to acknowledge cancellation before its
+/// thread is abandoned.
+const CANCEL_GRACE: Duration = Duration::from_millis(200);
+
+/// Shared flag a running job can poll to honour cancellation.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// True once the executor has given up on the job.
+    pub fn cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+}
+
+/// A unit of work for the raw executor: an id, a label, an optional
+/// deadline, and a fallible body.
+///
+/// The campaign runner builds these from [`Job`](crate::Job)s; tests build
+/// them directly to inject faults.
+pub struct RawJob<T> {
+    /// Result slot index; also used in emitted events.
+    pub id: usize,
+    /// Human-readable name for events and progress lines.
+    pub label: String,
+    /// Wall-clock budget; `None` means unlimited.
+    pub timeout: Option<Duration>,
+    /// The work itself. Receives the job's cancellation token.
+    #[allow(clippy::type_complexity)]
+    pub body: Box<dyn FnOnce(&CancelToken) -> Result<T, String> + Send + 'static>,
+    /// Optional projection of the result into the `job_finished` event's
+    /// `summary` payload.
+    #[allow(clippy::type_complexity)]
+    pub summary: Option<Box<dyn Fn(&T) -> ddrace_json::Value + Send>>,
+}
+
+impl<T> std::fmt::Debug for RawJob<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RawJob")
+            .field("id", &self.id)
+            .field("label", &self.label)
+            .field("timeout", &self.timeout)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Why a job did not produce a result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailReason {
+    /// The body panicked; the payload message is captured.
+    Panic(String),
+    /// The body exceeded its wall-clock budget.
+    Timeout,
+    /// The body returned an error.
+    Error(String),
+}
+
+impl std::fmt::Display for FailReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FailReason::Panic(msg) => write!(f, "panic: {msg}"),
+            FailReason::Timeout => f.write_str("timeout"),
+            FailReason::Error(msg) => write!(f, "error: {msg}"),
+        }
+    }
+}
+
+/// The record every job leaves behind, successful or not.
+#[derive(Debug)]
+pub struct JobRecord<T> {
+    /// The job's id (and index in the result vector).
+    pub id: usize,
+    /// The job's label.
+    pub label: String,
+    /// The produced value, or why there is none.
+    pub outcome: Result<T, FailReason>,
+    /// Telemetry collected on the job thread; absent after a timeout.
+    pub telemetry: Option<Telemetry>,
+    /// Host wall-clock time the job occupied its worker.
+    pub wall: Duration,
+}
+
+/// Runs `jobs` on a pool of `workers` OS threads, emitting start/finish
+/// events into `sink`, and returns one record per job **in id order**.
+///
+/// # Panics
+///
+/// Panics if job ids are not exactly `0..jobs.len()` (campaign builders
+/// guarantee this) or if a worker thread itself dies, which would be a bug
+/// in the executor rather than in a job.
+pub fn run_raw<T: Send + 'static>(
+    jobs: Vec<RawJob<T>>,
+    workers: usize,
+    sink: &EventSink,
+) -> Vec<JobRecord<T>> {
+    let total = jobs.len();
+    assert!(
+        jobs.iter().enumerate().all(|(i, j)| i == j.id),
+        "job ids must be dense and ordered"
+    );
+    let workers = workers.clamp(1, total.max(1));
+    let queue: Mutex<VecDeque<RawJob<T>>> = Mutex::new(jobs.into());
+    let results: Mutex<Vec<Option<JobRecord<T>>>> = Mutex::new((0..total).map(|_| None).collect());
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let Some(job) = queue.lock().unwrap().pop_front() else {
+                    break;
+                };
+                let record = run_isolated(job, sink);
+                let slot = record.id;
+                results.lock().unwrap()[slot] = Some(record);
+            });
+        }
+    });
+
+    results
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|r| r.expect("every job leaves a record"))
+        .collect()
+}
+
+/// Runs one job on a dedicated thread and waits for it, enforcing the
+/// timeout and converting panics into failure records.
+fn run_isolated<T: Send + 'static>(job: RawJob<T>, sink: &EventSink) -> JobRecord<T> {
+    let RawJob {
+        id,
+        label,
+        timeout,
+        body,
+        summary,
+    } = job;
+    sink.job_started(id, &label);
+    let start = Instant::now();
+    let token = CancelToken::new();
+    let (tx, rx) = mpsc::channel();
+    let job_token = token.clone();
+    let handle = std::thread::Builder::new()
+        .name(format!("job-{id}"))
+        .spawn(move || {
+            ddrace_telemetry::install();
+            let outcome = catch_unwind(AssertUnwindSafe(|| body(&job_token)));
+            let telemetry = ddrace_telemetry::take();
+            // The receiver is gone if the worker timed us out; that is fine.
+            let _ = tx.send((outcome, telemetry));
+        })
+        .expect("spawn job thread");
+
+    let received = match timeout {
+        Some(budget) => rx.recv_timeout(budget),
+        None => rx.recv().map_err(|_| mpsc::RecvTimeoutError::Disconnected),
+    };
+    let received = match received {
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            // Over budget: raise the token, give cooperative bodies a short
+            // grace window to wind down, then abandon the thread.
+            token.cancel();
+            match rx.recv_timeout(CANCEL_GRACE) {
+                // Even if it finished during the grace period, the budget
+                // was blown — report the timeout, but reap the thread.
+                Ok(_) => {
+                    let _ = handle.join();
+                    Err(FailReason::Timeout)
+                }
+                Err(_) => Err(FailReason::Timeout),
+            }
+        }
+        Err(mpsc::RecvTimeoutError::Disconnected) => {
+            // The job thread died without sending — only possible if the
+            // catch_unwind machinery itself aborted. Treat as a panic.
+            let _ = handle.join();
+            Err(FailReason::Panic("job thread died".to_string()))
+        }
+        Ok((outcome, telemetry)) => {
+            let _ = handle.join();
+            Ok((outcome, telemetry))
+        }
+    };
+
+    let wall = start.elapsed();
+    let (outcome, telemetry) = match received {
+        Ok((Ok(Ok(value)), telemetry)) => (Ok(value), telemetry),
+        Ok((Ok(Err(message)), telemetry)) => (Err(FailReason::Error(message)), telemetry),
+        Ok((Err(payload), telemetry)) => (
+            Err(FailReason::Panic(panic_message(payload.as_ref()))),
+            telemetry,
+        ),
+        Err(reason) => (Err(reason), None),
+    };
+    let record = JobRecord {
+        id,
+        label,
+        outcome,
+        telemetry,
+        wall,
+    };
+
+    match &record.outcome {
+        Ok(value) => {
+            let payload = summary.as_ref().map(|f| f(value));
+            sink.job_finished(&record, payload);
+        }
+        Err(reason) => sink.job_failed(record.id, &record.label, reason, wall),
+    }
+    record
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}

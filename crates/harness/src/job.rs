@@ -1,0 +1,195 @@
+//! The job model: one [`Job`] is a single simulator run; a [`Campaign`] is
+//! a declarative set of jobs built from sweep axes.
+
+use ddrace_core::{AnalysisMode, DetectorKind, RunResult, SimConfig, Simulation};
+use ddrace_program::SchedulerConfig;
+use ddrace_workloads::{Scale, WorkloadSpec};
+use std::time::Duration;
+
+/// One unit of campaign work: a workload run under one analysis mode with
+/// one seed and explicit configuration overrides.
+///
+/// Jobs are pure descriptions — running one never mutates the campaign —
+/// and carry a stable `id` assigned at build time, so results can be
+/// reassembled in declaration order no matter how the worker pool
+/// scheduled them.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// Position of this job in its campaign (also its result slot).
+    pub id: usize,
+    /// The workload to run.
+    pub workload: WorkloadSpec,
+    /// The analysis mode to run it under.
+    pub mode: AnalysisMode,
+    /// Seed for both workload generation and the interleaving scheduler.
+    pub seed: u64,
+    /// Workload scale preset.
+    pub scale: Scale,
+    /// Simulated core count.
+    pub cores: usize,
+    /// Scheduler quantum (cycles per timeslice before a switch roll).
+    pub quantum: u32,
+    /// Which detector implementation analysis modes use.
+    pub detector_kind: DetectorKind,
+    /// Wall-clock budget; `None` means unlimited.
+    pub timeout: Option<Duration>,
+}
+
+impl Job {
+    /// `workload/mode/seed`, the human name used in events and progress.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}/s{}",
+            self.workload.name,
+            self.mode.label(),
+            self.seed
+        )
+    }
+
+    /// The simulation config this job describes.
+    pub fn sim_config(&self) -> SimConfig {
+        let mut cfg = SimConfig::new(self.cores, self.mode);
+        cfg.scheduler = SchedulerConfig {
+            quantum: self.quantum,
+            seed: self.seed,
+            jitter: true,
+        };
+        cfg.detector_kind = self.detector_kind;
+        cfg
+    }
+
+    /// Runs the simulation synchronously on the calling thread.
+    pub fn run(&self) -> Result<RunResult, String> {
+        let program = self.workload.program(self.scale, self.seed);
+        Simulation::new(self.sim_config())
+            .run(program)
+            .map_err(|e| format!("schedule error: {e}"))
+    }
+}
+
+/// A named, ordered set of jobs produced by [`CampaignBuilder`].
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    /// Campaign name; becomes the aggregate's `"campaign"` field.
+    pub name: String,
+    /// Jobs in declaration order; `jobs[i].id == i`.
+    pub jobs: Vec<Job>,
+    /// The mode axis the jobs were built from, in order.
+    pub modes: Vec<AnalysisMode>,
+    /// The workload axis the jobs were built from, in order.
+    pub workloads: Vec<WorkloadSpec>,
+    /// The seed axis the jobs were built from, in order.
+    pub seeds: Vec<u64>,
+}
+
+impl Campaign {
+    /// Starts building a campaign.
+    pub fn builder(name: impl Into<String>) -> CampaignBuilder {
+        CampaignBuilder {
+            name: name.into(),
+            workloads: Vec::new(),
+            modes: vec![AnalysisMode::Native],
+            seeds: vec![42],
+            scale: Scale::SMALL,
+            cores: 8,
+            quantum: 32,
+            detector_kind: DetectorKind::default(),
+            timeout: None,
+        }
+    }
+}
+
+/// Declarative sweep axes; `build` takes the cross product
+/// workload × mode × seed in that (workload-major) order.
+#[derive(Debug, Clone)]
+pub struct CampaignBuilder {
+    name: String,
+    workloads: Vec<WorkloadSpec>,
+    modes: Vec<AnalysisMode>,
+    seeds: Vec<u64>,
+    scale: Scale,
+    cores: usize,
+    quantum: u32,
+    detector_kind: DetectorKind,
+    timeout: Option<Duration>,
+}
+
+impl CampaignBuilder {
+    /// Adds workloads to the workload axis.
+    pub fn workloads(mut self, specs: impl IntoIterator<Item = WorkloadSpec>) -> Self {
+        self.workloads.extend(specs);
+        self
+    }
+
+    /// Sets the analysis-mode axis (replacing the default `[Native]`).
+    pub fn modes(mut self, modes: impl IntoIterator<Item = AnalysisMode>) -> Self {
+        self.modes = modes.into_iter().collect();
+        self
+    }
+
+    /// Sets the seed axis (replacing the default `[42]`).
+    pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
+        self.seeds = seeds.into_iter().collect();
+        self
+    }
+
+    /// Sets the workload scale for every job.
+    pub fn scale(mut self, scale: Scale) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// Sets the simulated core count for every job.
+    pub fn cores(mut self, cores: usize) -> Self {
+        self.cores = cores;
+        self
+    }
+
+    /// Sets the scheduler quantum for every job.
+    pub fn quantum(mut self, quantum: u32) -> Self {
+        self.quantum = quantum;
+        self
+    }
+
+    /// Sets the detector implementation for every job.
+    pub fn detector_kind(mut self, kind: DetectorKind) -> Self {
+        self.detector_kind = kind;
+        self
+    }
+
+    /// Sets a per-job wall-clock timeout.
+    pub fn timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// Expands the axes into a [`Campaign`]; job ids follow declaration
+    /// order: workloads outermost, then modes, then seeds.
+    pub fn build(self) -> Campaign {
+        let mut jobs = Vec::with_capacity(self.workloads.len() * self.modes.len());
+        for workload in &self.workloads {
+            for &mode in &self.modes {
+                for &seed in &self.seeds {
+                    jobs.push(Job {
+                        id: jobs.len(),
+                        workload: workload.clone(),
+                        mode,
+                        seed,
+                        scale: self.scale,
+                        cores: self.cores,
+                        quantum: self.quantum,
+                        detector_kind: self.detector_kind,
+                        timeout: self.timeout,
+                    });
+                }
+            }
+        }
+        Campaign {
+            name: self.name,
+            jobs,
+            modes: self.modes,
+            workloads: self.workloads,
+            seeds: self.seeds,
+        }
+    }
+}

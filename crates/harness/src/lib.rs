@@ -1,0 +1,133 @@
+//! # ddrace-harness — the parallel campaign runner
+//!
+//! The paper's evaluation is a *campaign*: analysis modes × workloads ×
+//! sensitivity sweeps. This crate is the layer that runs such campaigns
+//! well: declaratively built job sets, a fixed `std::thread` worker pool
+//! with panic isolation and per-job timeouts, structured telemetry, and a
+//! JSON Lines event stream next to a deterministic aggregate document.
+//!
+//! ## Pieces
+//!
+//! - [`Job`] / [`Campaign`] / [`CampaignBuilder`] — the job model. A job is
+//!   (workload, mode, seed, config overrides); a campaign is the cross
+//!   product of sweep axes, with ids in declaration order.
+//! - [`run_campaign`] — drains the jobs through a worker pool. Results are
+//!   keyed by job id, so the aggregate is **byte-identical no matter how
+//!   many workers ran it** — the property the determinism test pins down.
+//! - [`RawJob`] / [`run_raw`] — the untyped executor underneath, also used
+//!   to inject faults (panicking and hanging jobs) in tests.
+//! - [`telemetry`] (re-exported `ddrace-telemetry`) — the span/counter sink
+//!   `ddrace-core::sim` and `ddrace-detector` emit into while a job runs.
+//! - [`EventSink`] — `job_started`/`job_finished`/`job_failed` JSONL events
+//!   with telemetry payloads, plus human progress on stderr.
+//! - [`CampaignReport`] — per-job records, campaign-total counters, and the
+//!   aggregate JSON whose `rows` field keeps the historical `results/`
+//!   schema.
+//!
+//! ## Example
+//!
+//! ```
+//! use ddrace_harness::{Campaign, EventSink, run_campaign};
+//! use ddrace_core::AnalysisMode;
+//! use ddrace_workloads::{phoenix, Scale};
+//!
+//! let campaign = Campaign::builder("doc-example")
+//!     .workloads([phoenix::histogram()])
+//!     .modes([AnalysisMode::Native, AnalysisMode::demand_hitm()])
+//!     .scale(Scale::TEST)
+//!     .cores(4)
+//!     .build();
+//! let report = run_campaign(&campaign, 2, &EventSink::null());
+//! assert_eq!(report.finished(), 2);
+//! assert!(report.totals.counter("sim.cycles") > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+mod events;
+mod executor;
+mod job;
+mod report;
+
+pub use ddrace_telemetry as telemetry;
+pub use events::EventSink;
+pub use executor::{run_raw, CancelToken, FailReason, JobRecord, RawJob};
+pub use job::{Campaign, CampaignBuilder, Job};
+pub use report::{CampaignReport, SuiteRow};
+
+use ddrace_core::RunResult;
+use ddrace_json::Value;
+use ddrace_telemetry::Telemetry;
+use std::time::Instant;
+
+/// Runs every job of `campaign` on a pool of `workers` threads, streaming
+/// events into `sink`, and returns the full report.
+///
+/// Job *scheduling* is nondeterministic; job *results* are not. Each
+/// simulation is single-threaded and seeded, records land in id-indexed
+/// slots, and the aggregate exposes no wall-clock data — so the same
+/// campaign produces the same [`CampaignReport::aggregate_json`] at any
+/// worker count.
+pub fn run_campaign(campaign: &Campaign, workers: usize, sink: &EventSink) -> CampaignReport {
+    let start = Instant::now();
+    sink.campaign_started(&campaign.name, campaign.jobs.len(), workers);
+    let raw: Vec<RawJob<RunResult>> = campaign
+        .jobs
+        .iter()
+        .cloned()
+        .map(|job| RawJob {
+            id: job.id,
+            label: job.label(),
+            timeout: job.timeout,
+            summary: Some(Box::new(job_summary)),
+            body: Box::new(move |token| {
+                if token.cancelled() {
+                    return Err("cancelled before start".to_string());
+                }
+                let _span = telemetry::span("job.run");
+                job.run()
+            }),
+        })
+        .collect();
+    let records = run_raw(raw, workers, sink);
+    let mut totals = Telemetry::new();
+    for record in &records {
+        if let Some(t) = &record.telemetry {
+            totals.merge(t);
+        }
+    }
+    let wall = start.elapsed();
+    let report = CampaignReport {
+        spec: campaign.clone(),
+        records,
+        totals,
+        wall,
+    };
+    sink.campaign_finished(&campaign.name, report.finished(), report.failed(), wall);
+    report
+}
+
+/// The compact per-job summary attached to `job_finished` events: the
+/// headline numbers, not the full `RunResult`.
+fn job_summary(result: &RunResult) -> Value {
+    Value::Object(vec![
+        ("mode".to_string(), Value::Str(result.mode.clone())),
+        ("makespan".to_string(), Value::UInt(result.makespan)),
+        (
+            "races_distinct".to_string(),
+            Value::UInt(result.races.distinct as u64),
+        ),
+        ("pmis".to_string(), Value::UInt(result.pmis)),
+        (
+            "accesses_analyzed".to_string(),
+            Value::UInt(result.accesses_analyzed),
+        ),
+        (
+            "enabled_cycles".to_string(),
+            Value::UInt(result.enabled_cycles),
+        ),
+        ("total_cycles".to_string(), Value::UInt(result.total_cycles)),
+    ])
+}

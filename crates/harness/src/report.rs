@@ -1,0 +1,151 @@
+//! Campaign aggregation: per-job records rolled up into a deterministic
+//! aggregate JSON document compatible with the `results/` schema.
+
+use crate::executor::{FailReason, JobRecord};
+use crate::job::Campaign;
+use ddrace_core::RunResult;
+use ddrace_json::{ToJson, Value};
+use ddrace_telemetry::Telemetry;
+use std::time::Duration;
+
+/// Everything a finished campaign produced.
+///
+/// `records[i]` corresponds to `spec.jobs[i]` — id order, independent of
+/// how the worker pool interleaved execution. All JSON derived from this
+/// struct is deterministic: wall-clock times live only in the event stream.
+#[derive(Debug)]
+pub struct CampaignReport {
+    /// The campaign that was run.
+    pub spec: Campaign,
+    /// One record per job, in job-id order.
+    pub records: Vec<JobRecord<RunResult>>,
+    /// Campaign-wide telemetry: every job's counters and spans merged.
+    pub totals: Telemetry,
+    /// Host wall-clock for the whole campaign.
+    pub wall: Duration,
+}
+
+/// One benchmark's results across the campaign's mode axis — the same
+/// `{name, suite, runs}` shape as the historical `results/*.json` rows.
+#[derive(Debug, Clone)]
+pub struct SuiteRow {
+    /// Benchmark name.
+    pub name: String,
+    /// Suite label.
+    pub suite: String,
+    /// Results in mode-axis order (then seed-axis order within a mode).
+    pub runs: Vec<RunResult>,
+}
+
+impl ToJson for SuiteRow {
+    fn to_json(&self) -> Value {
+        Value::Object(vec![
+            ("name".to_string(), Value::Str(self.name.clone())),
+            ("suite".to_string(), Value::Str(self.suite.clone())),
+            ("runs".to_string(), self.runs.to_json()),
+        ])
+    }
+}
+
+impl CampaignReport {
+    /// Number of jobs that produced a result.
+    pub fn finished(&self) -> usize {
+        self.records.iter().filter(|r| r.outcome.is_ok()).count()
+    }
+
+    /// Number of jobs that failed (panic, timeout, or error).
+    pub fn failed(&self) -> usize {
+        self.records.len() - self.finished()
+    }
+
+    /// The successful result for `job_id`, if any.
+    pub fn result(&self, job_id: usize) -> Option<&RunResult> {
+        self.records.get(job_id)?.outcome.as_ref().ok()
+    }
+
+    /// Reassembles results into one row per workload with runs across the
+    /// mode (and seed) axes — the schema of the existing `results/` files.
+    /// Workloads with any failed job are skipped; callers that need
+    /// failure detail read [`CampaignReport::records`] directly.
+    pub fn rows(&self) -> Vec<SuiteRow> {
+        let runs_per_workload = self.spec.modes.len() * self.spec.seeds.len();
+        self.spec
+            .workloads
+            .iter()
+            .enumerate()
+            .filter_map(|(w, spec)| {
+                let base = w * runs_per_workload;
+                let runs: Option<Vec<RunResult>> = (base..base + runs_per_workload)
+                    .map(|id| self.result(id).cloned())
+                    .collect();
+                Some(SuiteRow {
+                    name: spec.name.clone(),
+                    suite: spec.suite.to_string(),
+                    runs: runs?,
+                })
+            })
+            .collect()
+    }
+
+    /// The deterministic aggregate document: campaign metadata, the
+    /// results-schema-compatible `rows`, per-job status + counters, and
+    /// campaign-total counters. Byte-identical across worker counts.
+    pub fn aggregate_json(&self) -> Value {
+        let jobs: Vec<Value> = self
+            .records
+            .iter()
+            .map(|record| {
+                let job = &self.spec.jobs[record.id];
+                let mut fields = vec![
+                    ("id".to_string(), Value::UInt(record.id as u64)),
+                    ("label".to_string(), Value::Str(record.label.clone())),
+                    (
+                        "workload".to_string(),
+                        Value::Str(job.workload.name.clone()),
+                    ),
+                    (
+                        "suite".to_string(),
+                        Value::Str(job.workload.suite.to_string()),
+                    ),
+                    ("mode".to_string(), Value::Str(job.mode.label().to_string())),
+                    ("seed".to_string(), Value::UInt(job.seed)),
+                ];
+                match &record.outcome {
+                    Ok(_) => {
+                        fields.push(("status".to_string(), Value::Str("finished".to_string())));
+                        if let Some(t) = &record.telemetry {
+                            fields.push(("telemetry".to_string(), t.counters_json()));
+                        }
+                    }
+                    Err(reason) => {
+                        fields.push(("status".to_string(), Value::Str("failed".to_string())));
+                        fields.push(("reason".to_string(), Value::Str(fail_label(reason))));
+                    }
+                }
+                Value::Object(fields)
+            })
+            .collect();
+
+        Value::Object(vec![
+            ("campaign".to_string(), Value::Str(self.spec.name.clone())),
+            (
+                "jobs_total".to_string(),
+                Value::UInt(self.records.len() as u64),
+            ),
+            ("jobs_failed".to_string(), Value::UInt(self.failed() as u64)),
+            ("telemetry".to_string(), self.totals.counters_json()),
+            ("rows".to_string(), self.rows().to_json()),
+            ("jobs".to_string(), Value::Array(jobs)),
+        ])
+    }
+}
+
+/// A deterministic label for a failure: panic/error messages are kept (they
+/// come from deterministic simulator code), but no wall-clock detail.
+fn fail_label(reason: &FailReason) -> String {
+    match reason {
+        FailReason::Panic(msg) => format!("panic: {msg}"),
+        FailReason::Timeout => "timeout".to_string(),
+        FailReason::Error(msg) => format!("error: {msg}"),
+    }
+}

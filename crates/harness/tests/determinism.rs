@@ -1,0 +1,77 @@
+//! The harness's core guarantee: the aggregate document is a function of
+//! the campaign alone, not of how many workers ran it or how the pool
+//! interleaved the jobs.
+
+use ddrace_core::AnalysisMode;
+use ddrace_harness::{run_campaign, Campaign, EventSink};
+use ddrace_workloads::{phoenix, racy, Scale};
+
+fn campaign() -> Campaign {
+    Campaign::builder("determinism")
+        .workloads([phoenix::histogram(), phoenix::kmeans(), racy::sparse_race()])
+        .modes([
+            AnalysisMode::Native,
+            AnalysisMode::Continuous,
+            AnalysisMode::demand_hitm(),
+        ])
+        .seeds([42, 1337])
+        .scale(Scale::TEST)
+        .cores(4)
+        .build()
+}
+
+#[test]
+fn aggregate_is_byte_identical_across_worker_counts() {
+    let spec = campaign();
+    let serialized: Vec<String> = [1usize, 4, 16]
+        .iter()
+        .map(|&workers| {
+            let report = run_campaign(&spec, workers, &EventSink::null());
+            assert_eq!(report.finished(), spec.jobs.len());
+            ddrace_json::to_string_pretty(&report.aggregate_json()).unwrap()
+        })
+        .collect();
+    assert_eq!(serialized[0], serialized[1], "1 worker vs 4 workers");
+    assert_eq!(serialized[0], serialized[2], "1 worker vs 16 workers");
+}
+
+#[test]
+fn rows_keep_declaration_order() {
+    let spec = campaign();
+    let report = run_campaign(&spec, 8, &EventSink::null());
+    let rows = report.rows();
+    assert_eq!(rows.len(), 3);
+    assert_eq!(rows[0].name, "histogram");
+    assert_eq!(rows[1].name, "kmeans");
+    assert_eq!(rows[2].name, "sparse_race");
+    // modes × seeds runs per row, mode-major.
+    for row in &rows {
+        assert_eq!(row.runs.len(), 6);
+        assert_eq!(row.runs[0].mode, "native");
+        assert_eq!(row.runs[2].mode, "continuous");
+    }
+    // The same seed under the same mode gives the same makespan regardless
+    // of which row position it landed in.
+    let rerun = run_campaign(&spec, 1, &EventSink::null());
+    for (a, b) in rows.iter().zip(rerun.rows()) {
+        for (ra, rb) in a.runs.iter().zip(&b.runs) {
+            assert_eq!(ra.makespan, rb.makespan);
+        }
+    }
+}
+
+#[test]
+fn telemetry_totals_cover_all_jobs() {
+    let spec = campaign();
+    let report = run_campaign(&spec, 4, &EventSink::null());
+    // Every job flushes sim.cycles once; the campaign total must equal the
+    // sum over per-job telemetry.
+    let per_job: u64 = report
+        .records
+        .iter()
+        .filter_map(|r| r.telemetry.as_ref())
+        .map(|t| t.counter("sim.cycles"))
+        .sum();
+    assert!(per_job > 0);
+    assert_eq!(report.totals.counter("sim.cycles"), per_job);
+}

@@ -1,0 +1,133 @@
+//! Fault injection against the raw executor: a panicking job and a job
+//! that blows its wall-clock budget must each yield a failure record while
+//! every other job still completes.
+
+use ddrace_harness::{run_raw, EventSink, FailReason, RawJob};
+use std::time::Duration;
+
+fn ok_job(id: usize) -> RawJob<u64> {
+    RawJob {
+        id,
+        label: format!("ok-{id}"),
+        timeout: None,
+        body: Box::new(move |_| Ok(id as u64 * 10)),
+        summary: None,
+    }
+}
+
+#[test]
+fn panicking_job_is_isolated() {
+    let jobs = vec![
+        ok_job(0),
+        RawJob {
+            id: 1,
+            label: "boom".to_string(),
+            timeout: None,
+            body: Box::new(|_| panic!("injected failure")),
+            summary: None,
+        },
+        ok_job(2),
+    ];
+    let records = run_raw(jobs, 2, &EventSink::null());
+    assert_eq!(records.len(), 3);
+    assert_eq!(records[0].outcome.as_ref().unwrap(), &0);
+    assert_eq!(records[2].outcome.as_ref().unwrap(), &20);
+    match &records[1].outcome {
+        Err(FailReason::Panic(msg)) => assert!(msg.contains("injected failure")),
+        other => panic!("expected a panic record, got {other:?}"),
+    }
+}
+
+#[test]
+fn timed_out_job_is_cancelled_and_reported() {
+    let jobs = vec![
+        ok_job(0),
+        RawJob {
+            id: 1,
+            label: "hang".to_string(),
+            timeout: Some(Duration::from_millis(50)),
+            body: Box::new(|token| {
+                // Cooperative hang: spin until the executor raises the token.
+                while !token.cancelled() {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err("cancelled".to_string())
+            }),
+            summary: None,
+        },
+        ok_job(2),
+    ];
+    let records = run_raw(jobs, 2, &EventSink::null());
+    assert_eq!(records[1].outcome, Err(FailReason::Timeout));
+    assert_eq!(records[0].outcome.as_ref().unwrap(), &0);
+    assert_eq!(records[2].outcome.as_ref().unwrap(), &20);
+}
+
+#[test]
+fn error_result_is_a_failure_record() {
+    let jobs = vec![RawJob {
+        id: 0,
+        label: "err".to_string(),
+        timeout: None,
+        body: Box::new(|_| Err::<u64, _>("bad input".to_string())),
+        summary: None,
+    }];
+    let records = run_raw(jobs, 1, &EventSink::null());
+    assert_eq!(
+        records[0].outcome,
+        Err(FailReason::Error("bad input".to_string()))
+    );
+}
+
+#[test]
+fn events_stream_reports_failures() {
+    // Capture the JSONL stream through a shared buffer.
+    #[derive(Clone, Default)]
+    struct Shared(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+    impl std::io::Write for Shared {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+    let shared = Shared::default();
+    let sink = EventSink::new(Some(Box::new(shared.clone())), false);
+    let jobs = vec![
+        ok_job(0),
+        RawJob {
+            id: 1,
+            label: "boom".to_string(),
+            timeout: None,
+            body: Box::new(|_| panic!("kaboom")),
+            summary: None,
+        },
+    ];
+    run_raw(jobs, 1, &sink);
+    let bytes = shared.0.lock().unwrap().clone();
+    let text = String::from_utf8(bytes).unwrap();
+    let events: Vec<ddrace_json::Value> = text
+        .lines()
+        .map(|l| ddrace_json::from_str(l).unwrap())
+        .collect();
+    let kinds: Vec<String> = events
+        .iter()
+        .map(|e| match e {
+            ddrace_json::Value::Object(fields) => fields
+                .iter()
+                .find(|(k, _)| k == "event")
+                .map(|(_, v)| match v {
+                    ddrace_json::Value::Str(s) => s.clone(),
+                    _ => panic!("event discriminator must be a string"),
+                })
+                .unwrap(),
+            _ => panic!("every event is an object"),
+        })
+        .collect();
+    assert_eq!(
+        kinds,
+        ["job_started", "job_finished", "job_started", "job_failed"]
+    );
+}

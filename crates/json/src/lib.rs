@@ -1,0 +1,287 @@
+//! # ddrace-json — self-contained JSON for the ddrace workspace
+//!
+//! The simulator runs in hermetic environments with no crate registry, so
+//! everything that used to go through `serde`/`serde_json` goes through this
+//! crate instead: a [`Value`] model, a strict parser, compact and pretty
+//! writers, the [`ToJson`]/[`FromJson`] traits, and `macro_rules!` macros
+//! ([`json_struct!`](crate::json_struct), [`json_newtype!`](crate::json_newtype),
+//! [`json_unit_enum!`](crate::json_unit_enum)) that replicate the default
+//! serde data formats:
+//!
+//! - structs → objects in field-declaration order,
+//! - newtype wrappers → transparent (the inner value),
+//! - unit enum variants → bare strings,
+//! - struct enum variants → externally tagged `{"Variant": {…}}`,
+//! - tuples → arrays, `Option` → value-or-null.
+//!
+//! Object keys keep insertion order (a `Vec` of pairs, not a hash map), so
+//! output is byte-deterministic — a property the campaign harness relies on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod macros;
+mod parse;
+mod traits;
+mod write;
+
+pub use macros::field;
+pub use parse::JsonError;
+pub use traits::{FromJson, ToJson};
+
+/// A parsed or constructed JSON document.
+///
+/// Numbers are split into signed, unsigned and floating variants so that
+/// `u64` counters round-trip without precision loss.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON `true`/`false`.
+    Bool(bool),
+    /// A negative integer (positive integers parse as [`Value::UInt`]).
+    Int(i64),
+    /// A non-negative integer.
+    UInt(u64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; insertion-ordered key/value pairs.
+    Object(Vec<(String, Value)>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// Parses a JSON document from text.
+    pub fn parse(text: &str) -> Result<Value, JsonError> {
+        parse::parse(text)
+    }
+
+    /// Looks up a key in an object; `None` for missing keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Looks up a key in an object, yielding `Null` when absent — the shape
+    /// `FromJson` impls want for optional fields.
+    pub fn get_or_null(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+
+    /// For an externally tagged enum value `{"Variant": inner}`, returns the
+    /// inner value when the single key matches `tag`.
+    pub fn tagged(&self, tag: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) if pairs.len() == 1 && pairs[0].0 == tag => Some(&pairs[0].1),
+            _ => None,
+        }
+    }
+
+    /// True for `Value::Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The value as a `u64` if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::UInt(n) => Some(n),
+            Value::Int(n) if n >= 0 => Some(n as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64` if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::Int(n) => Some(n),
+            Value::UInt(n) => i64::try_from(n).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` if it is any kind of number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Float(f) => Some(f),
+            Value::UInt(n) => Some(n as f64),
+            Value::Int(n) => Some(n as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool if it is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice if it is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as object pairs if it is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// Compact single-line rendering.
+    pub fn to_compact(&self) -> String {
+        write::compact(self)
+    }
+
+    /// Pretty rendering with two-space indentation.
+    pub fn to_pretty(&self) -> String {
+        write::pretty(self)
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_compact())
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get_or_null(key)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(items) => items.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<u64> for Value {
+    fn eq(&self, other: &u64) -> bool {
+        self.as_u64() == Some(*other)
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+/// Serializes a value compactly (single line).
+pub fn to_string<T: ToJson + ?Sized>(value: &T) -> Result<String, JsonError> {
+    Ok(value.to_json().to_compact())
+}
+
+/// Serializes a value with two-space pretty indentation, matching the layout
+/// of the JSON files under `results/`.
+pub fn to_string_pretty<T: ToJson + ?Sized>(value: &T) -> Result<String, JsonError> {
+    Ok(value.to_json().to_pretty())
+}
+
+/// Parses a typed value out of JSON text.
+pub fn from_str<T: FromJson>(text: &str) -> Result<T, JsonError> {
+    T::from_json(&Value::parse(text)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalar_values() {
+        for text in ["null", "true", "false", "0", "-7", "18446744073709551615"] {
+            assert_eq!(Value::parse(text).unwrap().to_compact(), text);
+        }
+        assert_eq!(Value::parse("1.5").unwrap(), Value::Float(1.5));
+    }
+
+    #[test]
+    fn object_order_is_preserved() {
+        let v = Value::parse(r#"{"z":1,"a":{"nested":[1,2,3]},"m":null}"#).unwrap();
+        assert_eq!(v.to_compact(), r#"{"z":1,"a":{"nested":[1,2,3]},"m":null}"#);
+        assert_eq!(v["a"]["nested"][2].as_u64(), Some(3));
+        assert!(v["missing"].is_null());
+    }
+
+    #[test]
+    fn pretty_matches_expected_layout() {
+        let v = Value::parse(r#"{"a":[1,2],"b":{}}"#).unwrap();
+        assert_eq!(
+            v.to_pretty(),
+            "{\n  \"a\": [\n    1,\n    2\n  ],\n  \"b\": {}\n}"
+        );
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let v = Value::Str("a\"b\\c\n\t\u{1}".to_string());
+        let text = v.to_compact();
+        assert_eq!(Value::parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn floats_always_carry_a_fraction_marker() {
+        assert_eq!(Value::Float(1.0).to_compact(), "1.0");
+        assert_eq!(Value::Float(0.25).to_compact(), "0.25");
+    }
+
+    #[test]
+    fn typed_roundtrip_via_traits() {
+        let xs: Vec<u64> = vec![1, 2, 3];
+        let text = to_string(&xs).unwrap();
+        assert_eq!(text, "[1,2,3]");
+        let back: Vec<u64> = from_str(&text).unwrap();
+        assert_eq!(back, xs);
+        let opt: Option<u32> = from_str("null").unwrap();
+        assert_eq!(opt, None);
+        let pair: (u32, bool) = from_str("[4,true]").unwrap();
+        assert_eq!(pair, (4, true));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for text in ["", "{", "[1,", "tru", "\"unterminated", "1 2", "{\"a\" 1}"] {
+            assert!(Value::parse(text).is_err(), "{text:?} should not parse");
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! Derive-style macros replicating serde's default data formats.
+
+use crate::{FromJson, JsonError, Value};
+
+/// Decodes one struct field, adding the field name to any error.
+/// Used by the generated `FromJson` impls; call sites rarely need it directly.
+pub fn field<T: FromJson>(object: &Value, name: &str) -> Result<T, JsonError> {
+    T::from_json(object.get_or_null(name))
+        .map_err(|e| JsonError::decode(format!("field `{name}`: {e}")))
+}
+
+/// Implements [`ToJson`](crate::ToJson) and [`FromJson`](crate::FromJson) for
+/// a struct with named fields, encoding it as an object in field order.
+///
+/// ```
+/// # use ddrace_json::json_struct;
+/// #[derive(PartialEq, Debug)]
+/// struct P { x: u32, y: Option<u32> }
+/// json_struct!(P { x, y });
+/// let p: P = ddrace_json::from_str(r#"{"x":1}"#).unwrap();
+/// assert_eq!(p, P { x: 1, y: None });
+/// ```
+#[macro_export]
+macro_rules! json_struct {
+    ($ty:ident { $($field:ident),+ $(,)? }) => {
+        $crate::json_struct!(@to $ty { $($field),+ });
+        impl $crate::FromJson for $ty {
+            fn from_json(value: &$crate::Value) -> ::core::result::Result<Self, $crate::JsonError> {
+                ::core::result::Result::Ok(Self {
+                    $($field: $crate::field(value, stringify!($field))?,)+
+                })
+            }
+        }
+    };
+    // Serialize-only form, for types that are reported but never read back.
+    (@to $ty:ident { $($field:ident),+ $(,)? }) => {
+        impl $crate::ToJson for $ty {
+            fn to_json(&self) -> $crate::Value {
+                $crate::Value::Object(vec![
+                    $((stringify!($field).to_string(), $crate::ToJson::to_json(&self.$field)),)+
+                ])
+            }
+        }
+    };
+}
+
+/// Implements the traits for a single-field tuple struct transparently, as
+/// serde does for newtype wrappers: `ThreadId(3)` encodes as `3`.
+#[macro_export]
+macro_rules! json_newtype {
+    ($($ty:ident),+ $(,)?) => {$(
+        impl $crate::ToJson for $ty {
+            fn to_json(&self) -> $crate::Value {
+                $crate::ToJson::to_json(&self.0)
+            }
+        }
+        impl $crate::FromJson for $ty {
+            fn from_json(value: &$crate::Value) -> ::core::result::Result<Self, $crate::JsonError> {
+                ::core::result::Result::Ok($ty($crate::FromJson::from_json(value)?))
+            }
+        }
+    )+};
+}
+
+/// Implements the traits for an enum of unit variants, encoded as bare
+/// variant-name strings.
+#[macro_export]
+macro_rules! json_unit_enum {
+    ($ty:ident { $($variant:ident),+ $(,)? }) => {
+        impl $crate::ToJson for $ty {
+            fn to_json(&self) -> $crate::Value {
+                $crate::Value::Str(
+                    match self {
+                        $($ty::$variant => stringify!($variant),)+
+                    }
+                    .to_string(),
+                )
+            }
+        }
+        impl $crate::FromJson for $ty {
+            fn from_json(value: &$crate::Value) -> ::core::result::Result<Self, $crate::JsonError> {
+                match value.as_str() {
+                    $(::core::option::Option::Some(s) if s == stringify!($variant) => {
+                        ::core::result::Result::Ok($ty::$variant)
+                    })+
+                    _ => ::core::result::Result::Err($crate::JsonError::decode(format!(
+                        "unknown {} variant: {value}",
+                        stringify!($ty)
+                    ))),
+                }
+            }
+        }
+    };
+}
+
+/// Implements the traits for an enum mixing unit and struct variants.
+/// Unit variants encode as strings; struct variants as externally tagged
+/// objects `{"Variant": {"field": …}}`, matching serde's default.
+///
+/// ```
+/// # use ddrace_json::json_enum;
+/// #[derive(PartialEq, Debug)]
+/// enum E { A, B { n: u32 } }
+/// json_enum!(E { A, B { n } });
+/// assert_eq!(ddrace_json::to_string(&E::B { n: 2 }).unwrap(), r#"{"B":{"n":2}}"#);
+/// assert_eq!(ddrace_json::from_str::<E>(r#""A""#).unwrap(), E::A);
+/// ```
+#[macro_export]
+macro_rules! json_enum {
+    ($ty:ident { $($variant:ident $({ $($field:ident),+ $(,)? })?),+ $(,)? }) => {
+        impl $crate::ToJson for $ty {
+            fn to_json(&self) -> $crate::Value {
+                match self {
+                    $($crate::json_enum!(@pat $ty $variant $({ $($field),+ })?) =>
+                        $crate::json_enum!(@encode $variant $({ $($field),+ })?),)+
+                }
+            }
+        }
+        impl $crate::FromJson for $ty {
+            fn from_json(value: &$crate::Value) -> ::core::result::Result<Self, $crate::JsonError> {
+                $(
+                    if let ::core::option::Option::Some(parsed) =
+                        $crate::json_enum!(@decode $ty value $variant $({ $($field),+ })?)
+                    {
+                        return parsed;
+                    }
+                )+
+                ::core::result::Result::Err($crate::JsonError::decode(format!(
+                    "unknown {} variant: {value}",
+                    stringify!($ty)
+                )))
+            }
+        }
+    };
+    (@pat $ty:ident $variant:ident) => { $ty::$variant };
+    (@pat $ty:ident $variant:ident { $($field:ident),+ }) => { $ty::$variant { $($field),+ } };
+    (@encode $variant:ident) => {
+        $crate::Value::Str(stringify!($variant).to_string())
+    };
+    (@encode $variant:ident { $($field:ident),+ }) => {
+        $crate::Value::Object(vec![(
+            stringify!($variant).to_string(),
+            $crate::Value::Object(vec![
+                $((stringify!($field).to_string(), $crate::ToJson::to_json($field)),)+
+            ]),
+        )])
+    };
+    (@decode $ty:ident $value:ident $variant:ident) => {
+        match $value.as_str() {
+            ::core::option::Option::Some(s) if s == stringify!($variant) => {
+                ::core::option::Option::Some(::core::result::Result::Ok($ty::$variant))
+            }
+            _ => ::core::option::Option::None,
+        }
+    };
+    (@decode $ty:ident $value:ident $variant:ident { $($field:ident),+ }) => {
+        $value.tagged(stringify!($variant)).map(|inner| {
+            ::core::result::Result::Ok($ty::$variant {
+                $($field: $crate::field(inner, stringify!($field))?,)+
+            })
+        })
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate as ddrace_json;
+
+    #[derive(Debug, PartialEq)]
+    struct Point {
+        x: u32,
+        label: String,
+    }
+    json_struct!(Point { x, label });
+
+    #[derive(Debug, PartialEq)]
+    struct Wrap(u64);
+    json_newtype!(Wrap);
+
+    #[derive(Debug, PartialEq)]
+    enum Kind {
+        Read,
+        Write,
+    }
+    json_unit_enum!(Kind { Read, Write });
+
+    #[derive(Debug, PartialEq)]
+    enum Mode {
+        Native,
+        Demand { period: u64, wrapped: Wrap },
+    }
+    json_enum!(Mode { Native, Demand { period, wrapped } });
+
+    #[test]
+    fn struct_roundtrip() {
+        let p = Point {
+            x: 7,
+            label: "hot".to_string(),
+        };
+        let text = ddrace_json::to_string(&p).unwrap();
+        assert_eq!(text, r#"{"x":7,"label":"hot"}"#);
+        assert_eq!(ddrace_json::from_str::<Point>(&text).unwrap(), p);
+    }
+
+    #[test]
+    fn newtype_is_transparent() {
+        assert_eq!(ddrace_json::to_string(&Wrap(5)).unwrap(), "5");
+        assert_eq!(ddrace_json::from_str::<Wrap>("5").unwrap(), Wrap(5));
+    }
+
+    #[test]
+    fn unit_enum_as_string() {
+        assert_eq!(ddrace_json::to_string(&Kind::Write).unwrap(), r#""Write""#);
+        assert_eq!(
+            ddrace_json::from_str::<Kind>(r#""Read""#).unwrap(),
+            Kind::Read
+        );
+        assert!(ddrace_json::from_str::<Kind>(r#""Flush""#).is_err());
+    }
+
+    #[test]
+    fn mixed_enum_externally_tagged() {
+        let m = Mode::Demand {
+            period: 10,
+            wrapped: Wrap(1),
+        };
+        let text = ddrace_json::to_string(&m).unwrap();
+        assert_eq!(text, r#"{"Demand":{"period":10,"wrapped":1}}"#);
+        assert_eq!(ddrace_json::from_str::<Mode>(&text).unwrap(), m);
+        assert_eq!(
+            ddrace_json::from_str::<Mode>(r#""Native""#).unwrap(),
+            Mode::Native
+        );
+    }
+
+    #[test]
+    fn decode_errors_name_the_field() {
+        let err = ddrace_json::from_str::<Point>(r#"{"x":true,"label":"a"}"#).unwrap_err();
+        assert!(err.to_string().contains("field `x`"), "{err}");
+    }
+}

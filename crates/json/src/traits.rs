@@ -1,0 +1,209 @@
+//! The [`ToJson`]/[`FromJson`] traits and implementations for std types.
+
+use crate::{JsonError, Value};
+
+/// Conversion into a JSON [`Value`].
+pub trait ToJson {
+    /// Builds the JSON representation of `self`.
+    fn to_json(&self) -> Value;
+}
+
+/// Conversion out of a JSON [`Value`].
+pub trait FromJson: Sized {
+    /// Decodes `Self` from a JSON value.
+    fn from_json(value: &Value) -> Result<Self, JsonError>;
+}
+
+impl ToJson for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl FromJson for Value {
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        Ok(value.clone())
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl FromJson for bool {
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        value
+            .as_bool()
+            .ok_or_else(|| JsonError::decode(format!("expected bool, got {value}")))
+    }
+}
+
+macro_rules! impl_json_uint {
+    ($($ty:ty),+) => {$(
+        impl ToJson for $ty {
+            fn to_json(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl FromJson for $ty {
+            fn from_json(value: &Value) -> Result<Self, JsonError> {
+                let n = value
+                    .as_u64()
+                    .ok_or_else(|| JsonError::decode(format!("expected unsigned integer, got {value}")))?;
+                <$ty>::try_from(n).map_err(|_| {
+                    JsonError::decode(format!("{n} out of range for {}", stringify!($ty)))
+                })
+            }
+        }
+    )+};
+}
+
+macro_rules! impl_json_int {
+    ($($ty:ty),+) => {$(
+        impl ToJson for $ty {
+            fn to_json(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 { Value::UInt(n as u64) } else { Value::Int(n) }
+            }
+        }
+        impl FromJson for $ty {
+            fn from_json(value: &Value) -> Result<Self, JsonError> {
+                let n = value
+                    .as_i64()
+                    .ok_or_else(|| JsonError::decode(format!("expected integer, got {value}")))?;
+                <$ty>::try_from(n).map_err(|_| {
+                    JsonError::decode(format!("{n} out of range for {}", stringify!($ty)))
+                })
+            }
+        }
+    )+};
+}
+
+impl_json_uint!(u8, u16, u32, u64, usize);
+impl_json_int!(i8, i16, i32, i64, isize);
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl FromJson for f64 {
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        value
+            .as_f64()
+            .ok_or_else(|| JsonError::decode(format!("expected number, got {value}")))
+    }
+}
+
+impl ToJson for f32 {
+    fn to_json(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl FromJson for f32 {
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        f64::from_json(value).map(|f| f as f32)
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl FromJson for String {
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        value
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| JsonError::decode(format!("expected string, got {value}")))
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Value {
+        (**self).to_json()
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Value {
+        match self {
+            Some(v) => v.to_json(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: FromJson> FromJson for Option<T> {
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        if value.is_null() {
+            Ok(None)
+        } else {
+            T::from_json(value).map(Some)
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(T::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Value {
+        self.as_slice().to_json()
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        value
+            .as_array()
+            .ok_or_else(|| JsonError::decode(format!("expected array, got {value}")))?
+            .iter()
+            .map(T::from_json)
+            .collect()
+    }
+}
+
+macro_rules! impl_json_tuple {
+    ($($name:ident : $idx:tt),+ ; $len:expr) => {
+        impl<$($name: ToJson),+> ToJson for ($($name,)+) {
+            fn to_json(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_json()),+])
+            }
+        }
+        impl<$($name: FromJson),+> FromJson for ($($name,)+) {
+            fn from_json(value: &Value) -> Result<Self, JsonError> {
+                let items = value
+                    .as_array()
+                    .ok_or_else(|| JsonError::decode(format!("expected array, got {value}")))?;
+                if items.len() != $len {
+                    return Err(JsonError::decode(format!(
+                        "expected {}-tuple, got {} elements",
+                        $len,
+                        items.len()
+                    )));
+                }
+                Ok(($($name::from_json(&items[$idx])?,)+))
+            }
+        }
+    };
+}
+
+impl_json_tuple!(A: 0, B: 1; 2);
+impl_json_tuple!(A: 0, B: 1, C: 2; 3);
+impl_json_tuple!(A: 0, B: 1, C: 2, D: 3; 4);

@@ -1,0 +1,112 @@
+//! Compact and pretty JSON writers with deterministic output.
+
+use crate::Value;
+use std::fmt::Write;
+
+pub fn compact(value: &Value) -> String {
+    let mut out = String::new();
+    write_value(&mut out, value, None, 0);
+    out
+}
+
+pub fn pretty(value: &Value) -> String {
+    let mut out = String::new();
+    write_value(&mut out, value, Some("  "), 0);
+    out
+}
+
+fn write_value(out: &mut String, value: &Value, indent: Option<&str>, depth: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Int(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::UInt(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::Float(f) => write_float(out, *f),
+        Value::Str(s) => write_string(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(pairs) => {
+            if pairs.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_string(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<&str>, depth: usize) {
+    if let Some(unit) = indent {
+        out.push('\n');
+        for _ in 0..depth {
+            out.push_str(unit);
+        }
+    }
+}
+
+fn write_float(out: &mut String, f: f64) {
+    if !f.is_finite() {
+        // JSON has no NaN/Infinity; degrade to null like lossy encoders do.
+        out.push_str("null");
+        return;
+    }
+    let text = format!("{f}");
+    out.push_str(&text);
+    // Keep floats visually distinct from integers ("1.0", not "1").
+    if !text.contains(['.', 'e', 'E']) {
+        out.push_str(".0");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}

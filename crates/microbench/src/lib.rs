@@ -1,0 +1,230 @@
+//! # microbench — a hermetic stand-in for the `criterion` API subset we use
+//!
+//! Implements just enough of criterion's surface — `Criterion`,
+//! `benchmark_group`, `bench_function`/`bench_with_input`, `Throughput`,
+//! `BenchmarkId`, `Bencher::iter`, and the `criterion_group!`/
+//! `criterion_main!` macros — to run the workspace's `harness = false`
+//! benches with **no external dependencies**. Timing is a plain
+//! median-of-samples over `std::time::Instant`; there is no statistical
+//! analysis, plotting, or baseline comparison. Output is one line per
+//! benchmark on stdout.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-exported so benches can opt out of constant folding, as with criterion.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Top-level bench context handed to each `criterion_group!` function.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        println!("group: {}", name.into());
+        BenchmarkGroup {
+            _criterion: self,
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+}
+
+/// Elements- or bytes-per-iteration metadata for throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// A `function/parameter` pair naming one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter label.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            name: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+/// A group of benchmarks sharing sample-size and throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares work-per-iteration so results report a rate too.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Times a closure-only benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.into().0, &mut routine);
+        self
+    }
+
+    /// Times a benchmark parameterised by an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchId>,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.into().0, &mut |b: &mut Bencher| routine(b, input));
+        self
+    }
+
+    /// Ends the group (printing is incremental, so this is cosmetic).
+    pub fn finish(&mut self) {}
+
+    fn run(&mut self, name: String, routine: &mut dyn FnMut(&mut Bencher)) {
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut bencher = Bencher {
+                elapsed: Duration::ZERO,
+            };
+            routine(&mut bencher);
+            samples.push(bencher.elapsed);
+        }
+        samples.sort();
+        let median = samples[samples.len() / 2];
+        let mut line = format!("  {name}: {}", format_duration(median));
+        if let Some(tp) = self.throughput {
+            let per_sec = |n: u64| n as f64 / median.as_secs_f64().max(f64::MIN_POSITIVE);
+            match tp {
+                Throughput::Elements(n) => {
+                    line.push_str(&format!("  ({:.1} Melem/s)", per_sec(n) / 1e6));
+                }
+                Throughput::Bytes(n) => {
+                    line.push_str(&format!("  ({:.1} MiB/s)", per_sec(n) / (1024.0 * 1024.0)));
+                }
+            }
+        }
+        println!("{line}");
+    }
+}
+
+/// Accepts both `&str` names and [`BenchmarkId`]s where criterion does.
+pub struct BenchId(String);
+
+impl From<&str> for BenchId {
+    fn from(s: &str) -> BenchId {
+        BenchId(s.to_string())
+    }
+}
+
+impl From<String> for BenchId {
+    fn from(s: String) -> BenchId {
+        BenchId(s)
+    }
+}
+
+impl From<BenchmarkId> for BenchId {
+    fn from(id: BenchmarkId) -> BenchId {
+        BenchId(id.name)
+    }
+}
+
+/// Passed to the benchmark closure; `iter` times one sample.
+pub struct Bencher {
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine` and records the per-call cost.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warm-up call, then a small fixed batch per sample.
+        hint::black_box(routine());
+        const BATCH: u32 = 3;
+        let start = Instant::now();
+        for _ in 0..BATCH {
+            hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed() / BATCH;
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Declares a bench group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(2);
+        group.throughput(Throughput::Elements(10));
+        let mut calls = 0u32;
+        group.bench_function("count", |b| b.iter(|| calls += 1));
+        group.bench_with_input(BenchmarkId::new("sum", 4), &4u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+        assert!(calls >= 2, "routine ran per sample");
+    }
+}

@@ -54,9 +54,9 @@
 
 use ddrace_detector::{DetectorConfig, FastTrack, RaceDetector, RaceReport};
 use ddrace_program::{AccessKind, Addr, LockId, Op, ThreadId};
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
+use std::sync::Mutex;
 
 /// Identifies one registered thread to the monitor. Cheap to copy; send
 /// it into the thread it belongs to.
@@ -97,7 +97,11 @@ impl Monitor {
             next_tid: AtomicU32::new(1),
         });
         let root = ThreadToken { tid: ThreadId(0) };
-        monitor.detector.lock().on_thread_start(root.tid, None);
+        monitor
+            .detector
+            .lock()
+            .unwrap()
+            .on_thread_start(root.tid, None);
         (monitor, root)
     }
 
@@ -106,14 +110,17 @@ impl Monitor {
     /// thread.
     pub fn fork(&self, parent: ThreadToken) -> ThreadToken {
         let tid = ThreadId(self.next_tid.fetch_add(1, Ordering::Relaxed));
-        self.detector.lock().on_thread_start(tid, Some(parent.tid));
+        self.detector
+            .lock()
+            .unwrap()
+            .on_thread_start(tid, Some(parent.tid));
         ThreadToken { tid }
     }
 
     /// Records that `parent` joined `child` (call **after** the real
     /// `JoinHandle::join` returns).
     pub fn join(&self, parent: ThreadToken, child: ThreadToken) {
-        let mut d = self.detector.lock();
+        let mut d = self.detector.lock().unwrap();
         d.on_thread_finish(child.tid);
         d.on_sync(parent.tid, &Op::Join { child: child.tid });
     }
@@ -123,6 +130,7 @@ impl Monitor {
     pub fn read(&self, token: ThreadToken, addr: Addr) -> bool {
         self.detector
             .lock()
+            .unwrap()
             .on_access(token.tid, addr, AccessKind::Read)
             .race
     }
@@ -132,6 +140,7 @@ impl Monitor {
     pub fn write(&self, token: ThreadToken, addr: Addr) -> bool {
         self.detector
             .lock()
+            .unwrap()
             .on_access(token.tid, addr, AccessKind::Write)
             .race
     }
@@ -139,7 +148,7 @@ impl Monitor {
     /// Records that the calling thread acquired lock `lock_id` (call
     /// after the real acquisition).
     pub fn lock_acquired(&self, token: ThreadToken, lock_id: u32) {
-        self.detector.lock().on_sync(
+        self.detector.lock().unwrap().on_sync(
             token.tid,
             &Op::Lock {
                 lock: LockId(lock_id),
@@ -150,7 +159,7 @@ impl Monitor {
     /// Records that the calling thread is about to release lock
     /// `lock_id` (call before the real release).
     pub fn lock_released(&self, token: ThreadToken, lock_id: u32) {
-        self.detector.lock().on_sync(
+        self.detector.lock().unwrap().on_sync(
             token.tid,
             &Op::Unlock {
                 lock: LockId(lock_id),
@@ -163,17 +172,18 @@ impl Monitor {
     pub fn atomic(&self, token: ThreadToken, addr: Addr) {
         self.detector
             .lock()
+            .unwrap()
             .on_sync(token.tid, &Op::AtomicRmw { addr });
     }
 
     /// Number of distinct races found so far.
     pub fn race_count(&self) -> usize {
-        self.detector.lock().reports().distinct()
+        self.detector.lock().unwrap().reports().distinct()
     }
 
     /// Snapshot of the distinct race reports found so far.
     pub fn reports(&self) -> Vec<RaceReport> {
-        self.detector.lock().reports().reports().to_vec()
+        self.detector.lock().unwrap().reports().reports().to_vec()
     }
 }
 
@@ -218,7 +228,7 @@ mod tests {
     fn lock_protected_threads_never_race() {
         for _ in 0..10 {
             let (monitor, root) = Monitor::new();
-            let shared = StdArc::new(parking_lot::Mutex::new(0u64));
+            let shared = StdArc::new(Mutex::new(0u64));
             let addr = addr_of(&*shared);
             let mut tokens = Vec::new();
             let mut handles = Vec::new();
@@ -229,7 +239,7 @@ mod tests {
                 let s = shared.clone();
                 handles.push(std::thread::spawn(move || {
                     for _ in 0..100 {
-                        let mut guard = s.lock();
+                        let mut guard = s.lock().unwrap();
                         m.lock_acquired(token, 0);
                         m.read(token, addr);
                         *guard += 1;
@@ -246,7 +256,7 @@ mod tests {
                 monitor.join(root, token);
             }
             assert_eq!(monitor.race_count(), 0, "lock discipline must be clean");
-            assert_eq!(*shared.lock(), 400);
+            assert_eq!(*shared.lock().unwrap(), 400);
         }
     }
 
@@ -327,17 +337,17 @@ mod tests {
     }
 
     #[test]
-    fn crossbeam_scoped_threads_work_too() {
+    fn scoped_threads_work_too() {
         let (monitor, root) = Monitor::new();
-        let counter = parking_lot::Mutex::new(0u32);
+        let counter = Mutex::new(0u32);
         let addr = addr_of(&counter);
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..3 {
                 let token = monitor.fork(root);
                 let monitor = &monitor;
                 let counter = &counter;
-                scope.spawn(move |_| {
-                    let mut g = counter.lock();
+                scope.spawn(move || {
+                    let mut g = counter.lock().unwrap();
                     monitor.lock_acquired(token, 9);
                     monitor.write(token, addr);
                     *g += 1;
@@ -345,9 +355,8 @@ mod tests {
                     drop(g);
                 });
             }
-        })
-        .unwrap();
+        });
         assert_eq!(monitor.race_count(), 0);
-        assert_eq!(*counter.lock(), 3);
+        assert_eq!(*counter.lock().unwrap(), 3);
     }
 }

@@ -1,10 +1,9 @@
 //! A single programmable performance counter with sampling and skid.
 
 use crate::event::PmuEventKind;
-use serde::{Deserialize, Serialize};
 
 /// Configuration of one counter.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CounterConfig {
     /// The event to count.
     pub event: PmuEventKind,
@@ -44,7 +43,7 @@ impl CounterConfig {
 }
 
 /// A delivered counter-overflow interrupt.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Overflow {
     /// The event whose counter overflowed.
     pub event: PmuEventKind,
@@ -72,7 +71,7 @@ pub struct Overflow {
 /// assert_eq!(ov.count, 2);
 /// assert_eq!(c.value(), 2);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Counter {
     config: CounterConfig,
     value: u64,
@@ -83,7 +82,7 @@ pub struct Counter {
     enabled: bool,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct PendingOverflow {
     remaining: u32,
     elapsed: u32,
@@ -274,3 +273,18 @@ mod tests {
         let _ = CounterConfig::sampling(PmuEventKind::HitmLoad, 0, 0);
     }
 }
+
+ddrace_json::json_struct!(CounterConfig {
+    event,
+    period,
+    skid
+});
+ddrace_json::json_struct!(Overflow { event, count, skid });
+ddrace_json::json_struct!(PendingOverflow { remaining, elapsed });
+ddrace_json::json_struct!(Counter {
+    config,
+    value,
+    since_overflow,
+    pending,
+    enabled
+});

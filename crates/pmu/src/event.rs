@@ -1,7 +1,6 @@
 //! Performance-monitoring event definitions.
 
 use ddrace_cache::AccessResult;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Hardware events a simulated counter can be programmed to count.
@@ -9,7 +8,7 @@ use std::fmt;
 /// `HitmLoad` is the event at the heart of the paper —
 /// `MEM_UNCORE_RETIRED.OTHER_CORE_L2_HITM` on Nehalem: retired loads that
 /// were served by a modified line in another core's private cache.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PmuEventKind {
     /// Loads served by a remote modified line (cache-to-cache, HITM).
     HitmLoad,
@@ -142,3 +141,14 @@ mod tests {
         assert_eq!(names.len(), kinds.len());
     }
 }
+
+ddrace_json::json_unit_enum!(PmuEventKind {
+    HitmLoad,
+    RfoHitm,
+    AnyHitm,
+    TrueSharing,
+    Loads,
+    Stores,
+    LlcMiss,
+    Accesses
+});

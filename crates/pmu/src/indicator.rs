@@ -20,10 +20,9 @@ use crate::event::PmuEventKind;
 use crate::pmu::Pmu;
 use ddrace_cache::{AccessResult, CoreId};
 use ddrace_program::AccessKind;
-use serde::{Deserialize, Serialize};
 
 /// How the sharing indicator is realized.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum IndicatorMode {
     /// Sample the HITM-load performance counter.
     HitmSampling {
@@ -61,7 +60,7 @@ impl Default for IndicatorMode {
 }
 
 /// A delivered sharing signal (in hardware terms, the PMI).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SharingSignal {
     /// Core on which the interrupt was delivered.
     pub core: CoreId,
@@ -313,3 +312,10 @@ mod tests {
         );
     }
 }
+
+ddrace_json::json_enum!(IndicatorMode {
+    HitmSampling { period, skid, include_rfo },
+    Oracle,
+    Disabled
+});
+ddrace_json::json_struct!(SharingSignal { core, event, skid });

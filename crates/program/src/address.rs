@@ -12,7 +12,6 @@
 //! [`AddressSpace`] hands out aligned, non-overlapping regions for each.
 
 use crate::op::{Addr, BarrierId, LockId, SemId, ThreadId};
-use serde::{Deserialize, Serialize};
 
 /// Default cache line size used to pad sync objects apart.
 pub const DEFAULT_LINE_SIZE: u64 = 64;
@@ -28,7 +27,7 @@ pub const DEFAULT_LINE_SIZE: u64 = 64;
 /// assert_eq!(r.len(), 4096);
 /// assert!(r.contains(r.index(0)));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Region {
     base: u64,
     len: u64,
@@ -104,7 +103,7 @@ impl Region {
 /// let lock_word = AddressSpace::lock_addr(LockId::new(3));
 /// assert!(AddressSpace::is_sync_addr(lock_word));
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AddressSpace {
     next: u64,
 }
@@ -253,3 +252,6 @@ mod tests {
         assert!(!AddressSpace::is_sync_addr(r.index(r.len() - 1)));
     }
 }
+
+ddrace_json::json_struct!(Region { base, len });
+ddrace_json::json_struct!(AddressSpace { next });

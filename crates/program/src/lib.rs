@@ -47,6 +47,7 @@ mod builder;
 mod error;
 mod op;
 mod program;
+mod rng;
 mod schedule;
 mod stats;
 mod trace;
@@ -56,6 +57,7 @@ pub use builder::{ProgramBuilder, ThreadCursor};
 pub use error::{BlockReason, ScheduleError};
 pub use op::{AccessKind, Addr, BarrierId, LockId, Op, SemId, ThreadId};
 pub use program::{OpStream, Program, StartMode};
+pub use rng::Prng;
 pub use schedule::{
     run_program, Event, ExecutionListener, NullListener, RunStats, Scheduler, SchedulerConfig,
 };

@@ -1,7 +1,6 @@
 //! Core vocabulary types: thread ids, addresses, synchronization object ids,
 //! and the operations a simulated thread can perform.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a simulated thread.
@@ -17,7 +16,7 @@ use std::fmt;
 /// assert_eq!(main.index(), 0);
 /// assert_eq!(ThreadId::new(3).index(), 3);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ThreadId(pub u32);
 
 impl ThreadId {
@@ -62,9 +61,7 @@ impl From<u32> for ThreadId {
 /// assert_eq!(a.line(64), 0x40);
 /// assert_eq!(a.offset(8), Addr(0x1008));
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Addr(pub u64);
 
 impl Addr {
@@ -105,7 +102,7 @@ impl From<u64> for Addr {
 }
 
 /// Identifier of a lock (mutex) object.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LockId(pub u32);
 
 impl LockId {
@@ -127,7 +124,7 @@ impl fmt::Display for LockId {
 }
 
 /// Identifier of a barrier object.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct BarrierId(pub u32);
 
 impl BarrierId {
@@ -152,7 +149,7 @@ impl fmt::Display for BarrierId {
 /// (condition-variable-like communication with semaphore semantics, so
 /// signals are never lost and generated programs cannot deadlock on a
 /// signal/wait ordering quirk).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SemId(pub u32);
 
 impl SemId {
@@ -174,7 +171,7 @@ impl fmt::Display for SemId {
 }
 
 /// Whether a memory access reads or writes (or atomically updates) memory.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AccessKind {
     /// A plain load.
     Read,
@@ -219,7 +216,7 @@ impl fmt::Display for AccessKind {
 /// Programs are per-thread streams of `Op`s; the [`crate::Scheduler`]
 /// interleaves them and enforces blocking semantics for the synchronization
 /// variants.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Op {
     /// Load from `addr`.
     Read {
@@ -470,3 +467,23 @@ mod tests {
         }
     }
 }
+
+ddrace_json::json_newtype!(ThreadId, Addr, LockId, BarrierId, SemId);
+ddrace_json::json_unit_enum!(AccessKind {
+    Read,
+    Write,
+    AtomicRmw
+});
+ddrace_json::json_enum!(Op {
+    Read { addr },
+    Write { addr },
+    AtomicRmw { addr },
+    Lock { lock },
+    Unlock { lock },
+    Barrier { barrier, participants },
+    Fork { child },
+    Join { child },
+    Post { sem },
+    WaitSem { sem },
+    Compute { cycles },
+});

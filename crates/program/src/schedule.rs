@@ -17,8 +17,7 @@
 use crate::error::{BlockReason, ScheduleError};
 use crate::op::{BarrierId, LockId, Op, SemId, ThreadId};
 use crate::program::{Program, StartMode};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::Prng;
 use std::collections::HashMap;
 
 /// Configuration of the interleaving scheduler.
@@ -124,7 +123,7 @@ impl ExecutionListener for NullListener {
 }
 
 /// Summary statistics of one scheduled execution.
-#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RunStats {
     /// Total operations executed across all threads.
     pub ops_executed: u64,
@@ -211,7 +210,7 @@ pub struct Scheduler {
     join_waiters: Vec<Vec<ThreadId>>,
     start_mode: StartMode,
     config: SchedulerConfig,
-    rng: SmallRng,
+    rng: Prng,
     stats: RunStats,
     cursor: usize,
 }
@@ -243,7 +242,7 @@ impl Scheduler {
             join_waiters: vec![Vec::new(); n],
             start_mode,
             config,
-            rng: SmallRng::seed_from_u64(config.seed),
+            rng: Prng::seed_from_u64(config.seed),
             stats: RunStats {
                 per_thread_ops: vec![0; n],
                 ..RunStats::default()
@@ -277,7 +276,7 @@ impl Scheduler {
             };
             self.stats.context_switches += 1;
             let quantum = if self.config.jitter {
-                self.rng.gen_range(1..=self.config.quantum)
+                self.rng.range_u32(1, self.config.quantum)
             } else {
                 self.config.quantum
             };
@@ -1055,3 +1054,13 @@ mod tests {
         );
     }
 }
+
+ddrace_json::json_struct!(RunStats {
+    ops_executed,
+    per_thread_ops,
+    blocks,
+    context_switches,
+    barrier_episodes,
+    lock_handoffs,
+    orphan_threads,
+});

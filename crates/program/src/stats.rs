@@ -6,7 +6,6 @@
 
 use crate::op::Op;
 use crate::schedule::{Event, ExecutionListener};
-use serde::{Deserialize, Serialize};
 
 /// Tally of executed operations by kind.
 ///
@@ -21,7 +20,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(counts.reads, 2);
 /// assert_eq!(counts.memory_accesses(), 3);
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct OpCounts {
     /// Plain loads.
     pub reads: u64,
@@ -217,3 +216,18 @@ mod tests {
         assert_eq!(counts, OpCounts::default());
     }
 }
+
+ddrace_json::json_struct!(OpCounts {
+    reads,
+    writes,
+    atomics,
+    locks,
+    unlocks,
+    barriers,
+    forks,
+    joins,
+    posts,
+    waits,
+    computes,
+    compute_cycles,
+});

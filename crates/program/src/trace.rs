@@ -13,10 +13,9 @@
 
 use crate::op::{BarrierId, Op, ThreadId};
 use crate::schedule::{Event, ExecutionListener};
-use serde::{Deserialize, Serialize};
 
 /// One recorded event (the owned analogue of [`Event`]).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TraceEvent {
     /// A thread became runnable.
     ThreadStarted {
@@ -85,7 +84,7 @@ impl TraceEvent {
 /// assert_eq!(n, 2);
 /// # Ok::<(), ddrace_program::ScheduleError>(())
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Trace {
     events: Vec<TraceEvent>,
 }
@@ -273,10 +272,9 @@ mod tests {
     #[test]
     fn trace_serializes() {
         let trace = sample_trace(1);
-        // serde round-trip via the derived impls (JSON not required here;
-        // use the compact serde test through serde's data model).
-        let events_clone: Trace = trace.events().iter().cloned().collect();
-        assert_eq!(events_clone, trace);
+        let json = ddrace_json::to_string(&trace).unwrap();
+        let back: Trace = ddrace_json::from_str(&json).unwrap();
+        assert_eq!(back, trace);
     }
 
     #[test]
@@ -309,3 +307,11 @@ mod tests {
         assert_eq!(recorder.trace().thread_count(), 1);
     }
 }
+
+ddrace_json::json_enum!(TraceEvent {
+    ThreadStarted { tid, parent },
+    Op { tid, op },
+    BarrierReleased { barrier, participants },
+    ThreadFinished { tid },
+});
+ddrace_json::json_struct!(Trace { events });

@@ -1,0 +1,240 @@
+//! # ddrace-telemetry — spans and counters for campaign observability
+//!
+//! A deliberately tiny telemetry layer with no external dependencies. The
+//! simulator (`ddrace-core::sim`) and the race detectors (`ddrace-detector`)
+//! emit **counters** (cycles simulated, HITM interrupts, shadow-memory
+//! operations, enable/disable transitions) and **spans** (wall-clock timings
+//! of named phases) into a thread-local [`Telemetry`] sink; the campaign
+//! harness installs a sink around each job and collects it afterwards.
+//!
+//! Two properties matter:
+//!
+//! - **Zero cost when idle.** When no sink is installed (every non-campaign
+//!   use of the simulator), [`counter`] and [`span`] are a thread-local flag
+//!   check and nothing else.
+//! - **Counters are deterministic, spans are not.** Counters reflect
+//!   simulated quantities and are byte-reproducible across runs and worker
+//!   counts; spans measure host wall-clock. The harness therefore puts
+//!   counters in the deterministic aggregate JSON and spans only in the
+//!   per-job JSONL event stream.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ddrace_json::{ToJson, Value};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+thread_local! {
+    static SINK: RefCell<Option<Telemetry>> = const { RefCell::new(None) };
+}
+
+/// Aggregated wall-clock statistics for one named span.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStats {
+    /// How many times the span was entered.
+    pub count: u64,
+    /// Total nanoseconds spent inside the span.
+    pub total_ns: u64,
+}
+
+/// A collected set of counters and span timings.
+///
+/// Keys are `&'static str` names like `"sim.pmis"`; [`BTreeMap`] keeps
+/// serialization order stable.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Telemetry {
+    counters: BTreeMap<&'static str, u64>,
+    spans: BTreeMap<&'static str, SpanStats>,
+}
+
+impl Telemetry {
+    /// An empty collection.
+    pub fn new() -> Telemetry {
+        Telemetry::default()
+    }
+
+    /// Adds `delta` to a named counter.
+    pub fn add(&mut self, name: &'static str, delta: u64) {
+        *self.counters.entry(name).or_insert(0) += delta;
+    }
+
+    /// Records one completed span occurrence.
+    pub fn add_span(&mut self, name: &'static str, elapsed_ns: u64) {
+        let s = self.spans.entry(name).or_default();
+        s.count += 1;
+        s.total_ns += elapsed_ns;
+    }
+
+    /// Reads a counter; missing counters read as zero.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Iterates counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Iterates spans in name order.
+    pub fn spans(&self) -> impl Iterator<Item = (&'static str, SpanStats)> + '_ {
+        self.spans.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Merges another collection into this one (used for campaign totals).
+    pub fn merge(&mut self, other: &Telemetry) {
+        for (name, value) in &other.counters {
+            *self.counters.entry(name).or_insert(0) += value;
+        }
+        for (name, stats) in &other.spans {
+            let s = self.spans.entry(name).or_default();
+            s.count += stats.count;
+            s.total_ns += stats.total_ns;
+        }
+    }
+
+    /// The deterministic half only: counters, no wall-clock spans.
+    pub fn counters_json(&self) -> Value {
+        Value::Object(
+            self.counters
+                .iter()
+                .map(|(k, v)| (k.to_string(), Value::UInt(*v)))
+                .collect(),
+        )
+    }
+}
+
+impl ToJson for Telemetry {
+    fn to_json(&self) -> Value {
+        let spans = self
+            .spans
+            .iter()
+            .map(|(k, s)| {
+                (
+                    k.to_string(),
+                    Value::Object(vec![
+                        ("count".to_string(), Value::UInt(s.count)),
+                        ("total_ns".to_string(), Value::UInt(s.total_ns)),
+                    ]),
+                )
+            })
+            .collect();
+        Value::Object(vec![
+            ("counters".to_string(), self.counters_json()),
+            ("spans".to_string(), Value::Object(spans)),
+        ])
+    }
+}
+
+/// Installs a fresh sink on this thread, returning whether one was replaced.
+///
+/// The harness calls this at the start of each job; nested installs reset
+/// the sink, which keeps a panicking job from leaking counters into the
+/// next job run on the same worker.
+pub fn install() -> bool {
+    SINK.with(|s| s.borrow_mut().replace(Telemetry::new()).is_some())
+}
+
+/// Removes and returns this thread's sink, if any.
+pub fn take() -> Option<Telemetry> {
+    SINK.with(|s| s.borrow_mut().take())
+}
+
+/// True when a sink is installed on this thread.
+pub fn active() -> bool {
+    SINK.with(|s| s.borrow().is_some())
+}
+
+/// Adds `delta` to a named counter on the current sink; no-op when inactive.
+pub fn counter(name: &'static str, delta: u64) {
+    SINK.with(|s| {
+        if let Some(t) = s.borrow_mut().as_mut() {
+            t.add(name, delta);
+        }
+    });
+}
+
+/// Opens a wall-clock span; the elapsed time is recorded when the returned
+/// guard drops. No-op (and no clock read) when no sink is installed.
+pub fn span(name: &'static str) -> SpanGuard {
+    SpanGuard {
+        name,
+        start: active().then(Instant::now),
+    }
+}
+
+/// Guard returned by [`span`]; records elapsed time on drop.
+#[must_use = "a span measures until the guard drops"]
+pub struct SpanGuard {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            SINK.with(|s| {
+                if let Some(t) = s.borrow_mut().as_mut() {
+                    t.add_span(self.name, ns);
+                }
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_only_while_installed() {
+        counter("x", 5); // no sink: dropped
+        install();
+        counter("x", 2);
+        counter("x", 3);
+        {
+            let _g = span("phase");
+        }
+        let t = take().unwrap();
+        assert_eq!(t.counter("x"), 5);
+        assert_eq!(t.spans().count(), 1);
+        assert!(take().is_none());
+    }
+
+    #[test]
+    fn merge_sums_both_halves() {
+        let mut a = Telemetry::new();
+        a.add("n", 1);
+        a.add_span("s", 10);
+        let mut b = Telemetry::new();
+        b.add("n", 2);
+        b.add("m", 7);
+        b.add_span("s", 5);
+        a.merge(&b);
+        assert_eq!(a.counter("n"), 3);
+        assert_eq!(a.counter("m"), 7);
+        assert_eq!(
+            a.spans().collect::<Vec<_>>(),
+            vec![(
+                "s",
+                SpanStats {
+                    count: 2,
+                    total_ns: 15
+                }
+            )]
+        );
+    }
+
+    #[test]
+    fn counters_json_is_name_ordered() {
+        let mut t = Telemetry::new();
+        t.add("z.last", 1);
+        t.add("a.first", 2);
+        assert_eq!(
+            ddrace_json::to_string(&t.counters_json()).unwrap(),
+            r#"{"a.first":2,"z.last":1}"#
+        );
+    }
+}

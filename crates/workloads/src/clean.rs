@@ -41,12 +41,12 @@ pub fn bounded_buffer(capacity: u32, items: u32) -> Program {
     for i in 0..items {
         p = p.wait_sem(empty).write(slot_addr(i)).compute(5).post(full);
     }
-    drop(p);
+    let _ = p;
     let mut c = b.on(consumer);
     for i in 0..items {
         c = c.wait_sem(full).read(slot_addr(i)).compute(5).post(empty);
     }
-    drop(c);
+    let _ = c;
     b.build()
 }
 
@@ -76,7 +76,7 @@ pub fn stencil(workers: u32, seg_words: u64, iterations: u32) -> Program {
     for &t in &tids {
         main = main.join(t);
     }
-    drop(main);
+    let _ = main;
 
     for (w, &t) in tids.iter().enumerate() {
         let w = w as u64;
@@ -106,7 +106,7 @@ pub fn stencil(workers: u32, seg_words: u64, iterations: u32) -> Program {
             }
             c = c.barrier(bar, workers);
         }
-        drop(c);
+        let _ = c;
     }
     b.build()
 }
@@ -143,7 +143,7 @@ pub fn work_queue(workers: u32, tasks: u32) -> Program {
     for &t in &tids {
         main = main.join(t);
     }
-    drop(main);
+    let _ = main;
 
     // Each worker takes a static share of pops; which task each pop
     // yields depends on interleaving, but every pop is lock-ordered.
@@ -162,7 +162,7 @@ pub fn work_queue(workers: u32, tasks: u32) -> Program {
             }
             c = c.compute(10);
         }
-        drop(c);
+        let _ = c;
     }
     b.build()
 }
@@ -202,14 +202,11 @@ mod tests {
         let iters = 3u32;
         let counts = runs_clean(stencil(workers, seg, iters), 1);
         assert_eq!(counts.barriers as u32, workers * iters);
-        assert_eq!(
-            counts.writes as u64,
-            u64::from(workers) * seg * u64::from(iters)
-        );
+        assert_eq!(counts.writes, u64::from(workers) * seg * u64::from(iters));
         // Interior workers read 2 extra boundary words, edges 1.
         let boundary = u64::from(iters) * (2 * (u64::from(workers) - 2) + 2);
         assert_eq!(
-            counts.reads as u64,
+            counts.reads,
             u64::from(workers) * seg * u64::from(iters) + boundary
         );
     }

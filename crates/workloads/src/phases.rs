@@ -6,9 +6,7 @@
 //! randomness comes from a per-stream seeded RNG: the same plan and seed
 //! always produce the same op sequence.
 
-use ddrace_program::{BarrierId, LockId, Op, OpStream, Region, SemId, ThreadId};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use ddrace_program::{BarrierId, LockId, Op, OpStream, Prng, Region, SemId, ThreadId};
 use std::collections::VecDeque;
 
 /// One behavioural phase of a thread's plan.
@@ -191,7 +189,7 @@ pub struct PlanStream {
     phase_idx: usize,
     emitted_in_phase: u64,
     buffer: VecDeque<Op>,
-    rng: SmallRng,
+    rng: Prng,
 }
 
 impl PlanStream {
@@ -203,7 +201,7 @@ impl PlanStream {
             phase_idx: 0,
             emitted_in_phase: 0,
             buffer: VecDeque::new(),
-            rng: SmallRng::seed_from_u64(seed),
+            rng: Prng::seed_from_u64(seed),
         }
     }
 
@@ -250,14 +248,14 @@ impl PlanStream {
                 compute_pct,
                 ..
             } => {
-                let roll: u8 = self.rng.gen_range(0..100);
+                let roll: u8 = self.rng.percent();
                 if roll < compute_pct {
                     self.buffer.push_back(Op::Compute {
-                        cycles: self.rng.gen_range(1..8),
+                        cycles: self.rng.range_u32(1, 7),
                     });
                 } else {
-                    let addr = region.word(self.rng.gen());
-                    if self.rng.gen_range(0..100) < read_pct {
+                    let addr = region.word(self.rng.next_u64());
+                    if self.rng.percent() < read_pct {
                         self.buffer.push_back(Op::Read { addr });
                     } else {
                         self.buffer.push_back(Op::Write { addr });
@@ -265,7 +263,7 @@ impl PlanStream {
                 }
             }
             Phase::SharedReads { region, .. } => {
-                let addr = region.word(self.rng.gen());
+                let addr = region.word(self.rng.next_u64());
                 self.buffer.push_back(Op::Read { addr });
             }
             Phase::SharedRw {
@@ -279,7 +277,7 @@ impl PlanStream {
                 // word (an atomic in the cache model) and the data word
                 // both migrate core-to-core.
                 let hot = hot_words.max(1);
-                let w = self.rng.gen_range(0..hot);
+                let w = self.rng.below(hot);
                 let lock = LockId(lock_base + w as u32);
                 let data = region.word(w);
                 self.buffer.push_back(Op::Lock { lock });
@@ -297,7 +295,7 @@ impl PlanStream {
                 // index* (not the raw roll), so one address is always
                 // guarded by the same lock.
                 let words = (region.len() / 8).max(1);
-                let word_idx = self.rng.gen::<u64>() % words;
+                let word_idx = self.rng.next_u64() % words;
                 let addr = region.word(word_idx);
                 let lock = LockId(lock_base + (word_idx % u64::from(lock_count.max(1))) as u32);
                 self.buffer.push_back(Op::Lock { lock });
@@ -308,7 +306,7 @@ impl PlanStream {
             Phase::AtomicOps {
                 region, hot_words, ..
             } => {
-                let addr = region.word(self.rng.gen_range(0..hot_words.max(1)));
+                let addr = region.word(self.rng.below(hot_words.max(1)));
                 self.buffer.push_back(Op::AtomicRmw { addr });
             }
             Phase::RacyPairs { region, .. } => {
@@ -316,7 +314,7 @@ impl PlanStream {
                 // any two threads with at least one pair each are
                 // guaranteed to collide on word 0 — planted races must be
                 // present regardless of scale or seed.
-                let words = (region.len() / 8).min(8).max(1);
+                let words = (region.len() / 8).clamp(1, 8);
                 let addr = region.word(unit % words);
                 self.buffer.push_back(Op::Read { addr });
                 self.buffer.push_back(Op::Write { addr });
@@ -362,8 +360,8 @@ impl PlanStream {
                     }
                 }
                 for _ in 0..work {
-                    let addr = scratch.word(self.rng.gen());
-                    if self.rng.gen_bool(0.6) {
+                    let addr = scratch.word(self.rng.next_u64());
+                    if self.rng.chance(3, 5) {
                         self.buffer.push_back(Op::Read { addr });
                     } else {
                         self.buffer.push_back(Op::Write { addr });

@@ -193,7 +193,7 @@ pub fn delayed_sharing(words: u64, delay_bytes: u64, rounds: u32) -> Program {
             p = p.write(stream.word(i));
         }
     }
-    drop(p);
+    let _ = p;
     let mut c = b.on(consumer);
     for _ in 0..rounds.max(1) {
         // The consumer busies itself long enough that its reads land
@@ -206,7 +206,7 @@ pub fn delayed_sharing(words: u64, delay_bytes: u64, rounds: u32) -> Program {
             c = c.read(shared.word(i));
         }
     }
-    drop(c);
+    let _ = c;
     b.build()
 }
 

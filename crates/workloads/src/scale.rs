@@ -1,7 +1,5 @@
 //! Workload size presets.
 
-use serde::{Deserialize, Serialize};
-
 /// Scales the operation counts of every workload, like PARSEC's
 /// `simsmall`/`simlarge` input sets.
 ///
@@ -12,7 +10,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(Scale::TEST.apply(1_000) < Scale::SMALL.apply(1_000));
 /// assert_eq!(Scale::TEST.apply(0), 0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Scale {
     /// Numerator of the scaling ratio applied to base op counts.
     pub num: u64,
@@ -66,3 +64,5 @@ mod tests {
         assert_eq!(Scale::default(), Scale::SMALL);
     }
 }
+
+ddrace_json::json_struct!(Scale { num, den });

@@ -13,7 +13,6 @@ use crate::scale::Scale;
 use ddrace_program::{
     AddressSpace, BarrierId, OpStream, Program, Region, SemId, StartMode, ThreadId,
 };
-use serde::{Deserialize, Serialize};
 
 /// First lock id of the per-hot-word lock range used by guarded hot
 /// updates; ordinary accumulator locks start at 0, so the ranges never
@@ -21,7 +20,7 @@ use serde::{Deserialize, Serialize};
 pub const HOT_LOCK_BASE: u32 = 1 << 16;
 
 /// Which suite a workload belongs to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Suite {
     /// Phoenix-like map-reduce kernels (low sharing).
     Phoenix,
@@ -43,7 +42,7 @@ impl std::fmt::Display for Suite {
 }
 
 /// Per-iteration, per-worker behaviour of a fork-join workload.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IterProfile {
     /// Private work ops (reads/writes/compute over the private region).
     pub private_ops: u64,
@@ -81,7 +80,7 @@ impl IterProfile {
 }
 
 /// The parallel structure of a workload.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Structure {
     /// Main forks workers; workers run `iterations` phases (optionally
     /// barrier-separated); main joins and merges.
@@ -104,7 +103,7 @@ pub enum Structure {
 }
 
 /// A complete synthetic benchmark description.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadSpec {
     /// Benchmark name (e.g. "kmeans").
     pub name: String,
@@ -349,7 +348,7 @@ impl WorkloadSpec {
             let mut plan = Vec::new();
             plan.push(Phase::PipelineStage {
                 in_sem: (s > 0).then(|| SemId(s - 1)),
-                out_sem: (s + 1 < stages).then(|| SemId(s)),
+                out_sem: (s + 1 < stages).then_some(SemId(s)),
                 items,
                 in_buf: (s > 0).then(|| buffers[(s - 1) as usize]),
                 out_buf: (s + 1 < stages).then(|| buffers[s as usize]),
@@ -514,3 +513,36 @@ mod tests {
         assert_eq!(c.counts().barriers, 0);
     }
 }
+
+ddrace_json::json_unit_enum!(Suite {
+    Phoenix,
+    Parsec,
+    Kernel
+});
+ddrace_json::json_struct!(IterProfile {
+    private_ops,
+    private_read_pct,
+    compute_pct,
+    shared_reads,
+    shared_rw_pairs,
+    locked_updates,
+    atomic_ops,
+    racy_pairs
+});
+ddrace_json::json_enum!(Structure {
+    ForkJoin { iterations, barrier_per_iter },
+    Pipeline { items, work_per_item, slot_words }
+});
+ddrace_json::json_struct!(WorkloadSpec {
+    name,
+    suite,
+    workers,
+    structure,
+    iter,
+    init_shared_words,
+    final_merge_words,
+    private_bytes,
+    shared_bytes,
+    hot_words,
+    lock_count
+});

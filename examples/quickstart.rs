@@ -32,7 +32,7 @@ fn main() -> Result<(), ScheduleError> {
                     c = c.read(counter).write(counter);
                 }
             }
-            drop(c);
+            let _ = c;
         }
         b.build()
     };

@@ -8,11 +8,13 @@
 //! ddrace compare --bench kmeans [--scale small] [--seed 42] [--cores 8]
 //! ddrace record  --bench kmeans --out trace.json [--scale test] [--seed 42]
 //! ddrace analyze --trace trace.json [--mode continuous] [--cores 8]
+//! ddrace campaign [--suite phoenix] [--modes native,continuous,demand-hitm]
+//!                 [--workers N] [--events FILE|-] [--out FILE] [--quiet]
 //! ```
 
 use ddrace::{
-    AnalysisMode, DetectorKind, RunResult, Scale, SchedulerConfig, SimConfig, Simulation,
-    WorkloadSpec,
+    run_campaign, AnalysisMode, Campaign, DetectorKind, EventSink, RunResult, Scale,
+    SchedulerConfig, SimConfig, Simulation, WorkloadSpec,
 };
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -36,6 +38,7 @@ fn main() -> ExitCode {
         "compare" => cmd_compare(&flags),
         "record" => cmd_record(&flags),
         "analyze" => cmd_analyze(&flags),
+        "campaign" => cmd_campaign(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -62,7 +65,11 @@ USAGE:
     ddrace compare --bench NAME [--scale SCALE] [--seed N] [--cores N]
     ddrace record  --bench NAME --out FILE [--scale SCALE] [--seed N]
     ddrace analyze --trace FILE [--mode MODE] [--cores N] [--detector KIND]
+    ddrace campaign [--suite SUITE] [--modes MODE,MODE,...] [--workers N]
+                    [--scale SCALE] [--seed N] [--cores N] [--detector KIND]
+                    [--timeout-secs N] [--events FILE|-] [--out FILE] [--quiet]
 
+SUITES:     phoenix | parsec | racy | all
 MODES:      native | continuous | demand-hitm | demand-oracle
 SCALES:     test | small | large
 DETECTORS:  fasttrack | djit | lockset
@@ -75,7 +82,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         let key = args[i]
             .strip_prefix("--")
             .ok_or_else(|| format!("expected a --flag, found `{}`", args[i]))?;
-        if key == "json" || key == "detail" || key == "timeline" {
+        if key == "json" || key == "detail" || key == "timeline" || key == "quiet" {
             flags.insert(key.to_string(), "true".to_string());
             i += 1;
             continue;
@@ -127,7 +134,7 @@ struct Common {
 fn parse_common(flags: &HashMap<String, String>) -> Result<Common, String> {
     let mut spec = if let Some(path) = flags.get("spec") {
         let json = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
-        serde_json::from_str::<WorkloadSpec>(&json)
+        ddrace::json::from_str::<WorkloadSpec>(&json)
             .map_err(|e| format!("invalid workload spec {path}: {e}"))?
     } else {
         let name = flags
@@ -186,7 +193,7 @@ fn print_result(r: &RunResult, json: bool, detail: bool, timeline: bool) -> Resu
     if json {
         println!(
             "{}",
-            serde_json::to_string_pretty(r).map_err(|e| e.to_string())?
+            ddrace::json::to_string_pretty(r).map_err(|e| e.to_string())?
         );
         return Ok(());
     }
@@ -310,7 +317,7 @@ fn cmd_record(flags: &HashMap<String, String>) -> Result<(), String> {
     let trace =
         ddrace::program::Trace::record(common.spec.program(common.scale, common.seed), scheduler)
             .map_err(|e| e.to_string())?;
-    let json = serde_json::to_string(&trace).map_err(|e| e.to_string())?;
+    let json = ddrace::json::to_string(&trace).map_err(|e| e.to_string())?;
     std::fs::write(out, json).map_err(|e| e.to_string())?;
     println!(
         "recorded {} ops across {} threads to {out}",
@@ -320,10 +327,90 @@ fn cmd_record(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_campaign(flags: &HashMap<String, String>) -> Result<(), String> {
+    let suite = flags.get("suite").map(String::as_str).unwrap_or("phoenix");
+    let workloads = match suite {
+        "phoenix" => ddrace::phoenix::suite(),
+        "parsec" => ddrace::parsec::suite(),
+        "racy" => ddrace::racy::kernels(),
+        "all" => ddrace::workloads::all_benchmarks()
+            .into_iter()
+            .chain(ddrace::racy::kernels())
+            .collect(),
+        other => return Err(format!("unknown suite `{other}`")),
+    };
+    let modes = flags
+        .get("modes")
+        .map(String::as_str)
+        .unwrap_or("native,continuous,demand-hitm")
+        .split(',')
+        .map(parse_mode)
+        .collect::<Result<Vec<_>, _>>()?;
+    let scale = parse_scale(flags.get("scale").map(String::as_str).unwrap_or("small"))?;
+    let seed: u64 = flags
+        .get("seed")
+        .map(|s| s.parse().map_err(|_| "--seed takes a number"))
+        .transpose()?
+        .unwrap_or(42);
+    let cores: usize = flags
+        .get("cores")
+        .map(|s| s.parse().map_err(|_| "--cores takes a number"))
+        .transpose()?
+        .unwrap_or(8);
+    let workers: usize = flags
+        .get("workers")
+        .map(|s| s.parse().map_err(|_| "--workers takes a number"))
+        .transpose()?
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        });
+
+    let mut builder = Campaign::builder(format!("{suite}-campaign"))
+        .workloads(workloads)
+        .modes(modes)
+        .seeds([seed])
+        .scale(scale)
+        .cores(cores);
+    if let Some(d) = flags.get("detector") {
+        builder = builder.detector_kind(parse_detector(d)?);
+    }
+    if let Some(t) = flags.get("timeout-secs") {
+        let secs: u64 = t.parse().map_err(|_| "--timeout-secs takes a number")?;
+        builder = builder.timeout(std::time::Duration::from_secs(secs));
+    }
+    let campaign = builder.build();
+
+    let jsonl: Option<Box<dyn std::io::Write + Send>> = match flags.get("events") {
+        Some(path) if path == "-" => Some(Box::new(std::io::stdout())),
+        Some(path) => Some(Box::new(
+            std::fs::File::create(path).map_err(|e| format!("--events {path}: {e}"))?,
+        )),
+        None => None,
+    };
+    let sink = EventSink::new(jsonl, !flags.contains_key("quiet"));
+    let report = run_campaign(&campaign, workers, &sink);
+
+    let aggregate =
+        ddrace::json::to_string_pretty(&report.aggregate_json()).map_err(|e| e.to_string())?;
+    match flags.get("out") {
+        Some(path) => {
+            std::fs::write(path, &aggregate).map_err(|e| format!("--out {path}: {e}"))?;
+            eprintln!("aggregate written to {path}");
+        }
+        None => println!("{aggregate}"),
+    }
+    if report.failed() > 0 {
+        return Err(format!("{} job(s) failed", report.failed()));
+    }
+    Ok(())
+}
+
 fn cmd_analyze(flags: &HashMap<String, String>) -> Result<(), String> {
     let path = flags.get("trace").ok_or("--trace FILE is required")?;
     let json = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
-    let trace: ddrace::program::Trace = serde_json::from_str(&json).map_err(|e| e.to_string())?;
+    let trace: ddrace::program::Trace = ddrace::json::from_str(&json).map_err(|e| e.to_string())?;
     let cores = flags
         .get("cores")
         .map(|s| s.parse().map_err(|_| "--cores takes a number"))

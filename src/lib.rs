@@ -24,6 +24,9 @@
 //! | [`detector`] | FastTrack / Djit⁺ / lockset race detectors |
 //! | [`core`] | **the paper's contribution**: demand-driven controller + cost model |
 //! | [`workloads`] | Phoenix-like & PARSEC-like synthetic benchmarks, racy kernels |
+//! | [`harness`] | parallel campaign runner with structured telemetry |
+//! | [`telemetry`] | span/counter sink the simulator emits into during campaigns |
+//! | [`json`] | dependency-free JSON used by traces, specs, and campaign output |
 //!
 //! This facade crate re-exports the most useful items so `use ddrace::*`
 //! scenarios work out of the box; the examples and cross-crate
@@ -53,9 +56,12 @@
 pub use ddrace_cache as cache;
 pub use ddrace_core as core;
 pub use ddrace_detector as detector;
+pub use ddrace_harness as harness;
+pub use ddrace_json as json;
 pub use ddrace_native as native;
 pub use ddrace_pmu as pmu;
 pub use ddrace_program as program;
+pub use ddrace_telemetry as telemetry;
 pub use ddrace_workloads as workloads;
 
 pub use ddrace_cache::{CacheConfig, CacheHierarchy, CoreId, HitWhere, SharingKind};
@@ -67,6 +73,7 @@ pub use ddrace_core::{
 pub use ddrace_detector::{
     DetectorConfig, FastTrack, Granularity, RaceDetector, RaceKind, RaceReport,
 };
+pub use ddrace_harness::{run_campaign, Campaign, CampaignReport, EventSink, Job};
 pub use ddrace_pmu::{IndicatorMode, SharingIndicator};
 pub use ddrace_program::{
     AccessKind, Addr, Op, Program, ProgramBuilder, ScheduleError, SchedulerConfig, ThreadId,

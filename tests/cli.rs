@@ -85,7 +85,7 @@ fn run_json_is_parseable() {
         ]);
         c
     });
-    let v: serde_json::Value = serde_json::from_str(&out).expect("valid JSON");
+    let v: ddrace::json::Value = ddrace::json::from_str(&out).expect("valid JSON");
     assert_eq!(v["mode"], "native");
     assert!(v["makespan"].as_u64().unwrap() > 0);
 }

@@ -156,15 +156,17 @@ fn residency_is_consistent_with_speedup() {
 #[test]
 fn results_serialize_to_json() {
     let r = run(&racy::unprotected_counter(), 4, AnalysisMode::demand_hitm());
-    let json = serde_json_roundtrip(&r);
+    let json = json_roundtrip(&r);
     assert!(json.contains("\"mode\""));
     assert!(json.contains("demand-hitm"));
 }
 
-fn serde_json_roundtrip(r: &ddrace::RunResult) -> String {
-    // ddrace itself avoids a serde_json dependency; encode via the
-    // serde-serializable struct using a minimal in-test serializer check.
-    let json = serde_json::to_string(r).expect("RunResult serializes");
-    let _back: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+fn json_roundtrip(r: &ddrace::RunResult) -> String {
+    // Encode through the workspace's own JSON layer and require that the
+    // output parses back losslessly.
+    let json = ddrace::json::to_string(r).expect("RunResult serializes");
+    let back: ddrace::RunResult = ddrace::json::from_str(&json).expect("valid JSON");
+    assert_eq!(back.makespan, r.makespan);
+    assert_eq!(back.races.distinct, r.races.distinct);
     json
 }

@@ -57,8 +57,8 @@ fn trace_json_roundtrip() {
     let spec = phoenix::string_match();
     let scheduler = config(AnalysisMode::Native).scheduler;
     let trace = Trace::record(spec.program(Scale::TEST, 2), scheduler).unwrap();
-    let json = serde_json::to_string(&trace).unwrap();
-    let back: Trace = serde_json::from_str(&json).unwrap();
+    let json = ddrace::json::to_string(&trace).unwrap();
+    let back: Trace = ddrace::json::from_str(&json).unwrap();
     assert_eq!(back, trace);
     // And the deserialized trace analyzes identically.
     let a = Simulation::new(config(AnalysisMode::Continuous)).run_trace(&trace);
