@@ -21,4 +21,13 @@ cargo test -q
 echo "==> workspace tests"
 cargo test -q --workspace
 
+# The aggregate (and its interrupt-then-resume reconstruction) must be
+# byte-identical at any worker count; pin both ends of the range in CI,
+# not just whatever parallelism the local machine happens to have.
+echo "==> harness determinism + resume at DDRACE_WORKERS=1"
+DDRACE_WORKERS=1 cargo test -q -p ddrace-harness --test determinism --test resume
+
+echo "==> harness determinism + resume at DDRACE_WORKERS=8"
+DDRACE_WORKERS=8 cargo test -q -p ddrace-harness --test determinism --test resume
+
 echo "CI green."

@@ -4,9 +4,13 @@
 //! experiment reruns the F4/F5 speedup measurement across several seeds
 //! and reports min/mean/max per benchmark, demonstrating that the
 //! reproduction's conclusions do not hinge on one lucky schedule.
+//!
+//! Runs on the campaign harness's seed axis: one campaign of
+//! workload × {continuous, demand-hitm} × seed jobs on the worker pool,
+//! instead of a hand-rolled per-seed loop.
 
-use ddrace_bench::{print_table, ratio, save_json, ExpContext};
-use ddrace_core::{geomean, AnalysisMode, Simulation};
+use ddrace_bench::{print_table, ratio, run_matrix_seeded, save_json, ExpContext};
+use ddrace_core::{geomean, AnalysisMode};
 use ddrace_workloads::{parsec, phoenix, WorkloadSpec};
 
 #[derive(Debug)]
@@ -35,27 +39,25 @@ fn main() {
         parsec::swaptions(),
         parsec::dedup(),
     ];
+    let modes = [AnalysisMode::Continuous, AnalysisMode::demand_hitm()];
+    let matrix = run_matrix_seeded(&ctx, &specs, &modes, &seeds);
 
     let mut rows = Vec::new();
-    for spec in &specs {
-        let mut speedups = Vec::new();
-        for &seed in &seeds {
-            let run = |mode| {
-                let mut cfg = ctx.sim_config(mode);
-                cfg.scheduler.seed = seed;
-                Simulation::new(cfg)
-                    .run(spec.program(ctx.scale, seed))
-                    .unwrap()
-            };
-            let cont = run(AnalysisMode::Continuous);
-            let demand = run(AnalysisMode::demand_hitm());
-            speedups.push(demand.speedup_over(&cont));
-        }
+    for row in &matrix {
+        // Runs are mode-major, seed innermost: continuous occupies the
+        // first seeds.len() slots, demand-hitm the next.
+        let cont = row.mode_runs(0, seeds.len());
+        let demand = row.mode_runs(1, seeds.len());
+        let speedups: Vec<f64> = demand
+            .iter()
+            .zip(cont)
+            .map(|(d, c)| d.speedup_over(c))
+            .collect();
         let min = speedups.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = speedups.iter().cloned().fold(0.0f64, f64::max);
         let mean = geomean(&speedups);
         rows.push(StabilityRow {
-            benchmark: spec.name.clone(),
+            benchmark: row.name.clone(),
             speedups,
             min,
             mean,

@@ -133,10 +133,23 @@ pub fn matrix_campaign(
     specs: &[WorkloadSpec],
     modes: &[AnalysisMode],
 ) -> Campaign {
+    matrix_campaign_seeded(ctx, name, specs, modes, &[ctx.seed])
+}
+
+/// Like [`matrix_campaign`], with an explicit seed axis: the cross
+/// product workload × mode × seed, seed innermost. Both workload
+/// generation and the interleaving scheduler derive from the job's seed.
+pub fn matrix_campaign_seeded(
+    ctx: &ExpContext,
+    name: &str,
+    specs: &[WorkloadSpec],
+    modes: &[AnalysisMode],
+    seeds: &[u64],
+) -> Campaign {
     Campaign::builder(name)
         .workloads(specs.iter().cloned())
         .modes(modes.iter().copied())
-        .seeds([ctx.seed])
+        .seeds(seeds.iter().copied())
         .scale(ctx.scale)
         .cores(ctx.cores)
         .build()
@@ -154,7 +167,26 @@ pub fn run_matrix(
     specs: &[WorkloadSpec],
     modes: &[AnalysisMode],
 ) -> Vec<ModeRow> {
-    let campaign = matrix_campaign(ctx, "matrix", specs, modes);
+    run_matrix_seeded(ctx, specs, modes, &[ctx.seed])
+}
+
+/// Runs the full workload × mode × seed cross product on the campaign
+/// harness. Rows keep workload order; within a row, runs are mode-major
+/// with the seed axis innermost (`runs[m * seeds.len() + s]`), and
+/// multi-seed sweeps carry per-mode mean/min/max fold-downs in
+/// [`SuiteRow::seed_stats`](ddrace_harness::SuiteRow).
+///
+/// # Panics
+///
+/// Panics if any job fails — experiment workloads are expected to be
+/// well-formed, so a failure is a generator or simulator bug.
+pub fn run_matrix_seeded(
+    ctx: &ExpContext,
+    specs: &[WorkloadSpec],
+    modes: &[AnalysisMode],
+    seeds: &[u64],
+) -> Vec<ModeRow> {
+    let campaign = matrix_campaign_seeded(ctx, "matrix", specs, modes, seeds);
     let report = run_campaign(&campaign, host_workers(), &EventSink::null());
     for record in &report.records {
         if let Err(reason) = &record.outcome {
@@ -256,6 +288,34 @@ mod tests {
             // Same program, same schedule: identical op counts.
             assert_eq!(row.runs[0].ops, row.runs[1].ops);
         }
+    }
+
+    #[test]
+    fn run_matrix_seeded_is_mode_major_seed_innermost() {
+        let ctx = ExpContext {
+            scale: Scale::TEST,
+            seed: 1,
+            cores: 4,
+        };
+        let specs = [racy::kernels()[0].clone()];
+        let modes = [AnalysisMode::Native, AnalysisMode::Continuous];
+        let seeds = [3, 9];
+        let rows = run_matrix_seeded(&ctx, &specs, &modes, &seeds);
+        assert_eq!(rows.len(), 1);
+        let row = &rows[0];
+        assert_eq!(row.runs.len(), 4);
+        assert_eq!(row.runs[0].mode, "native");
+        assert_eq!(row.runs[1].mode, "native");
+        assert_eq!(row.runs[2].mode, "continuous");
+        assert_eq!(row.runs[3].mode, "continuous");
+        // Multi-seed rows carry the per-mode fold-downs.
+        assert_eq!(row.seed_stats.len(), 2);
+        assert_eq!(row.seed_stats[0].seeds, 2);
+        // A seeded run matches the same seed run alone: the harness seed
+        // axis reproduces what per-seed ExpContext runs produced.
+        let solo = run_matrix_seeded(&ctx, &specs, &modes, &[9]);
+        assert_eq!(row.runs[1].makespan, solo[0].runs[0].makespan);
+        assert_eq!(row.runs[3].makespan, solo[0].runs[1].makespan);
     }
 
     #[test]

@@ -7,6 +7,14 @@
 //! post-processed with line-oriented tools. Events interleave in completion
 //! order; consumers correlate on the `id` field. Wall-clock timings appear
 //! *only* here, never in the deterministic aggregate.
+//!
+//! The stream doubles as a **checkpoint** (see [`crate::ResumeLog`]):
+//! `campaign_started` carries the campaign spec fingerprint, and each
+//! `job_finished` carries the job's own fingerprint, seed, full `result`
+//! payload, and telemetry — everything needed to skip the job on a
+//! subsequent `--resume` run. `job_failed` events carry a machine-readable
+//! `kind` (`panic` | `timeout` | `error`) next to the human `reason`, plus
+//! whatever telemetry the failing body had already recorded.
 
 use crate::executor::{FailReason, JobRecord};
 use ddrace_json::Value;
@@ -70,7 +78,13 @@ impl EventSink {
         }
     }
 
-    pub(crate) fn campaign_started(&self, name: &str, jobs: usize, workers: usize) {
+    pub(crate) fn campaign_started(
+        &self,
+        name: &str,
+        jobs: usize,
+        workers: usize,
+        fingerprint: &str,
+    ) {
         self.total.store(jobs, Ordering::Relaxed);
         self.done.store(0, Ordering::Relaxed);
         self.emit(
@@ -79,6 +93,10 @@ impl EventSink {
                 ("campaign".to_string(), Value::Str(name.to_string())),
                 ("jobs".to_string(), Value::UInt(jobs as u64)),
                 ("workers".to_string(), Value::UInt(workers as u64)),
+                (
+                    "fingerprint".to_string(),
+                    Value::Str(fingerprint.to_string()),
+                ),
             ],
         );
         self.note(&format!(
@@ -96,7 +114,15 @@ impl EventSink {
         );
     }
 
-    pub(crate) fn job_finished<T>(&self, record: &JobRecord<T>, summary: Option<Value>) {
+    /// Emits a `job_finished` event. `extra` fields (job fingerprint,
+    /// seed, the full `result` payload, a `resumed` marker) are appended
+    /// after the standard ones; the resume reader keys on them.
+    pub(crate) fn job_finished<T>(
+        &self,
+        record: &JobRecord<T>,
+        summary: Option<Value>,
+        extra: &[(String, Value)],
+    ) {
         let mut fields = vec![
             ("id".to_string(), Value::UInt(record.id as u64)),
             ("label".to_string(), Value::Str(record.label.clone())),
@@ -108,6 +134,7 @@ impl EventSink {
         if let Some(s) = summary {
             fields.push(("summary".to_string(), s));
         }
+        fields.extend(extra.iter().cloned());
         self.emit("job_finished", fields);
         let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
         self.note(&format!(
@@ -118,20 +145,33 @@ impl EventSink {
         ));
     }
 
-    pub(crate) fn job_failed(&self, id: usize, label: &str, reason: &FailReason, wall: Duration) {
-        self.emit(
-            "job_failed",
-            vec![
-                ("id".to_string(), Value::UInt(id as u64)),
-                ("label".to_string(), Value::Str(label.to_string())),
-                ("reason".to_string(), Value::Str(reason.to_string())),
-                ("wall_ms".to_string(), Value::Float(ms(wall))),
-            ],
-        );
+    /// Emits a `job_failed` event: a machine-readable `kind`
+    /// (`panic` | `timeout` | `error`) next to the human-readable
+    /// `reason`, plus any telemetry the failing body recorded before it
+    /// died — counters from failed runs still reach post-processing.
+    pub(crate) fn job_failed<T>(
+        &self,
+        record: &JobRecord<T>,
+        reason: &FailReason,
+        extra: &[(String, Value)],
+    ) {
+        let mut fields = vec![
+            ("id".to_string(), Value::UInt(record.id as u64)),
+            ("label".to_string(), Value::Str(record.label.clone())),
+            ("kind".to_string(), Value::Str(reason.kind().to_string())),
+            ("reason".to_string(), Value::Str(reason.to_string())),
+            ("wall_ms".to_string(), Value::Float(ms(record.wall))),
+        ];
+        if let Some(t) = &record.telemetry {
+            fields.push(("telemetry".to_string(), ddrace_json::ToJson::to_json(t)));
+        }
+        fields.extend(extra.iter().cloned());
+        self.emit("job_failed", fields);
         let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
         self.note(&format!(
-            "[{done}/{}] FAIL {label}: {reason}",
+            "[{done}/{}] FAIL {}: {reason}",
             self.total.load(Ordering::Relaxed),
+            record.label,
         ));
     }
 

@@ -66,6 +66,34 @@ pub struct RawJob<T> {
     /// `summary` payload.
     #[allow(clippy::type_complexity)]
     pub summary: Option<Box<dyn Fn(&T) -> ddrace_json::Value + Send>>,
+    /// Optional projection of the result into the `job_finished` event's
+    /// `result` payload — the full value, round-trippable by the resume
+    /// reader. `None` keeps the event slim for jobs that never resume.
+    #[allow(clippy::type_complexity)]
+    pub resume_payload: Option<Box<dyn Fn(&T) -> ddrace_json::Value + Send>>,
+    /// Extra fields appended to this job's `job_finished`/`job_failed`
+    /// events (the campaign runner adds `seed` and `fingerprint` here).
+    pub meta: Vec<(String, ddrace_json::Value)>,
+}
+
+impl<T> RawJob<T> {
+    /// A job with no timeout, no event projections, and no extra event
+    /// fields — the common shape in tests and simple callers.
+    pub fn new(
+        id: usize,
+        label: impl Into<String>,
+        body: impl FnOnce(&CancelToken) -> Result<T, String> + Send + 'static,
+    ) -> RawJob<T> {
+        RawJob {
+            id,
+            label: label.into(),
+            timeout: None,
+            body: Box::new(body),
+            summary: None,
+            resume_payload: None,
+            meta: Vec::new(),
+        }
+    }
 }
 
 impl<T> std::fmt::Debug for RawJob<T> {
@@ -87,6 +115,19 @@ pub enum FailReason {
     Timeout,
     /// The body returned an error.
     Error(String),
+}
+
+impl FailReason {
+    /// Machine-readable discriminator for events and retry policies:
+    /// `"panic"`, `"timeout"`, or `"error"` — consumers match on this
+    /// instead of parsing the display string.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            FailReason::Panic(_) => "panic",
+            FailReason::Timeout => "timeout",
+            FailReason::Error(_) => "error",
+        }
+    }
 }
 
 impl std::fmt::Display for FailReason {
@@ -127,14 +168,54 @@ pub fn run_raw<T: Send + 'static>(
     workers: usize,
     sink: &EventSink,
 ) -> Vec<JobRecord<T>> {
-    let total = jobs.len();
     assert!(
         jobs.iter().enumerate().all(|(i, j)| i == j.id),
         "job ids must be dense and ordered"
     );
-    let workers = workers.clamp(1, total.max(1));
+    run_raw_prefilled(jobs, Vec::new(), workers, sink)
+}
+
+/// Like [`run_raw`], but with some result slots pre-filled from a prior
+/// run (campaign resume): only `jobs` execute, yet the returned vector
+/// covers every id, prefilled records included, in id order.
+///
+/// No events are emitted for prefilled records here — the campaign layer
+/// replays their `job_finished` events before execution starts, so a
+/// resumed run's stream is itself a complete checkpoint.
+///
+/// # Panics
+///
+/// Panics if the ids of `jobs` and `prefilled` together are not exactly
+/// `0..(jobs.len() + prefilled.len())` with no duplicates, or if a worker
+/// thread itself dies.
+pub fn run_raw_prefilled<T: Send + 'static>(
+    jobs: Vec<RawJob<T>>,
+    prefilled: Vec<JobRecord<T>>,
+    workers: usize,
+    sink: &EventSink,
+) -> Vec<JobRecord<T>> {
+    let total = jobs.len() + prefilled.len();
+    let mut seen = vec![false; total];
+    for id in jobs
+        .iter()
+        .map(|j| j.id)
+        .chain(prefilled.iter().map(|r| r.id))
+    {
+        assert!(id < total, "job id {id} out of range for {total} slots");
+        assert!(!seen[id], "duplicate job id {id}");
+        seen[id] = true;
+    }
+    let pending = jobs.len();
+    let workers = workers.clamp(1, pending.max(1));
     let queue: Mutex<VecDeque<RawJob<T>>> = Mutex::new(jobs.into());
-    let results: Mutex<Vec<Option<JobRecord<T>>>> = Mutex::new((0..total).map(|_| None).collect());
+    let results: Mutex<Vec<Option<JobRecord<T>>>> = Mutex::new({
+        let mut slots: Vec<Option<JobRecord<T>>> = (0..total).map(|_| None).collect();
+        for record in prefilled {
+            let slot = record.id;
+            slots[slot] = Some(record);
+        }
+        slots
+    });
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
@@ -166,6 +247,8 @@ fn run_isolated<T: Send + 'static>(job: RawJob<T>, sink: &EventSink) -> JobRecor
         timeout,
         body,
         summary,
+        resume_payload,
+        meta,
     } = job;
     sink.job_started(id, &label);
     let start = Instant::now();
@@ -235,9 +318,13 @@ fn run_isolated<T: Send + 'static>(job: RawJob<T>, sink: &EventSink) -> JobRecor
     match &record.outcome {
         Ok(value) => {
             let payload = summary.as_ref().map(|f| f(value));
-            sink.job_finished(&record, payload);
+            let mut extra = meta;
+            if let Some(project) = &resume_payload {
+                extra.push(("result".to_string(), project(value)));
+            }
+            sink.job_finished(&record, payload, &extra);
         }
-        Err(reason) => sink.job_failed(record.id, &record.label, reason, wall),
+        Err(reason) => sink.job_failed(&record, reason, &meta),
     }
     record
 }

@@ -166,7 +166,8 @@ impl CampaignBuilder {
     /// Expands the axes into a [`Campaign`]; job ids follow declaration
     /// order: workloads outermost, then modes, then seeds.
     pub fn build(self) -> Campaign {
-        let mut jobs = Vec::with_capacity(self.workloads.len() * self.modes.len());
+        let mut jobs =
+            Vec::with_capacity(self.workloads.len() * self.modes.len() * self.seeds.len());
         for workload in &self.workloads {
             for &mode in &self.modes {
                 for &seed in &self.seeds {

@@ -19,10 +19,17 @@
 //! - [`telemetry`] (re-exported `ddrace-telemetry`) — the span/counter sink
 //!   `ddrace-core::sim` and `ddrace-detector` emit into while a job runs.
 //! - [`EventSink`] — `job_started`/`job_finished`/`job_failed` JSONL events
-//!   with telemetry payloads, plus human progress on stderr.
+//!   with telemetry payloads, plus human progress on stderr. The stream
+//!   carries spec fingerprints and full result payloads, making it a
+//!   checkpoint.
+//! - [`ResumeLog`] / [`resume_campaign`] — parse a prior run's event
+//!   stream, validate it against the campaign by fingerprint, and re-run
+//!   only the jobs that never finished. The resumed aggregate is
+//!   byte-identical to an uninterrupted run's.
 //! - [`CampaignReport`] — per-job records, campaign-total counters, and the
 //!   aggregate JSON whose `rows` field keeps the historical `results/`
-//!   schema.
+//!   schema, plus per-(workload, mode) mean/min/max fold-downs across the
+//!   seed axis when a campaign sweeps more than one seed.
 //!
 //! ## Example
 //!
@@ -50,16 +57,19 @@ mod events;
 mod executor;
 mod job;
 mod report;
+mod resume;
 
 pub use ddrace_telemetry as telemetry;
 pub use events::EventSink;
-pub use executor::{run_raw, CancelToken, FailReason, JobRecord, RawJob};
+pub use executor::{run_raw, run_raw_prefilled, CancelToken, FailReason, JobRecord, RawJob};
 pub use job::{Campaign, CampaignBuilder, Job};
-pub use report::{CampaignReport, SuiteRow};
+pub use report::{AxisStat, CampaignReport, SeedFold, SuiteRow};
+pub use resume::{campaign_fingerprint, fingerprint_hex, job_fingerprint, FinishedJob, ResumeLog};
 
 use ddrace_core::RunResult;
-use ddrace_json::Value;
+use ddrace_json::{ToJson, Value};
 use ddrace_telemetry::Telemetry;
+use std::collections::HashSet;
 use std::time::Instant;
 
 /// Runs every job of `campaign` on a pool of `workers` threads, streaming
@@ -71,17 +81,84 @@ use std::time::Instant;
 /// campaign produces the same [`CampaignReport::aggregate_json`] at any
 /// worker count.
 pub fn run_campaign(campaign: &Campaign, workers: usize, sink: &EventSink) -> CampaignReport {
+    run_campaign_prefilled(campaign, workers, sink, Vec::new())
+}
+
+/// Resumes an interrupted campaign from a prior run's parsed event stream.
+///
+/// The log is validated against `campaign` — the campaign fingerprint
+/// (name + full per-job configuration) must match, and every finished
+/// job is checked by id **and** job fingerprint — then the jobs the log
+/// records as finished are pre-filled from their `result` payloads and
+/// only the remainder executes. The resulting
+/// [`CampaignReport::aggregate_json`] is byte-identical to an
+/// uninterrupted run's, and the new event stream re-lists the prefilled
+/// jobs (marked `"resumed": true`), so it is itself a complete
+/// checkpoint for any further resume.
+///
+/// # Errors
+///
+/// Returns an error when the log's fingerprint does not match the
+/// campaign (different job set, seeds, or configuration) or a recorded
+/// job does not line up with its slot.
+pub fn resume_campaign(
+    campaign: &Campaign,
+    workers: usize,
+    sink: &EventSink,
+    log: &ResumeLog,
+) -> Result<CampaignReport, String> {
+    let prefilled = log.prefill(campaign)?;
+    Ok(run_campaign_prefilled(campaign, workers, sink, prefilled))
+}
+
+/// Extra event fields every campaign job carries: its seed and its spec
+/// fingerprint, the keys the resume reader validates against.
+fn job_event_meta(job: &Job) -> Vec<(String, Value)> {
+    vec![
+        ("seed".to_string(), Value::UInt(job.seed)),
+        (
+            "fingerprint".to_string(),
+            Value::Str(fingerprint_hex(job_fingerprint(job))),
+        ),
+    ]
+}
+
+fn run_campaign_prefilled(
+    campaign: &Campaign,
+    workers: usize,
+    sink: &EventSink,
+    prefilled: Vec<JobRecord<RunResult>>,
+) -> CampaignReport {
     let start = Instant::now();
-    sink.campaign_started(&campaign.name, campaign.jobs.len(), workers);
+    sink.campaign_started(
+        &campaign.name,
+        campaign.jobs.len(),
+        workers,
+        &fingerprint_hex(campaign_fingerprint(campaign)),
+    );
+    let skip: HashSet<usize> = prefilled.iter().map(|r| r.id).collect();
+    // Replay finished events for prefilled jobs (with their full result
+    // payloads) so the new stream alone can drive the next resume.
+    for record in &prefilled {
+        if let Ok(result) = &record.outcome {
+            let mut extra = job_event_meta(&campaign.jobs[record.id]);
+            extra.push(("resumed".to_string(), Value::Bool(true)));
+            extra.push(("result".to_string(), result.to_json()));
+            sink.job_finished(record, Some(job_summary(result)), &extra);
+        }
+    }
     let raw: Vec<RawJob<RunResult>> = campaign
         .jobs
         .iter()
+        .filter(|job| !skip.contains(&job.id))
         .cloned()
         .map(|job| RawJob {
             id: job.id,
             label: job.label(),
             timeout: job.timeout,
             summary: Some(Box::new(job_summary)),
+            resume_payload: Some(Box::new(|result: &RunResult| result.to_json())),
+            meta: job_event_meta(&job),
             body: Box::new(move |token| {
                 if token.cancelled() {
                     return Err("cancelled before start".to_string());
@@ -91,7 +168,7 @@ pub fn run_campaign(campaign: &Campaign, workers: usize, sink: &EventSink) -> Ca
             }),
         })
         .collect();
-    let records = run_raw(raw, workers, sink);
+    let records = run_raw_prefilled(raw, prefilled, workers, sink);
     let mut totals = Telemetry::new();
     for record in &records {
         if let Some(t) = &record.telemetry {

@@ -25,8 +25,89 @@ pub struct CampaignReport {
     pub wall: Duration,
 }
 
+/// Mean/min/max of one per-run metric folded across the seed axis.
+///
+/// The mean is an exact arithmetic mean over `u64` samples; all three
+/// values are functions of the sample set alone, so the fold is as
+/// deterministic as the runs it summarizes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AxisStat {
+    /// Arithmetic mean across seeds.
+    pub mean: f64,
+    /// Smallest sample.
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+}
+
+impl AxisStat {
+    fn fold(samples: impl Iterator<Item = u64>) -> AxisStat {
+        let mut count = 0u64;
+        let mut sum = 0u128;
+        let mut min = u64::MAX;
+        let mut max = 0u64;
+        for s in samples {
+            count += 1;
+            sum += u128::from(s);
+            min = min.min(s);
+            max = max.max(s);
+        }
+        assert!(count > 0, "fold over an empty seed axis");
+        AxisStat {
+            mean: sum as f64 / count as f64,
+            min,
+            max,
+        }
+    }
+}
+
+impl ToJson for AxisStat {
+    fn to_json(&self) -> Value {
+        Value::Object(vec![
+            ("mean".to_string(), Value::Float(self.mean)),
+            ("min".to_string(), Value::UInt(self.min)),
+            ("max".to_string(), Value::UInt(self.max)),
+        ])
+    }
+}
+
+/// One (workload, mode) cell's headline metrics folded across the seed
+/// axis — the multi-seed summary the paper's mean-over-runs numbers need.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeedFold {
+    /// Mode label this fold covers.
+    pub mode: String,
+    /// How many seeds were folded.
+    pub seeds: usize,
+    /// Simulated end-to-end time.
+    pub makespan: AxisStat,
+    /// Distinct races found.
+    pub races_distinct: AxisStat,
+    /// Performance-monitoring interrupts delivered.
+    pub pmis: AxisStat,
+    /// Memory accesses routed through the detector.
+    pub accesses_analyzed: AxisStat,
+}
+
+impl ToJson for SeedFold {
+    fn to_json(&self) -> Value {
+        Value::Object(vec![
+            ("mode".to_string(), Value::Str(self.mode.clone())),
+            ("seeds".to_string(), Value::UInt(self.seeds as u64)),
+            ("makespan".to_string(), self.makespan.to_json()),
+            ("races_distinct".to_string(), self.races_distinct.to_json()),
+            ("pmis".to_string(), self.pmis.to_json()),
+            (
+                "accesses_analyzed".to_string(),
+                self.accesses_analyzed.to_json(),
+            ),
+        ])
+    }
+}
+
 /// One benchmark's results across the campaign's mode axis — the same
-/// `{name, suite, runs}` shape as the historical `results/*.json` rows.
+/// `{name, suite, runs}` shape as the historical `results/*.json` rows,
+/// plus per-mode seed fold-downs when the campaign swept several seeds.
 #[derive(Debug, Clone)]
 pub struct SuiteRow {
     /// Benchmark name.
@@ -35,15 +116,31 @@ pub struct SuiteRow {
     pub suite: String,
     /// Results in mode-axis order (then seed-axis order within a mode).
     pub runs: Vec<RunResult>,
+    /// Per-mode mean/min/max across the seed axis; empty for single-seed
+    /// campaigns (where the fold would restate `runs`), and then omitted
+    /// from the JSON so single-seed aggregates keep their historical shape.
+    pub seed_stats: Vec<SeedFold>,
+}
+
+impl SuiteRow {
+    /// The runs of one mode (index into the campaign's mode axis), in
+    /// seed-axis order.
+    pub fn mode_runs(&self, mode_index: usize, seeds: usize) -> &[RunResult] {
+        &self.runs[mode_index * seeds..(mode_index + 1) * seeds]
+    }
 }
 
 impl ToJson for SuiteRow {
     fn to_json(&self) -> Value {
-        Value::Object(vec![
+        let mut fields = vec![
             ("name".to_string(), Value::Str(self.name.clone())),
             ("suite".to_string(), Value::Str(self.suite.clone())),
             ("runs".to_string(), self.runs.to_json()),
-        ])
+        ];
+        if !self.seed_stats.is_empty() {
+            fields.push(("seed_stats".to_string(), self.seed_stats.to_json()));
+        }
+        Value::Object(fields)
     }
 }
 
@@ -65,10 +162,13 @@ impl CampaignReport {
 
     /// Reassembles results into one row per workload with runs across the
     /// mode (and seed) axes — the schema of the existing `results/` files.
+    /// Multi-seed campaigns additionally get per-(workload, mode)
+    /// mean/min/max fold-downs in each row's `seed_stats`.
     /// Workloads with any failed job are skipped; callers that need
     /// failure detail read [`CampaignReport::records`] directly.
     pub fn rows(&self) -> Vec<SuiteRow> {
-        let runs_per_workload = self.spec.modes.len() * self.spec.seeds.len();
+        let seeds = self.spec.seeds.len();
+        let runs_per_workload = self.spec.modes.len() * seeds;
         self.spec
             .workloads
             .iter()
@@ -78,10 +178,36 @@ impl CampaignReport {
                 let runs: Option<Vec<RunResult>> = (base..base + runs_per_workload)
                     .map(|id| self.result(id).cloned())
                     .collect();
+                let runs = runs?;
+                let seed_stats = if seeds > 1 {
+                    self.spec
+                        .modes
+                        .iter()
+                        .enumerate()
+                        .map(|(m, mode)| {
+                            let cell = &runs[m * seeds..(m + 1) * seeds];
+                            SeedFold {
+                                mode: mode.label().to_string(),
+                                seeds,
+                                makespan: AxisStat::fold(cell.iter().map(|r| r.makespan)),
+                                races_distinct: AxisStat::fold(
+                                    cell.iter().map(|r| r.races.distinct as u64),
+                                ),
+                                pmis: AxisStat::fold(cell.iter().map(|r| r.pmis)),
+                                accesses_analyzed: AxisStat::fold(
+                                    cell.iter().map(|r| r.accesses_analyzed),
+                                ),
+                            }
+                        })
+                        .collect()
+                } else {
+                    Vec::new()
+                };
                 Some(SuiteRow {
                     name: spec.name.clone(),
                     suite: spec.suite.to_string(),
-                    runs: runs?,
+                    runs,
+                    seed_stats,
                 })
             })
             .collect()

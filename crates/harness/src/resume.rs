@@ -1,0 +1,325 @@
+//! Checkpoint/resume: replaying a prior campaign's JSONL event stream so
+//! an interrupted sweep only re-runs the jobs that never finished.
+//!
+//! The event stream is the checkpoint — no extra state file. A
+//! `campaign_started` event carries a **spec fingerprint** (a hash over
+//! the campaign name and every job's full configuration), and each
+//! `job_finished` event carries its job's own fingerprint plus the full
+//! `RunResult` and telemetry counters. [`ResumeLog`] parses such a
+//! stream, [`ResumeLog::prefill`] validates it against the campaign
+//! about to run and converts finished jobs back into
+//! [`JobRecord`](crate::JobRecord)s, and
+//! [`resume_campaign`](crate::resume_campaign) hands those to the
+//! executor so only the remainder executes. Because the aggregate
+//! document is a function of per-job results alone, a resumed campaign
+//! reproduces the uninterrupted aggregate byte for byte.
+//!
+//! Jobs are keyed by **id + fingerprint**, never by label: two jobs of a
+//! campaign may share a label (the same workload listed twice), but ids
+//! are dense and fingerprints pin the exact configuration.
+
+use crate::executor::JobRecord;
+use crate::job::{Campaign, Job};
+use ddrace_core::RunResult;
+use ddrace_json::{FromJson, ToJson, Value};
+use ddrace_telemetry::Telemetry;
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// A 64-bit FNV-1a hash of `bytes`.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The canonical JSON a job's fingerprint hashes: every field that
+/// affects its result, in a fixed order.
+fn job_spec_json(job: &Job) -> Value {
+    Value::Object(vec![
+        ("id".to_string(), Value::UInt(job.id as u64)),
+        ("workload".to_string(), job.workload.to_json()),
+        ("mode".to_string(), job.mode.to_json()),
+        ("seed".to_string(), Value::UInt(job.seed)),
+        ("scale".to_string(), job.scale.to_json()),
+        ("cores".to_string(), Value::UInt(job.cores as u64)),
+        ("quantum".to_string(), Value::UInt(u64::from(job.quantum))),
+        ("detector_kind".to_string(), job.detector_kind.to_json()),
+        (
+            "timeout_ms".to_string(),
+            match job.timeout {
+                Some(t) => Value::UInt(t.as_millis() as u64),
+                None => Value::Null,
+            },
+        ),
+    ])
+}
+
+/// Fingerprint of one job's full configuration (including its id).
+pub fn job_fingerprint(job: &Job) -> u64 {
+    fnv1a(job_spec_json(job).to_compact().as_bytes())
+}
+
+/// Fingerprint of a whole campaign: its name plus every job fingerprint,
+/// in id order. Any change to the job set — reordered axes, a different
+/// seed list, a config tweak — yields a different value.
+pub fn campaign_fingerprint(campaign: &Campaign) -> u64 {
+    let mut canonical = format!("campaign:{}", campaign.name);
+    for job in &campaign.jobs {
+        canonical.push_str(&format!(";{:016x}", job_fingerprint(job)));
+    }
+    fnv1a(canonical.as_bytes())
+}
+
+/// Formats a fingerprint the way events carry it: 16 lowercase hex digits.
+pub fn fingerprint_hex(fingerprint: u64) -> String {
+    format!("{fingerprint:016x}")
+}
+
+/// One finished job recovered from a prior event stream.
+#[derive(Debug, Clone)]
+pub struct FinishedJob {
+    /// The job's label as recorded.
+    pub label: String,
+    /// The job's spec fingerprint as recorded.
+    pub fingerprint: u64,
+    /// The full result, round-tripped through the event's `result` field.
+    pub result: RunResult,
+    /// Telemetry counters (and spans) as recorded, if any.
+    pub telemetry: Option<Telemetry>,
+    /// The recorded wall-clock time of the original run.
+    pub wall: Duration,
+}
+
+/// A parsed prior event stream: the campaign identity it was recorded
+/// for and every job that finished before the interruption.
+#[derive(Debug, Clone)]
+pub struct ResumeLog {
+    /// The recorded campaign name.
+    pub campaign: String,
+    /// The recorded campaign fingerprint.
+    pub fingerprint: u64,
+    /// The recorded job count.
+    pub jobs_total: usize,
+    /// Finished jobs keyed by id. Failed jobs are deliberately absent —
+    /// resume re-runs them.
+    pub finished: BTreeMap<usize, FinishedJob>,
+    /// Lines that did not parse as JSON (a kill can truncate the final
+    /// line mid-write); kept as a count for diagnostics.
+    pub malformed_lines: usize,
+}
+
+impl ResumeLog {
+    /// Parses a JSONL event stream produced by a prior campaign run.
+    ///
+    /// Tolerates a truncated trailing line (the usual signature of a
+    /// mid-write kill) and ignores event kinds it does not need;
+    /// requires exactly one `campaign_started` event.
+    pub fn parse(text: &str) -> Result<ResumeLog, String> {
+        let mut header: Option<(String, u64, usize)> = None;
+        let mut finished = BTreeMap::new();
+        let mut malformed_lines = 0usize;
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let Ok(event) = Value::parse(line) else {
+                malformed_lines += 1;
+                continue;
+            };
+            match event["event"].as_str() {
+                Some("campaign_started") => {
+                    let name = event["campaign"]
+                        .as_str()
+                        .ok_or("campaign_started: missing campaign name")?
+                        .to_string();
+                    let fingerprint = parse_fingerprint(&event)
+                        .ok_or("campaign_started: missing or invalid fingerprint (stream predates resume support?)")?;
+                    let jobs_total = event["jobs"]
+                        .as_u64()
+                        .ok_or("campaign_started: missing job count")?
+                        as usize;
+                    if header.is_some() {
+                        return Err(
+                            "resume log contains more than one campaign_started event".to_string()
+                        );
+                    }
+                    header = Some((name, fingerprint, jobs_total));
+                }
+                Some("job_finished") => {
+                    let id = event["id"].as_u64().ok_or("job_finished: missing id")? as usize;
+                    let label = event["label"]
+                        .as_str()
+                        .ok_or_else(|| format!("job_finished #{id}: missing label"))?
+                        .to_string();
+                    let fingerprint = parse_fingerprint(&event).ok_or_else(|| {
+                        format!("job_finished #{id} ({label}): missing or invalid fingerprint")
+                    })?;
+                    let result = RunResult::from_json(&event["result"]).map_err(|e| {
+                        format!("job_finished #{id} ({label}): invalid result payload: {e}")
+                    })?;
+                    let telemetry = if event["telemetry"].is_null() {
+                        None
+                    } else {
+                        Some(Telemetry::from_json(&event["telemetry"]).map_err(|e| {
+                            format!("job_finished #{id} ({label}): invalid telemetry: {e}")
+                        })?)
+                    };
+                    let wall = event["wall_ms"]
+                        .as_f64()
+                        .filter(|ms| ms.is_finite() && *ms >= 0.0)
+                        .map(|ms| Duration::from_secs_f64(ms / 1e3))
+                        .unwrap_or_default();
+                    finished.insert(
+                        id,
+                        FinishedJob {
+                            label,
+                            fingerprint,
+                            result,
+                            telemetry,
+                            wall,
+                        },
+                    );
+                }
+                // Failures re-run; start/finish markers carry no state.
+                Some(_) => {}
+                None => malformed_lines += 1,
+            }
+        }
+        let (campaign, fingerprint, jobs_total) =
+            header.ok_or("resume log has no campaign_started event")?;
+        Ok(ResumeLog {
+            campaign,
+            fingerprint,
+            jobs_total,
+            finished,
+            malformed_lines,
+        })
+    }
+
+    /// Validates this log against the campaign about to run and converts
+    /// its finished jobs into prefilled records.
+    ///
+    /// Rejects a log whose campaign fingerprint differs from the current
+    /// campaign's (different name, job set, seeds, or configuration) and
+    /// any finished job whose id/fingerprint pair does not match —
+    /// resume never trusts labels alone.
+    pub fn prefill(&self, campaign: &Campaign) -> Result<Vec<JobRecord<RunResult>>, String> {
+        let current = campaign_fingerprint(campaign);
+        if self.fingerprint != current {
+            return Err(format!(
+                "resume log was recorded for campaign `{}` (fingerprint {}), \
+                 but the current campaign is `{}` (fingerprint {}); \
+                 the job set, seeds, or configuration differ — refusing to resume",
+                self.campaign,
+                fingerprint_hex(self.fingerprint),
+                campaign.name,
+                fingerprint_hex(current),
+            ));
+        }
+        if self.jobs_total != campaign.jobs.len() {
+            return Err(format!(
+                "resume log recorded {} jobs, current campaign has {}",
+                self.jobs_total,
+                campaign.jobs.len()
+            ));
+        }
+        let mut records = Vec::with_capacity(self.finished.len());
+        for (&id, done) in &self.finished {
+            let job = campaign.jobs.get(id).ok_or_else(|| {
+                format!("resume log finished job #{id} is out of range for this campaign")
+            })?;
+            let expected = job_fingerprint(job);
+            if done.fingerprint != expected {
+                return Err(format!(
+                    "resume log job #{id} ({}) has fingerprint {}, expected {}",
+                    done.label,
+                    fingerprint_hex(done.fingerprint),
+                    fingerprint_hex(expected),
+                ));
+            }
+            records.push(JobRecord {
+                id,
+                label: done.label.clone(),
+                outcome: Ok(done.result.clone()),
+                telemetry: done.telemetry.clone(),
+                wall: done.wall,
+            });
+        }
+        Ok(records)
+    }
+}
+
+fn parse_fingerprint(event: &Value) -> Option<u64> {
+    u64::from_str_radix(event["fingerprint"].as_str()?, 16).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddrace_core::AnalysisMode;
+    use ddrace_workloads::{racy, Scale};
+
+    fn campaign() -> Campaign {
+        Campaign::builder("fp-test")
+            .workloads([racy::sparse_race()])
+            .modes([AnalysisMode::Native, AnalysisMode::Continuous])
+            .seeds([1, 2])
+            .scale(Scale::TEST)
+            .cores(2)
+            .build()
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_config_sensitive() {
+        let a = campaign_fingerprint(&campaign());
+        let b = campaign_fingerprint(&campaign());
+        assert_eq!(a, b, "same spec, same fingerprint");
+        let other = Campaign::builder("fp-test")
+            .workloads([racy::sparse_race()])
+            .modes([AnalysisMode::Native, AnalysisMode::Continuous])
+            .seeds([1, 3]) // one seed differs
+            .scale(Scale::TEST)
+            .cores(2)
+            .build();
+        assert_ne!(a, campaign_fingerprint(&other));
+    }
+
+    #[test]
+    fn job_fingerprint_distinguishes_duplicate_labels() {
+        let spec = Campaign::builder("dups")
+            .workloads([racy::sparse_race(), racy::sparse_race()])
+            .seeds([7])
+            .scale(Scale::TEST)
+            .build();
+        assert_eq!(spec.jobs[0].label(), spec.jobs[1].label());
+        // Same label, different id — fingerprints must differ so resume
+        // can never cross-wire the two.
+        assert_ne!(
+            job_fingerprint(&spec.jobs[0]),
+            job_fingerprint(&spec.jobs[1])
+        );
+    }
+
+    #[test]
+    fn parse_rejects_streams_without_header() {
+        let err = ResumeLog::parse("{\"event\":\"job_started\",\"id\":0}\n").unwrap_err();
+        assert!(err.contains("no campaign_started"), "{err}");
+    }
+
+    #[test]
+    fn parse_tolerates_truncated_tail() {
+        let spec = campaign();
+        let head = format!(
+            "{{\"event\":\"campaign_started\",\"campaign\":\"fp-test\",\"jobs\":4,\"workers\":1,\"fingerprint\":\"{}\"}}\n{{\"event\":\"job_finis",
+            fingerprint_hex(campaign_fingerprint(&spec))
+        );
+        let log = ResumeLog::parse(&head).unwrap();
+        assert_eq!(log.malformed_lines, 1);
+        assert!(log.finished.is_empty());
+        assert_eq!(log.jobs_total, 4);
+    }
+}

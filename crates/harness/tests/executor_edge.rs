@@ -1,0 +1,99 @@
+//! Edge cases of the raw executor: empty job lists, jobs that finish
+//! inside the cancellation grace window, and the id-density contract of
+//! the prefilled entry point that campaign resume relies on.
+
+use ddrace_harness::{run_raw, run_raw_prefilled, EventSink, FailReason, JobRecord, RawJob};
+use std::time::Duration;
+
+fn ok_job(id: usize) -> RawJob<u64> {
+    RawJob::new(id, format!("ok-{id}"), move |_| Ok(id as u64 * 10))
+}
+
+fn record(id: usize, value: u64) -> JobRecord<u64> {
+    JobRecord {
+        id,
+        label: format!("prefilled-{id}"),
+        outcome: Ok(value),
+        telemetry: None,
+        wall: Duration::ZERO,
+    }
+}
+
+#[test]
+fn empty_job_list_returns_no_records() {
+    let records = run_raw(Vec::<RawJob<u64>>::new(), 4, &EventSink::null());
+    assert!(records.is_empty());
+}
+
+#[test]
+fn empty_campaign_produces_an_empty_report() {
+    let campaign = ddrace_harness::Campaign::builder("empty").build();
+    assert!(campaign.jobs.is_empty());
+    let report = ddrace_harness::run_campaign(&campaign, 4, &EventSink::null());
+    assert_eq!(report.finished(), 0);
+    assert_eq!(report.failed(), 0);
+    assert!(report.rows().is_empty());
+}
+
+/// A job that blows its budget but completes *inside* the grace window
+/// the executor grants after raising the cancel token: the budget was
+/// still blown, so it must be reported as a timeout — but the executor
+/// reaps the thread instead of leaking it.
+#[test]
+fn job_finishing_inside_grace_window_is_still_a_timeout() {
+    let mut job = RawJob::new(0, "barely-late", |_| {
+        // Uncooperative: ignores the token, but wakes well inside the
+        // 200 ms grace window that follows the 25 ms budget.
+        std::thread::sleep(Duration::from_millis(75));
+        Ok(7u64)
+    });
+    job.timeout = Some(Duration::from_millis(25));
+    let records = run_raw(vec![job], 1, &EventSink::null());
+    assert_eq!(records[0].outcome, Err(FailReason::Timeout));
+    assert!(
+        records[0].telemetry.is_none(),
+        "timeout records carry no telemetry"
+    );
+}
+
+#[test]
+fn prefilled_slots_are_returned_in_id_order_without_execution() {
+    // Jobs 1 and 3 are prefilled; only 0 and 2 may execute.
+    let records = run_raw_prefilled(
+        vec![ok_job(0), ok_job(2)],
+        vec![record(3, 333), record(1, 111)],
+        2,
+        &EventSink::null(),
+    );
+    let values: Vec<u64> = records
+        .iter()
+        .map(|r| *r.outcome.as_ref().unwrap())
+        .collect();
+    assert_eq!(values, [0, 111, 20, 333]);
+    assert_eq!(records[1].label, "prefilled-1");
+    assert_eq!(records[3].label, "prefilled-3");
+}
+
+#[test]
+fn all_slots_prefilled_executes_nothing() {
+    let records = run_raw_prefilled(
+        Vec::<RawJob<u64>>::new(),
+        vec![record(0, 1), record(1, 2)],
+        4,
+        &EventSink::null(),
+    );
+    assert_eq!(records.len(), 2);
+}
+
+#[test]
+#[should_panic(expected = "duplicate job id")]
+fn prefill_rejects_duplicate_ids() {
+    run_raw_prefilled(vec![ok_job(0)], vec![record(0, 1)], 1, &EventSink::null());
+}
+
+#[test]
+#[should_panic(expected = "out of range")]
+fn prefill_rejects_sparse_ids() {
+    // Two slots total, but ids {0, 2}: id 2 is out of range.
+    run_raw_prefilled(vec![ok_job(0)], vec![record(2, 1)], 1, &EventSink::null());
+}

@@ -6,26 +6,14 @@ use ddrace_harness::{run_raw, EventSink, FailReason, RawJob};
 use std::time::Duration;
 
 fn ok_job(id: usize) -> RawJob<u64> {
-    RawJob {
-        id,
-        label: format!("ok-{id}"),
-        timeout: None,
-        body: Box::new(move |_| Ok(id as u64 * 10)),
-        summary: None,
-    }
+    RawJob::new(id, format!("ok-{id}"), move |_| Ok(id as u64 * 10))
 }
 
 #[test]
 fn panicking_job_is_isolated() {
     let jobs = vec![
         ok_job(0),
-        RawJob {
-            id: 1,
-            label: "boom".to_string(),
-            timeout: None,
-            body: Box::new(|_| panic!("injected failure")),
-            summary: None,
-        },
+        RawJob::new(1, "boom", |_| panic!("injected failure")),
         ok_job(2),
     ];
     let records = run_raw(jobs, 2, &EventSink::null());
@@ -40,23 +28,15 @@ fn panicking_job_is_isolated() {
 
 #[test]
 fn timed_out_job_is_cancelled_and_reported() {
-    let jobs = vec![
-        ok_job(0),
-        RawJob {
-            id: 1,
-            label: "hang".to_string(),
-            timeout: Some(Duration::from_millis(50)),
-            body: Box::new(|token| {
-                // Cooperative hang: spin until the executor raises the token.
-                while !token.cancelled() {
-                    std::thread::sleep(Duration::from_millis(5));
-                }
-                Err("cancelled".to_string())
-            }),
-            summary: None,
-        },
-        ok_job(2),
-    ];
+    let mut hang = RawJob::new(1, "hang", |token: &ddrace_harness::CancelToken| {
+        // Cooperative hang: spin until the executor raises the token.
+        while !token.cancelled() {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        Err("cancelled".to_string())
+    });
+    hang.timeout = Some(Duration::from_millis(50));
+    let jobs = vec![ok_job(0), hang, ok_job(2)];
     let records = run_raw(jobs, 2, &EventSink::null());
     assert_eq!(records[1].outcome, Err(FailReason::Timeout));
     assert_eq!(records[0].outcome.as_ref().unwrap(), &0);
@@ -65,13 +45,9 @@ fn timed_out_job_is_cancelled_and_reported() {
 
 #[test]
 fn error_result_is_a_failure_record() {
-    let jobs = vec![RawJob {
-        id: 0,
-        label: "err".to_string(),
-        timeout: None,
-        body: Box::new(|_| Err::<u64, _>("bad input".to_string())),
-        summary: None,
-    }];
+    let jobs = vec![RawJob::new(0, "err", |_| {
+        Err::<u64, _>("bad input".to_string())
+    })];
     let records = run_raw(jobs, 1, &EventSink::null());
     assert_eq!(
         records[0].outcome,
@@ -80,54 +56,76 @@ fn error_result_is_a_failure_record() {
 }
 
 #[test]
-fn events_stream_reports_failures() {
-    // Capture the JSONL stream through a shared buffer.
-    #[derive(Clone, Default)]
-    struct Shared(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
-    impl std::io::Write for Shared {
-        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
-            self.0.lock().unwrap().extend_from_slice(buf);
-            Ok(buf.len())
-        }
-        fn flush(&mut self) -> std::io::Result<()> {
-            Ok(())
-        }
+fn fail_reason_kinds_are_machine_readable() {
+    assert_eq!(FailReason::Panic("x".into()).kind(), "panic");
+    assert_eq!(FailReason::Timeout.kind(), "timeout");
+    assert_eq!(FailReason::Error("x".into()).kind(), "error");
+}
+
+/// A `Write` implementation capturing the JSONL stream in memory.
+#[derive(Clone, Default)]
+struct Shared(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+
+impl std::io::Write for Shared {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
     }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+impl Shared {
+    fn events(&self) -> Vec<ddrace_json::Value> {
+        let bytes = self.0.lock().unwrap().clone();
+        String::from_utf8(bytes)
+            .unwrap()
+            .lines()
+            .map(|l| ddrace_json::from_str(l).unwrap())
+            .collect()
+    }
+}
+
+#[test]
+fn events_stream_reports_failures() {
     let shared = Shared::default();
     let sink = EventSink::new(Some(Box::new(shared.clone())), false);
-    let jobs = vec![
-        ok_job(0),
-        RawJob {
-            id: 1,
-            label: "boom".to_string(),
-            timeout: None,
-            body: Box::new(|_| panic!("kaboom")),
-            summary: None,
-        },
-    ];
+    let jobs = vec![ok_job(0), RawJob::new(1, "boom", |_| panic!("kaboom"))];
     run_raw(jobs, 1, &sink);
-    let bytes = shared.0.lock().unwrap().clone();
-    let text = String::from_utf8(bytes).unwrap();
-    let events: Vec<ddrace_json::Value> = text
-        .lines()
-        .map(|l| ddrace_json::from_str(l).unwrap())
-        .collect();
-    let kinds: Vec<String> = events
+    let events = shared.events();
+    let kinds: Vec<&str> = events
         .iter()
-        .map(|e| match e {
-            ddrace_json::Value::Object(fields) => fields
-                .iter()
-                .find(|(k, _)| k == "event")
-                .map(|(_, v)| match v {
-                    ddrace_json::Value::Str(s) => s.clone(),
-                    _ => panic!("event discriminator must be a string"),
-                })
-                .unwrap(),
-            _ => panic!("every event is an object"),
-        })
+        .map(|e| e["event"].as_str().expect("event discriminator"))
         .collect();
     assert_eq!(
         kinds,
         ["job_started", "job_finished", "job_started", "job_failed"]
     );
+    // The failure event carries a machine-readable kind next to the
+    // stringified reason — consumers never parse display strings.
+    let failed = &events[3];
+    assert_eq!(failed["kind"], "panic");
+    assert!(failed["reason"].as_str().unwrap().contains("kaboom"));
+}
+
+#[test]
+fn failed_job_telemetry_reaches_the_event_stream() {
+    let shared = Shared::default();
+    let sink = EventSink::new(Some(Box::new(shared.clone())), false);
+    let jobs = vec![RawJob::new(0, "half-done", |_| {
+        // Record some work, then fail: the counters must not be lost.
+        ddrace_harness::telemetry::counter("job.progress", 17);
+        Err::<u64, _>("gave up".to_string())
+    })];
+    let records = run_raw(jobs, 1, &sink);
+    // The record itself keeps the telemetry...
+    let telemetry = records[0].telemetry.as_ref().expect("telemetry captured");
+    assert_eq!(telemetry.counter("job.progress"), 17);
+    // ...and so does the job_failed event.
+    let events = shared.events();
+    let failed = &events[1];
+    assert_eq!(failed["event"], "job_failed");
+    assert_eq!(failed["kind"], "error");
+    assert_eq!(failed["telemetry"]["counters"]["job.progress"], 17u64);
 }

@@ -21,9 +21,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use ddrace_json::{ToJson, Value};
+use ddrace_json::{FromJson, JsonError, ToJson, Value};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
 thread_local! {
@@ -105,6 +106,24 @@ impl Telemetry {
     }
 }
 
+/// Interns a counter/span name, returning a `'static` reference.
+///
+/// Live telemetry uses `&'static str` literals as keys; telemetry parsed
+/// back from a JSONL event stream (campaign resume) has owned strings.
+/// Interning routes both through the same keyspace. Names come from a
+/// small fixed vocabulary, so the registry stays tiny.
+pub fn intern(name: &str) -> &'static str {
+    static REGISTRY: OnceLock<Mutex<BTreeMap<String, &'static str>>> = OnceLock::new();
+    let registry = REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()));
+    let mut map = registry.lock().unwrap();
+    if let Some(&interned) = map.get(name) {
+        return interned;
+    }
+    let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
+    map.insert(name.to_string(), leaked);
+    leaked
+}
+
 impl ToJson for Telemetry {
     fn to_json(&self) -> Value {
         let spans = self
@@ -124,6 +143,38 @@ impl ToJson for Telemetry {
             ("counters".to_string(), self.counters_json()),
             ("spans".to_string(), Value::Object(spans)),
         ])
+    }
+}
+
+impl FromJson for Telemetry {
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        let mut t = Telemetry::new();
+        let counters = value.get_or_null("counters");
+        if let Some(pairs) = counters.as_object() {
+            for (name, v) in pairs {
+                let n = v
+                    .as_u64()
+                    .ok_or_else(|| JsonError::decode(format!("counter `{name}`: not a u64")))?;
+                t.add(intern(name), n);
+            }
+        } else if !counters.is_null() {
+            return Err(JsonError::decode("telemetry counters: not an object"));
+        }
+        let spans = value.get_or_null("spans");
+        if let Some(pairs) = spans.as_object() {
+            for (name, v) in pairs {
+                let stats = SpanStats {
+                    count: ddrace_json::field(v, "count")?,
+                    total_ns: ddrace_json::field(v, "total_ns")?,
+                };
+                let s = t.spans.entry(intern(name)).or_default();
+                s.count += stats.count;
+                s.total_ns += stats.total_ns;
+            }
+        } else if !spans.is_null() {
+            return Err(JsonError::decode("telemetry spans: not an object"));
+        }
+        Ok(t)
     }
 }
 
@@ -225,6 +276,31 @@ mod tests {
                 }
             )]
         );
+    }
+
+    #[test]
+    fn telemetry_roundtrips_through_json() {
+        let mut t = Telemetry::new();
+        t.add("sim.cycles", 12);
+        t.add("det.reads", 3);
+        t.add_span("job.run", 450);
+        let text = ddrace_json::to_string(&t).unwrap();
+        let back: Telemetry = ddrace_json::from_str(&text).unwrap();
+        assert_eq!(back, t);
+        // Counter keys survive intact (interned, not literal) — the
+        // deterministic half re-serializes byte-identically.
+        assert_eq!(
+            back.counters_json().to_compact(),
+            t.counters_json().to_compact()
+        );
+    }
+
+    #[test]
+    fn intern_is_stable() {
+        let a = intern("some.counter");
+        let b = intern("some.counter");
+        assert!(std::ptr::eq(a, b));
+        assert_eq!(intern("sim.cycles"), "sim.cycles");
     }
 
     #[test]

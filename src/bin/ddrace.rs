@@ -9,12 +9,13 @@
 //! ddrace record  --bench kmeans --out trace.json [--scale test] [--seed 42]
 //! ddrace analyze --trace trace.json [--mode continuous] [--cores 8]
 //! ddrace campaign [--suite phoenix] [--modes native,continuous,demand-hitm]
-//!                 [--workers N] [--events FILE|-] [--out FILE] [--quiet]
+//!                 [--seeds 1,2,3] [--workers N] [--events FILE|-]
+//!                 [--resume FILE] [--out FILE] [--quiet]
 //! ```
 
 use ddrace::{
-    run_campaign, AnalysisMode, Campaign, DetectorKind, EventSink, RunResult, Scale,
-    SchedulerConfig, SimConfig, Simulation, WorkloadSpec,
+    resume_campaign, run_campaign, AnalysisMode, Campaign, DetectorKind, EventSink, ResumeLog,
+    RunResult, Scale, SchedulerConfig, SimConfig, Simulation, WorkloadSpec,
 };
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -66,8 +67,14 @@ USAGE:
     ddrace record  --bench NAME --out FILE [--scale SCALE] [--seed N]
     ddrace analyze --trace FILE [--mode MODE] [--cores N] [--detector KIND]
     ddrace campaign [--suite SUITE] [--modes MODE,MODE,...] [--workers N]
-                    [--scale SCALE] [--seed N] [--cores N] [--detector KIND]
-                    [--timeout-secs N] [--events FILE|-] [--out FILE] [--quiet]
+                    [--scale SCALE] [--seed N | --seeds N,N,...] [--cores N]
+                    [--detector KIND] [--timeout-secs N] [--events FILE|-]
+                    [--resume FILE] [--out FILE] [--quiet]
+
+RESUME:     --resume takes a prior run's --events JSONL stream; finished
+            jobs are restored from it (validated by spec fingerprint) and
+            only the remainder executes. The aggregate is byte-identical
+            to an uninterrupted run.
 
 SUITES:     phoenix | parsec | racy | all
 MODES:      native | continuous | demand-hitm | demand-oracle
@@ -352,6 +359,23 @@ fn cmd_campaign(flags: &HashMap<String, String>) -> Result<(), String> {
         .map(|s| s.parse().map_err(|_| "--seed takes a number"))
         .transpose()?
         .unwrap_or(42);
+    let seeds: Vec<u64> = match flags.get("seeds") {
+        Some(list) => {
+            if flags.contains_key("seed") {
+                return Err("--seed and --seeds are mutually exclusive".to_string());
+            }
+            let seeds = list
+                .split(',')
+                .map(|s| s.trim().parse::<u64>())
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(|_| "--seeds takes comma-separated numbers, e.g. 1,2,3")?;
+            if seeds.is_empty() {
+                return Err("--seeds needs at least one seed".to_string());
+            }
+            seeds
+        }
+        None => vec![seed],
+    };
     let cores: usize = flags
         .get("cores")
         .map(|s| s.parse().map_err(|_| "--cores takes a number"))
@@ -370,7 +394,7 @@ fn cmd_campaign(flags: &HashMap<String, String>) -> Result<(), String> {
     let mut builder = Campaign::builder(format!("{suite}-campaign"))
         .workloads(workloads)
         .modes(modes)
-        .seeds([seed])
+        .seeds(seeds)
         .scale(scale)
         .cores(cores);
     if let Some(d) = flags.get("detector") {
@@ -382,6 +406,18 @@ fn cmd_campaign(flags: &HashMap<String, String>) -> Result<(), String> {
     }
     let campaign = builder.build();
 
+    // Read the resume log *before* opening --events: resuming a run into
+    // the same events path it came from must not truncate the checkpoint
+    // we are about to replay.
+    let resume_log = flags
+        .get("resume")
+        .map(|path| -> Result<ResumeLog, String> {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("--resume {path}: {e}"))?;
+            ResumeLog::parse(&text).map_err(|e| format!("--resume {path}: {e}"))
+        })
+        .transpose()?;
+
     let jsonl: Option<Box<dyn std::io::Write + Send>> = match flags.get("events") {
         Some(path) if path == "-" => Some(Box::new(std::io::stdout())),
         Some(path) => Some(Box::new(
@@ -390,7 +426,20 @@ fn cmd_campaign(flags: &HashMap<String, String>) -> Result<(), String> {
         None => None,
     };
     let sink = EventSink::new(jsonl, !flags.contains_key("quiet"));
-    let report = run_campaign(&campaign, workers, &sink);
+    let report = match &resume_log {
+        Some(log) => {
+            let skipped = log.finished.len();
+            let report = resume_campaign(&campaign, workers, &sink, log)?;
+            if !flags.contains_key("quiet") {
+                eprintln!(
+                    "resumed: {skipped} of {} job(s) restored from the checkpoint",
+                    campaign.jobs.len()
+                );
+            }
+            report
+        }
+        None => run_campaign(&campaign, workers, &sink),
+    };
 
     let aggregate =
         ddrace::json::to_string_pretty(&report.aggregate_json()).map_err(|e| e.to_string())?;

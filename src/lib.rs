@@ -73,7 +73,9 @@ pub use ddrace_core::{
 pub use ddrace_detector::{
     DetectorConfig, FastTrack, Granularity, RaceDetector, RaceKind, RaceReport,
 };
-pub use ddrace_harness::{run_campaign, Campaign, CampaignReport, EventSink, Job};
+pub use ddrace_harness::{
+    resume_campaign, run_campaign, Campaign, CampaignReport, EventSink, Job, ResumeLog,
+};
 pub use ddrace_pmu::{IndicatorMode, SharingIndicator};
 pub use ddrace_program::{
     AccessKind, Addr, Op, Program, ProgramBuilder, ScheduleError, SchedulerConfig, ThreadId,
