@@ -30,4 +30,17 @@ DDRACE_WORKERS=1 cargo test -q -p ddrace-harness --test determinism --test resum
 echo "==> harness determinism + resume at DDRACE_WORKERS=8"
 DDRACE_WORKERS=8 cargo test -q -p ddrace-harness --test determinism --test resume
 
+# The run-queue picker must stay bit-identical to the legacy scan at any
+# worker count (the suite also cross-checks every pick in debug builds).
+echo "==> schedule equivalence at DDRACE_WORKERS=1"
+DDRACE_WORKERS=1 cargo test -q -p ddrace-bench --test schedule_equivalence
+
+echo "==> schedule equivalence at DDRACE_WORKERS=8"
+DDRACE_WORKERS=8 cargo test -q -p ddrace-bench --test schedule_equivalence
+
+# Smoke-run the substrate bench: gates on panics/divergence (both
+# detector variants must agree), never on perf — CI boxes are too noisy.
+echo "==> bench_substrate --smoke"
+cargo run --release -q -p ddrace-bench --bin bench_substrate -- --smoke
+
 echo "CI green."

@@ -1,0 +1,750 @@
+//! Substrate perf trajectory: measures the hot-path rewrites (run-queue
+//! scheduler, open-addressed shadow memory, epoch-inline fast path)
+//! against **live pre-change baselines** and emits the machine-readable
+//! `BENCH_substrate.json` at the repo root.
+//!
+//! The baselines are not stored numbers: the legacy scheduler picker
+//! still exists behind [`PickStrategy::LegacyScan`], and the pre-change
+//! FastTrack / sharing-tracker hot paths (std `HashMap` shadow storage,
+//! cloned vector clock per check) are vendored below from version
+//! control, so every run re-measures before *and* after on the same
+//! machine.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p ddrace-bench --bin bench_substrate            # full run, writes JSON
+//! cargo run -p ddrace-bench --bin bench_substrate -- --smoke          # tiny sizes, no JSON (CI)
+//! ```
+//!
+//! `DDRACE_BENCH_OUT` overrides the output path. Debug builds are
+//! tagged `"build": "debug"` in the JSON (and additionally pay the
+//! scheduler's per-pick `debug_assert` cross-check, which runs *both*
+//! pickers), so acceptance numbers should come from `--release`.
+
+use criterion::{measure, Measurement};
+use ddrace_cache::CoreId;
+use ddrace_detector::{DetectorConfig, FastTrack, RaceDetector};
+use ddrace_json::Value;
+use ddrace_program::{
+    run_program, AccessKind, Addr, BarrierId, Event, NullListener, Op, PickStrategy, Program,
+    Scheduler, SchedulerConfig, StartMode, ThreadId,
+};
+use ddrace_workloads::{phoenix, Scale};
+
+/// The pre-optimization detector and sharing-tracker hot paths, vendored
+/// from version control so the "before" side of every delta is measured
+/// live instead of trusted from a file.
+mod legacy {
+    use ddrace_detector::{
+        AccessReport, DetectorConfig, DetectorStats, Epoch, Granularity, HbClocks, RaceAccess,
+        RaceKind, RaceReport, RaceReportSet, VectorClock,
+    };
+    use ddrace_program::{AccessKind, Addr, BarrierId, Op, ThreadId};
+    use std::collections::HashMap;
+
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    enum ReadState {
+        Epoch(Epoch),
+        Vc(VectorClock),
+    }
+
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    struct VarState {
+        write: Epoch,
+        read: ReadState,
+    }
+
+    impl VarState {
+        fn fresh() -> Self {
+            VarState {
+                write: Epoch::ZERO,
+                read: ReadState::Epoch(Epoch::ZERO),
+            }
+        }
+    }
+
+    /// The pre-change FastTrack: `HashMap` shadow storage and a cloned
+    /// vector clock at the top of every access check.
+    #[derive(Debug, Clone)]
+    pub struct LegacyFastTrack {
+        clocks: HbClocks,
+        shadow: HashMap<u64, VarState>,
+        reports: RaceReportSet,
+        stats: DetectorStats,
+        granularity: Granularity,
+        max_reports: usize,
+    }
+
+    impl LegacyFastTrack {
+        pub fn new(config: DetectorConfig) -> Self {
+            LegacyFastTrack {
+                clocks: HbClocks::new(),
+                shadow: HashMap::new(),
+                reports: RaceReportSet::new(),
+                stats: DetectorStats::default(),
+                granularity: config.granularity,
+                max_reports: config.max_reports,
+            }
+        }
+
+        pub fn races_observed(&self) -> u64 {
+            self.stats.races_observed
+        }
+
+        pub fn on_thread_start(&mut self, tid: ThreadId, parent: Option<ThreadId>) {
+            self.clocks.on_thread_start(tid, parent);
+        }
+
+        pub fn on_thread_finish(&mut self, tid: ThreadId) {
+            self.clocks.on_thread_finish(tid);
+        }
+
+        pub fn on_sync(&mut self, tid: ThreadId, op: &Op) {
+            if op.is_sync() {
+                self.stats.sync_ops += 1;
+            }
+            self.clocks.on_sync(tid, op);
+        }
+
+        pub fn on_barrier_release(&mut self, barrier: BarrierId, participants: &[ThreadId]) {
+            self.clocks.on_barrier_release(barrier, participants);
+        }
+
+        pub fn on_access(&mut self, tid: ThreadId, addr: Addr, kind: AccessKind) -> AccessReport {
+            self.stats.accesses_checked += 1;
+            let key = self.granularity.key(addr);
+            match kind {
+                AccessKind::Read => self.check_read(tid, addr, key),
+                AccessKind::Write | AccessKind::AtomicRmw => self.check_write(tid, addr, key),
+            }
+        }
+
+        fn record(&mut self, report: RaceReport) {
+            self.stats.races_observed += 1;
+            if self.reports.distinct() < self.max_reports {
+                self.reports.record(report);
+            } else {
+                self.reports.merge_only(&report);
+            }
+        }
+
+        fn check_read(&mut self, tid: ThreadId, addr: Addr, key: u64) -> AccessReport {
+            let tvc = self.clocks.thread(tid).clone();
+            let e = Epoch::of(tid, &tvc);
+            let var = self.shadow.entry(key).or_insert_with(VarState::fresh);
+
+            if let ReadState::Epoch(r) = var.read {
+                if r == e {
+                    self.stats.fast_path_hits += 1;
+                    let shared = !var.write.is_zero() && var.write.tid != tid;
+                    return AccessReport {
+                        race: false,
+                        shared,
+                    };
+                }
+            }
+
+            let shared = (!var.write.is_zero() && var.write.tid != tid)
+                || match &var.read {
+                    ReadState::Epoch(r) => !r.is_zero() && r.tid != tid,
+                    ReadState::Vc(_) => true,
+                };
+
+            let race = if !var.write.visible_to(&tvc) {
+                let prior = var.write;
+                Some(RaceReport {
+                    addr,
+                    shadow_key: key,
+                    kind: RaceKind::WriteRead,
+                    prior: RaceAccess {
+                        tid: prior.tid,
+                        kind: AccessKind::Write,
+                        clock: prior.clock,
+                    },
+                    current: RaceAccess {
+                        tid,
+                        kind: AccessKind::Read,
+                        clock: e.clock,
+                    },
+                })
+            } else {
+                None
+            };
+
+            match &mut var.read {
+                ReadState::Epoch(r) => {
+                    if r.visible_to(&tvc) {
+                        *r = e;
+                    } else {
+                        let mut vc = VectorClock::new();
+                        vc.set(r.tid, r.clock);
+                        vc.set(tid, e.clock);
+                        var.read = ReadState::Vc(vc);
+                        self.stats.escalations += 1;
+                    }
+                }
+                ReadState::Vc(vc) => vc.set(tid, e.clock),
+            }
+
+            let raced = race.is_some();
+            if let Some(report) = race {
+                self.record(report);
+            }
+            AccessReport {
+                race: raced,
+                shared,
+            }
+        }
+
+        fn check_write(&mut self, tid: ThreadId, addr: Addr, key: u64) -> AccessReport {
+            let tvc = self.clocks.thread(tid).clone();
+            let e = Epoch::of(tid, &tvc);
+            let var = self.shadow.entry(key).or_insert_with(VarState::fresh);
+
+            if var.write == e {
+                self.stats.fast_path_hits += 1;
+                return AccessReport {
+                    race: false,
+                    shared: false,
+                };
+            }
+
+            let shared = (!var.write.is_zero() && var.write.tid != tid)
+                || match &var.read {
+                    ReadState::Epoch(r) => !r.is_zero() && r.tid != tid,
+                    ReadState::Vc(_) => true,
+                };
+
+            let race = if !var.write.visible_to(&tvc) {
+                Some(RaceReport {
+                    addr,
+                    shadow_key: key,
+                    kind: RaceKind::WriteWrite,
+                    prior: RaceAccess {
+                        tid: var.write.tid,
+                        kind: AccessKind::Write,
+                        clock: var.write.clock,
+                    },
+                    current: RaceAccess {
+                        tid,
+                        kind: AccessKind::Write,
+                        clock: e.clock,
+                    },
+                })
+            } else {
+                match &var.read {
+                    ReadState::Epoch(r) if !r.visible_to(&tvc) => Some(RaceReport {
+                        addr,
+                        shadow_key: key,
+                        kind: RaceKind::ReadWrite,
+                        prior: RaceAccess {
+                            tid: r.tid,
+                            kind: AccessKind::Read,
+                            clock: r.clock,
+                        },
+                        current: RaceAccess {
+                            tid,
+                            kind: AccessKind::Write,
+                            clock: e.clock,
+                        },
+                    }),
+                    ReadState::Vc(vc) => vc.first_excess(&tvc).map(|witness| RaceReport {
+                        addr,
+                        shadow_key: key,
+                        kind: RaceKind::ReadWrite,
+                        prior: RaceAccess {
+                            tid: witness,
+                            kind: AccessKind::Read,
+                            clock: vc.get(witness),
+                        },
+                        current: RaceAccess {
+                            tid,
+                            kind: AccessKind::Write,
+                            clock: e.clock,
+                        },
+                    }),
+                    _ => None,
+                }
+            };
+
+            var.write = e;
+            if matches!(var.read, ReadState::Vc(_)) {
+                var.read = ReadState::Epoch(Epoch::ZERO);
+            }
+
+            let raced = race.is_some();
+            if let Some(report) = race {
+                self.record(report);
+            }
+            AccessReport {
+                race: raced,
+                shared,
+            }
+        }
+    }
+
+    /// The pre-change sharing tracker: identical classification logic over
+    /// a std `HashMap` instead of the open-addressed shadow table.
+    #[derive(Debug, Clone, Copy, Default)]
+    struct LineHistory {
+        last_writer: Option<ddrace_cache::CoreId>,
+        readers_since_write: u64,
+    }
+
+    #[derive(Debug, Clone, Default)]
+    pub struct LegacySharingTracker {
+        lines: HashMap<u64, LineHistory>,
+        total: u64,
+    }
+
+    impl LegacySharingTracker {
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        pub fn total(&self) -> u64 {
+            self.total
+        }
+
+        pub fn on_read(&mut self, core: ddrace_cache::CoreId, line: u64) {
+            let h = self.lines.entry(line).or_default();
+            let bit = 1u64 << core.index();
+            let fresh = h.readers_since_write & bit == 0;
+            h.readers_since_write |= bit;
+            if matches!(h.last_writer, Some(w) if w != core && fresh) {
+                self.total += 1;
+            }
+        }
+
+        pub fn on_write(&mut self, core: ddrace_cache::CoreId, line: u64) {
+            let h = self.lines.entry(line).or_default();
+            let bit = 1u64 << core.index();
+            if matches!(h.last_writer, Some(w) if w != core) {
+                self.total += 1;
+            }
+            if h.readers_since_write & !bit != 0 {
+                self.total += 1;
+            }
+            h.last_writer = Some(core);
+            h.readers_since_write = 0;
+        }
+    }
+}
+
+/// A rare (non-access) captured scheduler event.
+enum Control {
+    Start(ThreadId, Option<ThreadId>),
+    Finish(ThreadId),
+    Release(BarrierId, Vec<ThreadId>),
+    Sync(ThreadId, Op),
+}
+
+const ACCESS_BIT: u64 = 1 << 63;
+const WRITE_BIT: u64 = 1 << 62;
+const ADDR_MASK: u64 = (1 << 56) - 1;
+
+/// One captured run, packed for replay. Accesses — the overwhelming
+/// majority of events — are one `u64` word each (flag bits + tid + addr)
+/// so that walking the stream costs almost nothing next to the detector
+/// work being measured; rare control events indirect into a side table.
+/// Both detector variants replay the identical stream, so any residual
+/// walk cost cancels out of the speedup.
+struct EventStream {
+    words: Vec<u64>,
+    control: Vec<Control>,
+    accesses: u64,
+}
+
+impl EventStream {
+    fn push_control(&mut self, c: Control) {
+        self.words.push(self.control.len() as u64);
+        self.control.push(c);
+    }
+}
+
+/// Captures one run of `program` into `stream`, routed exactly as the
+/// simulator routes ops (reads/writes are checked accesses;
+/// lock/barrier/semaphore/fork/join/RMW ops are sync events).
+fn capture_events(program: Program, config: SchedulerConfig, stream: &mut EventStream) {
+    let pack = |tid: ThreadId, addr: Addr, write: bool| {
+        assert!(tid.0 < 64 && addr.0 <= ADDR_MASK, "access fits packed word");
+        ACCESS_BIT | if write { WRITE_BIT } else { 0 } | (u64::from(tid.0) << 56) | addr.0
+    };
+    let mut listener = |event: Event<'_>| match event {
+        Event::ThreadStarted { tid, parent } => stream.push_control(Control::Start(tid, parent)),
+        Event::ThreadFinished { tid } => stream.push_control(Control::Finish(tid)),
+        Event::BarrierReleased {
+            barrier,
+            participants,
+        } => stream.push_control(Control::Release(barrier, participants.to_vec())),
+        Event::Op { tid, op } => match op {
+            Op::Read { addr } => {
+                stream.accesses += 1;
+                stream.words.push(pack(tid, addr, false));
+            }
+            Op::Write { addr } => {
+                stream.accesses += 1;
+                stream.words.push(pack(tid, addr, true));
+            }
+            Op::Compute { .. } => {}
+            _ => stream.push_control(Control::Sync(tid, op)),
+        },
+    };
+    run_program(program, config, &mut listener).expect("workload program must schedule");
+}
+
+/// The callback surface replay drives — implemented by both detector
+/// variants so they replay the identical stream through identical code.
+trait ReplayTarget {
+    fn access(&mut self, tid: ThreadId, addr: Addr, kind: AccessKind);
+    fn control(&mut self, c: &Control);
+}
+
+impl ReplayTarget for FastTrack {
+    fn access(&mut self, tid: ThreadId, addr: Addr, kind: AccessKind) {
+        self.on_access(tid, addr, kind);
+    }
+    fn control(&mut self, c: &Control) {
+        match c {
+            Control::Start(tid, parent) => self.on_thread_start(*tid, *parent),
+            Control::Finish(tid) => self.on_thread_finish(*tid),
+            Control::Release(barrier, parts) => self.on_barrier_release(*barrier, parts),
+            Control::Sync(tid, op) => self.on_sync(*tid, op),
+        }
+    }
+}
+
+impl ReplayTarget for legacy::LegacyFastTrack {
+    fn access(&mut self, tid: ThreadId, addr: Addr, kind: AccessKind) {
+        self.on_access(tid, addr, kind);
+    }
+    fn control(&mut self, c: &Control) {
+        match c {
+            Control::Start(tid, parent) => self.on_thread_start(*tid, *parent),
+            Control::Finish(tid) => self.on_thread_finish(*tid),
+            Control::Release(barrier, parts) => self.on_barrier_release(*barrier, parts),
+            Control::Sync(tid, op) => self.on_sync(*tid, op),
+        }
+    }
+}
+
+fn replay<T: ReplayTarget>(stream: &EventStream, d: &mut T) {
+    for &w in &stream.words {
+        if w & ACCESS_BIT != 0 {
+            let tid = ThreadId(((w >> 56) & 0x3F) as u32);
+            let kind = if w & WRITE_BIT != 0 {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
+            d.access(tid, Addr(w & ADDR_MASK), kind);
+        } else {
+            d.control(&stream.control[w as usize]);
+        }
+    }
+}
+
+fn replay_fasttrack(stream: &EventStream) -> u64 {
+    let mut d = FastTrack::new(DetectorConfig::default());
+    replay(stream, &mut d);
+    d.stats().races_observed
+}
+
+fn replay_legacy(stream: &EventStream) -> u64 {
+    let mut d = legacy::LegacyFastTrack::new(DetectorConfig::default());
+    replay(stream, &mut d);
+    d.races_observed()
+}
+
+/// The 64-thread straggler: every thread but one finishes immediately, so
+/// steady-state picking must skip 63 dead threads per op. This is the
+/// run-queue's worst case for the legacy scan (O(threads) per pick) and
+/// the shape barrier stragglers and lock convoys produce in campaigns.
+fn straggler_threads(threads: usize, straggler_ops: usize) -> Vec<Vec<Op>> {
+    (0..threads)
+        .map(|t| {
+            let ops = if t == 0 { straggler_ops } else { 1 };
+            (0..ops)
+                .map(|i| Op::Read {
+                    addr: Addr(0x1000 + (t as u64) * 0x10_0000 + ((i as u64) % 512) * 8),
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// The dense counterpart: all 64 threads stay runnable, so the legacy
+/// scan finds its victim on the first probe. Recorded so the JSON shows
+/// the run-queue is not *slower* when the old picker was already O(1).
+fn dense_threads(threads: usize, ops_per_thread: usize) -> Vec<Vec<Op>> {
+    (0..threads)
+        .map(|t| {
+            (0..ops_per_thread)
+                .map(|i| Op::Read {
+                    addr: Addr(0x1000 + (t as u64) * 0x10_0000 + ((i as u64) % 512) * 8),
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn run_scheduler(threads: &[Vec<Op>], strategy: PickStrategy) -> u64 {
+    let program = Program::from_thread_vecs(threads.to_vec(), StartMode::AllStart);
+    let config = SchedulerConfig {
+        quantum: 1,
+        seed: 7,
+        jitter: false,
+    };
+    Scheduler::new(program, config)
+        .with_pick_strategy(strategy)
+        .run(&mut NullListener)
+        .expect("bench program must schedule")
+        .ops_executed
+}
+
+/// Deterministic synthetic line-access stream for the sharing trackers:
+/// 8 cores, a mix of core-private working sets and a small contended
+/// shared region (the HITM-producing shape the indicator cares about).
+fn sharing_stream(events: usize) -> Vec<(CoreId, u64, bool)> {
+    (0..events)
+        .map(|i| {
+            let core = CoreId((i % 8) as u32);
+            if i % 4 == 0 {
+                // Contended region: 64 lines ping-ponged by all cores.
+                (core, 1_000 + ((i / 4) % 64) as u64, i % 8 == 0)
+            } else {
+                // Private region: per-core 512-line working set.
+                let base = 10_000 + u64::from(core.0) * 10_000;
+                (core, base + ((i / 4) % 512) as u64, i % 3 == 0)
+            }
+        })
+        .collect()
+}
+
+fn measurement_json(m: &Measurement) -> Value {
+    Value::Object(vec![
+        ("median_ns".to_string(), Value::UInt(m.median_ns)),
+        ("elements".to_string(), Value::UInt(m.elements)),
+        ("per_sec".to_string(), Value::Float(m.per_sec())),
+    ])
+}
+
+/// `{before, after, speedup}` — the delta schema every section uses.
+fn delta_json(before: &Measurement, after: &Measurement) -> Value {
+    Value::Object(vec![
+        ("before".to_string(), measurement_json(before)),
+        ("after".to_string(), measurement_json(after)),
+        (
+            "speedup".to_string(),
+            Value::Float(after.per_sec() / before.per_sec()),
+        ),
+    ])
+}
+
+fn main() {
+    let smoke =
+        std::env::args().any(|a| a == "--smoke") || std::env::var("DDRACE_BENCH_SMOKE").is_ok();
+    let samples = if smoke { 2 } else { 7 };
+
+    // ---- Scheduler: run-queue vs legacy scan at 64 simulated threads ----
+    let threads = 64usize;
+    let straggler_ops = if smoke { 2_000 } else { 200_000 };
+    let dense_ops = if smoke { 64 } else { 2_000 };
+
+    let straggler = straggler_threads(threads, straggler_ops);
+    let dense = dense_threads(threads, dense_ops);
+    let straggler_steps = run_scheduler(&straggler, PickStrategy::RunQueue);
+    assert_eq!(
+        straggler_steps,
+        run_scheduler(&straggler, PickStrategy::LegacyScan),
+        "pickers must execute the same schedule"
+    );
+    let dense_steps = run_scheduler(&dense, PickStrategy::RunQueue);
+
+    println!("scheduler ({threads} threads, quantum 1)");
+    let sched_straggler_queue = measure("straggler/run_queue", straggler_steps, samples, || {
+        run_scheduler(&straggler, PickStrategy::RunQueue)
+    });
+    println!("{}", sched_straggler_queue.line());
+    let sched_straggler_scan = measure("straggler/legacy_scan", straggler_steps, samples, || {
+        run_scheduler(&straggler, PickStrategy::LegacyScan)
+    });
+    println!("{}", sched_straggler_scan.line());
+    let sched_dense_queue = measure("dense/run_queue", dense_steps, samples, || {
+        run_scheduler(&dense, PickStrategy::RunQueue)
+    });
+    println!("{}", sched_dense_queue.line());
+    let sched_dense_scan = measure("dense/legacy_scan", dense_steps, samples, || {
+        run_scheduler(&dense, PickStrategy::LegacyScan)
+    });
+    println!("{}", sched_dense_scan.line());
+
+    // ---- Detector: shadow-table FastTrack vs vendored legacy on exp_f4's
+    // Phoenix mix ----
+    let scale = if smoke { Scale::TEST } else { Scale::SMALL };
+    let sched_config = SchedulerConfig {
+        quantum: 32,
+        seed: 42,
+        jitter: true,
+    };
+    let mut events = EventStream {
+        words: Vec::new(),
+        control: Vec::new(),
+        accesses: 0,
+    };
+    for spec in phoenix::suite() {
+        capture_events(spec.program(scale, 42), sched_config, &mut events);
+    }
+    let accesses = events.accesses;
+    assert_eq!(
+        replay_fasttrack(&events),
+        replay_legacy(&events),
+        "both detectors must observe the same races"
+    );
+
+    println!("detector (phoenix mix, {accesses} accesses)");
+    let det_after = measure("fasttrack/shadow_table", accesses, samples, || {
+        replay_fasttrack(&events)
+    });
+    println!("{}", det_after.line());
+    let det_before = measure("fasttrack/legacy_hashmap", accesses, samples, || {
+        replay_legacy(&events)
+    });
+    println!("{}", det_before.line());
+
+    // ---- Cache: sharing tracker shadow-table vs legacy HashMap ----
+    let sharing_events = if smoke { 4_000 } else { 400_000 };
+    let stream = sharing_stream(sharing_events);
+    let run_sharing = |stream: &[(CoreId, u64, bool)]| {
+        let mut t = ddrace_cache::SharingTracker::new();
+        for &(core, line, write) in stream {
+            if write {
+                t.on_write(core, line);
+            } else {
+                t.on_read(core, line);
+            }
+        }
+        t.counts().total()
+    };
+    let run_sharing_legacy = |stream: &[(CoreId, u64, bool)]| {
+        let mut t = legacy::LegacySharingTracker::new();
+        for &(core, line, write) in stream {
+            if write {
+                t.on_write(core, line);
+            } else {
+                t.on_read(core, line);
+            }
+        }
+        t.total()
+    };
+    assert_eq!(
+        run_sharing(&stream),
+        run_sharing_legacy(&stream),
+        "both trackers must classify the same sharing events"
+    );
+
+    println!("cache sharing tracker ({sharing_events} line events)");
+    let cache_after = measure(
+        "sharing_tracker/shadow_table",
+        sharing_events as u64,
+        samples,
+        || run_sharing(&stream),
+    );
+    println!("{}", cache_after.line());
+    let cache_before = measure(
+        "sharing_tracker/legacy_hashmap",
+        sharing_events as u64,
+        samples,
+        || run_sharing_legacy(&stream),
+    );
+    println!("{}", cache_before.line());
+
+    // ---- Summary + JSON ----
+    let sched_speedup = sched_straggler_queue.per_sec() / sched_straggler_scan.per_sec();
+    let det_speedup = det_after.per_sec() / det_before.per_sec();
+    let cache_speedup = cache_after.per_sec() / cache_before.per_sec();
+    println!("scheduler straggler speedup: {sched_speedup:.2}x (target >= 3)");
+    println!("detector speedup:            {det_speedup:.2}x (target >= 2)");
+    println!("sharing tracker speedup:     {cache_speedup:.2}x");
+
+    if smoke {
+        println!("smoke mode: skipping BENCH_substrate.json");
+        return;
+    }
+
+    let doc = Value::Object(vec![
+        ("bench".to_string(), Value::Str("substrate".to_string())),
+        (
+            "build".to_string(),
+            Value::Str(
+                if cfg!(debug_assertions) {
+                    "debug"
+                } else {
+                    "release"
+                }
+                .to_string(),
+            ),
+        ),
+        (
+            "scheduler".to_string(),
+            Value::Object(vec![
+                ("threads".to_string(), Value::UInt(threads as u64)),
+                ("quantum".to_string(), Value::UInt(1)),
+                (
+                    "straggler".to_string(),
+                    delta_json(&sched_straggler_scan, &sched_straggler_queue),
+                ),
+                (
+                    "dense".to_string(),
+                    delta_json(&sched_dense_scan, &sched_dense_queue),
+                ),
+            ]),
+        ),
+        (
+            "detector".to_string(),
+            Value::Object(vec![
+                (
+                    "workloads".to_string(),
+                    Value::Str("phoenix suite (exp_f4 mix)".to_string()),
+                ),
+                ("accesses".to_string(), Value::UInt(accesses)),
+                ("delta".to_string(), delta_json(&det_before, &det_after)),
+            ]),
+        ),
+        (
+            "cache".to_string(),
+            Value::Object(vec![
+                (
+                    "sharing_events".to_string(),
+                    Value::UInt(sharing_events as u64),
+                ),
+                (
+                    "sharing_tracker".to_string(),
+                    delta_json(&cache_before, &cache_after),
+                ),
+            ]),
+        ),
+        (
+            "acceptance".to_string(),
+            Value::Object(vec![
+                (
+                    "scheduler_straggler_speedup".to_string(),
+                    Value::Float(sched_speedup),
+                ),
+                ("scheduler_target".to_string(), Value::Float(3.0)),
+                ("detector_speedup".to_string(), Value::Float(det_speedup)),
+                ("detector_target".to_string(), Value::Float(2.0)),
+                (
+                    "pass".to_string(),
+                    Value::Bool(sched_speedup >= 3.0 && det_speedup >= 2.0),
+                ),
+            ]),
+        ),
+    ]);
+
+    let out = std::env::var("DDRACE_BENCH_OUT").unwrap_or_else(|_| "BENCH_substrate.json".into());
+    let body = ddrace_json::to_string_pretty(&doc).expect("bench document serializes");
+    std::fs::write(&out, body + "\n").expect("write bench output");
+    println!("wrote {out}");
+}

@@ -1,0 +1,124 @@
+//! Schedule-equivalence suite: the run-queue picker must reproduce the
+//! legacy O(threads) scan **exactly** — same interleaving, same races,
+//! same aggregate bytes — over the full `exp_f8` matrix (its workloads ×
+//! seeds × modes). This is the contract that lets the scheduler rewrite
+//! ship without regenerating a single `results/` file, and the reason
+//! [`PickStrategy`] is excluded from the harness job fingerprint.
+//!
+//! The suite defaults to `Scale::TEST` so it stays CI-cheap; set
+//! `DDRACE_SCALE=small` (or `large`) to re-verify at experiment scale.
+//! In debug builds every pick is additionally cross-checked inside the
+//! scheduler (`debug_assert`), so these runs verify the equivalence at
+//! every single scheduling decision, not just at the endpoints.
+
+use ddrace_bench::{host_workers, ExpContext};
+use ddrace_core::{AnalysisMode, Simulation};
+use ddrace_harness::{run_campaign, Campaign, EventSink};
+use ddrace_json::ToJson;
+use ddrace_program::PickStrategy;
+use ddrace_workloads::{parsec, phoenix, Scale, WorkloadSpec};
+
+/// The `exp_f8` workload set.
+fn specs() -> Vec<WorkloadSpec> {
+    vec![
+        phoenix::linear_regression(),
+        phoenix::kmeans(),
+        phoenix::word_count(),
+        parsec::canneal(),
+        parsec::swaptions(),
+        parsec::dedup(),
+    ]
+}
+
+/// The `exp_f8` seed axis.
+fn seeds(ctx: &ExpContext) -> Vec<u64> {
+    (0..5).map(|i| ctx.seed + i * 1_000).collect()
+}
+
+/// The `exp_f8` mode axis.
+fn modes() -> [AnalysisMode; 2] {
+    [AnalysisMode::Continuous, AnalysisMode::demand_hitm()]
+}
+
+/// Environment context, defaulting to `Scale::TEST` (unlike experiments)
+/// unless `DDRACE_SCALE` explicitly says otherwise.
+fn ctx() -> ExpContext {
+    let mut ctx = ExpContext::from_env();
+    if std::env::var("DDRACE_SCALE").is_err() {
+        ctx.scale = Scale::TEST;
+    }
+    ctx
+}
+
+fn run(
+    ctx: &ExpContext,
+    spec: &WorkloadSpec,
+    mode: AnalysisMode,
+    seed: u64,
+    strategy: PickStrategy,
+) -> ddrace_core::RunResult {
+    let mut cfg = ctx.sim_config(mode);
+    cfg.scheduler.seed = seed;
+    cfg.pick_strategy = strategy;
+    Simulation::new(cfg)
+        .run(spec.program(ctx.scale, seed))
+        .unwrap_or_else(|e| panic!("{} failed to schedule: {e}", spec.name))
+}
+
+/// Every (workload, seed, mode) cell of the exp_f8 matrix produces a
+/// byte-identical `RunResult` document and identical race reports under
+/// both pickers.
+#[test]
+fn run_results_identical_for_both_pickers() {
+    let ctx = ctx();
+    for spec in specs() {
+        for &seed in &seeds(&ctx) {
+            for mode in modes() {
+                let queue = run(&ctx, &spec, mode, seed, PickStrategy::RunQueue);
+                let scan = run(&ctx, &spec, mode, seed, PickStrategy::LegacyScan);
+                assert_eq!(
+                    queue.races.reports,
+                    scan.races.reports,
+                    "{}/{}/s{seed}: race reports diverged",
+                    spec.name,
+                    mode.label()
+                );
+                let qj = ddrace_json::to_string_pretty(&queue.to_json()).unwrap();
+                let sj = ddrace_json::to_string_pretty(&scan.to_json()).unwrap();
+                assert_eq!(
+                    qj,
+                    sj,
+                    "{}/{}/s{seed}: run results diverged",
+                    spec.name,
+                    mode.label()
+                );
+            }
+        }
+    }
+}
+
+/// The harness-level aggregate — the document the `results/exp_*` files
+/// are built from — is byte-identical between pickers when the whole
+/// matrix runs on the campaign worker pool.
+#[test]
+fn campaign_aggregates_identical_for_both_pickers() {
+    let ctx = ctx();
+    let aggregate = |strategy: PickStrategy| {
+        let campaign = Campaign::builder("schedule_equivalence")
+            .workloads(specs())
+            .modes(modes())
+            .seeds(seeds(&ctx))
+            .scale(ctx.scale)
+            .cores(ctx.cores)
+            .pick_strategy(strategy)
+            .build();
+        let report = run_campaign(&campaign, host_workers(), &EventSink::null());
+        assert_eq!(report.failed(), 0, "no job may fail");
+        ddrace_json::to_string_pretty(&report.aggregate_json()).unwrap()
+    };
+    assert_eq!(
+        aggregate(PickStrategy::RunQueue),
+        aggregate(PickStrategy::LegacyScan),
+        "campaign aggregates diverged between pickers"
+    );
+}

@@ -442,11 +442,13 @@ impl CacheHierarchy {
             None => return 0,
         };
         let mut dropped = 0;
-        for i in 0..self.config.cores {
-            if i != core.index() && dir.presence & (1 << i) != 0 {
-                self.invalidate_core(CoreId(i as u32), line);
-                dropped += 1;
-            }
+        // Iterate set presence bits directly instead of scanning all cores.
+        let mut mask = dir.presence & !(1u64 << core.index());
+        while mask != 0 {
+            let i = mask.trailing_zeros();
+            mask &= mask - 1;
+            self.invalidate_core(CoreId(i), line);
+            dropped += 1;
         }
         dropped
     }
@@ -463,15 +465,15 @@ impl CacheHierarchy {
     fn evict_l3_victim(&mut self, victim_line: u64, victim: DirEntry) {
         self.stats.l3_evictions += 1;
         let mut dirty = victim.dirty;
-        for i in 0..self.config.cores {
-            if victim.presence & (1 << i) != 0 {
-                let core = CoreId(i as u32);
-                if self.l2[i].peek(victim_line) == Some(&MesiState::Modified) {
-                    dirty = true;
-                }
-                self.invalidate_core(core, victim_line);
-                self.stats.back_invalidations += 1;
+        let mut mask = victim.presence;
+        while mask != 0 {
+            let i = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            if self.l2[i].peek(victim_line) == Some(&MesiState::Modified) {
+                dirty = true;
             }
+            self.invalidate_core(CoreId(i as u32), victim_line);
+            self.stats.back_invalidations += 1;
         }
         if dirty {
             self.stats.memory_writebacks += 1;

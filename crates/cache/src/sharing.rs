@@ -8,7 +8,7 @@
 //! built from this.
 
 use crate::event::{CoreId, SharingKind};
-use std::collections::HashMap;
+use ddrace_shadow::ShadowTable;
 
 #[derive(Debug, Clone, Copy, Default)]
 struct LineHistory {
@@ -40,7 +40,7 @@ struct LineHistory {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct SharingTracker {
-    lines: HashMap<u64, LineHistory>,
+    lines: ShadowTable<LineHistory>,
     counts: SharingCounts,
 }
 
@@ -71,7 +71,7 @@ impl SharingTracker {
     /// Records a read of `line` by `core`; returns the W→R event if this
     /// is the first read by this core since a remote write.
     pub fn on_read(&mut self, core: CoreId, line: u64) -> Option<SharingKind> {
-        let h = self.lines.entry(line).or_default();
+        let h = self.lines.get_or_insert_with(line, LineHistory::default);
         let bit = 1u64 << core.index();
         let fresh = h.readers_since_write & bit == 0;
         h.readers_since_write |= bit;
@@ -91,7 +91,7 @@ impl SharingTracker {
         core: CoreId,
         line: u64,
     ) -> (Option<SharingKind>, Option<SharingKind>) {
-        let h = self.lines.entry(line).or_default();
+        let h = self.lines.get_or_insert_with(line, LineHistory::default);
         let bit = 1u64 << core.index();
         let ww = match h.last_writer {
             Some(w) if w != core => {

@@ -4,7 +4,7 @@ use crate::cost::CostModel;
 use ddrace_cache::CacheConfig;
 use ddrace_detector::DetectorConfig;
 use ddrace_pmu::IndicatorMode;
-use ddrace_program::SchedulerConfig;
+use ddrace_program::{PickStrategy, SchedulerConfig};
 
 /// Whose instrumentation a sharing signal enables.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -127,6 +127,9 @@ pub struct SimConfig {
     pub cache: CacheConfig,
     /// Interleaving scheduler parameters.
     pub scheduler: SchedulerConfig,
+    /// Runnable-thread picker implementation. Digest-equivalent choices;
+    /// [`PickStrategy::LegacyScan`] is kept for equivalence testing.
+    pub pick_strategy: PickStrategy,
     /// Cycle cost model.
     pub cost: CostModel,
     /// Shadow-memory configuration.
@@ -148,6 +151,7 @@ impl SimConfig {
             cores,
             cache: CacheConfig::nehalem(cores),
             scheduler: SchedulerConfig::default(),
+            pick_strategy: PickStrategy::default(),
             cost: CostModel::default(),
             detector: DetectorConfig::default(),
             detector_kind: DetectorKind::FastTrack,

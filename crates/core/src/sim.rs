@@ -81,7 +81,9 @@ impl Simulation {
     pub fn run(&self, program: Program) -> Result<RunResult, ScheduleError> {
         let _span = ddrace_telemetry::span("sim.run");
         let mut state = SimState::new(&self.config);
-        let schedule = Scheduler::new(program, self.config.scheduler).run(&mut state)?;
+        let schedule = Scheduler::new(program, self.config.scheduler)
+            .with_pick_strategy(self.config.pick_strategy)
+            .run(&mut state)?;
         Ok(state.into_result(schedule, self.config.mode.label()))
     }
 
@@ -413,6 +415,16 @@ impl SimState {
 
     fn into_result(self, schedule: ddrace_program::RunStats, mode: &str) -> RunResult {
         self.emit_telemetry();
+        // Scheduler counters are deterministic too; emitted here because
+        // the run stats only arrive when the schedule completes.
+        {
+            use ddrace_telemetry::counter;
+            counter("sched.ops", schedule.ops_executed);
+            counter("sched.context_switches", schedule.context_switches);
+            counter("sched.blocks", schedule.blocks);
+            counter("sched.lock_handoffs", schedule.lock_handoffs);
+            counter("sched.barrier_episodes", schedule.barrier_episodes);
+        }
         let races = match &self.detector {
             Some(d) => {
                 let set = d.reports();

@@ -11,7 +11,7 @@ use crate::hb::HbClocks;
 use crate::report::{RaceAccess, RaceKind, RaceReport, RaceReportSet};
 use crate::vc::VectorClock;
 use ddrace_program::{AccessKind, Addr, BarrierId, Op, ThreadId};
-use std::collections::HashMap;
+use ddrace_shadow::ShadowTable;
 
 #[derive(Debug, Clone, Default)]
 struct VarState {
@@ -37,7 +37,7 @@ struct VarState {
 #[derive(Debug, Clone)]
 pub struct Djit {
     clocks: HbClocks,
-    shadow: HashMap<u64, VarState>,
+    shadow: ShadowTable<VarState>,
     reports: RaceReportSet,
     stats: DetectorStats,
     granularity: Granularity,
@@ -49,7 +49,7 @@ impl Djit {
     pub fn new(config: DetectorConfig) -> Self {
         Djit {
             clocks: HbClocks::new(),
-            shadow: HashMap::new(),
+            shadow: ShadowTable::new(),
             reports: RaceReportSet::new(),
             stats: DetectorStats::default(),
             granularity: config.granularity,
@@ -95,15 +95,17 @@ impl RaceDetector for Djit {
     fn on_access(&mut self, tid: ThreadId, addr: Addr, kind: AccessKind) -> AccessReport {
         self.stats.accesses_checked += 1;
         let key = self.granularity.key(addr);
-        let tvc = self.clocks.thread(tid).clone();
+        // Borrow rather than clone the thread clock: clocks and shadow are
+        // disjoint fields, so the borrows coexist.
+        let tvc = self.clocks.thread(tid);
         let my_clock = tvc.get(tid);
-        let var = self.shadow.entry(key).or_default();
+        let var = self.shadow.get_or_insert_with(key, VarState::default);
 
         let shared = var.last_writer.is_some_and(|w| w != tid)
             || (0..var.reads.width() as u32).any(|u| u != tid.0 && var.reads.get(ThreadId(u)) > 0);
 
         let mut race = None;
-        if let Some(witness) = var.writes.first_excess(&tvc) {
+        if let Some(witness) = var.writes.first_excess(tvc) {
             // An unordered prior write.
             race = Some(RaceReport {
                 addr,
@@ -125,7 +127,7 @@ impl RaceDetector for Djit {
                 },
             });
         } else if kind.is_write() {
-            if let Some(witness) = var.reads.first_excess(&tvc) {
+            if let Some(witness) = var.reads.first_excess(tvc) {
                 race = Some(RaceReport {
                     addr,
                     shadow_key: key,

@@ -12,15 +12,20 @@ use crate::hb::HbClocks;
 use crate::report::{RaceAccess, RaceKind, RaceReport, RaceReportSet};
 use crate::vc::{Epoch, VectorClock};
 use ddrace_program::{AccessKind, Addr, BarrierId, Op, ThreadId};
-use std::collections::HashMap;
+use ddrace_shadow::ShadowTable;
 
 /// Adaptive read representation.
+///
+/// The escalated clock is boxed so the common case — epoch reads — keeps
+/// the whole shadow entry small enough for one cache line in the open
+/// table; escalations are rare (see `DetectorStats::escalations`), so the
+/// indirection is off the hot path.
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum ReadState {
     /// Reads are totally ordered; the last one suffices.
     Epoch(Epoch),
     /// Concurrent readers: full vector clock of last reads.
-    Vc(VectorClock),
+    Vc(Box<VectorClock>),
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -60,7 +65,7 @@ impl VarState {
 #[derive(Debug, Clone)]
 pub struct FastTrack {
     clocks: HbClocks,
-    shadow: HashMap<u64, VarState>,
+    shadow: ShadowTable<VarState>,
     reports: RaceReportSet,
     stats: DetectorStats,
     granularity: Granularity,
@@ -72,7 +77,7 @@ impl FastTrack {
     pub fn new(config: DetectorConfig) -> Self {
         FastTrack {
             clocks: HbClocks::new(),
-            shadow: HashMap::new(),
+            shadow: ShadowTable::new(),
             reports: RaceReportSet::new(),
             stats: DetectorStats::default(),
             granularity: config.granularity,
@@ -97,9 +102,11 @@ impl FastTrack {
     }
 
     fn check_read(&mut self, tid: ThreadId, addr: Addr, key: u64) -> AccessReport {
-        let tvc = self.clocks.thread(tid).clone();
-        let e = Epoch::of(tid, &tvc);
-        let var = self.shadow.entry(key).or_insert_with(VarState::fresh);
+        // Epoch-inline fast path: the current epoch is a single counter
+        // read, so a same-epoch re-read returns without ever touching the
+        // thread's full vector clock.
+        let e = self.clocks.epoch(tid);
+        let var = self.shadow.get_or_insert_with(key, VarState::fresh);
 
         // Same-epoch fast path: this thread already read at this epoch.
         if let ReadState::Epoch(r) = var.read {
@@ -113,6 +120,10 @@ impl FastTrack {
             }
         }
 
+        // Slow path: borrow the vector clock (clocks and shadow are
+        // disjoint fields, so the borrows coexist without a clone).
+        let tvc = self.clocks.thread(tid);
+
         let shared = (!var.write.is_zero() && var.write.tid != tid)
             || match &var.read {
                 ReadState::Epoch(r) => !r.is_zero() && r.tid != tid,
@@ -120,7 +131,7 @@ impl FastTrack {
             };
 
         // Write→read race check.
-        let race = if !var.write.visible_to(&tvc) {
+        let race = if !var.write.visible_to(tvc) {
             let prior = var.write;
             Some(RaceReport {
                 addr,
@@ -144,14 +155,14 @@ impl FastTrack {
         // Update read state.
         match &mut var.read {
             ReadState::Epoch(r) => {
-                if r.visible_to(&tvc) {
+                if r.visible_to(tvc) {
                     *r = e;
                 } else {
                     // Concurrent with the previous reader: escalate.
                     let mut vc = VectorClock::new();
                     vc.set(r.tid, r.clock);
                     vc.set(tid, e.clock);
-                    var.read = ReadState::Vc(vc);
+                    var.read = ReadState::Vc(Box::new(vc));
                     self.stats.escalations += 1;
                 }
             }
@@ -169,9 +180,9 @@ impl FastTrack {
     }
 
     fn check_write(&mut self, tid: ThreadId, addr: Addr, key: u64) -> AccessReport {
-        let tvc = self.clocks.thread(tid).clone();
-        let e = Epoch::of(tid, &tvc);
-        let var = self.shadow.entry(key).or_insert_with(VarState::fresh);
+        // Epoch-inline fast path, as in `check_read`.
+        let e = self.clocks.epoch(tid);
+        let var = self.shadow.get_or_insert_with(key, VarState::fresh);
 
         // Same-epoch fast path: this thread already wrote at this epoch.
         if var.write == e {
@@ -182,6 +193,8 @@ impl FastTrack {
             };
         }
 
+        let tvc = self.clocks.thread(tid);
+
         let shared = (!var.write.is_zero() && var.write.tid != tid)
             || match &var.read {
                 ReadState::Epoch(r) => !r.is_zero() && r.tid != tid,
@@ -189,7 +202,7 @@ impl FastTrack {
             };
 
         // Write→write, then read→write.
-        let race = if !var.write.visible_to(&tvc) {
+        let race = if !var.write.visible_to(tvc) {
             Some(RaceReport {
                 addr,
                 shadow_key: key,
@@ -207,7 +220,7 @@ impl FastTrack {
             })
         } else {
             match &var.read {
-                ReadState::Epoch(r) if !r.visible_to(&tvc) => Some(RaceReport {
+                ReadState::Epoch(r) if !r.visible_to(tvc) => Some(RaceReport {
                     addr,
                     shadow_key: key,
                     kind: RaceKind::ReadWrite,
@@ -222,7 +235,7 @@ impl FastTrack {
                         clock: e.clock,
                     },
                 }),
-                ReadState::Vc(vc) => vc.first_excess(&tvc).map(|witness| RaceReport {
+                ReadState::Vc(vc) => vc.first_excess(tvc).map(|witness| RaceReport {
                     addr,
                     shadow_key: key,
                     kind: RaceKind::ReadWrite,

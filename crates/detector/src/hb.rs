@@ -15,17 +15,17 @@
 //! choice.
 
 use crate::vc::{Epoch, VectorClock};
-use ddrace_program::{Addr, BarrierId, LockId, Op, SemId, ThreadId};
-use std::collections::HashMap;
+use ddrace_program::{BarrierId, Op, ThreadId};
+use ddrace_shadow::ShadowTable;
 
 /// The full happens-before clock state of an execution.
 #[derive(Debug, Clone, Default)]
 pub struct HbClocks {
     threads: Vec<VectorClock>,
-    locks: HashMap<LockId, VectorClock>,
-    sems: HashMap<SemId, VectorClock>,
-    barriers: HashMap<BarrierId, VectorClock>,
-    atomics: HashMap<Addr, VectorClock>,
+    locks: ShadowTable<VectorClock>,
+    sems: ShadowTable<VectorClock>,
+    barriers: ShadowTable<VectorClock>,
+    atomics: ShadowTable<VectorClock>,
 }
 
 impl HbClocks {
@@ -75,39 +75,31 @@ impl HbClocks {
         self.ensure(tid);
         match *op {
             Op::Lock { lock } => {
-                if let Some(lvc) = self.locks.get(&lock) {
-                    let lvc = lvc.clone();
-                    self.threads[tid.index()].join(&lvc);
+                if let Some(lvc) = self.locks.get(u64::from(lock.0)) {
+                    self.threads[tid.index()].join(lvc);
                 }
             }
             Op::Unlock { lock } => {
-                let tvc = self.threads[tid.index()].clone();
                 self.locks
-                    .entry(lock)
-                    .and_modify(|l| l.join(&tvc))
-                    .or_insert_with(|| tvc.clone());
+                    .get_or_insert_with(u64::from(lock.0), VectorClock::new)
+                    .join(&self.threads[tid.index()]);
                 self.threads[tid.index()].increment(tid);
             }
             Op::Barrier { barrier, .. } => {
                 // Arrival: contribute our clock to the episode accumulator.
-                let tvc = self.threads[tid.index()].clone();
                 self.barriers
-                    .entry(barrier)
-                    .and_modify(|b| b.join(&tvc))
-                    .or_insert(tvc);
+                    .get_or_insert_with(u64::from(barrier.0), VectorClock::new)
+                    .join(&self.threads[tid.index()]);
             }
             Op::Post { sem } => {
-                let tvc = self.threads[tid.index()].clone();
                 self.sems
-                    .entry(sem)
-                    .and_modify(|s| s.join(&tvc))
-                    .or_insert_with(|| tvc.clone());
+                    .get_or_insert_with(u64::from(sem.0), VectorClock::new)
+                    .join(&self.threads[tid.index()]);
                 self.threads[tid.index()].increment(tid);
             }
             Op::WaitSem { sem } => {
-                if let Some(svc) = self.sems.get(&sem) {
-                    let svc = svc.clone();
-                    self.threads[tid.index()].join(&svc);
+                if let Some(svc) = self.sems.get(u64::from(sem.0)) {
+                    self.threads[tid.index()].join(svc);
                 }
             }
             Op::Join { child } => {
@@ -121,10 +113,9 @@ impl HbClocks {
             Op::Fork { .. } => {}
             Op::AtomicRmw { addr } => {
                 // Acquire + release on a per-address clock.
-                let entry = self.atomics.entry(addr).or_default();
+                let entry = self.atomics.get_or_insert_with(addr.0, VectorClock::new);
                 self.threads[tid.index()].join(entry);
-                let tvc = self.threads[tid.index()].clone();
-                entry.join(&tvc);
+                entry.join(&self.threads[tid.index()]);
                 self.threads[tid.index()].increment(tid);
             }
             Op::Read { .. } | Op::Write { .. } | Op::Compute { .. } => {}
@@ -134,7 +125,10 @@ impl HbClocks {
     /// Handles a barrier release: every participant adopts the episode's
     /// accumulated clock, and the accumulator resets for reuse.
     pub fn on_barrier_release(&mut self, barrier: BarrierId, participants: &[ThreadId]) {
-        let acc = self.barriers.remove(&barrier).unwrap_or_default();
+        let acc = self
+            .barriers
+            .remove(u64::from(barrier.0))
+            .unwrap_or_default();
         for &p in participants {
             self.ensure(p);
             self.threads[p.index()].join(&acc);
@@ -151,6 +145,7 @@ impl HbClocks {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ddrace_program::{Addr, LockId, SemId};
 
     const T0: ThreadId = ThreadId(0);
     const T1: ThreadId = ThreadId(1);

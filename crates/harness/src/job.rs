@@ -2,7 +2,7 @@
 //! a declarative set of jobs built from sweep axes.
 
 use ddrace_core::{AnalysisMode, DetectorKind, RunResult, SimConfig, Simulation};
-use ddrace_program::SchedulerConfig;
+use ddrace_program::{PickStrategy, SchedulerConfig};
 use ddrace_workloads::{Scale, WorkloadSpec};
 use std::time::Duration;
 
@@ -31,6 +31,10 @@ pub struct Job {
     pub quantum: u32,
     /// Which detector implementation analysis modes use.
     pub detector_kind: DetectorKind,
+    /// Runnable-thread picker. Not part of the job fingerprint: both
+    /// strategies produce digest-identical results (pinned by the
+    /// schedule-equivalence suite), so it cannot affect the outcome.
+    pub pick_strategy: PickStrategy,
     /// Wall-clock budget; `None` means unlimited.
     pub timeout: Option<Duration>,
 }
@@ -55,12 +59,17 @@ impl Job {
             jitter: true,
         };
         cfg.detector_kind = self.detector_kind;
+        cfg.pick_strategy = self.pick_strategy;
         cfg
     }
 
     /// Runs the simulation synchronously on the calling thread.
     pub fn run(&self) -> Result<RunResult, String> {
-        let program = self.workload.program(self.scale, self.seed);
+        let program = {
+            let _span = ddrace_telemetry::span("job.generate");
+            ddrace_telemetry::counter("gen.programs", 1);
+            self.workload.program(self.scale, self.seed)
+        };
         Simulation::new(self.sim_config())
             .run(program)
             .map_err(|e| format!("schedule error: {e}"))
@@ -94,6 +103,7 @@ impl Campaign {
             cores: 8,
             quantum: 32,
             detector_kind: DetectorKind::default(),
+            pick_strategy: PickStrategy::default(),
             timeout: None,
         }
     }
@@ -111,6 +121,7 @@ pub struct CampaignBuilder {
     cores: usize,
     quantum: u32,
     detector_kind: DetectorKind,
+    pick_strategy: PickStrategy,
     timeout: Option<Duration>,
 }
 
@@ -157,6 +168,12 @@ impl CampaignBuilder {
         self
     }
 
+    /// Sets the scheduler's runnable-thread picker for every job.
+    pub fn pick_strategy(mut self, strategy: PickStrategy) -> Self {
+        self.pick_strategy = strategy;
+        self
+    }
+
     /// Sets a per-job wall-clock timeout.
     pub fn timeout(mut self, timeout: Duration) -> Self {
         self.timeout = Some(timeout);
@@ -180,6 +197,7 @@ impl CampaignBuilder {
                         cores: self.cores,
                         quantum: self.quantum,
                         detector_kind: self.detector_kind,
+                        pick_strategy: self.pick_strategy,
                         timeout: self.timeout,
                     });
                 }

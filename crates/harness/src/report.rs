@@ -213,6 +213,62 @@ impl CampaignReport {
             .collect()
     }
 
+    /// The campaign's work split by pipeline phase — generation vs
+    /// simulation vs detection — reconstructed from campaign-total
+    /// counters. Deliberately built from deterministic counters only
+    /// (never span wall-clock), so the aggregate stays byte-reproducible.
+    pub fn phase_breakdown(&self) -> Value {
+        let t = &self.totals;
+        Value::Object(vec![
+            (
+                "generation".to_string(),
+                Value::Object(vec![(
+                    "programs".to_string(),
+                    Value::UInt(t.counter("gen.programs")),
+                )]),
+            ),
+            (
+                "simulation".to_string(),
+                Value::Object(vec![
+                    ("cycles".to_string(), Value::UInt(t.counter("sim.cycles"))),
+                    (
+                        "accesses".to_string(),
+                        Value::UInt(t.counter("sim.accesses")),
+                    ),
+                    (
+                        "scheduler_ops".to_string(),
+                        Value::UInt(t.counter("sched.ops")),
+                    ),
+                    (
+                        "context_switches".to_string(),
+                        Value::UInt(t.counter("sched.context_switches")),
+                    ),
+                ]),
+            ),
+            (
+                "detection".to_string(),
+                Value::Object(vec![
+                    (
+                        "accesses_analyzed".to_string(),
+                        Value::UInt(t.counter("sim.accesses_analyzed")),
+                    ),
+                    (
+                        "shadow_ops".to_string(),
+                        Value::UInt(t.counter("detector.shadow_ops")),
+                    ),
+                    (
+                        "fast_path_hits".to_string(),
+                        Value::UInt(t.counter("detector.fast_path_hits")),
+                    ),
+                    (
+                        "cycles_enabled".to_string(),
+                        Value::UInt(t.counter("sim.cycles_enabled")),
+                    ),
+                ]),
+            ),
+        ])
+    }
+
     /// The deterministic aggregate document: campaign metadata, the
     /// results-schema-compatible `rows`, per-job status + counters, and
     /// campaign-total counters. Byte-identical across worker counts.
@@ -260,6 +316,7 @@ impl CampaignReport {
             ),
             ("jobs_failed".to_string(), Value::UInt(self.failed() as u64)),
             ("telemetry".to_string(), self.totals.counters_json()),
+            ("phase_breakdown".to_string(), self.phase_breakdown()),
             ("rows".to_string(), self.rows().to_json()),
             ("jobs".to_string(), Value::Array(jobs)),
         ])

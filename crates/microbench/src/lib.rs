@@ -175,6 +175,63 @@ impl Bencher {
     }
 }
 
+/// One machine-readable measurement produced by [`measure`] — the
+/// programmatic counterpart of the printed bench lines, for tools that
+/// dump throughput trajectories to JSON.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// Benchmark name.
+    pub name: String,
+    /// Median wall-clock nanoseconds for one call of the routine.
+    pub median_ns: u64,
+    /// Logical elements the routine processes per call.
+    pub elements: u64,
+}
+
+impl Measurement {
+    /// Elements per second at the median.
+    pub fn per_sec(&self) -> f64 {
+        let secs = self.median_ns as f64 / 1e9;
+        self.elements as f64 / secs.max(f64::MIN_POSITIVE)
+    }
+
+    /// The printed form, matching the group output style.
+    pub fn line(&self) -> String {
+        format!(
+            "  {}: {}  ({:.2} Melem/s)",
+            self.name,
+            format_duration(Duration::from_nanos(self.median_ns)),
+            self.per_sec() / 1e6
+        )
+    }
+}
+
+/// Times `routine` — which processes `elements` logical items per call —
+/// and returns the median over `samples` timed calls, after one untimed
+/// warm-up call. The return value of each call is black-boxed so the
+/// work cannot be folded away.
+pub fn measure<O>(
+    name: &str,
+    elements: u64,
+    samples: usize,
+    mut routine: impl FnMut() -> O,
+) -> Measurement {
+    hint::black_box(routine());
+    let mut timings: Vec<Duration> = (0..samples.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            hint::black_box(routine());
+            start.elapsed()
+        })
+        .collect();
+    timings.sort();
+    Measurement {
+        name: name.to_string(),
+        median_ns: timings[timings.len() / 2].as_nanos() as u64,
+        elements,
+    }
+}
+
 fn format_duration(d: Duration) -> String {
     let nanos = d.as_nanos();
     if nanos < 1_000 {
@@ -212,6 +269,14 @@ macro_rules! criterion_main {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn measure_reports_rate() {
+        let m = measure("spin", 1_000, 3, || (0..1_000u64).sum::<u64>());
+        assert_eq!(m.elements, 1_000);
+        assert!(m.per_sec() > 0.0);
+        assert!(m.line().contains("spin"));
+    }
 
     #[test]
     fn group_runs_and_reports() {

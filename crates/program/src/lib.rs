@@ -48,6 +48,7 @@ mod error;
 mod op;
 mod program;
 mod rng;
+mod runqueue;
 mod schedule;
 mod stats;
 mod trace;
@@ -58,8 +59,10 @@ pub use error::{BlockReason, ScheduleError};
 pub use op::{AccessKind, Addr, BarrierId, LockId, Op, SemId, ThreadId};
 pub use program::{OpStream, Program, StartMode};
 pub use rng::Prng;
+pub use runqueue::RunQueue;
 pub use schedule::{
-    run_program, Event, ExecutionListener, NullListener, RunStats, Scheduler, SchedulerConfig,
+    run_program, Event, ExecutionListener, NullListener, PickStrategy, RunStats, Scheduler,
+    SchedulerConfig,
 };
 pub use stats::{OpCounts, StatsCollector};
 pub use trace::{Trace, TraceEvent, TraceRecorder};

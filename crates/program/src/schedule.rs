@@ -18,6 +18,7 @@ use crate::error::{BlockReason, ScheduleError};
 use crate::op::{BarrierId, LockId, Op, SemId, ThreadId};
 use crate::program::{Program, StartMode};
 use crate::rng::Prng;
+use crate::runqueue::RunQueue;
 use std::collections::HashMap;
 
 /// Configuration of the interleaving scheduler.
@@ -62,6 +63,22 @@ impl SchedulerConfig {
             ..Self::default()
         }
     }
+}
+
+/// How [`Scheduler`] finds the next runnable thread.
+///
+/// Both strategies produce **bit-identical schedules** — the run-queue is
+/// a faster index structure over the same round-robin order, not a policy
+/// change — so this knob only trades picker cost. The legacy scan is kept
+/// for the digest-equivalence suite and for measuring the run-queue's
+/// speedup against a live baseline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum PickStrategy {
+    /// Two-level bitmap run-queue: O(1) pick/block/unblock (the default).
+    #[default]
+    RunQueue,
+    /// The original O(threads) status scan from the cursor.
+    LegacyScan,
 }
 
 /// An observation delivered to an [`ExecutionListener`].
@@ -155,7 +172,77 @@ struct ThreadState {
     /// An op whose blocking condition has been satisfied while the thread
     /// was blocked; its event is emitted when the thread is next scheduled.
     pending_emit: Option<Op>,
-    held_locks: Vec<LockId>,
+    held_locks: HeldLocks,
+}
+
+/// How many held locks fit before spilling to the heap. Real workloads
+/// nest at most two or three.
+const HELD_INLINE: usize = 4;
+
+/// A thread's held-lock multiset in acquisition order.
+///
+/// The first [`HELD_INLINE`] locks live inline in the thread state; only
+/// pathological nestings touch the heap. Order is preserved across
+/// removals so the `FinishedHoldingLocks` diagnostic lists locks in the
+/// order they were taken.
+#[derive(Debug)]
+struct HeldLocks {
+    inline: [LockId; HELD_INLINE],
+    inline_len: u8,
+    spill: Vec<LockId>,
+}
+
+impl Default for HeldLocks {
+    fn default() -> Self {
+        HeldLocks {
+            inline: [LockId(0); HELD_INLINE],
+            inline_len: 0,
+            spill: Vec::new(),
+        }
+    }
+}
+
+impl HeldLocks {
+    fn is_empty(&self) -> bool {
+        self.inline_len == 0 && self.spill.is_empty()
+    }
+
+    fn push(&mut self, lock: LockId) {
+        if self.spill.is_empty() && (self.inline_len as usize) < HELD_INLINE {
+            self.inline[self.inline_len as usize] = lock;
+            self.inline_len += 1;
+        } else {
+            self.spill.push(lock);
+        }
+    }
+
+    /// Removes every occurrence of `lock`, preserving the order of the
+    /// rest (spilled locks slide forward into freed inline slots).
+    fn remove(&mut self, lock: LockId) {
+        let mut kept = 0usize;
+        for i in 0..self.inline_len as usize {
+            if self.inline[i] != lock {
+                self.inline[kept] = self.inline[i];
+                kept += 1;
+            }
+        }
+        self.inline_len = kept as u8;
+        if !self.spill.is_empty() {
+            self.spill.retain(|&l| l != lock);
+            while (self.inline_len as usize) < HELD_INLINE && !self.spill.is_empty() {
+                self.inline[self.inline_len as usize] = self.spill.remove(0);
+                self.inline_len += 1;
+            }
+        }
+    }
+
+    /// Drains every held lock, in acquisition order.
+    fn take_all(&mut self) -> Vec<LockId> {
+        let mut all = self.inline[..self.inline_len as usize].to_vec();
+        all.append(&mut self.spill);
+        self.inline_len = 0;
+        all
+    }
 }
 
 #[derive(Debug, Default)]
@@ -213,6 +300,10 @@ pub struct Scheduler {
     rng: Prng,
     stats: RunStats,
     cursor: usize,
+    /// Mirror of the `Runnable` statuses; kept in sync by the status
+    /// helpers regardless of strategy so the picker can trust it.
+    runnable: RunQueue,
+    pick_strategy: PickStrategy,
 }
 
 impl Scheduler {
@@ -231,7 +322,7 @@ impl Scheduler {
                 stream,
                 status: Status::NotStarted,
                 pending_emit: None,
-                held_locks: Vec::new(),
+                held_locks: HeldLocks::default(),
             })
             .collect();
         Scheduler {
@@ -248,7 +339,17 @@ impl Scheduler {
                 ..RunStats::default()
             },
             cursor: 0,
+            runnable: RunQueue::new(n),
+            pick_strategy: PickStrategy::default(),
         }
+    }
+
+    /// Selects how the next runnable thread is found. Both strategies
+    /// yield the same schedule (see [`PickStrategy`]); the default is the
+    /// O(1) run-queue.
+    pub fn with_pick_strategy(mut self, strategy: PickStrategy) -> Self {
+        self.pick_strategy = strategy;
+        self
     }
 
     /// Runs the program to completion.
@@ -290,32 +391,71 @@ impl Scheduler {
     }
 
     fn start_initial_threads<L: ExecutionListener + ?Sized>(&mut self, listener: &mut L) {
-        self.threads[0].status = Status::Runnable;
+        self.set_runnable(ThreadId::MAIN);
         listener.on_event(Event::ThreadStarted {
             tid: ThreadId::MAIN,
             parent: None,
         });
         if self.start_mode == StartMode::AllStart {
             for i in 1..self.threads.len() {
-                self.threads[i].status = Status::Runnable;
+                let tid = ThreadId::new(i as u32);
+                self.set_runnable(tid);
                 listener.on_event(Event::ThreadStarted {
-                    tid: ThreadId::new(i as u32),
+                    tid,
                     parent: Some(ThreadId::MAIN),
                 });
             }
         }
     }
 
+    /// Marks `tid` runnable and queues it. Idempotent: re-waking an
+    /// already-runnable thread (e.g. the last arriver of a barrier it
+    /// itself released) leaves the queue untouched.
+    fn set_runnable(&mut self, tid: ThreadId) {
+        let state = &mut self.threads[tid.index()];
+        if state.status != Status::Runnable {
+            state.status = Status::Runnable;
+            self.runnable.insert(tid.index());
+        }
+    }
+
+    /// Blocks `tid` (dequeueing it) and counts the block.
+    fn set_blocked(&mut self, tid: ThreadId, reason: BlockReason) {
+        self.threads[tid.index()].status = Status::Blocked(reason);
+        self.runnable.remove(tid.index());
+        self.stats.blocks += 1;
+    }
+
+    /// Marks `tid` finished and dequeues it for good.
+    fn set_finished(&mut self, tid: ThreadId) {
+        self.threads[tid.index()].status = Status::Finished;
+        self.runnable.remove(tid.index());
+    }
+
     fn pick_next_runnable(&mut self) -> Option<ThreadId> {
         let n = self.threads.len();
-        for off in 0..n {
-            let i = (self.cursor + off) % n;
-            if self.threads[i].status == Status::Runnable {
-                self.cursor = (i + 1) % n;
-                return Some(ThreadId::new(i as u32));
-            }
+        if n == 0 {
+            return None;
         }
-        None
+        let picked = match self.pick_strategy {
+            PickStrategy::RunQueue => {
+                let picked = self.runnable.next_cyclic(self.cursor);
+                debug_assert_eq!(picked, self.scan_pick(), "run-queue diverged from scan");
+                picked
+            }
+            PickStrategy::LegacyScan => self.scan_pick(),
+        };
+        let i = picked?;
+        self.cursor = (i + 1) % n;
+        Some(ThreadId::new(i as u32))
+    }
+
+    /// The original picker: probe statuses in index order from the cursor.
+    fn scan_pick(&self) -> Option<usize> {
+        let n = self.threads.len();
+        (0..n)
+            .map(|off| (self.cursor + off) % n)
+            .find(|&i| self.threads[i].status == Status::Runnable)
     }
 
     fn all_started_finished(&self) -> bool {
@@ -401,8 +541,7 @@ impl Scheduler {
             Some(holder) if holder == tid => Err(ScheduleError::RelockHeld { tid, lock }),
             Some(_) => {
                 state.waiters.push_back(tid);
-                self.threads[tid.index()].status = Status::Blocked(BlockReason::Lock(lock));
-                self.stats.blocks += 1;
+                self.set_blocked(tid, BlockReason::Lock(lock));
                 Ok(StepOutcome::Blocked)
             }
         }
@@ -415,25 +554,26 @@ impl Scheduler {
         op: Op,
         listener: &mut L,
     ) -> Result<StepOutcome, ScheduleError> {
+        // One lock-state lookup: validate the holder, pop the next waiter,
+        // and retarget ownership before the borrow ends.
         let state = self.locks.entry(lock).or_default();
         if state.holder != Some(tid) {
             return Err(ScheduleError::UnlockNotHeld { tid, lock });
         }
+        let next = state.waiters.pop_front();
+        state.holder = next;
         self.record_op(tid);
         listener.on_event(Event::Op { tid, op });
-        let held = &mut self.threads[tid.index()].held_locks;
-        held.retain(|&l| l != lock);
-        let state = self.locks.get_mut(&lock).expect("lock state exists");
-        if let Some(waiter) = state.waiters.pop_front() {
+        self.threads[tid.index()].held_locks.remove(lock);
+        if let Some(waiter) = next {
             // Direct FIFO handoff: the waiter owns the lock immediately;
-            // its Lock event is emitted when it is next scheduled.
-            state.holder = Some(waiter);
-            self.threads[waiter.index()].held_locks.push(lock);
-            self.threads[waiter.index()].status = Status::Runnable;
-            self.threads[waiter.index()].pending_emit = Some(Op::Lock { lock });
+            // its Lock event is emitted when it is next scheduled. One
+            // status write wakes it.
+            let w = &mut self.threads[waiter.index()];
+            w.held_locks.push(lock);
+            w.pending_emit = Some(Op::Lock { lock });
+            self.set_runnable(waiter);
             self.stats.lock_handoffs += 1;
-        } else {
-            state.holder = None;
         }
         Ok(StepOutcome::Executed)
     }
@@ -482,7 +622,7 @@ impl Scheduler {
             let released = std::mem::take(&mut state.arrived);
             self.stats.barrier_episodes += 1;
             for &t in &released {
-                self.threads[t.index()].status = Status::Runnable;
+                self.set_runnable(t);
             }
             listener.on_event(Event::BarrierReleased {
                 barrier,
@@ -490,8 +630,7 @@ impl Scheduler {
             });
             Ok(StepOutcome::Executed)
         } else {
-            self.threads[tid.index()].status = Status::Blocked(BlockReason::Barrier(barrier));
-            self.stats.blocks += 1;
+            self.set_blocked(tid, BlockReason::Barrier(barrier));
             Ok(StepOutcome::Blocked)
         }
     }
@@ -511,7 +650,7 @@ impl Scheduler {
         }
         self.record_op(tid);
         listener.on_event(Event::Op { tid, op });
-        self.threads[child.index()].status = Status::Runnable;
+        self.set_runnable(child);
         listener.on_event(Event::ThreadStarted {
             tid: child,
             parent: Some(tid),
@@ -535,9 +674,8 @@ impl Scheduler {
             Ok(StepOutcome::Executed)
         } else {
             self.join_waiters[child.index()].push(tid);
-            self.threads[tid.index()].status = Status::Blocked(BlockReason::Join(child));
             self.threads[tid.index()].pending_emit = Some(op);
-            self.stats.blocks += 1;
+            self.set_blocked(tid, BlockReason::Join(child));
             Ok(StepOutcome::Blocked)
         }
     }
@@ -554,8 +692,8 @@ impl Scheduler {
         let state = self.sems.entry(sem).or_default();
         if let Some(waiter) = state.waiters.pop_front() {
             // Transfer the post directly to the longest waiter.
-            self.threads[waiter.index()].status = Status::Runnable;
             self.threads[waiter.index()].pending_emit = Some(Op::WaitSem { sem });
+            self.set_runnable(waiter);
         } else {
             state.count += 1;
         }
@@ -577,8 +715,7 @@ impl Scheduler {
             Ok(StepOutcome::Executed)
         } else {
             state.waiters.push_back(tid);
-            self.threads[tid.index()].status = Status::Blocked(BlockReason::Semaphore(sem));
-            self.stats.blocks += 1;
+            self.set_blocked(tid, BlockReason::Semaphore(sem));
             Ok(StepOutcome::Blocked)
         }
     }
@@ -588,15 +725,18 @@ impl Scheduler {
         tid: ThreadId,
         listener: &mut L,
     ) -> Result<(), ScheduleError> {
-        let held = std::mem::take(&mut self.threads[tid.index()].held_locks);
-        if !held.is_empty() {
-            return Err(ScheduleError::FinishedHoldingLocks { tid, locks: held });
+        let state = &mut self.threads[tid.index()];
+        if !state.held_locks.is_empty() {
+            return Err(ScheduleError::FinishedHoldingLocks {
+                tid,
+                locks: state.held_locks.take_all(),
+            });
         }
-        self.threads[tid.index()].status = Status::Finished;
+        self.set_finished(tid);
         listener.on_event(Event::ThreadFinished { tid });
         for waiter in std::mem::take(&mut self.join_waiters[tid.index()]) {
             // The waiter's pending Join op is already stored; just wake it.
-            self.threads[waiter.index()].status = Status::Runnable;
+            self.set_runnable(waiter);
         }
         Ok(())
     }
@@ -1039,6 +1179,98 @@ mod tests {
         assert!(stats.context_switches >= 2);
         assert_eq!(stats.per_thread_ops.len(), 2);
         assert_eq!(stats.per_thread_ops.iter().sum::<u64>(), stats.ops_executed);
+    }
+
+    #[test]
+    fn pick_strategies_produce_identical_traces() {
+        // A lock-contended, barrier-synced, jittered program: every status
+        // transition kind exercised, then both pickers must agree event
+        // for event (the debug build additionally cross-checks every pick
+        // inside pick_next_runnable).
+        let build = || {
+            let mut b = ProgramBuilder::new();
+            b.all_start();
+            let l = b.new_lock();
+            let bar = b.new_barrier();
+            let s = b.new_sem();
+            let x = b.alloc_shared(512);
+            let ts: Vec<ThreadId> = (0..5).map(|_| b.add_thread()).collect();
+            b.on(ThreadId::MAIN).post(s).barrier(bar, 6).compute(3);
+            for (k, &t) in ts.iter().enumerate() {
+                let k = k as u64;
+                let mut c = b.on(t);
+                for i in 0..20u64 {
+                    c = c.read(x.index((k * 20 + i) * 4)).compute(1);
+                    if i % 5 == 0 {
+                        c = c.lock(l).write(x.index(k * 8)).unlock(l);
+                    }
+                }
+                c = c.barrier(bar, 6);
+                if k == 0 {
+                    c.wait_sem(s);
+                }
+            }
+            b.build()
+        };
+        let trace_with = |strategy: PickStrategy| {
+            let mut trace = Vec::new();
+            let cfg = SchedulerConfig {
+                quantum: 3,
+                seed: 99,
+                jitter: true,
+            };
+            let stats = Scheduler::new(build(), cfg)
+                .with_pick_strategy(strategy)
+                .run(&mut |e: Event<'_>| {
+                    trace.push(format!("{e:?}"));
+                })
+                .unwrap();
+            (trace, stats)
+        };
+        assert_eq!(
+            trace_with(PickStrategy::RunQueue),
+            trace_with(PickStrategy::LegacyScan)
+        );
+    }
+
+    #[test]
+    fn many_held_locks_spill_and_release_in_order() {
+        // Nest more locks than the inline capacity, then release them
+        // out of order; mutual exclusion and the finish check must hold.
+        let mut b = ProgramBuilder::new();
+        let locks: Vec<LockId> = (0..7).map(|_| b.new_lock()).collect();
+        let mut c = b.on(ThreadId::MAIN);
+        for &l in &locks {
+            c = c.lock(l);
+        }
+        // Release interleaved: evens first, then odds.
+        for &l in locks.iter().step_by(2) {
+            c = c.unlock(l);
+        }
+        for &l in locks.iter().skip(1).step_by(2) {
+            c = c.unlock(l);
+        }
+        let stats = run_program(b.build(), SchedulerConfig::default(), &mut NullListener).unwrap();
+        assert_eq!(stats.ops_executed, 14);
+    }
+
+    #[test]
+    fn finish_holding_spilled_locks_reports_all_in_order() {
+        let mut b = ProgramBuilder::new();
+        let locks: Vec<LockId> = (0..6).map(|_| b.new_lock()).collect();
+        let mut c = b.on(ThreadId::MAIN);
+        for &l in &locks {
+            c = c.lock(l);
+        }
+        let err =
+            run_program(b.build(), SchedulerConfig::default(), &mut NullListener).unwrap_err();
+        match err {
+            ScheduleError::FinishedHoldingLocks { tid, locks: held } => {
+                assert_eq!(tid, ThreadId::MAIN);
+                assert_eq!(held, locks, "acquisition order preserved across spill");
+            }
+            other => panic!("expected FinishedHoldingLocks, got {other}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,373 @@
+//! # ddrace-shadow — the open-addressed shadow-memory table
+//!
+//! Every analyzed memory access pays one lookup in a `u64 → V` map: the
+//! race detectors keep per-location [`VarState`]s keyed by shadow key, the
+//! cache's sharing tracker keeps per-line histories keyed by line number.
+//! With `std::collections::HashMap` that lookup is a SipHash invocation
+//! plus bucket indirection — measurable overhead on a path executed once
+//! per simulated access (SmartTrack, PLDI 2020, makes the same point
+//! about metadata-path constant factors).
+//!
+//! [`ShadowTable`] replaces it with the classic fast layout:
+//!
+//! * **Multiplicative (FxHash/Fibonacci-style) hashing** — one
+//!   `wrapping_mul` by 2⁶⁴/φ, keeping the *high* bits, which mixes the
+//!   low-entropy address keys the simulator produces;
+//! * **power-of-two capacity** with bit-mask indexing;
+//! * **linear probing** — probe chains are short at the ≤¾ load factor
+//!   enforced by growth, and walk cache lines sequentially;
+//! * **tombstone-free deletion** via backward shifting, so probe chains
+//!   never accumulate junk no matter how much churn the barrier-clock
+//!   tables see.
+//!
+//! Slots are `Option<(u64, V)>` — safe Rust, no uninitialized memory; the
+//! crate forbids `unsafe`. The table is deterministic: iteration order is
+//! a pure function of the insert/remove history, and the detectors only
+//! iterate where order cannot leak into results.
+//!
+//! [`VarState`]: https://docs.rs/ddrace-detector
+//!
+//! # Example
+//!
+//! ```
+//! use ddrace_shadow::ShadowTable;
+//!
+//! let mut t: ShadowTable<u32> = ShadowTable::new();
+//! *t.get_or_insert_with(0x40, || 0) += 1;
+//! assert_eq!(t.get(0x40), Some(&1));
+//! assert_eq!(t.remove(0x40), Some(1));
+//! assert!(t.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+/// 2^64 / φ, the multiplicative-hash constant (same odd constant
+/// splitmix64 increments by); multiplying and keeping the high bits
+/// spreads consecutive keys across the table.
+const HASH_MUL: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Smallest capacity ever allocated; keeps `mask`/`shift` well-defined.
+const MIN_CAPACITY: usize = 8;
+
+/// An open-addressed `u64 → V` hash table tuned for the simulator's
+/// shadow-memory hot path. See the crate docs for the design.
+#[derive(Clone)]
+pub struct ShadowTable<V> {
+    /// `Some((key, value))` or empty; never a tombstone.
+    slots: Vec<Option<(u64, V)>>,
+    /// Live entries.
+    len: usize,
+    /// `capacity - 1` (capacity is a power of two).
+    mask: usize,
+    /// `64 - log2(capacity)`: the hash keeps this many high bits.
+    shift: u32,
+}
+
+/// Where a probe for a key ended: its slot, or the first empty slot of
+/// its chain.
+enum Probe {
+    Found(usize),
+    Empty(usize),
+}
+
+impl<V> ShadowTable<V> {
+    /// An empty table with the minimum capacity.
+    pub fn new() -> ShadowTable<V> {
+        ShadowTable::with_capacity(MIN_CAPACITY)
+    }
+
+    /// An empty table that can hold `at_least` entries before growing
+    /// (rounded up to keep the load factor below ¾ at a power-of-two
+    /// capacity).
+    pub fn with_capacity(at_least: usize) -> ShadowTable<V> {
+        let capacity = (at_least.saturating_mul(4) / 3 + 1)
+            .next_power_of_two()
+            .max(MIN_CAPACITY);
+        let mut slots = Vec::new();
+        slots.resize_with(capacity, || None);
+        ShadowTable {
+            slots,
+            len: 0,
+            mask: capacity - 1,
+            shift: 64 - capacity.trailing_zeros(),
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the table holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Current slot count (for capacity/occupancy accounting).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The home slot of `key`.
+    #[inline]
+    fn home(&self, key: u64) -> usize {
+        (key.wrapping_mul(HASH_MUL) >> self.shift) as usize
+    }
+
+    /// Walks `key`'s probe chain to its slot or the chain's end. The load
+    /// factor stays below 1, so an empty slot always terminates the walk.
+    #[inline]
+    fn probe(&self, key: u64) -> Probe {
+        let mut i = self.home(key);
+        loop {
+            match &self.slots[i] {
+                None => return Probe::Empty(i),
+                Some((k, _)) if *k == key => return Probe::Found(i),
+                Some(_) => i = (i + 1) & self.mask,
+            }
+        }
+    }
+
+    /// A shared reference to `key`'s value.
+    #[inline]
+    pub fn get(&self, key: u64) -> Option<&V> {
+        match self.probe(key) {
+            Probe::Found(i) => self.slots[i].as_ref().map(|(_, v)| v),
+            Probe::Empty(_) => None,
+        }
+    }
+
+    /// A mutable reference to `key`'s value.
+    #[inline]
+    pub fn get_mut(&mut self, key: u64) -> Option<&mut V> {
+        match self.probe(key) {
+            Probe::Found(i) => self.slots[i].as_mut().map(|(_, v)| v),
+            Probe::Empty(_) => None,
+        }
+    }
+
+    /// True when `key` has an entry.
+    pub fn contains_key(&self, key: u64) -> bool {
+        matches!(self.probe(key), Probe::Found(_))
+    }
+
+    /// Inserts `key → value`, returning the previous value if any.
+    pub fn insert(&mut self, key: u64, value: V) -> Option<V> {
+        match self.probe(key) {
+            Probe::Found(i) => {
+                let (_, old) = self.slots[i].replace((key, value)).expect("probed slot");
+                Some(old)
+            }
+            Probe::Empty(i) => {
+                let i = self.slot_for_new(key, i);
+                self.slots[i] = Some((key, value));
+                self.len += 1;
+                None
+            }
+        }
+    }
+
+    /// The value for `key`, inserting `make()` first if absent — the
+    /// entry-style call the per-access hot paths use (one probe chain
+    /// walk for both outcomes).
+    #[inline]
+    pub fn get_or_insert_with(&mut self, key: u64, make: impl FnOnce() -> V) -> &mut V {
+        let i = match self.probe(key) {
+            Probe::Found(i) => i,
+            Probe::Empty(i) => {
+                let i = self.slot_for_new(key, i);
+                self.slots[i] = Some((key, make()));
+                self.len += 1;
+                i
+            }
+        };
+        self.slots[i].as_mut().map(|(_, v)| v).expect("live slot")
+    }
+
+    /// The slot a new entry for `key` goes into: the probed empty slot,
+    /// unless the insert would push occupancy to ¾ — then grow (double)
+    /// first and re-probe.
+    fn slot_for_new(&mut self, key: u64, probed: usize) -> usize {
+        if (self.len + 1) * 4 < self.slots.len() * 3 {
+            return probed;
+        }
+        self.grow();
+        match self.probe(key) {
+            Probe::Empty(i) => i,
+            Probe::Found(_) => unreachable!("key appeared during growth"),
+        }
+    }
+
+    fn grow(&mut self) {
+        let capacity = self.slots.len() * 2;
+        let mut bigger = Vec::new();
+        bigger.resize_with(capacity, || None);
+        let old = std::mem::replace(&mut self.slots, bigger);
+        self.mask = capacity - 1;
+        self.shift = 64 - capacity.trailing_zeros();
+        for slot in old {
+            let Some((key, value)) = slot else { continue };
+            let mut i = self.home(key);
+            while self.slots[i].is_some() {
+                i = (i + 1) & self.mask;
+            }
+            self.slots[i] = Some((key, value));
+        }
+    }
+
+    /// Removes `key`'s entry and returns its value.
+    ///
+    /// Deletion is tombstone-free: the hole is closed by backward-shifting
+    /// every displaced entry after it whose probe chain crossed the hole,
+    /// so later lookups never walk dead slots.
+    pub fn remove(&mut self, key: u64) -> Option<V> {
+        let Probe::Found(mut hole) = self.probe(key) else {
+            return None;
+        };
+        let (_, value) = self.slots[hole].take().expect("probed slot");
+        self.len -= 1;
+        // Backward shift: slide each following chain member into the hole
+        // when its home slot lies at or before the hole (cyclically) —
+        // i.e. when leaving it behind would break its probe chain.
+        let mut j = hole;
+        loop {
+            j = (j + 1) & self.mask;
+            let Some((k, _)) = self.slots[j] else { break };
+            let home = self.home(k);
+            if (j.wrapping_sub(home) & self.mask) >= (j.wrapping_sub(hole) & self.mask) {
+                self.slots[hole] = self.slots[j].take();
+                hole = j;
+            }
+        }
+        Some(value)
+    }
+
+    /// Iterates entries in slot order (a deterministic function of the
+    /// insert/remove history, not of key values alone).
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &V)> {
+        self.slots
+            .iter()
+            .filter_map(|s| s.as_ref().map(|(k, v)| (*k, v)))
+    }
+
+    /// Iterates entries mutably in slot order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (u64, &mut V)> {
+        self.slots
+            .iter_mut()
+            .filter_map(|s| s.as_mut().map(|(k, v)| (*k, v)))
+    }
+
+    /// Iterates keys in slot order.
+    pub fn keys(&self) -> impl Iterator<Item = u64> + '_ {
+        self.iter().map(|(k, _)| k)
+    }
+}
+
+impl<V> Default for ShadowTable<V> {
+    fn default() -> Self {
+        ShadowTable::new()
+    }
+}
+
+impl<V: std::fmt::Debug> std::fmt::Debug for ShadowTable<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+// Copy semantics note: `remove`'s shift condition compares cyclic
+// distances. For a chain member at slot j with home h and a hole at slot
+// d, the member may stay only if its home lies strictly *after* the hole
+// along the probe direction: (j - h) mod c < (j - d) mod c. Otherwise its
+// chain would pass through the hole and lookups would stop early, so it
+// moves into the hole and the shift continues from its old slot. The scan
+// stops at the first empty slot — nothing beyond it can belong to a chain
+// crossing the hole.
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut t = ShadowTable::new();
+        assert!(t.is_empty());
+        assert_eq!(t.insert(1, "a"), None);
+        assert_eq!(t.insert(1, "b"), Some("a"));
+        assert_eq!(t.get(1), Some(&"b"));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.remove(1), Some("b"));
+        assert_eq!(t.remove(1), None);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn get_or_insert_with_is_an_entry() {
+        let mut t: ShadowTable<Vec<u32>> = ShadowTable::new();
+        t.get_or_insert_with(9, Vec::new).push(1);
+        t.get_or_insert_with(9, || panic!("present: not called"))
+            .push(2);
+        assert_eq!(t.get(9), Some(&vec![1, 2]));
+    }
+
+    #[test]
+    fn growth_preserves_entries() {
+        let mut t = ShadowTable::with_capacity(0);
+        let initial = t.capacity();
+        for k in 0..1000u64 {
+            t.insert(k * 64, k);
+        }
+        assert!(t.capacity() > initial);
+        assert_eq!(t.len(), 1000);
+        for k in 0..1000u64 {
+            assert_eq!(t.get(k * 64), Some(&k), "key {k}");
+        }
+        // Load factor honored: strictly below 3/4 after growth policy.
+        assert!(t.len() * 4 < t.capacity() * 3);
+    }
+
+    #[test]
+    fn colliding_keys_chain_and_unchain() {
+        // Keys crafted to share home slots at the minimum capacity force
+        // linear-probe chains; removing from chain heads exercises the
+        // backward shift.
+        let mut t = ShadowTable::new();
+        let keys: Vec<u64> = (0..6).map(|i| i * (1 << 61)).collect(); // same high bits
+        for (n, &k) in keys.iter().enumerate() {
+            t.insert(k, n);
+        }
+        assert_eq!(t.remove(keys[0]), Some(0));
+        for (n, &k) in keys.iter().enumerate().skip(1) {
+            assert_eq!(t.get(k), Some(&n), "chain intact after head removal");
+        }
+    }
+
+    #[test]
+    fn matches_hashmap_under_scripted_churn() {
+        // A deterministic mixed workload against the std oracle (the
+        // randomized version lives in tests/proptests.rs).
+        let mut t = ShadowTable::new();
+        let mut oracle: HashMap<u64, u64> = HashMap::new();
+        let mut x: u64 = 0x1234_5678;
+        for step in 0..20_000u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let key = (x >> 33) % 512; // small key space → heavy churn
+            match step % 3 {
+                0 => assert_eq!(t.insert(key, step), oracle.insert(key, step)),
+                1 => assert_eq!(t.remove(key), oracle.remove(&key)),
+                _ => assert_eq!(t.get(key), oracle.get(&key)),
+            }
+            assert_eq!(t.len(), oracle.len());
+        }
+        let mut ours: Vec<(u64, u64)> = t.iter().map(|(k, v)| (k, *v)).collect();
+        let mut theirs: Vec<(u64, u64)> = oracle.into_iter().collect();
+        ours.sort_unstable();
+        theirs.sort_unstable();
+        assert_eq!(ours, theirs);
+    }
+}

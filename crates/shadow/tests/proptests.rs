@@ -1,0 +1,99 @@
+//! Property suite: [`ShadowTable`] against the `std::collections::HashMap`
+//! oracle under randomized insert/lookup/remove churn — the satellite
+//! guarantee that the open-addressed table is a drop-in map replacement
+//! for the detectors and the sharing tracker.
+
+use ddrace_shadow::ShadowTable;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// One scripted table operation.
+#[derive(Debug, Clone, Copy)]
+enum Churn {
+    Insert(u64, u64),
+    Entry(u64),
+    Remove(u64),
+    Get(u64),
+}
+
+/// Random churn scripts. Keys are folded into a small space so chains,
+/// collisions, and delete-reinsert cycles actually happen; a second
+/// unfolded arm keeps full-width keys covered.
+fn churn_script() -> impl Strategy<Value = Vec<Churn>> {
+    proptest::collection::vec(
+        (any::<u8>(), any::<u64>(), any::<u64>()).prop_map(|(op, k, v)| {
+            let key = if op & 0x80 == 0 { k % 97 } else { k };
+            match op % 4 {
+                0 => Churn::Insert(key, v),
+                1 => Churn::Entry(key),
+                2 => Churn::Remove(key),
+                _ => Churn::Get(key),
+            }
+        }),
+        1..400,
+    )
+}
+
+proptest! {
+    #[test]
+    fn behaves_like_hashmap(script in churn_script()) {
+        let mut table: ShadowTable<u64> = ShadowTable::new();
+        let mut oracle: HashMap<u64, u64> = HashMap::new();
+        for op in script {
+            match op {
+                Churn::Insert(k, v) => {
+                    prop_assert_eq!(table.insert(k, v), oracle.insert(k, v));
+                }
+                Churn::Entry(k) => {
+                    let ours = *table.get_or_insert_with(k, || 7);
+                    let theirs = *oracle.entry(k).or_insert(7);
+                    prop_assert_eq!(ours, theirs);
+                }
+                Churn::Remove(k) => {
+                    prop_assert_eq!(table.remove(k), oracle.remove(&k));
+                }
+                Churn::Get(k) => {
+                    prop_assert_eq!(table.get(k), oracle.get(&k));
+                    prop_assert_eq!(table.contains_key(k), oracle.contains_key(&k));
+                }
+            }
+            prop_assert_eq!(table.len(), oracle.len());
+            prop_assert_eq!(table.is_empty(), oracle.is_empty());
+        }
+        // Terminal state: identical entry sets, every key still reachable
+        // through its (possibly shifted) probe chain.
+        let mut ours: Vec<(u64, u64)> = table.iter().map(|(k, v)| (k, *v)).collect();
+        let mut theirs: Vec<(u64, u64)> = oracle.iter().map(|(k, v)| (*k, *v)).collect();
+        ours.sort_unstable();
+        theirs.sort_unstable();
+        prop_assert_eq!(ours, theirs);
+        for (k, v) in &oracle {
+            prop_assert_eq!(table.get(*k), Some(v));
+        }
+    }
+
+    #[test]
+    fn survives_adversarial_same_home_keys(extras in proptest::collection::vec(any::<u64>(), 0..32)) {
+        // Keys whose multiplicative hash lands in one home slot at small
+        // capacities: worst-case chains plus random background noise.
+        let mut table: ShadowTable<usize> = ShadowTable::new();
+        let clustered: Vec<u64> = (0..24u64).map(|i| i << 58).collect();
+        for (n, &k) in clustered.iter().enumerate() {
+            table.insert(k, n);
+        }
+        for &k in &extras {
+            table.insert(k, usize::MAX);
+        }
+        // Remove every other clustered key, then verify the rest.
+        for &k in clustered.iter().step_by(2) {
+            prop_assert!(table.remove(k).is_some());
+        }
+        for (n, &k) in clustered.iter().enumerate() {
+            if n % 2 == 1 {
+                prop_assert_eq!(table.get(k), Some(&n));
+            } else {
+                prop_assert_eq!(table.get(k), None);
+            }
+        }
+    }
+}
