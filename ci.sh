@@ -38,6 +38,15 @@ DDRACE_WORKERS=1 cargo test -q -p ddrace-bench --test schedule_equivalence
 echo "==> schedule equivalence at DDRACE_WORKERS=8"
 DDRACE_WORKERS=8 cargo test -q -p ddrace-bench --test schedule_equivalence
 
+# Smoke the variant axis end to end: the ported A3 binary sweeps cache
+# geometry as campaign variants, checkpointing to a scratch event stream.
+echo "==> variant-sweep smoke (ported A3 at test scale)"
+A3_SMOKE_DIR=$(mktemp -d)
+DDRACE_SCALE=test DDRACE_RESULTS_DIR="$A3_SMOKE_DIR" \
+    DDRACE_EVENTS="$A3_SMOKE_DIR/events.jsonl" \
+    cargo run --release -q -p ddrace-bench --bin exp_a3_cache_sweep
+rm -rf "$A3_SMOKE_DIR"
+
 # Smoke-run the substrate bench: gates on panics/divergence (both
 # detector variants must agree), never on perf — CI boxes are too noisy.
 echo "==> bench_substrate --smoke"

@@ -2,16 +2,23 @@
 //!
 //! Runs the delayed-consumption racy kernel (producer writes, streams
 //! through private data evicting its modified lines, consumer reads much
-//! later) across private-L2 sizes. Small caches write the shared lines
-//! back before the consumer arrives, so its reads are served from
-//! L3/memory with **no HITM** — the indicator misses the sharing, and the
+//! later) across private cache sizes. Each sweep point rescales the whole
+//! private hierarchy — L2 to the named size and L1 to 1/8th of it, the
+//! fixed Nehalem proportion — so "cache size" means the core's private
+//! capacity, not the L2 alone. Small caches write the shared lines back
+//! before the consumer arrives, so its reads are served from L3/memory
+//! with **no HITM** — the indicator misses the sharing, and the
 //! demand-driven detector misses the races. This is the paper's core
 //! hardware-imprecision argument, quantified; the oracle column shows the
 //! idealized indicator is immune.
+//!
+//! Runs on the campaign harness: the sweep is a variant axis, so
+//! `DDRACE_SEEDS` adds seeds, `DDRACE_EVENTS` checkpoints the run, and
+//! `DDRACE_RESUME` restores finished jobs from a prior stream.
 
-use ddrace_bench::{pct, print_table, save_json, ExpContext};
-use ddrace_cache::{CacheConfig, LevelConfig};
-use ddrace_core::{AnalysisMode, Simulation};
+use ddrace_bench::{pct, print_table, run_exp_campaign, save_json, seeds_from_env, ExpContext};
+use ddrace_core::AnalysisMode;
+use ddrace_harness::{Campaign, JobVariant};
 use ddrace_workloads::racy;
 
 #[derive(Debug)]
@@ -25,57 +32,51 @@ struct CachePoint {
 }
 ddrace_json::json_struct!(@to CachePoint { label, hitm_recall, hitm_loads, true_wr, racy_vars_hitm, racy_vars_oracle });
 
-fn cache_with_l2(cores: usize, l2_sets: usize) -> CacheConfig {
-    let mut cfg = CacheConfig::nehalem(cores);
-    cfg.l1 = LevelConfig {
-        sets: (l2_sets / 8).max(2),
-        ways: 8,
-        latency: 4,
-    };
-    cfg.l2 = LevelConfig {
-        sets: l2_sets,
-        ways: 8,
-        latency: 12,
-    };
-    cfg
-}
-
 fn main() {
     let ctx = ExpContext::from_env();
     println!("A3: private-cache size vs HITM recall (delayed-consumption kernel)\n");
 
     // Per round: 1024 shared words (128 lines) written, then 512 KiB of
     // private streaming before consumption; 6 rounds so a woken tool has
-    // later rounds to observe.
-    let words = 1024u64;
-    let delay = 512 * 1024u64;
-    let rounds = 6;
+    // later rounds to observe (scale acts on the round count).
+    let spec = racy::delayed_sharing_spec(1024, 512 * 1024, 6);
+    let variants = JobVariant::private_cache_sweep();
+    let seeds = seeds_from_env(ctx.seed);
+    let campaign = Campaign::builder("exp_a3_cache_sweep")
+        .workloads([spec])
+        .modes([AnalysisMode::demand_hitm(), AnalysisMode::demand_oracle()])
+        .variants(variants.clone())
+        .seeds(seeds.iter().copied())
+        .scale(ctx.scale)
+        .cores(ctx.cores)
+        .build();
+    let report = run_exp_campaign(&campaign);
+    let rows = report.rows();
+    let row = &rows[0];
 
+    // runs are mode-major, then variant, then seed; mode 0 is demand-HITM
+    // and mode 1 the oracle.
+    let (n_variants, n_seeds) = (variants.len(), seeds.len());
     let mut points = Vec::new();
-    for (label, l2_sets) in [
-        ("16KiB", 32usize),
-        ("64KiB", 128),
-        ("256KiB", 512),
-        ("1MiB", 2048),
-        ("4MiB", 8192),
-    ] {
-        let run = |mode| {
-            let mut config = ctx.sim_config(mode);
-            config.cache = cache_with_l2(ctx.cores, l2_sets);
-            Simulation::new(config)
-                .run(racy::delayed_sharing(words, delay, rounds))
-                .unwrap()
-        };
-        let hitm = run(AnalysisMode::demand_hitm());
-        let oracle = run(AnalysisMode::demand_oracle());
-        points.push(CachePoint {
-            label: label.to_string(),
-            hitm_recall: hitm.cache.hitm_recall(),
-            hitm_loads: hitm.cache.total_hitm_loads(),
-            true_wr: hitm.cache.sharing.write_read,
-            racy_vars_hitm: hitm.races.distinct_addresses,
-            racy_vars_oracle: oracle.races.distinct_addresses,
-        });
+    for (s, seed) in seeds.iter().enumerate() {
+        for (v, variant) in variants.iter().enumerate() {
+            let hitm = &row.runs[v * n_seeds + s];
+            let oracle = &row.runs[(n_variants + v) * n_seeds + s];
+            // Single-seed sweeps keep the historical size-only labels.
+            let label = if n_seeds == 1 {
+                variant.name.clone()
+            } else {
+                format!("{} s{seed}", variant.name)
+            };
+            points.push(CachePoint {
+                label,
+                hitm_recall: hitm.cache.hitm_recall(),
+                hitm_loads: hitm.cache.total_hitm_loads(),
+                true_wr: hitm.cache.sharing.write_read,
+                racy_vars_hitm: hitm.races.distinct_addresses,
+                racy_vars_oracle: oracle.races.distinct_addresses,
+            });
+        }
     }
 
     let table: Vec<Vec<String>> = points
@@ -93,7 +94,7 @@ fn main() {
         .collect();
     print_table(
         &[
-            "private L2",
+            "private cache",
             "true W→R",
             "HITM loads",
             "HITM recall",

@@ -9,21 +9,29 @@
 //! co-scheduled, taking demand-driven detection with it. The oracle
 //! indicator (and continuous analysis) are unaffected — the blindness is
 //! purely in the hardware signal.
+//!
+//! Runs on the campaign harness: the core-count ladder is a variant
+//! axis, so `DDRACE_SEEDS` adds seeds, `DDRACE_EVENTS` checkpoints the
+//! run, and `DDRACE_RESUME` restores finished jobs from a prior stream.
 
-use ddrace_bench::{print_table, save_json, ExpContext};
-use ddrace_core::{AnalysisMode, SimConfig, Simulation};
+use ddrace_bench::{
+    cap_scale, print_table, run_exp_campaign, save_json, scale_label, seeds_from_env, ExpContext,
+};
+use ddrace_core::AnalysisMode;
+use ddrace_harness::{Campaign, JobVariant};
 use ddrace_workloads::{racy, Scale};
 
 #[derive(Debug)]
 struct SmtRow {
     cores: usize,
     threads: u32,
+    scale: String,
     hitm_loads: u64,
     true_wr: u64,
     racy_vars_demand: usize,
     racy_vars_continuous: usize,
 }
-ddrace_json::json_struct!(@to SmtRow { cores, threads, hitm_loads, true_wr, racy_vars_demand, racy_vars_continuous });
+ddrace_json::json_struct!(@to SmtRow { cores, threads, scale, hitm_loads, true_wr, racy_vars_demand, racy_vars_continuous });
 
 fn main() {
     let ctx = ExpContext::from_env();
@@ -33,38 +41,66 @@ fn main() {
     // every thread has its own core; on 2 cores workers pair up; on 1
     // core everything is "SMT siblings" of one core.
     let spec = racy::unprotected_counter();
-    let scale = if ctx.scale == Scale::LARGE {
-        Scale::SMALL
-    } else {
-        ctx.scale
-    };
+    // The single-core points serialize badly at LARGE; cap the scale and
+    // say so instead of silently running a smaller experiment than asked.
+    let (scale, remapped) = cap_scale(ctx.scale, Scale::SMALL);
+    if remapped {
+        eprintln!(
+            "note: A5 caps the workload scale at `small`; DDRACE_SCALE={} runs at `{}`",
+            scale_label(ctx.scale),
+            scale_label(scale)
+        );
+    }
 
+    let core_points = [8usize, 4, 2, 1];
+    let variants: Vec<JobVariant> = core_points
+        .iter()
+        .map(|&c| JobVariant::with_cores(c))
+        .collect();
+    let seeds = seeds_from_env(ctx.seed);
+    let campaign = Campaign::builder("exp_a5_smt")
+        .workloads([spec.clone()])
+        .modes([AnalysisMode::demand_hitm(), AnalysisMode::Continuous])
+        .variants(variants.clone())
+        .seeds(seeds.iter().copied())
+        .scale(scale)
+        .cores(ctx.cores)
+        .build();
+    let report = run_exp_campaign(&campaign);
+    let report_rows = report.rows();
+    let row = &report_rows[0];
+
+    // runs are mode-major, then variant, then seed; mode 0 is demand-HITM
+    // and mode 1 continuous.
+    let (n_variants, n_seeds) = (variants.len(), seeds.len());
     let mut rows = Vec::new();
-    for cores in [8usize, 4, 2, 1] {
-        let run = |mode| {
-            let mut cfg = SimConfig::new(cores, mode);
-            cfg.scheduler = ctx.scheduler();
-            Simulation::new(cfg)
-                .run(spec.program(scale, ctx.seed))
-                .unwrap()
-        };
-        let demand = run(AnalysisMode::demand_hitm());
-        let cont = run(AnalysisMode::Continuous);
-        rows.push(SmtRow {
-            cores,
-            threads: spec.total_threads(),
-            hitm_loads: demand.cache.total_hitm_loads(),
-            true_wr: demand.cache.sharing.write_read,
-            racy_vars_demand: demand.races.distinct_addresses,
-            racy_vars_continuous: cont.races.distinct_addresses,
-        });
+    for s in 0..n_seeds {
+        for (v, &cores) in core_points.iter().enumerate() {
+            let demand = &row.runs[v * n_seeds + s];
+            let cont = &row.runs[(n_variants + v) * n_seeds + s];
+            rows.push(SmtRow {
+                cores,
+                threads: spec.total_threads(),
+                scale: scale_label(scale),
+                hitm_loads: demand.cache.total_hitm_loads(),
+                true_wr: demand.cache.sharing.write_read,
+                racy_vars_demand: demand.races.distinct_addresses,
+                racy_vars_continuous: cont.races.distinct_addresses,
+            });
+        }
     }
 
     let table: Vec<Vec<String>> = rows
         .iter()
-        .map(|r| {
+        .enumerate()
+        .map(|(i, r)| {
+            let placement = format!("{} threads / {} cores", r.threads, r.cores);
             vec![
-                format!("{} threads / {} cores", r.threads, r.cores),
+                if n_seeds == 1 {
+                    placement
+                } else {
+                    format!("{placement} s{}", seeds[i / n_variants])
+                },
                 r.true_wr.to_string(),
                 r.hitm_loads.to_string(),
                 r.racy_vars_demand.to_string(),

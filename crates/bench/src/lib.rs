@@ -9,10 +9,17 @@
 //!
 //! Environment knobs:
 //!
-//! * `DDRACE_SCALE` — `test`, `small` (default), or `large`;
+//! * `DDRACE_SCALE` — `test`, `small` (default), or `large`; anything
+//!   else is an error (exit 2), never a silent fallback;
 //! * `DDRACE_SEED` — base RNG seed (default 42);
+//! * `DDRACE_SEEDS` — comma-separated seed axis for campaign-backed
+//!   experiments (default: just `DDRACE_SEED`);
 //! * `DDRACE_CORES` — simulated cores (default 8);
 //! * `DDRACE_WORKERS` — host worker threads (default: all cores);
+//! * `DDRACE_EVENTS` — JSONL event-stream path for campaign-backed
+//!   experiments (doubles as a resume checkpoint);
+//! * `DDRACE_RESUME` — a prior `DDRACE_EVENTS` stream to restore
+//!   finished jobs from;
 //! * `DDRACE_RESULTS_DIR` — where JSON dumps go (default `results/`).
 
 #![warn(missing_docs)]
@@ -20,7 +27,9 @@
 #![forbid(unsafe_code)]
 
 use ddrace_core::{AnalysisMode, RunResult, SimConfig, Simulation};
-use ddrace_harness::{run_campaign, Campaign, EventSink};
+use ddrace_harness::{
+    resume_campaign, run_campaign, Campaign, CampaignReport, EventSink, ResumeLog,
+};
 use ddrace_json::ToJson;
 use ddrace_program::SchedulerConfig;
 use ddrace_workloads::{Scale, WorkloadSpec};
@@ -42,11 +51,17 @@ pub struct ExpContext {
 
 impl ExpContext {
     /// Reads the context from `DDRACE_*` environment variables.
+    ///
+    /// An unrecognized `DDRACE_SCALE` value terminates the process with
+    /// exit code 2: a typo like `DDRACE_SCALE=Large` used to silently run
+    /// at SMALL, wasting the whole (possibly hours-long) experiment.
     pub fn from_env() -> Self {
-        let scale = match std::env::var("DDRACE_SCALE").as_deref() {
-            Ok("test") => Scale::TEST,
-            Ok("large") => Scale::LARGE,
-            _ => Scale::SMALL,
+        let scale = match std::env::var("DDRACE_SCALE") {
+            Ok(name) => parse_scale_name(&name).unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }),
+            Err(_) => Scale::SMALL,
         };
         let seed = std::env::var("DDRACE_SEED")
             .ok()
@@ -109,6 +124,120 @@ pub fn run_one_with(ctx: &ExpContext, spec: &WorkloadSpec, config: SimConfig) ->
     Simulation::new(config)
         .run(program)
         .unwrap_or_else(|e| panic!("workload {} failed to schedule: {e}", spec.name))
+}
+
+/// Parses a scale preset name as used by `DDRACE_SCALE` and the CLI:
+/// `test`, `small`, or `large`.
+///
+/// # Errors
+///
+/// Returns a message naming the bad value and the accepted names.
+pub fn parse_scale_name(name: &str) -> Result<Scale, String> {
+    match name {
+        "test" => Ok(Scale::TEST),
+        "small" => Ok(Scale::SMALL),
+        "large" => Ok(Scale::LARGE),
+        other => Err(format!(
+            "unknown scale `{other}` (expected test, small, or large)"
+        )),
+    }
+}
+
+/// The preset name of a scale (inverse of [`parse_scale_name`]); ad-hoc
+/// ratios print as `num/den`.
+pub fn scale_label(scale: Scale) -> String {
+    if scale == Scale::TEST {
+        "test".to_string()
+    } else if scale == Scale::SMALL {
+        "small".to_string()
+    } else if scale == Scale::LARGE {
+        "large".to_string()
+    } else {
+        format!("{}/{}", scale.num, scale.den)
+    }
+}
+
+/// Caps `scale` at `cap` (comparing the scaling ratios). Returns the
+/// effective scale and whether a remap happened — callers must announce
+/// the remap instead of silently downgrading the run.
+pub fn cap_scale(scale: Scale, cap: Scale) -> (Scale, bool) {
+    if scale.num * cap.den > cap.num * scale.den {
+        (cap, true)
+    } else {
+        (scale, false)
+    }
+}
+
+/// The experiment seed axis: `DDRACE_SEEDS` as a comma-separated list,
+/// or just `base` (the `DDRACE_SEED` value) when unset. A malformed
+/// list terminates the process with exit code 2 rather than silently
+/// running a different sweep than asked for.
+pub fn seeds_from_env(base: u64) -> Vec<u64> {
+    match std::env::var("DDRACE_SEEDS") {
+        Ok(list) => {
+            let seeds: Result<Vec<u64>, _> = list.split(',').map(|s| s.trim().parse()).collect();
+            match seeds {
+                Ok(seeds) if !seeds.is_empty() => seeds,
+                _ => {
+                    eprintln!(
+                        "error: DDRACE_SEEDS takes comma-separated numbers, e.g. 1,2,3 \
+                         (got `{list}`)"
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
+        Err(_) => vec![base],
+    }
+}
+
+/// Runs an experiment campaign with the shared environment plumbing:
+/// host workers from `DDRACE_WORKERS`, a JSONL event stream to
+/// `DDRACE_EVENTS` (making the run checkpointable), and resume from a
+/// prior stream named by `DDRACE_RESUME`.
+///
+/// The resume log is read *before* the events path is opened, so
+/// resuming a run into the same path it came from does not truncate
+/// the checkpoint being replayed.
+///
+/// # Panics
+///
+/// Panics if any job fails — experiment workloads are expected to be
+/// well-formed. Bad resume/events paths terminate with exit code 2.
+pub fn run_exp_campaign(campaign: &Campaign) -> CampaignReport {
+    let resume_log = std::env::var("DDRACE_RESUME").ok().map(|path| {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("error: DDRACE_RESUME {path}: {e}");
+            std::process::exit(2);
+        });
+        ResumeLog::parse(&text).unwrap_or_else(|e| {
+            eprintln!("error: DDRACE_RESUME {path}: {e}");
+            std::process::exit(2);
+        })
+    });
+    let jsonl: Option<Box<dyn std::io::Write + Send>> =
+        std::env::var("DDRACE_EVENTS")
+            .ok()
+            .map(|path| -> Box<dyn std::io::Write + Send> {
+                Box::new(std::fs::File::create(&path).unwrap_or_else(|e| {
+                    eprintln!("error: DDRACE_EVENTS {path}: {e}");
+                    std::process::exit(2);
+                }))
+            });
+    let sink = EventSink::new(jsonl, false);
+    let report = match &resume_log {
+        Some(log) => resume_campaign(campaign, host_workers(), &sink, log).unwrap_or_else(|e| {
+            eprintln!("error: DDRACE_RESUME does not match this campaign: {e}");
+            std::process::exit(2);
+        }),
+        None => run_campaign(campaign, host_workers(), &sink),
+    };
+    for record in &report.records {
+        if let Err(reason) = &record.outcome {
+            panic!("job {} failed: {reason}", record.label);
+        }
+    }
+    report
 }
 
 /// Host worker-thread count for campaign execution: `DDRACE_WORKERS`, or
@@ -316,6 +445,26 @@ mod tests {
         let solo = run_matrix_seeded(&ctx, &specs, &modes, &[9]);
         assert_eq!(row.runs[1].makespan, solo[0].runs[0].makespan);
         assert_eq!(row.runs[3].makespan, solo[0].runs[1].makespan);
+    }
+
+    #[test]
+    fn scale_names_round_trip_and_reject_unknown() {
+        for name in ["test", "small", "large"] {
+            assert_eq!(scale_label(parse_scale_name(name).unwrap()), name);
+        }
+        // The old from_env treated these as SMALL silently; they must be
+        // errors now.
+        for bad in ["Large", "LARGE", "huge", ""] {
+            assert!(parse_scale_name(bad).is_err(), "{bad:?} must be rejected");
+        }
+        assert_eq!(scale_label(Scale { num: 3, den: 2 }), "3/2");
+    }
+
+    #[test]
+    fn cap_scale_only_remaps_larger_scales() {
+        assert_eq!(cap_scale(Scale::LARGE, Scale::SMALL), (Scale::SMALL, true));
+        assert_eq!(cap_scale(Scale::SMALL, Scale::SMALL), (Scale::SMALL, false));
+        assert_eq!(cap_scale(Scale::TEST, Scale::SMALL), (Scale::TEST, false));
     }
 
     #[test]

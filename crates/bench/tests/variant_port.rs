@@ -1,0 +1,114 @@
+//! Pins the A3/A5 campaign ports to the legacy direct-simulation paths:
+//! a variant-swept campaign job must produce byte-identical results to
+//! the hand-rolled `SimConfig` loops the experiment binaries used before
+//! the variant axis existed.
+
+use ddrace_bench::ExpContext;
+use ddrace_core::{AnalysisMode, SimConfig, Simulation};
+use ddrace_harness::{run_campaign, Campaign, EventSink, JobVariant};
+use ddrace_json::ToJson;
+use ddrace_program::SchedulerConfig;
+use ddrace_workloads::{racy, Scale};
+
+/// The legacy A3 loop body: context config plus a hand-patched private
+/// hierarchy (L2 to the swept size, L1 to 1/8th of it), running the
+/// delayed-sharing kernel directly.
+fn legacy_a3(ctx: &ExpContext, l2_sets: usize, mode: AnalysisMode) -> ddrace_core::RunResult {
+    let mut config = ctx.sim_config(mode);
+    config.cache.l1 = ddrace_cache::LevelConfig {
+        sets: (l2_sets / 8).max(2),
+        ways: 8,
+        latency: 4,
+    };
+    config.cache.l2 = ddrace_cache::LevelConfig {
+        sets: l2_sets,
+        ways: 8,
+        latency: 12,
+    };
+    Simulation::new(config)
+        .run(racy::delayed_sharing(64, 16 * 1024, 3))
+        .unwrap()
+}
+
+#[test]
+fn a3_campaign_port_matches_legacy_sweep() {
+    let ctx = ExpContext {
+        scale: Scale::SMALL,
+        seed: 5,
+        cores: 4,
+    };
+    // SMALL is the identity scale, so the spec's rounds survive unscaled
+    // and the campaign job runs the exact legacy program.
+    let campaign = Campaign::builder("a3-port")
+        .workloads([racy::delayed_sharing_spec(64, 16 * 1024, 3)])
+        .modes([AnalysisMode::demand_hitm(), AnalysisMode::demand_oracle()])
+        .variants([
+            JobVariant::private_cache("16KiB", 32),
+            JobVariant::private_cache("256KiB", 512),
+        ])
+        .seeds([ctx.seed])
+        .scale(ctx.scale)
+        .cores(ctx.cores)
+        .build();
+    let report = run_campaign(&campaign, 2, &EventSink::null());
+    assert_eq!(report.failed(), 0);
+    // Jobs are mode-major, variant innermost (single seed).
+    for (m, mode) in [AnalysisMode::demand_hitm(), AnalysisMode::demand_oracle()]
+        .into_iter()
+        .enumerate()
+    {
+        for (v, l2_sets) in [32usize, 512].into_iter().enumerate() {
+            let ported = report.result(m * 2 + v).unwrap();
+            let legacy = legacy_a3(&ctx, l2_sets, mode);
+            assert_eq!(
+                ported.to_json().to_compact(),
+                legacy.to_json().to_compact(),
+                "A3 port diverges at mode {m}, l2_sets {l2_sets}"
+            );
+        }
+    }
+}
+
+/// The legacy A5 loop body: a fresh `SimConfig` at the swept core count
+/// with the context scheduler, running the workload program directly.
+fn legacy_a5(seed: u64, cores: usize, mode: AnalysisMode) -> ddrace_core::RunResult {
+    let spec = racy::unprotected_counter();
+    let mut cfg = SimConfig::new(cores, mode);
+    cfg.scheduler = SchedulerConfig {
+        quantum: 32,
+        seed,
+        jitter: true,
+    };
+    Simulation::new(cfg)
+        .run(spec.program(Scale::TEST, seed))
+        .unwrap()
+}
+
+#[test]
+fn a5_campaign_port_matches_legacy_sweep() {
+    let seed = 11;
+    let campaign = Campaign::builder("a5-port")
+        .workloads([racy::unprotected_counter()])
+        .modes([AnalysisMode::demand_hitm(), AnalysisMode::Continuous])
+        .variants([JobVariant::with_cores(2), JobVariant::with_cores(1)])
+        .seeds([seed])
+        .scale(Scale::TEST)
+        .cores(8)
+        .build();
+    let report = run_campaign(&campaign, 2, &EventSink::null());
+    assert_eq!(report.failed(), 0);
+    for (m, mode) in [AnalysisMode::demand_hitm(), AnalysisMode::Continuous]
+        .into_iter()
+        .enumerate()
+    {
+        for (v, cores) in [2usize, 1].into_iter().enumerate() {
+            let ported = report.result(m * 2 + v).unwrap();
+            let legacy = legacy_a5(seed, cores, mode);
+            assert_eq!(
+                ported.to_json().to_compact(),
+                legacy.to_json().to_compact(),
+                "A5 port diverges at mode {m}, cores {cores}"
+            );
+        }
+    }
+}

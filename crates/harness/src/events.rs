@@ -104,14 +104,17 @@ impl EventSink {
         ));
     }
 
-    pub(crate) fn job_started(&self, id: usize, label: &str) {
-        self.emit(
-            "job_started",
-            vec![
-                ("id".to_string(), Value::UInt(id as u64)),
-                ("label".to_string(), Value::Str(label.to_string())),
-            ],
-        );
+    /// Emits a `job_started` event. `extra` fields (job fingerprint,
+    /// seed, variant name) are appended after the standard ones so
+    /// stream consumers can attribute a start line without waiting for
+    /// the finish event.
+    pub(crate) fn job_started(&self, id: usize, label: &str, extra: &[(String, Value)]) {
+        let mut fields = vec![
+            ("id".to_string(), Value::UInt(id as u64)),
+            ("label".to_string(), Value::Str(label.to_string())),
+        ];
+        fields.extend(extra.iter().cloned());
+        self.emit("job_started", fields);
     }
 
     /// Emits a `job_finished` event. `extra` fields (job fingerprint,

@@ -250,7 +250,7 @@ fn run_isolated<T: Send + 'static>(job: RawJob<T>, sink: &EventSink) -> JobRecor
         resume_payload,
         meta,
     } = job;
-    sink.job_started(id, &label);
+    sink.job_started(id, &label, &meta);
     let start = Instant::now();
     let token = CancelToken::new();
     let (tx, rx) = mpsc::channel();

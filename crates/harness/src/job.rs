@@ -1,18 +1,27 @@
 //! The job model: one [`Job`] is a single simulator run; a [`Campaign`] is
 //! a declarative set of jobs built from sweep axes.
 
+use crate::variant::JobVariant;
 use ddrace_core::{AnalysisMode, DetectorKind, RunResult, SimConfig, Simulation};
+use ddrace_pmu::IndicatorMode;
 use ddrace_program::{PickStrategy, SchedulerConfig};
 use ddrace_workloads::{Scale, WorkloadSpec};
 use std::time::Duration;
 
 /// One unit of campaign work: a workload run under one analysis mode with
-/// one seed and explicit configuration overrides.
+/// one seed, one configuration variant, and explicit overrides.
 ///
 /// Jobs are pure descriptions — running one never mutates the campaign —
 /// and carry a stable `id` assigned at build time, so results can be
 /// reassembled in declaration order no matter how the worker pool
 /// scheduled them.
+///
+/// The scalar fields (`scale`, `cores`, `quantum`, `detector_kind`) hold
+/// the **effective** values: the builder materializes any variant
+/// overrides into them, so a job reads the same whether its configuration
+/// came from the campaign-wide defaults or its variant's patch. The
+/// variant's nested overrides (cache geometry, demand-mode knobs) are
+/// applied in [`Job::sim_config`].
 #[derive(Debug, Clone)]
 pub struct Job {
     /// Position of this job in its campaign (also its result slot).
@@ -23,14 +32,17 @@ pub struct Job {
     pub mode: AnalysisMode,
     /// Seed for both workload generation and the interleaving scheduler.
     pub seed: u64,
-    /// Workload scale preset.
+    /// Workload scale preset (effective; variant overrides materialized).
     pub scale: Scale,
-    /// Simulated core count.
+    /// Simulated core count (effective).
     pub cores: usize,
-    /// Scheduler quantum (cycles per timeslice before a switch roll).
+    /// Scheduler quantum in cycles per timeslice (effective).
     pub quantum: u32,
-    /// Which detector implementation analysis modes use.
+    /// Which detector implementation analysis modes use (effective).
     pub detector_kind: DetectorKind,
+    /// The variant-axis point this job belongs to; carries the cache and
+    /// demand-knob overrides and names the job in labels and events.
+    pub variant: JobVariant,
     /// Runnable-thread picker. Not part of the job fingerprint: both
     /// strategies produce digest-identical results (pinned by the
     /// schedule-equivalence suite), so it cannot affect the outcome.
@@ -40,17 +52,27 @@ pub struct Job {
 }
 
 impl Job {
-    /// `workload/mode/seed`, the human name used in events and progress.
+    /// The human name used in events and progress: `workload/mode/s{seed}`,
+    /// with the variant name appended (`.../{variant}`) for any
+    /// non-baseline variant, so jobs that differ only in swept
+    /// configuration — cores, quantum, scale, detector, cache geometry —
+    /// never share a label.
     pub fn label(&self) -> String {
-        format!(
+        let base = format!(
             "{}/{}/s{}",
             self.workload.name,
             self.mode.label(),
             self.seed
-        )
+        );
+        if self.variant.is_baseline() {
+            base
+        } else {
+            format!("{base}/{}", self.variant.name)
+        }
     }
 
-    /// The simulation config this job describes.
+    /// The simulation config this job describes, with the variant's cache
+    /// geometry and demand-mode knob overrides applied.
     pub fn sim_config(&self) -> SimConfig {
         let mut cfg = SimConfig::new(self.cores, self.mode);
         cfg.scheduler = SchedulerConfig {
@@ -60,6 +82,30 @@ impl Job {
         };
         cfg.detector_kind = self.detector_kind;
         cfg.pick_strategy = self.pick_strategy;
+        let patch = &self.variant.patch;
+        if let Some(l1) = patch.l1 {
+            cfg.cache.l1 = l1;
+        }
+        if let Some(l2) = patch.l2 {
+            cfg.cache.l2 = l2;
+        }
+        if let Some(l3) = patch.l3 {
+            cfg.cache.l3 = l3;
+        }
+        if let AnalysisMode::Demand {
+            indicator,
+            controller,
+        } = &mut cfg.mode
+        {
+            if let (Some(period), IndicatorMode::HitmSampling { period: p, .. }) =
+                (patch.sample_period, indicator)
+            {
+                *p = period;
+            }
+            if let Some(cooldown) = patch.cooldown_accesses {
+                controller.cooldown_accesses = cooldown;
+            }
+        }
         cfg
     }
 
@@ -89,6 +135,10 @@ pub struct Campaign {
     pub workloads: Vec<WorkloadSpec>,
     /// The seed axis the jobs were built from, in order.
     pub seeds: Vec<u64>,
+    /// The variant axis the jobs were built from, in order. Campaigns
+    /// built without [`CampaignBuilder::variants`] carry the single
+    /// implicit [`JobVariant::baseline`] point.
+    pub variants: Vec<JobVariant>,
 }
 
 impl Campaign {
@@ -99,6 +149,7 @@ impl Campaign {
             workloads: Vec::new(),
             modes: vec![AnalysisMode::Native],
             seeds: vec![42],
+            variants: vec![JobVariant::baseline()],
             scale: Scale::SMALL,
             cores: 8,
             quantum: 32,
@@ -107,16 +158,25 @@ impl Campaign {
             timeout: None,
         }
     }
+
+    /// True when this campaign sweeps configuration variants (anything
+    /// beyond the single implicit baseline). Gates the `variant` fields in
+    /// the aggregate so variant-free campaigns keep their historical shape.
+    pub fn has_variant_axis(&self) -> bool {
+        !(self.variants.len() == 1 && self.variants[0].is_baseline())
+    }
 }
 
 /// Declarative sweep axes; `build` takes the cross product
-/// workload × mode × seed in that (workload-major) order.
+/// workload × mode × variant × seed in that (workload-major,
+/// seed-innermost) order.
 #[derive(Debug, Clone)]
 pub struct CampaignBuilder {
     name: String,
     workloads: Vec<WorkloadSpec>,
     modes: Vec<AnalysisMode>,
     seeds: Vec<u64>,
+    variants: Vec<JobVariant>,
     scale: Scale,
     cores: usize,
     quantum: u32,
@@ -141,6 +201,15 @@ impl CampaignBuilder {
     /// Sets the seed axis (replacing the default `[42]`).
     pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
         self.seeds = seeds.into_iter().collect();
+        self
+    }
+
+    /// Sets the variant axis (replacing the implicit single baseline):
+    /// every (workload, mode) cell runs once per variant per seed, with
+    /// each variant's [`ConfigPatch`](crate::ConfigPatch) applied on top
+    /// of the builder-wide configuration.
+    pub fn variants(mut self, variants: impl IntoIterator<Item = JobVariant>) -> Self {
+        self.variants = variants.into_iter().collect();
         self
     }
 
@@ -181,25 +250,34 @@ impl CampaignBuilder {
     }
 
     /// Expands the axes into a [`Campaign`]; job ids follow declaration
-    /// order: workloads outermost, then modes, then seeds.
+    /// order: workloads outermost, then modes, then variants, then seeds.
+    ///
+    /// Variant scalar overrides are materialized here: a job's `scale`,
+    /// `cores`, `quantum`, and `detector_kind` fields hold the effective
+    /// values after its variant's patch is applied.
     pub fn build(self) -> Campaign {
-        let mut jobs =
-            Vec::with_capacity(self.workloads.len() * self.modes.len() * self.seeds.len());
+        let mut jobs = Vec::with_capacity(
+            self.workloads.len() * self.modes.len() * self.variants.len() * self.seeds.len(),
+        );
         for workload in &self.workloads {
             for &mode in &self.modes {
-                for &seed in &self.seeds {
-                    jobs.push(Job {
-                        id: jobs.len(),
-                        workload: workload.clone(),
-                        mode,
-                        seed,
-                        scale: self.scale,
-                        cores: self.cores,
-                        quantum: self.quantum,
-                        detector_kind: self.detector_kind,
-                        pick_strategy: self.pick_strategy,
-                        timeout: self.timeout,
-                    });
+                for variant in &self.variants {
+                    let patch = &variant.patch;
+                    for &seed in &self.seeds {
+                        jobs.push(Job {
+                            id: jobs.len(),
+                            workload: workload.clone(),
+                            mode,
+                            seed,
+                            scale: patch.scale.unwrap_or(self.scale),
+                            cores: patch.cores.unwrap_or(self.cores),
+                            quantum: patch.quantum.unwrap_or(self.quantum),
+                            detector_kind: patch.detector_kind.unwrap_or(self.detector_kind),
+                            variant: variant.clone(),
+                            pick_strategy: self.pick_strategy,
+                            timeout: self.timeout,
+                        });
+                    }
                 }
             }
         }
@@ -209,6 +287,154 @@ impl CampaignBuilder {
             modes: self.modes,
             workloads: self.workloads,
             seeds: self.seeds,
+            variants: self.variants,
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::variant::ConfigPatch;
+    use ddrace_cache::LevelConfig;
+    use ddrace_workloads::racy;
+    use std::collections::HashSet;
+
+    #[test]
+    fn baseline_labels_keep_historical_shape() {
+        let spec = Campaign::builder("labels")
+            .workloads([racy::sparse_race()])
+            .modes([AnalysisMode::Native])
+            .seeds([7])
+            .build();
+        assert_eq!(spec.jobs[0].label(), "sparse_race/native/s7");
+        assert!(!spec.has_variant_axis());
+    }
+
+    #[test]
+    fn variant_swept_jobs_get_unique_labels() {
+        // Jobs differing only in cores/quantum/detector — the regression:
+        // the old `workload/mode/s{seed}` label collapsed them all.
+        let spec = Campaign::builder("labels")
+            .workloads([racy::sparse_race()])
+            .modes([AnalysisMode::Native, AnalysisMode::demand_hitm()])
+            .variants([
+                JobVariant::with_cores(1),
+                JobVariant::with_cores(4),
+                JobVariant::new(
+                    "q8",
+                    ConfigPatch {
+                        quantum: Some(8),
+                        ..ConfigPatch::default()
+                    },
+                ),
+                JobVariant::new(
+                    "djit",
+                    ConfigPatch {
+                        detector_kind: Some(DetectorKind::Djit),
+                        ..ConfigPatch::default()
+                    },
+                ),
+            ])
+            .seeds([1, 2])
+            .build();
+        assert!(spec.has_variant_axis());
+        let labels: HashSet<String> = spec.jobs.iter().map(Job::label).collect();
+        assert_eq!(
+            labels.len(),
+            spec.jobs.len(),
+            "every variant-swept job needs a distinct label: {labels:?}"
+        );
+        assert!(labels.contains("sparse_race/native/s1/c4"));
+    }
+
+    #[test]
+    fn build_materializes_scalar_overrides() {
+        let spec = Campaign::builder("mat")
+            .workloads([racy::sparse_race()])
+            .modes([AnalysisMode::Native])
+            .variants([
+                JobVariant::baseline(),
+                JobVariant::new(
+                    "small",
+                    ConfigPatch {
+                        cores: Some(2),
+                        quantum: Some(16),
+                        scale: Some(Scale::TEST),
+                        detector_kind: Some(DetectorKind::LockSet),
+                        ..ConfigPatch::default()
+                    },
+                ),
+            ])
+            .cores(8)
+            .quantum(32)
+            .scale(Scale::SMALL)
+            .build();
+        let base = &spec.jobs[0];
+        let small = &spec.jobs[1];
+        assert_eq!(
+            (base.cores, base.quantum, base.scale),
+            (8, 32, Scale::SMALL)
+        );
+        assert_eq!(
+            (small.cores, small.quantum, small.scale),
+            (2, 16, Scale::TEST)
+        );
+        assert_eq!(small.detector_kind, DetectorKind::LockSet);
+    }
+
+    #[test]
+    fn sim_config_applies_cache_and_demand_knobs() {
+        let l2 = LevelConfig {
+            sets: 32,
+            ways: 8,
+            latency: 12,
+        };
+        let spec = Campaign::builder("patch")
+            .workloads([racy::sparse_race()])
+            .modes([AnalysisMode::demand_hitm()])
+            .variants([JobVariant::new(
+                "tuned",
+                ConfigPatch {
+                    l2: Some(l2),
+                    sample_period: Some(64),
+                    cooldown_accesses: Some(123),
+                    ..ConfigPatch::default()
+                },
+            )])
+            .build();
+        let cfg = spec.jobs[0].sim_config();
+        assert_eq!(cfg.cache.l2, l2);
+        // Untouched levels keep the Nehalem defaults.
+        assert_eq!(cfg.cache.l1.sets, 64);
+        match cfg.mode {
+            AnalysisMode::Demand {
+                indicator: IndicatorMode::HitmSampling { period, .. },
+                controller,
+            } => {
+                assert_eq!(period, 64);
+                assert_eq!(controller.cooldown_accesses, 123);
+            }
+            other => panic!("expected patched demand mode, got {other:?}"),
+        }
+        // The job's declared mode is untouched; only the sim config is.
+        assert_eq!(spec.jobs[0].mode, AnalysisMode::demand_hitm());
+    }
+
+    #[test]
+    fn cross_product_order_is_variant_then_seed() {
+        let spec = Campaign::builder("order")
+            .workloads([racy::sparse_race()])
+            .modes([AnalysisMode::Native, AnalysisMode::Continuous])
+            .variants([JobVariant::with_cores(1), JobVariant::with_cores(2)])
+            .seeds([10, 11])
+            .build();
+        assert_eq!(spec.jobs.len(), 8);
+        // mode-major, then variant, then seed.
+        let key = |j: &Job| (j.mode.label().to_string(), j.cores, j.seed);
+        assert_eq!(key(&spec.jobs[0]), ("native".into(), 1, 10));
+        assert_eq!(key(&spec.jobs[1]), ("native".into(), 1, 11));
+        assert_eq!(key(&spec.jobs[2]), ("native".into(), 2, 10));
+        assert_eq!(key(&spec.jobs[4]), ("continuous".into(), 1, 10));
     }
 }

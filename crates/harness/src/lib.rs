@@ -9,8 +9,13 @@
 //! ## Pieces
 //!
 //! - [`Job`] / [`Campaign`] / [`CampaignBuilder`] — the job model. A job is
-//!   (workload, mode, seed, config overrides); a campaign is the cross
-//!   product of sweep axes, with ids in declaration order.
+//!   (workload, mode, variant, seed, config overrides); a campaign is the
+//!   cross product of sweep axes, with ids in declaration order.
+//! - [`JobVariant`] / [`ConfigPatch`] — the variant axis: named per-job
+//!   configuration overrides (cache geometry, core count, quantum, scale,
+//!   detector, demand-mode knobs) for the paper's sensitivity sweeps (A3
+//!   cache ladder, A5 SMT core packing). Variants flow into labels,
+//!   events, fingerprints, and the aggregate.
 //! - [`run_campaign`] — drains the jobs through a worker pool. Results are
 //!   keyed by job id, so the aggregate is **byte-identical no matter how
 //!   many workers ran it** — the property the determinism test pins down.
@@ -58,6 +63,7 @@ mod executor;
 mod job;
 mod report;
 mod resume;
+mod variant;
 
 pub use ddrace_telemetry as telemetry;
 pub use events::EventSink;
@@ -65,6 +71,7 @@ pub use executor::{run_raw, run_raw_prefilled, CancelToken, FailReason, JobRecor
 pub use job::{Campaign, CampaignBuilder, Job};
 pub use report::{AxisStat, CampaignReport, SeedFold, SuiteRow};
 pub use resume::{campaign_fingerprint, fingerprint_hex, job_fingerprint, FinishedJob, ResumeLog};
+pub use variant::{ConfigPatch, JobVariant};
 
 use ddrace_core::RunResult;
 use ddrace_json::{ToJson, Value};
@@ -112,15 +119,20 @@ pub fn resume_campaign(
 }
 
 /// Extra event fields every campaign job carries: its seed and its spec
-/// fingerprint, the keys the resume reader validates against.
+/// fingerprint (the keys the resume reader validates against), plus its
+/// variant name when the job sits on a swept variant axis.
 fn job_event_meta(job: &Job) -> Vec<(String, Value)> {
-    vec![
+    let mut meta = vec![
         ("seed".to_string(), Value::UInt(job.seed)),
         (
             "fingerprint".to_string(),
             Value::Str(fingerprint_hex(job_fingerprint(job))),
         ),
-    ]
+    ];
+    if !job.variant.is_baseline() {
+        meta.push(("variant".to_string(), Value::Str(job.variant.name.clone())));
+    }
+    meta
 }
 
 fn run_campaign_prefilled(

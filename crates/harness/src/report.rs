@@ -71,12 +71,17 @@ impl ToJson for AxisStat {
     }
 }
 
-/// One (workload, mode) cell's headline metrics folded across the seed
-/// axis — the multi-seed summary the paper's mean-over-runs numbers need.
+/// One (workload, mode, variant) cell's headline metrics folded across
+/// the seed axis — the multi-seed summary the paper's mean-over-runs
+/// numbers need.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SeedFold {
     /// Mode label this fold covers.
     pub mode: String,
+    /// Variant name this fold covers; `None` for campaigns without a
+    /// variant axis (and then omitted from the JSON, keeping the
+    /// historical single-variant shape).
+    pub variant: Option<String>,
     /// How many seeds were folded.
     pub seeds: usize,
     /// Simulated end-to-end time.
@@ -91,8 +96,11 @@ pub struct SeedFold {
 
 impl ToJson for SeedFold {
     fn to_json(&self) -> Value {
-        Value::Object(vec![
-            ("mode".to_string(), Value::Str(self.mode.clone())),
+        let mut fields = vec![("mode".to_string(), Value::Str(self.mode.clone()))];
+        if let Some(variant) = &self.variant {
+            fields.push(("variant".to_string(), Value::Str(variant.clone())));
+        }
+        fields.extend(vec![
             ("seeds".to_string(), Value::UInt(self.seeds as u64)),
             ("makespan".to_string(), self.makespan.to_json()),
             ("races_distinct".to_string(), self.races_distinct.to_json()),
@@ -101,32 +109,38 @@ impl ToJson for SeedFold {
                 "accesses_analyzed".to_string(),
                 self.accesses_analyzed.to_json(),
             ),
-        ])
+        ]);
+        Value::Object(fields)
     }
 }
 
 /// One benchmark's results across the campaign's mode axis — the same
 /// `{name, suite, runs}` shape as the historical `results/*.json` rows,
-/// plus per-mode seed fold-downs when the campaign swept several seeds.
+/// plus per-(mode, variant) seed fold-downs when the campaign swept
+/// several seeds.
 #[derive(Debug, Clone)]
 pub struct SuiteRow {
     /// Benchmark name.
     pub name: String,
     /// Suite label.
     pub suite: String,
-    /// Results in mode-axis order (then seed-axis order within a mode).
+    /// Results in mode-axis order (then variant-axis, then seed-axis
+    /// order within a mode: `runs[(m * variants + v) * seeds + s]`).
     pub runs: Vec<RunResult>,
-    /// Per-mode mean/min/max across the seed axis; empty for single-seed
-    /// campaigns (where the fold would restate `runs`), and then omitted
-    /// from the JSON so single-seed aggregates keep their historical shape.
+    /// Per-(mode, variant) mean/min/max across the seed axis; empty for
+    /// single-seed campaigns (where the fold would restate `runs`), and
+    /// then omitted from the JSON so single-seed aggregates keep their
+    /// historical shape.
     pub seed_stats: Vec<SeedFold>,
 }
 
 impl SuiteRow {
     /// The runs of one mode (index into the campaign's mode axis), in
-    /// seed-axis order.
-    pub fn mode_runs(&self, mode_index: usize, seeds: usize) -> &[RunResult] {
-        &self.runs[mode_index * seeds..(mode_index + 1) * seeds]
+    /// variant-major, seed-minor order. `runs_per_mode` is the campaign's
+    /// `variants.len() * seeds.len()` — just `seeds.len()` for campaigns
+    /// without a variant axis.
+    pub fn mode_runs(&self, mode_index: usize, runs_per_mode: usize) -> &[RunResult] {
+        &self.runs[mode_index * runs_per_mode..(mode_index + 1) * runs_per_mode]
     }
 }
 
@@ -161,14 +175,17 @@ impl CampaignReport {
     }
 
     /// Reassembles results into one row per workload with runs across the
-    /// mode (and seed) axes — the schema of the existing `results/` files.
-    /// Multi-seed campaigns additionally get per-(workload, mode)
-    /// mean/min/max fold-downs in each row's `seed_stats`.
+    /// mode (and variant and seed) axes — the schema of the existing
+    /// `results/` files. Multi-seed campaigns additionally get
+    /// per-(workload, mode, variant) mean/min/max fold-downs in each
+    /// row's `seed_stats`.
     /// Workloads with any failed job are skipped; callers that need
     /// failure detail read [`CampaignReport::records`] directly.
     pub fn rows(&self) -> Vec<SuiteRow> {
         let seeds = self.spec.seeds.len();
-        let runs_per_workload = self.spec.modes.len() * seeds;
+        let variants = self.spec.variants.len();
+        let has_variants = self.spec.has_variant_axis();
+        let runs_per_workload = self.spec.modes.len() * variants * seeds;
         self.spec
             .workloads
             .iter()
@@ -184,10 +201,19 @@ impl CampaignReport {
                         .modes
                         .iter()
                         .enumerate()
-                        .map(|(m, mode)| {
-                            let cell = &runs[m * seeds..(m + 1) * seeds];
+                        .flat_map(|(m, mode)| {
+                            self.spec
+                                .variants
+                                .iter()
+                                .enumerate()
+                                .map(move |(v, var)| (m, mode, v, var))
+                        })
+                        .map(|(m, mode, v, var)| {
+                            let start = (m * variants + v) * seeds;
+                            let cell = &runs[start..start + seeds];
                             SeedFold {
                                 mode: mode.label().to_string(),
+                                variant: has_variants.then(|| var.name.clone()),
                                 seeds,
                                 makespan: AxisStat::fold(cell.iter().map(|r| r.makespan)),
                                 races_distinct: AxisStat::fold(
@@ -273,6 +299,7 @@ impl CampaignReport {
     /// results-schema-compatible `rows`, per-job status + counters, and
     /// campaign-total counters. Byte-identical across worker counts.
     pub fn aggregate_json(&self) -> Value {
+        let has_variants = self.spec.has_variant_axis();
         let jobs: Vec<Value> = self
             .records
             .iter()
@@ -292,6 +319,9 @@ impl CampaignReport {
                     ("mode".to_string(), Value::Str(job.mode.label().to_string())),
                     ("seed".to_string(), Value::UInt(job.seed)),
                 ];
+                if has_variants {
+                    fields.push(("variant".to_string(), Value::Str(job.variant.name.clone())));
+                }
                 match &record.outcome {
                     Ok(_) => {
                         fields.push(("status".to_string(), Value::Str("finished".to_string())));

@@ -37,9 +37,12 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 }
 
 /// The canonical JSON a job's fingerprint hashes: every field that
-/// affects its result, in a fixed order.
+/// affects its result, in a fixed order. Baseline jobs hash exactly the
+/// historical field set, so checkpoints recorded before the variant axis
+/// existed stay resumable; a non-baseline variant appends its name and
+/// patch, making every swept configuration point distinct.
 fn job_spec_json(job: &Job) -> Value {
-    Value::Object(vec![
+    let mut fields = vec![
         ("id".to_string(), Value::UInt(job.id as u64)),
         ("workload".to_string(), job.workload.to_json()),
         ("mode".to_string(), job.mode.to_json()),
@@ -55,7 +58,17 @@ fn job_spec_json(job: &Job) -> Value {
                 None => Value::Null,
             },
         ),
-    ])
+    ];
+    if !job.variant.is_baseline() {
+        fields.push((
+            "variant".to_string(),
+            Value::Object(vec![
+                ("name".to_string(), Value::Str(job.variant.name.clone())),
+                ("patch".to_string(), job.variant.patch.to_json()),
+            ]),
+        ));
+    }
+    Value::Object(fields)
 }
 
 /// Fingerprint of one job's full configuration (including its id).
@@ -302,6 +315,59 @@ mod tests {
             job_fingerprint(&spec.jobs[0]),
             job_fingerprint(&spec.jobs[1])
         );
+    }
+
+    #[test]
+    fn fingerprints_distinguish_variants() {
+        use crate::variant::{ConfigPatch, JobVariant};
+        let with_variants = |variants: Vec<JobVariant>| {
+            Campaign::builder("fp-variants")
+                .workloads([racy::sparse_race()])
+                .modes([AnalysisMode::demand_hitm()])
+                .seeds([7])
+                .scale(Scale::TEST)
+                .variants(variants)
+                .build()
+        };
+        // Same slot (id 0), same workload/mode/seed — only the variant
+        // differs. Every pair of fingerprints must differ, including
+        // nested-only patches (cache geometry, demand knobs) that never
+        // touch the job's scalar fields.
+        let variants = [
+            JobVariant::baseline(),
+            JobVariant::with_cores(2),
+            JobVariant::private_cache("16KiB", 32),
+            JobVariant::private_cache("64KiB", 128),
+            JobVariant::new(
+                "cooldown",
+                ConfigPatch {
+                    cooldown_accesses: Some(999),
+                    ..ConfigPatch::default()
+                },
+            ),
+        ];
+        let prints: Vec<u64> = variants
+            .iter()
+            .map(|v| job_fingerprint(&with_variants(vec![v.clone()]).jobs[0]))
+            .collect();
+        for i in 0..prints.len() {
+            for j in i + 1..prints.len() {
+                assert_ne!(
+                    prints[i], prints[j],
+                    "variants `{}` and `{}` collide",
+                    variants[i].name, variants[j].name
+                );
+            }
+        }
+        // The baseline variant hashes to the pre-variant-axis fingerprint:
+        // old checkpoints stay resumable.
+        let plain = Campaign::builder("fp-variants")
+            .workloads([racy::sparse_race()])
+            .modes([AnalysisMode::demand_hitm()])
+            .seeds([7])
+            .scale(Scale::TEST)
+            .build();
+        assert_eq!(prints[0], job_fingerprint(&plain.jobs[0]));
     }
 
     #[test]

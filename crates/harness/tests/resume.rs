@@ -10,7 +10,7 @@
 use ddrace_core::AnalysisMode;
 use ddrace_harness::{
     campaign_fingerprint, fingerprint_hex, resume_campaign, run_campaign, Campaign, EventSink,
-    ResumeLog,
+    JobVariant, ResumeLog,
 };
 use ddrace_workloads::{phoenix, racy, Scale};
 use std::io::Write;
@@ -220,6 +220,80 @@ fn duplicate_label_campaign_resumes_by_id_not_label() {
         baseline,
         ddrace_json::to_string_pretty(&report.aggregate_json()).unwrap()
     );
+}
+
+#[test]
+fn killed_variant_sweep_resumes_to_byte_identical_aggregate() {
+    // The variant axis rides the same checkpoint machinery: kill a
+    // cache-ladder + core-count sweep mid-flight, resume it, and the
+    // aggregate must match an uninterrupted run byte for byte at every
+    // worker count ci.sh pins (1 and 8).
+    let spec = Campaign::builder("variant-resume-test")
+        .workloads([racy::sparse_race()])
+        .modes([AnalysisMode::Native, AnalysisMode::demand_hitm()])
+        .variants([
+            JobVariant::with_cores(2),
+            JobVariant::private_cache("64KiB", 128),
+        ])
+        .seeds([42, 1337])
+        .scale(Scale::TEST)
+        .cores(4)
+        .build();
+    assert!(spec.has_variant_axis());
+    let full_log = CrashyLog::reliable();
+    let sink = EventSink::new(Some(Box::new(full_log.clone())), false);
+    let baseline = aggregate(&spec, 2, &sink);
+    drop(sink);
+    // Variant fields reach the aggregate's per-job records and folds.
+    assert!(baseline.contains("\"variant\": \"c2\""));
+    assert!(baseline.contains("\"variant\": \"64KiB\""));
+
+    // A checkpoint holding three finished variant jobs (however many
+    // workers wrote the original stream, keeping the header plus the
+    // first three job_finished lines models a mid-campaign death).
+    let text = full_log.text();
+    let partial: Vec<&str> = text
+        .lines()
+        .filter(|l| l.contains("\"campaign_started\"") || l.contains("\"job_finished\""))
+        .take(4)
+        .collect();
+    let partial = ResumeLog::parse(&partial.join("\n")).unwrap();
+    assert_eq!(partial.finished.len(), 3);
+
+    for &workers in &worker_counts() {
+        // Prefilled variant jobs skip execution and the aggregate still
+        // comes out byte-identical.
+        let report = resume_campaign(&spec, workers, &EventSink::null(), &partial)
+            .expect("resume validates");
+        assert_eq!(report.failed(), 0);
+        assert_eq!(
+            baseline,
+            ddrace_json::to_string_pretty(&report.aggregate_json()).unwrap(),
+            "resumed variant-sweep aggregate must be byte-identical (workers={workers})"
+        );
+
+        // And a real kill mid-stream: whatever reached the "disk" resumes
+        // to the same bytes.
+        let log = CrashyLog::crashing_after(4);
+        let sink = EventSink::new(Some(Box::new(log.clone())), false);
+        let died = catch_unwind(AssertUnwindSafe(|| run_campaign(&spec, workers, &sink)));
+        assert!(died.is_err(), "the injected kill must abort the campaign");
+        drop(sink);
+        let parsed = ResumeLog::parse(&log.text()).expect("truncated stream still parses");
+        assert!(
+            parsed.finished.len() < spec.jobs.len(),
+            "the kill must leave unfinished jobs ({} finished)",
+            parsed.finished.len()
+        );
+        let report =
+            resume_campaign(&spec, workers, &EventSink::null(), &parsed).expect("resume validates");
+        assert_eq!(report.failed(), 0);
+        assert_eq!(
+            baseline,
+            ddrace_json::to_string_pretty(&report.aggregate_json()).unwrap(),
+            "kill-resumed variant-sweep aggregate must be byte-identical (workers={workers})"
+        );
+    }
 }
 
 #[test]

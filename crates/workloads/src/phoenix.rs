@@ -274,7 +274,7 @@ mod tests {
         let comm = |w: &WorkloadSpec| {
             let iters = match w.structure {
                 Structure::ForkJoin { iterations, .. } => u64::from(iterations),
-                Structure::Pipeline { .. } => 1,
+                Structure::Pipeline { .. } | Structure::DelayedSharing { .. } => 1,
             };
             (w.iter.shared_rw_pairs + w.iter.locked_updates + w.iter.atomic_ops) * iters
                 + w.init_shared_words / 8

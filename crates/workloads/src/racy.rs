@@ -210,6 +210,30 @@ pub fn delayed_sharing(words: u64, delay_bytes: u64, rounds: u32) -> Program {
     b.build()
 }
 
+/// [`delayed_sharing`] wrapped in a [`WorkloadSpec`] so the campaign
+/// harness can sweep it across the mode/variant/seed axes. `rounds` is
+/// the `Scale::SMALL` round count; other scales multiply it, floored at
+/// 2 (a single round is undetectable by construction).
+pub fn delayed_sharing_spec(words: u64, delay_bytes: u64, rounds: u32) -> WorkloadSpec {
+    WorkloadSpec {
+        name: "delayed_sharing".to_string(),
+        suite: Suite::Kernel,
+        workers: 2,
+        structure: Structure::DelayedSharing {
+            words,
+            delay_bytes,
+            rounds,
+        },
+        iter: IterProfile::private_only(0),
+        init_shared_words: 0,
+        final_merge_words: 0,
+        private_bytes: delay_bytes.max(64),
+        shared_bytes: words * 8,
+        hot_words: 0,
+        lock_count: 0,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -246,6 +270,38 @@ mod tests {
         // 64 shared writes + 512 stream writes by the producer.
         assert_eq!(c.counts().writes, 64 + 512);
         assert!(c.counts().reads >= 64);
+    }
+
+    #[test]
+    fn delayed_sharing_spec_matches_direct_program() {
+        // At SMALL (identity scale) the spec lowers to the same op stream
+        // as calling delayed_sharing directly — the equivalence the A3
+        // campaign port relies on.
+        let trace = |program: ddrace_program::Program| {
+            let mut ops = Vec::new();
+            run_program(
+                program,
+                SchedulerConfig::default(),
+                &mut |e: ddrace_program::Event<'_>| {
+                    if let ddrace_program::Event::Op { tid, op } = e {
+                        ops.push((tid, op));
+                    }
+                },
+            )
+            .unwrap();
+            ops
+        };
+        let spec = delayed_sharing_spec(64, 4096, 3);
+        assert_eq!(spec.total_threads(), 3);
+        assert_eq!(
+            trace(spec.program(Scale::SMALL, 1)),
+            trace(delayed_sharing(64, 4096, 3))
+        );
+        // TEST scale shrinks rounds but never below the 2-round floor.
+        assert_eq!(
+            trace(spec.program(Scale::TEST, 1)),
+            trace(delayed_sharing(64, 4096, 2))
+        );
     }
 
     #[test]

@@ -100,6 +100,22 @@ pub enum Structure {
         /// Words copied through each inter-stage buffer slot.
         slot_words: u64,
     },
+    /// A two-thread producer/consumer kernel: the producer writes shared
+    /// words, streams through private data to evict them, and only then
+    /// does the consumer read — the HITM indicator's worst case (see
+    /// [`racy::delayed_sharing`](crate::racy::delayed_sharing)), swept by
+    /// experiment A3's cache ladder.
+    DelayedSharing {
+        /// Shared words written per round.
+        words: u64,
+        /// Bytes of private streaming between write and read.
+        delay_bytes: u64,
+        /// Write→evict→read rounds at `Scale::SMALL`. Other scales
+        /// multiply this, floored at 2 — a single round is undetectable
+        /// by construction, so scaling below 2 would degenerate the
+        /// experiment.
+        rounds: u32,
+    },
 }
 
 /// A complete synthetic benchmark description.
@@ -164,6 +180,17 @@ impl WorkloadSpec {
                 work_per_item,
                 slot_words,
             } => self.pipeline_program(scale, seed, items, work_per_item, slot_words),
+            Structure::DelayedSharing {
+                words,
+                delay_bytes,
+                rounds,
+            } => {
+                // The kernel is fully deterministic (no jittered phases),
+                // so the seed only feeds the fingerprint; scale acts on
+                // the round count.
+                let rounds = scale.apply(u64::from(rounds)).max(2) as u32;
+                crate::racy::delayed_sharing(words, delay_bytes, rounds)
+            }
         }
     }
 
@@ -531,7 +558,8 @@ ddrace_json::json_struct!(IterProfile {
 });
 ddrace_json::json_enum!(Structure {
     ForkJoin { iterations, barrier_per_iter },
-    Pipeline { items, work_per_item, slot_words }
+    Pipeline { items, work_per_item, slot_words },
+    DelayedSharing { words, delay_bytes, rounds }
 });
 ddrace_json::json_struct!(WorkloadSpec {
     name,

@@ -9,13 +9,15 @@
 //! ddrace record  --bench kmeans --out trace.json [--scale test] [--seed 42]
 //! ddrace analyze --trace trace.json [--mode continuous] [--cores 8]
 //! ddrace campaign [--suite phoenix] [--modes native,continuous,demand-hitm]
-//!                 [--seeds 1,2,3] [--workers N] [--events FILE|-]
-//!                 [--resume FILE] [--out FILE] [--quiet]
+//!                 [--seeds 1,2,3] [--cores-sweep 1,2,4,8] [--variants SPEC]
+//!                 [--workers N] [--events FILE|-] [--resume FILE]
+//!                 [--out FILE] [--quiet]
 //! ```
 
 use ddrace::{
-    resume_campaign, run_campaign, AnalysisMode, Campaign, DetectorKind, EventSink, ResumeLog,
-    RunResult, Scale, SchedulerConfig, SimConfig, Simulation, WorkloadSpec,
+    resume_campaign, run_campaign, AnalysisMode, CacheConfig, Campaign, ConfigPatch, DetectorKind,
+    EventSink, JobVariant, ResumeLog, RunResult, Scale, SchedulerConfig, SimConfig, Simulation,
+    WorkloadSpec,
 };
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -68,6 +70,7 @@ USAGE:
     ddrace analyze --trace FILE [--mode MODE] [--cores N] [--detector KIND]
     ddrace campaign [--suite SUITE] [--modes MODE,MODE,...] [--workers N]
                     [--scale SCALE] [--seed N | --seeds N,N,...] [--cores N]
+                    [--cores-sweep N,N,...] [--variants SPEC]
                     [--detector KIND] [--timeout-secs N] [--events FILE|-]
                     [--resume FILE] [--out FILE] [--quiet]
 
@@ -75,6 +78,15 @@ RESUME:     --resume takes a prior run's --events JSONL stream; finished
             jobs are restored from it (validated by spec fingerprint) and
             only the remainder executes. The aggregate is byte-identical
             to an uninterrupted run.
+
+VARIANTS:   --cores-sweep N,N,... reruns every (workload, mode, seed)
+            cell at each simulated core count. --variants takes a preset
+            (`a3-cache` — the private-cache ladder; `smt-cores` — cores
+            8,4,2,1) or comma-separated custom variants of the form
+            name=key:value+key:value with keys cores, quantum, scale,
+            detector, period, cooldown, l1-sets, l1-ways, l2-sets,
+            l2-ways, l3-sets, l3-ways, e.g.
+            `tiny=cores:2+l2-sets:32,tuned=period:64`.
 
 SUITES:     phoenix | parsec | racy | all
 MODES:      native | continuous | demand-hitm | demand-oracle
@@ -129,6 +141,85 @@ fn parse_detector(s: &str) -> Result<DetectorKind, String> {
         "lockset" => DetectorKind::LockSet,
         other => return Err(format!("unknown detector `{other}`")),
     })
+}
+
+/// Parses `--variants`: a preset name or comma-separated
+/// `name=key:value+key:value` variant specs.
+fn parse_variants(spec: &str) -> Result<Vec<JobVariant>, String> {
+    match spec {
+        "a3-cache" => Ok(JobVariant::private_cache_sweep()),
+        "smt-cores" => Ok([8, 4, 2, 1].map(JobVariant::with_cores).to_vec()),
+        list => list.split(',').map(parse_variant).collect(),
+    }
+}
+
+fn parse_variant(s: &str) -> Result<JobVariant, String> {
+    let (name, overrides) = s.split_once('=').ok_or_else(|| {
+        format!(
+            "variant `{s}` needs the form name=key:value+key:value \
+             (or a preset: a3-cache, smt-cores)"
+        )
+    })?;
+    if name.is_empty() {
+        return Err(format!("variant `{s}` has an empty name"));
+    }
+    let mut patch = ConfigPatch::default();
+    // Cache-level overrides start from the Nehalem geometry so a lone
+    // `l2-sets` tweak keeps the level's ways and latency sensible.
+    let nehalem = CacheConfig::nehalem(1);
+    for kv in overrides.split('+') {
+        let (key, value) = kv
+            .split_once(':')
+            .ok_or_else(|| format!("variant override `{kv}` needs key:value"))?;
+        let num = |what: &str| -> Result<u64, String> {
+            value
+                .parse::<u64>()
+                .map_err(|_| format!("variant override `{key}` needs a number, got `{what}`"))
+        };
+        match key {
+            "cores" => patch.cores = Some(num(value)? as usize),
+            "quantum" => patch.quantum = Some(num(value)? as u32),
+            "scale" => patch.scale = Some(parse_scale(value)?),
+            "detector" => patch.detector_kind = Some(parse_detector(value)?),
+            "period" => patch.sample_period = Some(num(value)?),
+            "cooldown" => patch.cooldown_accesses = Some(num(value)?),
+            "l1-sets" => patch.l1.get_or_insert(nehalem.l1).sets = num(value)? as usize,
+            "l1-ways" => patch.l1.get_or_insert(nehalem.l1).ways = num(value)? as usize,
+            "l2-sets" => patch.l2.get_or_insert(nehalem.l2).sets = num(value)? as usize,
+            "l2-ways" => patch.l2.get_or_insert(nehalem.l2).ways = num(value)? as usize,
+            "l3-sets" => patch.l3.get_or_insert(nehalem.l3).sets = num(value)? as usize,
+            "l3-ways" => patch.l3.get_or_insert(nehalem.l3).ways = num(value)? as usize,
+            other => {
+                return Err(format!(
+                    "unknown variant override key `{other}` (expected cores, quantum, \
+                     scale, detector, period, cooldown, or l1/l2/l3-sets/-ways)"
+                ))
+            }
+        }
+    }
+    if patch.is_identity() {
+        return Err(format!("variant `{name}` overrides nothing"));
+    }
+    Ok(JobVariant::new(name, patch))
+}
+
+/// Parses `--cores-sweep`: a comma-separated core-count ladder, each
+/// point becoming a `c{N}` variant.
+fn parse_cores_sweep(list: &str) -> Result<Vec<JobVariant>, String> {
+    let cores = list
+        .split(',')
+        .map(|s| s.trim().parse::<usize>())
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(|_| "--cores-sweep takes comma-separated core counts, e.g. 1,2,4,8")?;
+    if cores.is_empty() {
+        return Err("--cores-sweep needs at least one core count".to_string());
+    }
+    for &c in &cores {
+        if c == 0 || c > 64 {
+            return Err(format!("--cores-sweep counts must be in 1..=64, got {c}"));
+        }
+    }
+    Ok(cores.into_iter().map(JobVariant::with_cores).collect())
 }
 
 struct Common {
@@ -391,12 +482,25 @@ fn cmd_campaign(flags: &HashMap<String, String>) -> Result<(), String> {
                 .unwrap_or(4)
         });
 
+    let variants: Option<Vec<JobVariant>> = match (flags.get("variants"), flags.get("cores-sweep"))
+    {
+        (Some(_), Some(_)) => {
+            return Err("--variants and --cores-sweep are mutually exclusive".to_string())
+        }
+        (Some(spec), None) => Some(parse_variants(spec)?),
+        (None, Some(list)) => Some(parse_cores_sweep(list)?),
+        (None, None) => None,
+    };
+
     let mut builder = Campaign::builder(format!("{suite}-campaign"))
         .workloads(workloads)
         .modes(modes)
         .seeds(seeds)
         .scale(scale)
         .cores(cores);
+    if let Some(variants) = variants {
+        builder = builder.variants(variants);
+    }
     if let Some(d) = flags.get("detector") {
         builder = builder.detector_kind(parse_detector(d)?);
     }
@@ -473,4 +577,67 @@ fn cmd_analyze(flags: &HashMap<String, String>) -> Result<(), String> {
         flags.contains_key("detail"),
         flags.contains_key("timeline"),
     )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variant_presets_expand() {
+        let cache = parse_variants("a3-cache").unwrap();
+        assert_eq!(cache.len(), 5);
+        assert_eq!(cache[0].name, "16KiB");
+        assert!(cache
+            .iter()
+            .all(|v| v.patch.l1.is_some() && v.patch.l2.is_some()));
+        let smt = parse_variants("smt-cores").unwrap();
+        let cores: Vec<usize> = smt.iter().map(|v| v.patch.cores.unwrap()).collect();
+        assert_eq!(cores, [8, 4, 2, 1]);
+    }
+
+    #[test]
+    fn custom_variants_parse_every_key() {
+        let variants =
+            parse_variants("tiny=cores:2+quantum:8+scale:test+detector:djit,tuned=period:64+cooldown:100+l2-sets:32")
+                .unwrap();
+        assert_eq!(variants.len(), 2);
+        let tiny = &variants[0].patch;
+        assert_eq!(variants[0].name, "tiny");
+        assert_eq!(tiny.cores, Some(2));
+        assert_eq!(tiny.quantum, Some(8));
+        assert_eq!(tiny.scale, Some(Scale::TEST));
+        assert_eq!(tiny.detector_kind, Some(DetectorKind::Djit));
+        let tuned = &variants[1].patch;
+        assert_eq!(tuned.sample_period, Some(64));
+        assert_eq!(tuned.cooldown_accesses, Some(100));
+        let l2 = tuned.l2.unwrap();
+        // A lone l2-sets override keeps the Nehalem ways/latency.
+        assert_eq!((l2.sets, l2.ways, l2.latency), (32, 8, 12));
+    }
+
+    #[test]
+    fn bad_variants_are_rejected() {
+        for bad in [
+            "noequals",
+            "empty=",
+            "=cores:2",
+            "v=cores",
+            "v=cores:many",
+            "v=wheels:4",
+            "v=scale:huge",
+        ] {
+            assert!(parse_variants(bad).is_err(), "`{bad}` must be rejected");
+        }
+    }
+
+    #[test]
+    fn cores_sweep_parses_and_validates() {
+        let ladder = parse_cores_sweep("1, 2,4,8").unwrap();
+        let names: Vec<&str> = ladder.iter().map(|v| v.name.as_str()).collect();
+        assert_eq!(names, ["c1", "c2", "c4", "c8"]);
+        assert!(parse_cores_sweep("0").is_err());
+        assert!(parse_cores_sweep("65").is_err());
+        assert!(parse_cores_sweep("two").is_err());
+    }
 }

@@ -64,7 +64,7 @@ pub use ddrace_program as program;
 pub use ddrace_telemetry as telemetry;
 pub use ddrace_workloads as workloads;
 
-pub use ddrace_cache::{CacheConfig, CacheHierarchy, CoreId, HitWhere, SharingKind};
+pub use ddrace_cache::{CacheConfig, CacheHierarchy, CoreId, HitWhere, LevelConfig, SharingKind};
 pub use ddrace_core::{
     geomean, render_timeline, result_timeline, run_program, AnalysisMode, AnalysisState,
     ControllerConfig, CostModel, DemandController, DetectorKind, EnableScope, RunResult, SimConfig,
@@ -74,7 +74,8 @@ pub use ddrace_detector::{
     DetectorConfig, FastTrack, Granularity, RaceDetector, RaceKind, RaceReport,
 };
 pub use ddrace_harness::{
-    resume_campaign, run_campaign, Campaign, CampaignReport, EventSink, Job, ResumeLog,
+    resume_campaign, run_campaign, Campaign, CampaignReport, ConfigPatch, EventSink, Job,
+    JobVariant, ResumeLog,
 };
 pub use ddrace_pmu::{IndicatorMode, SharingIndicator};
 pub use ddrace_program::{
