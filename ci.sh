@@ -47,6 +47,29 @@ DDRACE_SCALE=test DDRACE_RESULTS_DIR="$A3_SMOKE_DIR" \
     cargo run --release -q -p ddrace-bench --bin exp_a3_cache_sweep
 rm -rf "$A3_SMOKE_DIR"
 
+# Conformance fuzz smoke: a fixed-seed battery of generated specs through
+# the differential/metamorphic oracles. Gates on three things: zero
+# violations, byte-identical aggregate + sorted event stream across a
+# rerun, and byte-identical aggregate across 1 vs 8 workers (the sorted
+# streams differ only in the campaign_started worker count, so the
+# cross-worker comparison uses the aggregate).
+echo "==> conformance fuzz smoke (seed 1, 200 specs, workers 1 and 8)"
+FUZZ_SMOKE_DIR=$(mktemp -d)
+./target/release/ddrace fuzz --seed 1 --count 200 --workers 8 --quiet \
+    --events "$FUZZ_SMOKE_DIR/ev8a.jsonl" --out "$FUZZ_SMOKE_DIR/agg8a.json" \
+    --repro-dir "$FUZZ_SMOKE_DIR"
+./target/release/ddrace fuzz --seed 1 --count 200 --workers 8 --quiet \
+    --events "$FUZZ_SMOKE_DIR/ev8b.jsonl" --out "$FUZZ_SMOKE_DIR/agg8b.json" \
+    --repro-dir "$FUZZ_SMOKE_DIR"
+./target/release/ddrace fuzz --seed 1 --count 200 --workers 1 --quiet \
+    --out "$FUZZ_SMOKE_DIR/agg1.json" --repro-dir "$FUZZ_SMOKE_DIR"
+diff "$FUZZ_SMOKE_DIR/agg8a.json" "$FUZZ_SMOKE_DIR/agg8b.json"
+sort "$FUZZ_SMOKE_DIR/ev8a.jsonl" > "$FUZZ_SMOKE_DIR/ev8a.sorted"
+sort "$FUZZ_SMOKE_DIR/ev8b.jsonl" > "$FUZZ_SMOKE_DIR/ev8b.sorted"
+diff "$FUZZ_SMOKE_DIR/ev8a.sorted" "$FUZZ_SMOKE_DIR/ev8b.sorted"
+diff "$FUZZ_SMOKE_DIR/agg8a.json" "$FUZZ_SMOKE_DIR/agg1.json"
+rm -rf "$FUZZ_SMOKE_DIR"
+
 # Smoke-run the substrate bench: gates on panics/divergence (both
 # detector variants must agree), never on perf — CI boxes are too noisy.
 echo "==> bench_substrate --smoke"

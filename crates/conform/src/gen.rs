@@ -1,0 +1,199 @@
+//! Seeded random [`FuzzSpec`] generation.
+//!
+//! Generation is a pure function of the spec seed (the same splitmix64
+//! [`Prng`] the workload synthesizers use), biased toward the structures
+//! the detector stack actually has to get right: fork-join phases,
+//! lock-heavy mutual exclusion, barrier-phased ownership transfer, and
+//! deliberately racy variants of each. Roughly half the specs carry a
+//! planted race; the oracles must hold on both halves.
+
+use crate::spec::{FuzzOp, FuzzRound, FuzzSpec};
+use ddrace_program::Prng;
+
+/// Structural bias applied to a generated spec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Archetype {
+    /// Workers mostly touch disjoint variable ranges (fork-join style);
+    /// racy variants let a worker stray into a shared hot word.
+    ForkJoin,
+    /// Accesses go through critical sections on a small lock pool; racy
+    /// variants leave one access outside the lock.
+    LockHeavy,
+    /// Barriers separate writer rounds from reader rounds; racy variants
+    /// put a write and a foreign read in the same round.
+    BarrierPhased,
+    /// Every worker hammers the same unprotected words — dense races.
+    RacyKernel,
+    /// No structural bias: anything the op distribution allows.
+    Mixed,
+}
+
+const ARCHETYPES: [Archetype; 5] = [
+    Archetype::ForkJoin,
+    Archetype::LockHeavy,
+    Archetype::BarrierPhased,
+    Archetype::RacyKernel,
+    Archetype::Mixed,
+];
+
+/// Generates the spec for `seed`. Deterministic: equal seeds, equal specs.
+pub fn generate(seed: u64) -> FuzzSpec {
+    let mut rng = Prng::seed_from_u64(seed);
+    let archetype = ARCHETYPES[rng.below(ARCHETYPES.len() as u64) as usize];
+    generate_with(seed, archetype, &mut rng)
+}
+
+fn generate_with(seed: u64, archetype: Archetype, rng: &mut Prng) -> FuzzSpec {
+    let workers = rng.range_u32(2, 4);
+    let vars = rng.range_u32(2, 8);
+    let locks = rng.range_u32(1, 3);
+    let cores = rng.range_u32(2, 4);
+    let round_count = rng.range_u32(1, 3);
+    // Racy variants: leave a hole in whatever discipline the archetype
+    // otherwise enforces.
+    let racy = rng.chance(1, 2);
+
+    let rounds = (0..round_count)
+        .map(|round| {
+            let barrier_after = match archetype {
+                Archetype::BarrierPhased => true,
+                Archetype::ForkJoin | Archetype::RacyKernel => false,
+                _ => rng.chance(1, 3),
+            };
+            let ops = (0..workers)
+                .map(|w| worker_ops(archetype, racy, round, w, workers, vars, locks, rng))
+                .collect();
+            FuzzRound { ops, barrier_after }
+        })
+        .collect();
+
+    FuzzSpec {
+        seed,
+        workers,
+        vars,
+        locks,
+        cores,
+        rounds,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn worker_ops(
+    archetype: Archetype,
+    racy: bool,
+    round: u32,
+    worker: u32,
+    workers: u32,
+    vars: u32,
+    locks: u32,
+    rng: &mut Prng,
+) -> Vec<FuzzOp> {
+    let len = rng.range_u32(1, 6);
+    // The variable this worker "owns" under disjoint disciplines.
+    let own = worker % vars;
+    let mut ops = Vec::with_capacity(len as usize);
+    for _ in 0..len {
+        let op = match archetype {
+            Archetype::ForkJoin => {
+                // Disjoint by default; racy specs stray onto word 0.
+                let var = if racy && rng.chance(1, 4) { 0 } else { own };
+                leaf(rng, var)
+            }
+            Archetype::LockHeavy => {
+                let lock = rng.below(u64::from(locks)) as u32;
+                let var = rng.below(u64::from(vars)) as u32;
+                if racy && rng.chance(1, 6) {
+                    // The forgotten-lock bug: one access outside the section.
+                    leaf(rng, var)
+                } else {
+                    let body = (0..rng.range_u32(1, 3)).map(|_| leaf(rng, var)).collect();
+                    FuzzOp::Locked { lock, ops: body }
+                }
+            }
+            Archetype::BarrierPhased => {
+                // Even rounds write your own word, odd rounds read the
+                // next worker's — ordered by the barrier unless racy.
+                let neighbour = (worker + 1) % workers.max(1) % vars;
+                if racy && rng.chance(1, 5) {
+                    FuzzOp::Read { var: neighbour }
+                } else if round.is_multiple_of(2) {
+                    FuzzOp::Write { var: own }
+                } else {
+                    FuzzOp::Read { var: neighbour }
+                }
+            }
+            Archetype::RacyKernel => {
+                let var = rng.below(2.min(u64::from(vars))) as u32;
+                leaf(rng, var)
+            }
+            Archetype::Mixed => match rng.below(4) {
+                0 => {
+                    let var = rng.below(u64::from(vars)) as u32;
+                    leaf(rng, var)
+                }
+                1 => FuzzOp::Rmw {
+                    var: rng.below(u64::from(vars)) as u32,
+                },
+                2 => FuzzOp::Compute {
+                    cycles: rng.range_u32(1, 40),
+                },
+                _ => {
+                    let lock = rng.below(u64::from(locks)) as u32;
+                    let var = rng.below(u64::from(vars)) as u32;
+                    FuzzOp::Locked {
+                        lock,
+                        ops: vec![leaf(rng, var)],
+                    }
+                }
+            },
+        };
+        ops.push(op);
+    }
+    ops
+}
+
+fn leaf(rng: &mut Prng, var: u32) -> FuzzOp {
+    match rng.below(3) {
+        0 => FuzzOp::Read { var },
+        1 => FuzzOp::Write { var },
+        _ => FuzzOp::Compute {
+            cycles: rng.range_u32(1, 20),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddrace_program::{run_program, NullListener, SchedulerConfig};
+
+    #[test]
+    fn generation_is_deterministic() {
+        for seed in 0..50 {
+            assert_eq!(generate(seed), generate(seed));
+        }
+    }
+
+    #[test]
+    fn every_generated_spec_lowers_and_runs() {
+        for seed in 0..80 {
+            let spec = generate(seed);
+            assert!(spec.workers >= 2);
+            assert!(!spec.rounds.is_empty());
+            run_program(
+                spec.to_program(),
+                SchedulerConfig::jittered(spec.seed),
+                &mut NullListener,
+            )
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn seeds_cover_multiple_archetypes() {
+        let distinct: std::collections::HashSet<String> = (0..40)
+            .map(|s| format!("{:?}", generate(s).rounds))
+            .collect();
+        assert!(distinct.len() > 10, "generator output looks degenerate");
+    }
+}

@@ -1,0 +1,188 @@
+//! Spec minimization: when an oracle fails, shrink the offending
+//! [`FuzzSpec`] to a local minimum that still fails, then package it as a
+//! replayable reproducer.
+//!
+//! The candidate moves are domain-specific and ordered
+//! most-aggressive-first (see `miniprop`'s `shrink` module docs): drop a
+//! whole round, silence a whole worker, then remove single ops, unwrap
+//! lock sections, and strip barriers. Every candidate is again a valid
+//! spec (lowering is total), so the walk can never leave the input space.
+
+use crate::oracles::check_spec_with;
+use crate::refdet::Fault;
+use crate::spec::{FuzzOp, FuzzSpec};
+use proptest::shrink::{shrink_budgeted, Shrunk};
+
+/// Evaluation budget for one shrink run. Each evaluation replays the full
+/// oracle battery (~10 small simulations), so this bounds a shrink to a
+/// few seconds even for pathological specs.
+pub const SHRINK_BUDGET: usize = 400;
+
+/// Minimizes `spec` while the oracle battery (under `fault`) keeps
+/// failing. Deterministic; returns the original spec unchanged if no
+/// candidate reproduces the failure.
+pub fn shrink_spec(spec: &FuzzSpec, fault: Fault) -> Shrunk<FuzzSpec> {
+    shrink_budgeted(
+        spec.clone(),
+        |s| !check_spec_with(s, fault).violations.is_empty(),
+        candidates,
+        SHRINK_BUDGET,
+    )
+}
+
+/// Every one-step simplification of `spec`, most aggressive first.
+fn candidates(spec: &FuzzSpec) -> Vec<FuzzSpec> {
+    let mut out = Vec::new();
+
+    // Drop a whole round.
+    for i in 0..spec.rounds.len() {
+        let mut s = spec.clone();
+        s.rounds.remove(i);
+        out.push(s);
+    }
+
+    // Drop the last worker entirely (its op lists with it).
+    if spec.workers > 1 {
+        let mut s = spec.clone();
+        s.workers -= 1;
+        for round in &mut s.rounds {
+            round.ops.truncate(s.workers as usize);
+        }
+        out.push(s);
+    }
+
+    // Silence one worker's ops in one round.
+    for (r, round) in spec.rounds.iter().enumerate() {
+        for (w, ops) in round.ops.iter().enumerate() {
+            if !ops.is_empty() {
+                let mut s = spec.clone();
+                s.rounds[r].ops[w].clear();
+                out.push(s);
+            }
+        }
+    }
+
+    // Remove a single op; unwrap or thin lock sections; strip barriers.
+    for (r, round) in spec.rounds.iter().enumerate() {
+        for (w, ops) in round.ops.iter().enumerate() {
+            for (i, op) in ops.iter().enumerate() {
+                let mut removed = spec.clone();
+                removed.rounds[r].ops[w].remove(i);
+                out.push(removed);
+                if let FuzzOp::Locked { ops: body, .. } = op {
+                    // Splice the body in place of the section.
+                    let mut unwrapped = spec.clone();
+                    unwrapped.rounds[r].ops[w].splice(i..=i, body.iter().cloned());
+                    out.push(unwrapped);
+                    // Drop one op from inside the section.
+                    for j in 0..body.len() {
+                        let mut thinner = spec.clone();
+                        if let FuzzOp::Locked { ops: b, .. } = &mut thinner.rounds[r].ops[w][i] {
+                            b.remove(j);
+                        }
+                        out.push(thinner);
+                    }
+                }
+            }
+        }
+        if round.barrier_after {
+            let mut s = spec.clone();
+            s.rounds[r].barrier_after = false;
+            out.push(s);
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::FuzzRound;
+
+    fn bloated_racy_spec() -> FuzzSpec {
+        // Plenty of irrelevant structure around one WW race on var 0.
+        let noise = |w: u32| {
+            vec![
+                FuzzOp::Compute { cycles: 9 },
+                FuzzOp::Write { var: 0 },
+                FuzzOp::Locked {
+                    lock: 0,
+                    ops: vec![FuzzOp::Read { var: 1 + w }, FuzzOp::Write { var: 1 + w }],
+                },
+                FuzzOp::Compute { cycles: 4 },
+            ]
+        };
+        FuzzSpec {
+            seed: 21,
+            workers: 3,
+            vars: 4,
+            locks: 2,
+            cores: 2,
+            rounds: vec![
+                FuzzRound {
+                    ops: vec![noise(0), noise(1), noise(2)],
+                    barrier_after: true,
+                },
+                FuzzRound {
+                    ops: vec![vec![FuzzOp::Read { var: 3 }], vec![], vec![]],
+                    barrier_after: false,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn shrinks_fault_repro_to_a_handful_of_ops() {
+        let spec = bloated_racy_spec();
+        assert!(
+            !check_spec_with(&spec, Fault::DropWriteWrite)
+                .violations
+                .is_empty(),
+            "the fault must fire on the bloated spec"
+        );
+        let shrunk = shrink_spec(&spec, Fault::DropWriteWrite);
+        assert!(
+            !check_spec_with(&shrunk.value, Fault::DropWriteWrite)
+                .violations
+                .is_empty(),
+            "the shrunken spec must still fail"
+        );
+        assert!(
+            shrunk.value.op_count() <= 8,
+            "expected <= 8 ops, got {} ({:?})",
+            shrunk.value.op_count(),
+            shrunk.value
+        );
+        assert!(shrunk.steps > 0);
+    }
+
+    #[test]
+    fn shrinking_is_deterministic() {
+        let spec = bloated_racy_spec();
+        let a = shrink_spec(&spec, Fault::DropWriteWrite);
+        let b = shrink_spec(&spec, Fault::DropWriteWrite);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn conforming_spec_shrinks_to_itself() {
+        let spec = FuzzSpec {
+            seed: 1,
+            workers: 2,
+            vars: 1,
+            locks: 1,
+            cores: 2,
+            rounds: vec![FuzzRound {
+                ops: vec![
+                    vec![FuzzOp::Write { var: 0 }],
+                    vec![FuzzOp::Write { var: 0 }],
+                ],
+                barrier_after: false,
+            }],
+        };
+        let shrunk = shrink_spec(&spec, Fault::None);
+        assert_eq!(shrunk.value, spec);
+        assert_eq!(shrunk.steps, 0);
+    }
+}

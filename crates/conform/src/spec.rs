@@ -1,0 +1,279 @@
+//! The fuzzer's program model: a [`FuzzSpec`] is a tiny, structured,
+//! deadlock-free-by-construction description of a multithreaded program.
+//!
+//! The shape is deliberately restrictive — rounds of straight-line
+//! per-worker op lists, an optional uniform barrier between rounds, and
+//! well-nested lock sections — because every spec must *lower* to a
+//! [`Program`] that the scheduler can always run to completion. Locks are
+//! acquired and released in a single `Locked` block (no lock-order
+//! inversions), barriers are arrived at by every worker in the same round
+//! (no participant mismatch), and the main thread only forks and joins.
+//! Any `FuzzSpec` value, including every intermediate value the shrinker
+//! produces, is therefore a valid fuzz input.
+
+use ddrace_program::{LockId, Program, ProgramBuilder, ThreadCursor, ThreadId};
+
+/// One operation a fuzzed worker performs. `var` and `lock` are indices
+/// into the spec's shared-variable and lock pools (taken modulo the pool
+/// size at lowering, so shrunk specs never dangle).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FuzzOp {
+    /// Read shared variable `var`.
+    Read {
+        /// Shared-variable index.
+        var: u32,
+    },
+    /// Write shared variable `var`.
+    Write {
+        /// Shared-variable index.
+        var: u32,
+    },
+    /// Atomic read-modify-write on shared variable `var`.
+    Rmw {
+        /// Shared-variable index.
+        var: u32,
+    },
+    /// Pure computation (detector-invisible).
+    Compute {
+        /// Simulated cycles.
+        cycles: u32,
+    },
+    /// A well-nested critical section: acquire `lock`, run `ops`, release.
+    Locked {
+        /// Lock index.
+        lock: u32,
+        /// The section body (leaf ops; generators do not nest sections).
+        ops: Vec<FuzzOp>,
+    },
+}
+
+impl FuzzOp {
+    /// Number of spec operations this op counts as: one per node, so a
+    /// `Locked` section is the wrapper plus its body. This is the size
+    /// metric shrink quality is measured in.
+    pub fn count(&self) -> usize {
+        match self {
+            FuzzOp::Locked { ops, .. } => 1 + ops.iter().map(FuzzOp::count).sum::<usize>(),
+            _ => 1,
+        }
+    }
+}
+
+/// One execution round: each worker runs its op list, then (optionally)
+/// all workers meet at a barrier before the next round starts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuzzRound {
+    /// Per-worker op lists; index = worker number. Workers beyond the
+    /// list's length simply idle this round.
+    pub ops: Vec<Vec<FuzzOp>>,
+    /// Whether every worker synchronizes on a barrier after this round.
+    pub barrier_after: bool,
+}
+
+/// A complete fuzz input: the program structure plus the simulation
+/// parameters it runs under.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuzzSpec {
+    /// Seed for the scheduler (interleaving jitter), not the generator.
+    pub seed: u64,
+    /// Worker thread count (the main thread forks and joins these).
+    pub workers: u32,
+    /// Shared-variable pool size (8-byte words).
+    pub vars: u32,
+    /// Lock pool size.
+    pub locks: u32,
+    /// Simulated core count.
+    pub cores: u32,
+    /// The rounds, in order.
+    pub rounds: Vec<FuzzRound>,
+}
+
+impl FuzzSpec {
+    /// Total spec operations across all rounds and workers.
+    pub fn op_count(&self) -> usize {
+        self.rounds
+            .iter()
+            .flat_map(|r| r.ops.iter())
+            .flat_map(|ops| ops.iter())
+            .map(FuzzOp::count)
+            .sum()
+    }
+
+    /// Lowers the spec to a runnable [`Program`]: main forks every
+    /// worker, each worker runs its rounds (with the round barriers), and
+    /// main joins them all. Total by construction — every spec value
+    /// lowers, with out-of-range `var`/`lock` indices wrapped into the
+    /// pools.
+    pub fn to_program(&self) -> Program {
+        let workers = self.workers.max(1);
+        let vars = u64::from(self.vars.max(1));
+        let mut b = ProgramBuilder::new();
+        let shared = b.alloc_shared(vars * 8);
+        let locks: Vec<LockId> = (0..self.locks.max(1)).map(|_| b.new_lock()).collect();
+        let tids: Vec<ThreadId> = (0..workers).map(|_| b.add_thread()).collect();
+        // One barrier object per barriered round; reuse across rounds
+        // would make a worker that races ahead rejoin the wrong episode.
+        let barriers: Vec<_> = self
+            .rounds
+            .iter()
+            .map(|r| r.barrier_after.then(|| b.new_barrier()))
+            .collect();
+
+        let mut main = b.on(ThreadId::MAIN);
+        for &t in &tids {
+            main = main.fork(t);
+        }
+        for &t in &tids {
+            main = main.join(t);
+        }
+        let _ = main;
+
+        for (w, &tid) in tids.iter().enumerate() {
+            let mut c = b.on(tid);
+            for (round, bar) in self.rounds.iter().zip(&barriers) {
+                if let Some(ops) = round.ops.get(w) {
+                    for op in ops {
+                        c = lower_op(c, op, &shared, vars, &locks);
+                    }
+                }
+                if let Some(bar) = bar {
+                    c = c.barrier(*bar, workers);
+                }
+            }
+            let _ = c;
+        }
+        b.build()
+    }
+}
+
+fn lower_op<'b>(
+    c: ThreadCursor<'b>,
+    op: &FuzzOp,
+    shared: &ddrace_program::Region,
+    vars: u64,
+    locks: &[LockId],
+) -> ThreadCursor<'b> {
+    match op {
+        FuzzOp::Read { var } => c.read(shared.word(u64::from(*var) % vars)),
+        FuzzOp::Write { var } => c.write(shared.word(u64::from(*var) % vars)),
+        FuzzOp::Rmw { var } => c.atomic_rmw(shared.word(u64::from(*var) % vars)),
+        FuzzOp::Compute { cycles } => c.compute((*cycles).max(1)),
+        FuzzOp::Locked { lock, ops } => {
+            let l = locks[*lock as usize % locks.len()];
+            let mut c = c.lock(l);
+            for inner in ops {
+                c = lower_op(c, inner, shared, vars, locks);
+            }
+            c.unlock(l)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddrace_program::{run_program, NullListener, SchedulerConfig};
+
+    fn tiny() -> FuzzSpec {
+        FuzzSpec {
+            seed: 3,
+            workers: 2,
+            vars: 2,
+            locks: 1,
+            cores: 2,
+            rounds: vec![
+                FuzzRound {
+                    ops: vec![
+                        vec![
+                            FuzzOp::Write { var: 0 },
+                            FuzzOp::Locked {
+                                lock: 0,
+                                ops: vec![FuzzOp::Read { var: 1 }],
+                            },
+                        ],
+                        vec![FuzzOp::Rmw { var: 1 }, FuzzOp::Compute { cycles: 5 }],
+                    ],
+                    barrier_after: true,
+                },
+                FuzzRound {
+                    ops: vec![vec![FuzzOp::Read { var: 0 }]],
+                    barrier_after: false,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn op_count_counts_nodes() {
+        assert_eq!(tiny().op_count(), 6);
+    }
+
+    #[test]
+    fn lowering_runs_to_completion() {
+        run_program(
+            tiny().to_program(),
+            SchedulerConfig::jittered(9),
+            &mut NullListener,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn out_of_range_indices_wrap() {
+        let mut spec = tiny();
+        spec.rounds[0].ops[0].push(FuzzOp::Locked {
+            lock: 77,
+            ops: vec![FuzzOp::Write { var: 99 }],
+        });
+        run_program(
+            spec.to_program(),
+            SchedulerConfig::default(),
+            &mut NullListener,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn degenerate_specs_lower() {
+        // No rounds, zero pools: lowering clamps and still builds.
+        let spec = FuzzSpec {
+            seed: 0,
+            workers: 0,
+            vars: 0,
+            locks: 0,
+            cores: 1,
+            rounds: vec![],
+        };
+        run_program(
+            spec.to_program(),
+            SchedulerConfig::default(),
+            &mut NullListener,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let spec = tiny();
+        let json = ddrace_json::to_string(&spec).unwrap();
+        let back: FuzzSpec = ddrace_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+    }
+}
+
+ddrace_json::json_enum!(FuzzOp {
+    Read { var },
+    Write { var },
+    Rmw { var },
+    Compute { cycles },
+    Locked { lock, ops },
+});
+ddrace_json::json_struct!(FuzzRound { ops, barrier_after });
+ddrace_json::json_struct!(FuzzSpec {
+    seed,
+    workers,
+    vars,
+    locks,
+    cores,
+    rounds
+});

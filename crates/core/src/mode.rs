@@ -83,6 +83,22 @@ impl AnalysisMode {
         }
     }
 
+    /// Demand-driven with the oracle indicator and a controller that never
+    /// disables once enabled (`min_on_accesses` saturated). This is the
+    /// *eager* reference point for attributing demand-mode misses: any
+    /// race this configuration still misses was lost to enable latency
+    /// (the tool was dark when the racy write happened), while a race it
+    /// catches but demand-HITM misses was lost to a quiet HITM indicator.
+    pub fn demand_oracle_eager() -> Self {
+        AnalysisMode::Demand {
+            indicator: IndicatorMode::Oracle,
+            controller: ControllerConfig {
+                min_on_accesses: u64::MAX,
+                ..ControllerConfig::default()
+            },
+        }
+    }
+
     /// Returns `true` if a tool is attached (anything but native).
     pub fn tool_attached(&self) -> bool {
         !matches!(self, AnalysisMode::Native)
@@ -194,6 +210,20 @@ mod tests {
         assert!(!AnalysisMode::Native.tool_attached());
         assert!(AnalysisMode::Continuous.tool_attached());
         assert!(AnalysisMode::demand_hitm().tool_attached());
+    }
+
+    #[test]
+    fn eager_mode_never_considers_disable() {
+        let AnalysisMode::Demand {
+            indicator,
+            controller,
+        } = AnalysisMode::demand_oracle_eager()
+        else {
+            panic!("eager mode must be demand-driven");
+        };
+        assert_eq!(indicator, ddrace_pmu::IndicatorMode::Oracle);
+        assert_eq!(controller.min_on_accesses, u64::MAX);
+        assert_eq!(AnalysisMode::demand_oracle_eager().label(), "demand-oracle");
     }
 
     #[test]

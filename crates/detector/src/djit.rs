@@ -259,12 +259,7 @@ mod tests {
                 d.on_access(t, a, k);
             }
         }
-        let keys = |set: &RaceReportSet| {
-            let mut v: Vec<u64> = set.reports().iter().map(|r| r.shadow_key).collect();
-            v.sort_unstable();
-            v.dedup();
-            v
-        };
+        let keys = |set: &RaceReportSet| crate::report::racy_keys(set.reports());
         assert_eq!(keys(ft.reports()), keys(dj.reports()));
         assert_eq!(ft.reports().distinct_addresses(), 3);
     }

@@ -56,5 +56,5 @@ pub use fasttrack::FastTrack;
 pub use hb::HbClocks;
 pub use lockset::LockSet;
 pub use render::{render_report, render_summary};
-pub use report::{RaceAccess, RaceKind, RaceReport, RaceReportSet};
+pub use report::{racy_keys, RaceAccess, RaceKind, RaceReport, RaceReportSet};
 pub use vc::{Epoch, VectorClock, INLINE_THREADS};

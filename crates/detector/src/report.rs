@@ -183,6 +183,20 @@ impl RaceReportSet {
     }
 }
 
+/// The sorted, deduplicated shadow keys a slice of reports covers — the
+/// *racy-variable set* of a run. This is the granularity at which
+/// detector variants are expected to agree (each reports the first race
+/// per variable against whatever prior access its metadata retained, so
+/// exact pairs differ while the variable set must not), and the
+/// granularity at which demand-driven analysis is a subset of
+/// continuous. Differential oracles compare runs on it.
+pub fn racy_keys(reports: &[RaceReport]) -> Vec<u64> {
+    let mut keys: Vec<u64> = reports.iter().map(|r| r.shadow_key).collect();
+    keys.sort_unstable();
+    keys.dedup();
+    keys
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -249,6 +263,17 @@ mod tests {
         assert_eq!(set.total_occurrences(), 0);
         assert_eq!(set.distinct_addresses(), 0);
         assert!(set.reports().is_empty());
+    }
+
+    #[test]
+    fn racy_keys_sorts_and_dedups() {
+        let reports = [
+            report(9, RaceKind::WriteRead, 0, 1),
+            report(2, RaceKind::WriteWrite, 0, 1),
+            report(9, RaceKind::ReadWrite, 1, 0),
+        ];
+        assert_eq!(racy_keys(&reports), vec![2, 9]);
+        assert_eq!(racy_keys(&[]), Vec::<u64>::new());
     }
 
     #[test]

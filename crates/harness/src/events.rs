@@ -28,6 +28,11 @@ use std::time::Duration;
 pub struct EventSink {
     jsonl: Option<Mutex<Box<dyn Write + Send>>>,
     progress: bool,
+    /// Report `wall_ms` as `0.0` in JSONL events (stderr progress keeps
+    /// real timings). Runs that promise byte-reproducible event streams
+    /// (the conformance fuzzer) set this; wall clock is the only
+    /// nondeterministic field an event otherwise carries.
+    zero_wall: bool,
     total: AtomicUsize,
     done: AtomicUsize,
 }
@@ -54,9 +59,24 @@ impl EventSink {
         EventSink {
             jsonl: jsonl.map(Mutex::new),
             progress,
+            zero_wall: false,
             total: AtomicUsize::new(0),
             done: AtomicUsize::new(0),
         }
+    }
+
+    /// Makes the JSONL stream byte-deterministic: every `wall_ms` field
+    /// is written as `0.0`. Line *order* still follows completion order;
+    /// consumers wanting byte-identical streams across worker counts
+    /// sort the lines (each line is self-contained). Stderr progress is
+    /// unaffected and keeps real timings.
+    pub fn with_deterministic_wall(mut self) -> EventSink {
+        self.zero_wall = true;
+        self
+    }
+
+    fn wall_field(&self, wall: Duration) -> Value {
+        Value::Float(if self.zero_wall { 0.0 } else { ms(wall) })
     }
 
     fn emit(&self, event: &str, mut fields: Vec<(String, Value)>) {
@@ -129,7 +149,7 @@ impl EventSink {
         let mut fields = vec![
             ("id".to_string(), Value::UInt(record.id as u64)),
             ("label".to_string(), Value::Str(record.label.clone())),
-            ("wall_ms".to_string(), Value::Float(ms(record.wall))),
+            ("wall_ms".to_string(), self.wall_field(record.wall)),
         ];
         if let Some(t) = &record.telemetry {
             fields.push(("telemetry".to_string(), ddrace_json::ToJson::to_json(t)));
@@ -163,7 +183,7 @@ impl EventSink {
             ("label".to_string(), Value::Str(record.label.clone())),
             ("kind".to_string(), Value::Str(reason.kind().to_string())),
             ("reason".to_string(), Value::Str(reason.to_string())),
-            ("wall_ms".to_string(), Value::Float(ms(record.wall))),
+            ("wall_ms".to_string(), self.wall_field(record.wall)),
         ];
         if let Some(t) = &record.telemetry {
             fields.push(("telemetry".to_string(), ddrace_json::ToJson::to_json(t)));
@@ -191,7 +211,7 @@ impl EventSink {
                 ("campaign".to_string(), Value::Str(name.to_string())),
                 ("finished".to_string(), Value::UInt(finished as u64)),
                 ("failed".to_string(), Value::UInt(failed as u64)),
-                ("wall_ms".to_string(), Value::Float(ms(wall))),
+                ("wall_ms".to_string(), self.wall_field(wall)),
             ],
         );
         self.note(&format!(

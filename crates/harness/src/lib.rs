@@ -70,14 +70,17 @@ pub use events::EventSink;
 pub use executor::{run_raw, run_raw_prefilled, CancelToken, FailReason, JobRecord, RawJob};
 pub use job::{Campaign, CampaignBuilder, Job};
 pub use report::{AxisStat, CampaignReport, SeedFold, SuiteRow};
-pub use resume::{campaign_fingerprint, fingerprint_hex, job_fingerprint, FinishedJob, ResumeLog};
+pub use resume::{
+    campaign_fingerprint, fingerprint_hex, fingerprint_of_jobs, fnv1a, job_fingerprint,
+    CheckpointLog, FinishedJob, RawFinishedJob, ResumeLog,
+};
 pub use variant::{ConfigPatch, JobVariant};
 
 use ddrace_core::RunResult;
 use ddrace_json::{ToJson, Value};
 use ddrace_telemetry::Telemetry;
 use std::collections::HashSet;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Runs every job of `campaign` on a pool of `workers` threads, streaming
 /// events into `sink`, and returns the full report.
@@ -135,34 +138,79 @@ fn job_event_meta(job: &Job) -> Vec<(String, Value)> {
     meta
 }
 
+/// The outcome of [`run_checkpointed`]: id-indexed records plus the
+/// run's wall-clock time (which never reaches any deterministic output).
+#[derive(Debug)]
+pub struct CheckpointedRun<T> {
+    /// One record per job, in id order.
+    pub records: Vec<JobRecord<T>>,
+    /// Wall-clock duration of the whole run.
+    pub wall: Duration,
+}
+
+/// Runs an arbitrary checkpointable job set on the worker pool with the
+/// full campaign event protocol — `campaign_started` (carrying
+/// `fingerprint`), per-job start/finish/fail events, prefilled-job
+/// replay, `campaign_finished` — without assuming the jobs are
+/// simulator [`Job`]s. [`run_campaign`] is this function applied to a
+/// campaign's typed jobs; the conformance fuzzer applies it to fuzz
+/// specs.
+///
+/// `jobs` must contain **every** job of the run (ids dense, `jobs[i].id
+/// == i`), including those already in `prefilled`: a prefilled job's
+/// `meta`, `summary`, and `resume_payload` hooks are used to re-emit its
+/// `job_finished` event (marked `"resumed": true`, with its full
+/// `result` payload) so the new stream alone can drive the next resume.
+/// Only the jobs absent from `prefilled` execute.
+///
+/// # Panics
+///
+/// Panics if job ids are not dense or a prefilled id has no job.
+pub fn run_checkpointed<T: Send + 'static>(
+    name: &str,
+    fingerprint: u64,
+    jobs: Vec<RawJob<T>>,
+    prefilled: Vec<JobRecord<T>>,
+    workers: usize,
+    sink: &EventSink,
+) -> CheckpointedRun<T> {
+    let start = Instant::now();
+    for (i, job) in jobs.iter().enumerate() {
+        assert_eq!(job.id, i, "job ids must be dense and in order");
+    }
+    sink.campaign_started(name, jobs.len(), workers, &fingerprint_hex(fingerprint));
+    let skip: HashSet<usize> = prefilled.iter().map(|r| r.id).collect();
+    // Replay finished events for prefilled jobs (with their full result
+    // payloads) so the new stream alone can drive the next resume.
+    for record in &prefilled {
+        if let Ok(result) = &record.outcome {
+            let job = &jobs[record.id];
+            let mut extra = job.meta.clone();
+            extra.push(("resumed".to_string(), Value::Bool(true)));
+            if let Some(payload) = &job.resume_payload {
+                extra.push(("result".to_string(), payload(result)));
+            }
+            let summary = job.summary.as_ref().map(|s| s(result));
+            sink.job_finished(record, summary, &extra);
+        }
+    }
+    let remaining: Vec<RawJob<T>> = jobs.into_iter().filter(|j| !skip.contains(&j.id)).collect();
+    let records = run_raw_prefilled(remaining, prefilled, workers, sink);
+    let finished = records.iter().filter(|r| r.outcome.is_ok()).count();
+    let wall = start.elapsed();
+    sink.campaign_finished(name, finished, records.len() - finished, wall);
+    CheckpointedRun { records, wall }
+}
+
 fn run_campaign_prefilled(
     campaign: &Campaign,
     workers: usize,
     sink: &EventSink,
     prefilled: Vec<JobRecord<RunResult>>,
 ) -> CampaignReport {
-    let start = Instant::now();
-    sink.campaign_started(
-        &campaign.name,
-        campaign.jobs.len(),
-        workers,
-        &fingerprint_hex(campaign_fingerprint(campaign)),
-    );
-    let skip: HashSet<usize> = prefilled.iter().map(|r| r.id).collect();
-    // Replay finished events for prefilled jobs (with their full result
-    // payloads) so the new stream alone can drive the next resume.
-    for record in &prefilled {
-        if let Ok(result) = &record.outcome {
-            let mut extra = job_event_meta(&campaign.jobs[record.id]);
-            extra.push(("resumed".to_string(), Value::Bool(true)));
-            extra.push(("result".to_string(), result.to_json()));
-            sink.job_finished(record, Some(job_summary(result)), &extra);
-        }
-    }
     let raw: Vec<RawJob<RunResult>> = campaign
         .jobs
         .iter()
-        .filter(|job| !skip.contains(&job.id))
         .cloned()
         .map(|job| RawJob {
             id: job.id,
@@ -180,22 +228,26 @@ fn run_campaign_prefilled(
             }),
         })
         .collect();
-    let records = run_raw_prefilled(raw, prefilled, workers, sink);
+    let run = run_checkpointed(
+        &campaign.name,
+        campaign_fingerprint(campaign),
+        raw,
+        prefilled,
+        workers,
+        sink,
+    );
     let mut totals = Telemetry::new();
-    for record in &records {
+    for record in &run.records {
         if let Some(t) = &record.telemetry {
             totals.merge(t);
         }
     }
-    let wall = start.elapsed();
-    let report = CampaignReport {
+    CampaignReport {
         spec: campaign.clone(),
-        records,
+        records: run.records,
         totals,
-        wall,
-    };
-    sink.campaign_finished(&campaign.name, report.finished(), report.failed(), wall);
-    report
+        wall: run.wall,
+    }
 }
 
 /// The compact per-job summary attached to `job_finished` events: the

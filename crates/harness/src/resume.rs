@@ -5,14 +5,22 @@
 //! `campaign_started` event carries a **spec fingerprint** (a hash over
 //! the campaign name and every job's full configuration), and each
 //! `job_finished` event carries its job's own fingerprint plus the full
-//! `RunResult` and telemetry counters. [`ResumeLog`] parses such a
-//! stream, [`ResumeLog::prefill`] validates it against the campaign
-//! about to run and converts finished jobs back into
-//! [`JobRecord`](crate::JobRecord)s, and
-//! [`resume_campaign`](crate::resume_campaign) hands those to the
-//! executor so only the remainder executes. Because the aggregate
-//! document is a function of per-job results alone, a resumed campaign
-//! reproduces the uninterrupted aggregate byte for byte.
+//! `result` payload and telemetry counters.
+//!
+//! Two layers live here:
+//!
+//! - [`CheckpointLog`] — the generic reader: parses any harness event
+//!   stream, keeps each finished job's `result` as raw JSON, and
+//!   validates identity (campaign fingerprint, job count, per-job
+//!   fingerprints) before converting finished jobs into typed
+//!   [`JobRecord`](crate::JobRecord)s via a caller-supplied decoder.
+//!   This is what non-campaign runs on the same worker pool (the
+//!   conformance fuzzer's `ddrace fuzz --resume`) use.
+//! - [`ResumeLog`] — the campaign-typed wrapper: results decoded into
+//!   [`RunResult`]s, consumed by
+//!   [`resume_campaign`](crate::resume_campaign). Because the aggregate
+//!   document is a function of per-job results alone, a resumed campaign
+//!   reproduces the uninterrupted aggregate byte for byte.
 //!
 //! Jobs are keyed by **id + fingerprint**, never by label: two jobs of a
 //! campaign may share a label (the same workload listed twice), but ids
@@ -26,8 +34,10 @@ use ddrace_telemetry::Telemetry;
 use std::collections::BTreeMap;
 use std::time::Duration;
 
-/// A 64-bit FNV-1a hash of `bytes`.
-fn fnv1a(bytes: &[u8]) -> u64 {
+/// A 64-bit FNV-1a hash of `bytes` — the hash behind every harness
+/// fingerprint. Public so other checkpointed runs (the conformance
+/// fuzzer) fingerprint their job specs the same way.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         hash ^= u64::from(b);
@@ -80,9 +90,23 @@ pub fn job_fingerprint(job: &Job) -> u64 {
 /// in id order. Any change to the job set — reordered axes, a different
 /// seed list, a config tweak — yields a different value.
 pub fn campaign_fingerprint(campaign: &Campaign) -> u64 {
-    let mut canonical = format!("campaign:{}", campaign.name);
-    for job in &campaign.jobs {
-        canonical.push_str(&format!(";{:016x}", job_fingerprint(job)));
+    fingerprint_of_jobs(
+        &campaign.name,
+        campaign
+            .jobs
+            .iter()
+            .map(job_fingerprint)
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// Combines a run name and its per-job fingerprints (in id order) into
+/// one run fingerprint, the way [`campaign_fingerprint`] does — shared
+/// with other checkpointed runs so every stream validates identically.
+pub fn fingerprint_of_jobs(name: &str, job_fingerprints: impl AsRef<[u64]>) -> u64 {
+    let mut canonical = format!("campaign:{name}");
+    for fp in job_fingerprints.as_ref() {
+        canonical.push_str(&format!(";{fp:016x}"));
     }
     fnv1a(canonical.as_bytes())
 }
@@ -92,25 +116,78 @@ pub fn fingerprint_hex(fingerprint: u64) -> String {
     format!("{fingerprint:016x}")
 }
 
-/// One finished job recovered from a prior event stream.
+/// The identity check every resume performs before trusting a log: the
+/// run fingerprint (name + full per-job configuration) and the job count
+/// must both match. Single-sourced so the campaign and fuzz paths emit
+/// the same refusal message.
+fn check_compatibility(
+    log_campaign: &str,
+    log_fingerprint: u64,
+    log_jobs_total: usize,
+    name: &str,
+    fingerprint: u64,
+    jobs_total: usize,
+) -> Result<(), String> {
+    if log_fingerprint != fingerprint {
+        return Err(format!(
+            "resume log was recorded for campaign `{}` (fingerprint {}), \
+             but the current campaign is `{}` (fingerprint {}); \
+             the job set, seeds, or configuration differ — refusing to resume",
+            log_campaign,
+            fingerprint_hex(log_fingerprint),
+            name,
+            fingerprint_hex(fingerprint),
+        ));
+    }
+    if log_jobs_total != jobs_total {
+        return Err(format!(
+            "resume log recorded {log_jobs_total} jobs, current campaign has {jobs_total}"
+        ));
+    }
+    Ok(())
+}
+
+/// Per-job identity check: the recorded fingerprint must match the
+/// current spec's — resume never trusts labels alone.
+fn check_job_fingerprint(
+    id: usize,
+    label: &str,
+    recorded: u64,
+    expected: u64,
+) -> Result<(), String> {
+    if recorded != expected {
+        return Err(format!(
+            "resume log job #{id} ({label}) has fingerprint {}, expected {}",
+            fingerprint_hex(recorded),
+            fingerprint_hex(expected),
+        ));
+    }
+    Ok(())
+}
+
+/// One finished job recovered from a prior event stream, its `result`
+/// payload still raw JSON. The typed layers decode it.
 #[derive(Debug, Clone)]
-pub struct FinishedJob {
+pub struct RawFinishedJob {
     /// The job's label as recorded.
     pub label: String,
     /// The job's spec fingerprint as recorded.
     pub fingerprint: u64,
-    /// The full result, round-tripped through the event's `result` field.
-    pub result: RunResult,
+    /// The event's `result` payload, undecoded ([`Value::Null`] when the
+    /// event carried none).
+    pub result: Value,
     /// Telemetry counters (and spans) as recorded, if any.
     pub telemetry: Option<Telemetry>,
     /// The recorded wall-clock time of the original run.
     pub wall: Duration,
 }
 
-/// A parsed prior event stream: the campaign identity it was recorded
-/// for and every job that finished before the interruption.
+/// A parsed prior event stream with raw result payloads: the campaign
+/// identity it was recorded for and every job that finished before the
+/// interruption. Result-type agnostic; see [`ResumeLog`] for the
+/// campaign-typed view.
 #[derive(Debug, Clone)]
-pub struct ResumeLog {
+pub struct CheckpointLog {
     /// The recorded campaign name.
     pub campaign: String,
     /// The recorded campaign fingerprint.
@@ -119,19 +196,19 @@ pub struct ResumeLog {
     pub jobs_total: usize,
     /// Finished jobs keyed by id. Failed jobs are deliberately absent —
     /// resume re-runs them.
-    pub finished: BTreeMap<usize, FinishedJob>,
+    pub finished: BTreeMap<usize, RawFinishedJob>,
     /// Lines that did not parse as JSON (a kill can truncate the final
     /// line mid-write); kept as a count for diagnostics.
     pub malformed_lines: usize,
 }
 
-impl ResumeLog {
-    /// Parses a JSONL event stream produced by a prior campaign run.
+impl CheckpointLog {
+    /// Parses a JSONL event stream produced by a prior harness run.
     ///
     /// Tolerates a truncated trailing line (the usual signature of a
     /// mid-write kill) and ignores event kinds it does not need;
     /// requires exactly one `campaign_started` event.
-    pub fn parse(text: &str) -> Result<ResumeLog, String> {
+    pub fn parse(text: &str) -> Result<CheckpointLog, String> {
         let mut header: Option<(String, u64, usize)> = None;
         let mut finished = BTreeMap::new();
         let mut malformed_lines = 0usize;
@@ -171,9 +248,6 @@ impl ResumeLog {
                     let fingerprint = parse_fingerprint(&event).ok_or_else(|| {
                         format!("job_finished #{id} ({label}): missing or invalid fingerprint")
                     })?;
-                    let result = RunResult::from_json(&event["result"]).map_err(|e| {
-                        format!("job_finished #{id} ({label}): invalid result payload: {e}")
-                    })?;
                     let telemetry = if event["telemetry"].is_null() {
                         None
                     } else {
@@ -188,10 +262,10 @@ impl ResumeLog {
                         .unwrap_or_default();
                     finished.insert(
                         id,
-                        FinishedJob {
+                        RawFinishedJob {
                             label,
                             fingerprint,
-                            result,
+                            result: event["result"].clone(),
                             telemetry,
                             wall,
                         },
@@ -204,12 +278,119 @@ impl ResumeLog {
         }
         let (campaign, fingerprint, jobs_total) =
             header.ok_or("resume log has no campaign_started event")?;
-        Ok(ResumeLog {
+        Ok(CheckpointLog {
             campaign,
             fingerprint,
             jobs_total,
             finished,
             malformed_lines,
+        })
+    }
+
+    /// Validates this log against the run about to execute — `name`,
+    /// its run `fingerprint`, and the expected per-job fingerprints in
+    /// id order — then converts finished jobs into prefilled records,
+    /// decoding each raw `result` payload with `decode`.
+    ///
+    /// The error messages match [`ResumeLog::prefill`]'s exactly; the
+    /// two paths refuse a mismatched checkpoint with the same words.
+    pub fn prefill_with<T>(
+        &self,
+        name: &str,
+        fingerprint: u64,
+        job_fingerprints: &[u64],
+        mut decode: impl FnMut(usize, &RawFinishedJob) -> Result<T, String>,
+    ) -> Result<Vec<JobRecord<T>>, String> {
+        check_compatibility(
+            &self.campaign,
+            self.fingerprint,
+            self.jobs_total,
+            name,
+            fingerprint,
+            job_fingerprints.len(),
+        )?;
+        let mut records = Vec::with_capacity(self.finished.len());
+        for (&id, done) in &self.finished {
+            let expected = *job_fingerprints.get(id).ok_or_else(|| {
+                format!("resume log finished job #{id} is out of range for this campaign")
+            })?;
+            check_job_fingerprint(id, &done.label, done.fingerprint, expected)?;
+            records.push(JobRecord {
+                id,
+                label: done.label.clone(),
+                outcome: Ok(decode(id, done)?),
+                telemetry: done.telemetry.clone(),
+                wall: done.wall,
+            });
+        }
+        Ok(records)
+    }
+}
+
+/// One finished job recovered from a prior event stream.
+#[derive(Debug, Clone)]
+pub struct FinishedJob {
+    /// The job's label as recorded.
+    pub label: String,
+    /// The job's spec fingerprint as recorded.
+    pub fingerprint: u64,
+    /// The full result, round-tripped through the event's `result` field.
+    pub result: RunResult,
+    /// Telemetry counters (and spans) as recorded, if any.
+    pub telemetry: Option<Telemetry>,
+    /// The recorded wall-clock time of the original run.
+    pub wall: Duration,
+}
+
+/// A parsed prior event stream: the campaign identity it was recorded
+/// for and every job that finished before the interruption.
+#[derive(Debug, Clone)]
+pub struct ResumeLog {
+    /// The recorded campaign name.
+    pub campaign: String,
+    /// The recorded campaign fingerprint.
+    pub fingerprint: u64,
+    /// The recorded job count.
+    pub jobs_total: usize,
+    /// Finished jobs keyed by id. Failed jobs are deliberately absent —
+    /// resume re-runs them.
+    pub finished: BTreeMap<usize, FinishedJob>,
+    /// Lines that did not parse as JSON (a kill can truncate the final
+    /// line mid-write); kept as a count for diagnostics.
+    pub malformed_lines: usize,
+}
+
+impl ResumeLog {
+    /// Parses a JSONL event stream produced by a prior campaign run,
+    /// decoding each finished job's `result` payload into a
+    /// [`RunResult`]. See [`CheckpointLog::parse`] for stream handling.
+    pub fn parse(text: &str) -> Result<ResumeLog, String> {
+        let raw = CheckpointLog::parse(text)?;
+        let mut finished = BTreeMap::new();
+        for (&id, done) in &raw.finished {
+            let result = RunResult::from_json(&done.result).map_err(|e| {
+                format!(
+                    "job_finished #{id} ({}): invalid result payload: {e}",
+                    done.label
+                )
+            })?;
+            finished.insert(
+                id,
+                FinishedJob {
+                    label: done.label.clone(),
+                    fingerprint: done.fingerprint,
+                    result,
+                    telemetry: done.telemetry.clone(),
+                    wall: done.wall,
+                },
+            );
+        }
+        Ok(ResumeLog {
+            campaign: raw.campaign,
+            fingerprint: raw.fingerprint,
+            jobs_total: raw.jobs_total,
+            finished,
+            malformed_lines: raw.malformed_lines,
         })
     }
 
@@ -221,39 +402,20 @@ impl ResumeLog {
     /// any finished job whose id/fingerprint pair does not match —
     /// resume never trusts labels alone.
     pub fn prefill(&self, campaign: &Campaign) -> Result<Vec<JobRecord<RunResult>>, String> {
-        let current = campaign_fingerprint(campaign);
-        if self.fingerprint != current {
-            return Err(format!(
-                "resume log was recorded for campaign `{}` (fingerprint {}), \
-                 but the current campaign is `{}` (fingerprint {}); \
-                 the job set, seeds, or configuration differ — refusing to resume",
-                self.campaign,
-                fingerprint_hex(self.fingerprint),
-                campaign.name,
-                fingerprint_hex(current),
-            ));
-        }
-        if self.jobs_total != campaign.jobs.len() {
-            return Err(format!(
-                "resume log recorded {} jobs, current campaign has {}",
-                self.jobs_total,
-                campaign.jobs.len()
-            ));
-        }
+        check_compatibility(
+            &self.campaign,
+            self.fingerprint,
+            self.jobs_total,
+            &campaign.name,
+            campaign_fingerprint(campaign),
+            campaign.jobs.len(),
+        )?;
         let mut records = Vec::with_capacity(self.finished.len());
         for (&id, done) in &self.finished {
             let job = campaign.jobs.get(id).ok_or_else(|| {
                 format!("resume log finished job #{id} is out of range for this campaign")
             })?;
-            let expected = job_fingerprint(job);
-            if done.fingerprint != expected {
-                return Err(format!(
-                    "resume log job #{id} ({}) has fingerprint {}, expected {}",
-                    done.label,
-                    fingerprint_hex(done.fingerprint),
-                    fingerprint_hex(expected),
-                ));
-            }
+            check_job_fingerprint(id, &done.label, done.fingerprint, job_fingerprint(job))?;
             records.push(JobRecord {
                 id,
                 label: done.label.clone(),
@@ -387,5 +549,52 @@ mod tests {
         assert_eq!(log.malformed_lines, 1);
         assert!(log.finished.is_empty());
         assert_eq!(log.jobs_total, 4);
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn generic_prefill_rejects_with_the_same_words_as_typed_prefill() {
+        let spec = campaign();
+        let other = Campaign::builder("fp-test")
+            .workloads([racy::sparse_race()])
+            .modes([AnalysisMode::Native, AnalysisMode::Continuous])
+            .seeds([1, 3])
+            .scale(Scale::TEST)
+            .cores(2)
+            .build();
+        let head = format!(
+            "{{\"event\":\"campaign_started\",\"campaign\":\"fp-test\",\"jobs\":4,\"workers\":1,\"fingerprint\":\"{}\"}}\n",
+            fingerprint_hex(campaign_fingerprint(&spec))
+        );
+        let typed_err = ResumeLog::parse(&head)
+            .unwrap()
+            .prefill(&other)
+            .unwrap_err();
+        let fps: Vec<u64> = other.jobs.iter().map(job_fingerprint).collect();
+        let raw_err = CheckpointLog::parse(&head)
+            .unwrap()
+            .prefill_with::<()>(&other.name, campaign_fingerprint(&other), &fps, |_, _| {
+                Ok(())
+            })
+            .unwrap_err();
+        assert_eq!(typed_err, raw_err);
+        assert!(typed_err.contains("refusing to resume"), "{typed_err}");
+    }
+
+    #[test]
+    fn fingerprint_of_jobs_matches_campaign_fingerprint() {
+        let spec = campaign();
+        let fps: Vec<u64> = spec.jobs.iter().map(job_fingerprint).collect();
+        assert_eq!(
+            fingerprint_of_jobs(&spec.name, &fps),
+            campaign_fingerprint(&spec)
+        );
     }
 }

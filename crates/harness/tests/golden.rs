@@ -1,0 +1,77 @@
+//! Golden-file pin of the aggregate document: the exact bytes
+//! `aggregate_json` produces for a small variant-swept campaign (and a
+//! variant-free one) are committed under `tests/golden/`. Any change to
+//! field order, float formatting, variant folding, or row structure shows
+//! up as a diff against a reviewed artifact instead of silently shifting
+//! downstream consumers (ci.sh, plotting scripts, the resume protocol).
+//!
+//! To regenerate after an *intentional* format change:
+//!
+//! ```text
+//! DDRACE_UPDATE_GOLDEN=1 cargo test -p ddrace-harness --test golden
+//! ```
+
+use ddrace_core::AnalysisMode;
+use ddrace_harness::{run_campaign, Campaign, EventSink, JobVariant};
+use ddrace_workloads::{racy, Scale};
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var("DDRACE_UPDATE_GOLDEN").is_ok() {
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "{}: {e}\nrun with DDRACE_UPDATE_GOLDEN=1 to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual,
+        expected,
+        "aggregate bytes diverged from {} — if the format change is \
+         intentional, regenerate with DDRACE_UPDATE_GOLDEN=1",
+        path.display()
+    );
+}
+
+fn render(campaign: &Campaign) -> String {
+    let report = run_campaign(campaign, 4, &EventSink::null());
+    assert_eq!(report.failed(), 0, "golden campaign must run clean");
+    let mut text = ddrace_json::to_string_pretty(&report.aggregate_json()).unwrap();
+    text.push('\n');
+    text
+}
+
+#[test]
+fn variant_swept_aggregate_matches_golden_bytes() {
+    let campaign = Campaign::builder("golden-variants")
+        .workloads([racy::sparse_race()])
+        .modes([AnalysisMode::Continuous, AnalysisMode::demand_hitm()])
+        .seeds([42])
+        .scale(Scale::TEST)
+        .cores(4)
+        .variants([JobVariant::with_cores(2), JobVariant::with_cores(4)])
+        .build();
+    check_golden("variant_swept.json", &render(&campaign));
+}
+
+#[test]
+fn variant_free_aggregate_matches_golden_bytes() {
+    let campaign = Campaign::builder("golden-baseline")
+        .workloads([racy::sparse_race()])
+        .modes([AnalysisMode::Native, AnalysisMode::demand_hitm()])
+        .seeds([42, 7])
+        .scale(Scale::TEST)
+        .cores(4)
+        .build();
+    check_golden("baseline.json", &render(&campaign));
+}

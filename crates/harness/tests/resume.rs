@@ -175,11 +175,16 @@ fn resume_rejects_mismatched_campaign() {
         .cores(4)
         .build();
     let err = resume_campaign(&other, 2, &EventSink::null(), &parsed).unwrap_err();
-    assert!(err.contains("fingerprint"), "unhelpful error: {err}");
-    assert!(
-        err.contains(&fingerprint_hex(campaign_fingerprint(&other))),
-        "error should name the mismatching fingerprints: {err}"
+    // The CLI surfaces this string verbatim and exits non-zero on it; pin
+    // the full shape so it stays an actionable refusal, not a bare code.
+    let expected = format!(
+        "resume log was recorded for campaign `resume-test` (fingerprint {}), but the \
+         current campaign is `resume-test` (fingerprint {}); the job set, seeds, or \
+         configuration differ — refusing to resume",
+        fingerprint_hex(campaign_fingerprint(&spec)),
+        fingerprint_hex(campaign_fingerprint(&other)),
     );
+    assert_eq!(err, expected);
 }
 
 #[test]

@@ -1,0 +1,120 @@
+//! Property suite: arbitrary [`Value`] trees must survive
+//! `write → parse → write` untouched. Three properties carry the weight:
+//!
+//! - **parse∘write = id** for both the compact and the pretty writer, on
+//!   trees stressing string escapes (quotes, backslashes, control
+//!   characters, astral-plane text) and deep array/object nesting;
+//! - **formatting is stable**: re-encoding a parsed document reproduces
+//!   the original bytes — floats in particular, whose shortest-round-trip
+//!   rendering the campaign goldens depend on.
+//!
+//! Numbers are generated in the parser's canonical form (negative →
+//! [`Value::Int`], non-negative → [`Value::UInt`], finite → `Float`), the
+//! same form every writer in the workspace produces.
+
+use ddrace_json::{to_string_pretty, Value};
+use proptest::prelude::*;
+use proptest::BoxedStrategy;
+
+/// Characters that exercise every branch of the string escaper, plus
+/// ordinary text.
+const PALETTE: &[char] = &[
+    '"', '\\', '\n', '\r', '\t', '\u{8}', '\u{c}', '\u{0}', '\u{1f}', '/', ' ', 'a', 'Z', '0', 'é',
+    'ß', '中', '🦀', '\u{7f}', '\u{2028}',
+];
+
+fn json_string() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            any::<u8>().prop_map(|i| PALETTE[i as usize % PALETTE.len()]),
+            any::<u32>().prop_map(|c| char::from_u32(c % 0x11_0000).unwrap_or('\u{fffd}')),
+        ],
+        0..12,
+    )
+    .prop_map(|chars| chars.into_iter().collect())
+}
+
+/// A finite float; the writer encodes non-finite values as `null`, so
+/// they cannot round-trip and are mapped away.
+fn json_float() -> impl Strategy<Value = f64> {
+    any::<u64>().prop_map(|bits| {
+        let f = f64::from_bits(bits);
+        if f.is_finite() {
+            f
+        } else {
+            f64::from_bits(bits & 0x000F_FFFF_FFFF_FFFF)
+        }
+    })
+}
+
+fn json_leaf() -> BoxedStrategy<Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        // Canonical split: the parser yields Int only for negatives.
+        any::<i64>().prop_map(|i| Value::Int(if i >= 0 { -i - 1 } else { i })),
+        any::<u64>().prop_map(Value::UInt),
+        json_float().prop_map(Value::Float),
+        json_string().prop_map(Value::Str),
+    ]
+    .boxed()
+}
+
+fn json_value(depth: u32) -> BoxedStrategy<Value> {
+    if depth == 0 {
+        return json_leaf();
+    }
+    let element = json_value(depth - 1);
+    prop_oneof![
+        2 => json_leaf(),
+        1 => proptest::collection::vec(element.clone(), 0..4).prop_map(Value::Array),
+        1 => proptest::collection::vec((json_string(), element), 0..4)
+            .prop_map(Value::Object),
+    ]
+    .boxed()
+}
+
+proptest! {
+    #[test]
+    fn compact_round_trips(value in json_value(3)) {
+        let text = value.to_compact();
+        let parsed = Value::parse(&text)
+            .map_err(|e| TestCaseError::fail(format!("{text}: {e}")))?;
+        prop_assert_eq!(&parsed, &value, "compact text: {}", text);
+    }
+
+    #[test]
+    fn pretty_round_trips(value in json_value(3)) {
+        let text = to_string_pretty(&value)
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        let parsed = Value::parse(&text)
+            .map_err(|e| TestCaseError::fail(format!("{text}: {e}")))?;
+        prop_assert_eq!(&parsed, &value, "pretty text: {}", text);
+    }
+
+    #[test]
+    fn compact_formatting_is_stable(value in json_value(3)) {
+        let first = value.to_compact();
+        let reparsed = Value::parse(&first)
+            .map_err(|e| TestCaseError::fail(format!("{first}: {e}")))?;
+        prop_assert_eq!(reparsed.to_compact(), first);
+    }
+
+    #[test]
+    fn float_formatting_is_stable(f in json_float()) {
+        let text = Value::Float(f).to_compact();
+        let reparsed = Value::parse(&text)
+            .map_err(|e| TestCaseError::fail(format!("{text}: {e}")))?;
+        prop_assert_eq!(reparsed.to_compact(), text, "float source: {:?}", f);
+        // The rendering must also be exact, not merely stable.
+        prop_assert_eq!(reparsed, Value::Float(f));
+    }
+
+    #[test]
+    fn string_escapes_round_trip(s in json_string()) {
+        let text = Value::Str(s.clone()).to_compact();
+        let parsed = Value::parse(&text)
+            .map_err(|e| TestCaseError::fail(format!("{text}: {e}")))?;
+        prop_assert_eq!(parsed, Value::Str(s));
+    }
+}

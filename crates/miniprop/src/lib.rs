@@ -8,13 +8,18 @@
 //! generator, so the suites run with **zero external dependencies** and are
 //! fully deterministic: the same binary always generates the same cases.
 //!
-//! Deliberately out of scope: shrinking (a failing case prints its inputs
-//! instead), persistence files, and `prop_flat_map`-style dependent
-//! strategies. If a new test needs those, grow this crate.
+//! Deliberately out of scope: strategy-integrated shrinking (a failing
+//! case prints its inputs instead), persistence files, and
+//! `prop_flat_map`-style dependent strategies. Callers that need to
+//! minimize a failing input can use the standalone [`shrink`] module,
+//! which implements greedy delta-debugging over caller-supplied
+//! candidate transformations.
 //!
 //! [proptest]: https://docs.rs/proptest
 
 #![forbid(unsafe_code)]
+
+pub mod shrink;
 
 use std::ops::{Range, RangeInclusive};
 use std::rc::Rc;

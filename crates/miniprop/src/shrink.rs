@@ -1,0 +1,201 @@
+//! Greedy input shrinking (delta debugging) for failing test cases.
+//!
+//! Strategy-integrated shrinking — where every generator knows how to
+//! simplify the values it produced — is deliberately out of scope for
+//! miniprop (see the crate docs). What conformance fuzzers actually need
+//! is simpler: given one failing input and a *domain-specific* list of
+//! candidate simplifications, walk downhill while the failure persists.
+//! That is this module.
+//!
+//! The algorithm is classic greedy delta debugging:
+//!
+//! 1. ask `candidates` for every one-step simplification of the current
+//!    input (drop an element, unwrap a construct, halve a number, …);
+//! 2. evaluate them in order; the **first** one that still fails becomes
+//!    the new current input;
+//! 3. repeat until no candidate fails (a local minimum) or the
+//!    evaluation budget runs out.
+//!
+//! The result is deterministic: it depends only on the input, the order
+//! `candidates` lists its simplifications, and the (pure) predicate.
+//! Candidate lists should therefore be ordered most-aggressive-first
+//! (drop a whole section before dropping one element) so large inputs
+//! collapse in few evaluations.
+
+/// Outcome of a [`shrink`] run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Shrunk<T> {
+    /// The smallest failing input found (the original input if no
+    /// candidate reproduced the failure).
+    pub value: T,
+    /// How many candidate evaluations the predicate performed.
+    pub evaluations: usize,
+    /// How many shrinking steps were accepted (candidates that still
+    /// failed and replaced the current input).
+    pub steps: usize,
+    /// True when the run stopped because the budget was exhausted rather
+    /// than because a local minimum was reached.
+    pub budget_exhausted: bool,
+}
+
+/// Greedily minimizes a failing `input` with an unlimited budget.
+///
+/// `fails` must return `true` for any input that reproduces the failure
+/// under investigation; `input` itself is assumed to fail (it is never
+/// re-evaluated). `candidates` maps an input to its one-step
+/// simplifications, most aggressive first. See the module docs for the
+/// algorithm.
+pub fn shrink<T>(
+    input: T,
+    fails: impl FnMut(&T) -> bool,
+    candidates: impl FnMut(&T) -> Vec<T>,
+) -> Shrunk<T> {
+    shrink_budgeted(input, fails, candidates, usize::MAX)
+}
+
+/// [`shrink`] with an upper bound on predicate evaluations.
+///
+/// Shrinking re-runs the (possibly expensive) failing scenario once per
+/// candidate, so runaway candidate lists are bounded here rather than by
+/// wall clock. When the budget runs out mid-pass the best input found so
+/// far is returned with `budget_exhausted` set.
+pub fn shrink_budgeted<T>(
+    input: T,
+    mut fails: impl FnMut(&T) -> bool,
+    mut candidates: impl FnMut(&T) -> Vec<T>,
+    budget: usize,
+) -> Shrunk<T> {
+    let mut current = input;
+    let mut evaluations = 0usize;
+    let mut steps = 0usize;
+    loop {
+        let mut advanced = false;
+        for candidate in candidates(&current) {
+            if evaluations >= budget {
+                return Shrunk {
+                    value: current,
+                    evaluations,
+                    steps,
+                    budget_exhausted: true,
+                };
+            }
+            evaluations += 1;
+            if fails(&candidate) {
+                current = candidate;
+                steps += 1;
+                advanced = true;
+                break;
+            }
+        }
+        if !advanced {
+            return Shrunk {
+                value: current,
+                evaluations,
+                steps,
+                budget_exhausted: false,
+            };
+        }
+    }
+}
+
+/// Candidate helper: every way to remove one element from `items`.
+///
+/// The usual backbone of a sequence shrinker; combine it with
+/// domain-specific structural simplifications.
+pub fn remove_each<T: Clone>(items: &[T]) -> Vec<Vec<T>> {
+    (0..items.len())
+        .map(|i| {
+            let mut v = items.to_vec();
+            v.remove(i);
+            v
+        })
+        .collect()
+}
+
+/// Candidate helper: halve-then-decrement simplifications of an integer
+/// towards `floor` (proptest's integer shrink order).
+pub fn smaller_integers(value: u64, floor: u64) -> Vec<u64> {
+    let mut out = Vec::new();
+    if value > floor {
+        let half = floor + (value - floor) / 2;
+        if half != value {
+            out.push(half);
+        }
+        if value - 1 != half {
+            out.push(value - 1);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrinks_a_vec_to_the_failing_core() {
+        // Failure: the vec contains both 3 and 7.
+        let input = vec![1, 3, 5, 7, 9, 11];
+        let result = shrink(
+            input,
+            |v: &Vec<i32>| v.contains(&3) && v.contains(&7),
+            |v| remove_each(v),
+        );
+        assert_eq!(result.value, vec![3, 7]);
+        assert!(!result.budget_exhausted);
+        assert_eq!(result.steps, 4, "one accepted step per removed element");
+    }
+
+    #[test]
+    fn returns_input_when_nothing_smaller_fails() {
+        let result = shrink(vec![2, 4], |v: &Vec<i32>| v.len() == 2, |v| remove_each(v));
+        assert_eq!(result.value, vec![2, 4]);
+        assert_eq!(result.steps, 0);
+        assert_eq!(result.evaluations, 2, "both removals were tried");
+    }
+
+    #[test]
+    fn integer_shrinking_reaches_the_boundary() {
+        // Failure: n >= 13. Greedy halving + decrement must land on 13.
+        let result = shrink(
+            1_000_000u64,
+            |&n| n >= 13,
+            |&n| smaller_integers(n, 0).into_iter().collect(),
+        );
+        assert_eq!(result.value, 13);
+    }
+
+    #[test]
+    fn budget_stops_the_walk_and_reports_it() {
+        let input: Vec<i32> = (0..100).collect();
+        let result = shrink_budgeted(input, |v: &Vec<i32>| v.contains(&99), |v| remove_each(v), 5);
+        assert!(result.budget_exhausted);
+        assert_eq!(result.evaluations, 5);
+        // Partial progress is kept: some prefix elements were dropped.
+        assert!(result.value.len() < 100);
+        assert!(result.value.contains(&99), "the result still fails");
+    }
+
+    #[test]
+    fn determinism_same_inputs_same_walk() {
+        let run = || {
+            shrink(
+                (0..40).collect::<Vec<i32>>(),
+                |v: &Vec<i32>| v.iter().filter(|&&x| x % 3 == 0).count() >= 2,
+                |v| remove_each(v),
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        assert_eq!(a.value.len(), 2);
+    }
+
+    #[test]
+    fn smaller_integers_order_and_floor() {
+        assert_eq!(smaller_integers(10, 0), vec![5, 9]);
+        assert_eq!(smaller_integers(10, 8), vec![9]);
+        assert_eq!(smaller_integers(8, 8), Vec::<u64>::new());
+        assert_eq!(smaller_integers(1, 0), vec![0]);
+    }
+}

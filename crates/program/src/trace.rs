@@ -99,8 +99,25 @@ impl Trace {
         program: crate::program::Program,
         config: crate::schedule::SchedulerConfig,
     ) -> Result<Trace, crate::error::ScheduleError> {
+        Trace::record_with(program, config, crate::schedule::PickStrategy::default())
+    }
+
+    /// [`Trace::record`] with an explicit runnable-thread picker — the
+    /// hook differential testing needs to check that both pickers
+    /// resolve a program to the same event stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduler errors from the run.
+    pub fn record_with(
+        program: crate::program::Program,
+        config: crate::schedule::SchedulerConfig,
+        strategy: crate::schedule::PickStrategy,
+    ) -> Result<Trace, crate::error::ScheduleError> {
         let mut recorder = TraceRecorder::new(crate::schedule::NullListener);
-        crate::schedule::run_program(program, config, &mut recorder)?;
+        crate::schedule::Scheduler::new(program, config)
+            .with_pick_strategy(strategy)
+            .run(&mut recorder)?;
         Ok(recorder.into_trace().0)
     }
 

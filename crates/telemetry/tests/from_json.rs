@@ -1,0 +1,103 @@
+//! The `FromJson` decode path and its counter-name interner: telemetry
+//! parsed back from a campaign's JSONL stream must land in the same
+//! `&'static str` keyspace live telemetry uses, whatever the names are
+//! and however often they repeat.
+
+use ddrace_json::{FromJson, ToJson, Value};
+use ddrace_telemetry::{intern, Telemetry};
+
+#[test]
+fn empty_telemetry_round_trips() {
+    for text in [
+        "{}",
+        r#"{"counters":{},"spans":{}}"#,
+        r#"{"counters":null}"#,
+    ] {
+        let t = Telemetry::from_json(&Value::parse(text).unwrap()).unwrap();
+        assert_eq!(t, Telemetry::new(), "source: {text}");
+        assert_eq!(t.counters().count(), 0);
+        assert_eq!(t.spans().count(), 0);
+    }
+    let back = Telemetry::from_json(&Telemetry::new().to_json()).unwrap();
+    assert_eq!(back, Telemetry::new());
+}
+
+#[test]
+fn duplicate_counter_names_intern_to_one_key_and_sum() {
+    // The value model is an ordered pair list, so a JSON object can carry
+    // the same key twice; decode must fold both additions into one
+    // interned counter rather than growing a second key.
+    let t =
+        Telemetry::from_json(&Value::parse(r#"{"counters":{"sim.pmis":3,"sim.pmis":4}}"#).unwrap())
+            .unwrap();
+    assert_eq!(t.counter("sim.pmis"), 7);
+    assert_eq!(t.counters().count(), 1);
+
+    // Same for spans: occurrences accumulate under one interned name.
+    let t = Telemetry::from_json(
+        &Value::parse(
+            r#"{"spans":{"job.run":{"count":1,"total_ns":10},"job.run":{"count":2,"total_ns":5}}}"#,
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    let spans: Vec<_> = t.spans().collect();
+    assert_eq!(spans.len(), 1);
+    assert_eq!(spans[0].0, "job.run");
+    assert_eq!(spans[0].1.count, 3);
+    assert_eq!(spans[0].1.total_ns, 15);
+}
+
+#[test]
+fn unknown_counter_names_are_interned_stably() {
+    // Names outside the built-in vocabulary still work — the interner
+    // leaks them once and hands every later parse the same pointer.
+    let text = r#"{"counters":{"custom.exotic_counter":1}}"#;
+    let a = Telemetry::from_json(&Value::parse(text).unwrap()).unwrap();
+    let b = Telemetry::from_json(&Value::parse(text).unwrap()).unwrap();
+    let key_a = a.counters().next().unwrap().0;
+    let key_b = b.counters().next().unwrap().0;
+    assert_eq!(key_a, "custom.exotic_counter");
+    assert!(
+        std::ptr::eq(key_a, key_b),
+        "repeated parses must reuse the interned allocation"
+    );
+    assert!(std::ptr::eq(key_a, intern("custom.exotic_counter")));
+}
+
+#[test]
+fn interned_telemetry_merges_with_live_telemetry() {
+    // The point of interning: decoded counters share the keyspace of
+    // live `&'static str` literals, so merge folds rather than forks.
+    let decoded =
+        Telemetry::from_json(&Value::parse(r#"{"counters":{"sim.cycles":5}}"#).unwrap()).unwrap();
+    let mut live = Telemetry::new();
+    live.add("sim.cycles", 2);
+    live.merge(&decoded);
+    assert_eq!(live.counter("sim.cycles"), 7);
+    assert_eq!(live.counters().count(), 1);
+}
+
+#[test]
+fn malformed_documents_are_rejected_with_field_context() {
+    let err = Telemetry::from_json(&Value::parse(r#"{"counters":{"sim.pmis":"three"}}"#).unwrap())
+        .unwrap_err();
+    assert!(
+        err.to_string().contains("counter `sim.pmis`: not a u64"),
+        "{err}"
+    );
+    let err = Telemetry::from_json(&Value::parse(r#"{"counters":{"sim.pmis":-1}}"#).unwrap())
+        .unwrap_err();
+    assert!(err.to_string().contains("not a u64"), "{err}");
+    let err = Telemetry::from_json(&Value::parse(r#"{"counters":[1,2]}"#).unwrap()).unwrap_err();
+    assert!(
+        err.to_string()
+            .contains("telemetry counters: not an object"),
+        "{err}"
+    );
+    let err = Telemetry::from_json(&Value::parse(r#"{"spans":7}"#).unwrap()).unwrap_err();
+    assert!(
+        err.to_string().contains("telemetry spans: not an object"),
+        "{err}"
+    );
+}

@@ -210,6 +210,57 @@ pub fn delayed_sharing(words: u64, delay_bytes: u64, rounds: u32) -> Program {
     b.build()
 }
 
+/// Small deterministic probe programs whose racy/clean status is known
+/// by construction: `(name, program, races_expected)`. Conformance tests
+/// run every probe through the full detector stack and check that the
+/// verdict matches the construction — a fixed-point complement to the
+/// random specs the fuzzer generates.
+pub fn conformance_probes() -> Vec<(&'static str, Program, bool)> {
+    // A lock-protected counter: both threads update the same word, but
+    // always under the lock — sharing without a race.
+    let locked_counter = {
+        let mut b = ProgramBuilder::new();
+        let shared = b.alloc_shared(64);
+        let x = shared.base();
+        let l = b.new_lock();
+        let worker = b.add_thread();
+        b.on(ThreadId::MAIN)
+            .fork(worker)
+            .lock(l)
+            .read(x)
+            .write(x)
+            .unlock(l)
+            .join(worker);
+        b.on(worker).lock(l).read(x).write(x).unlock(l);
+        b.build()
+    };
+    // Barrier-phased halves: each thread writes its own half, the barrier
+    // orders the swap, then each reads the other's half — clean.
+    let barrier_swap = {
+        let mut b = ProgramBuilder::new();
+        b.all_start();
+        let shared = b.alloc_shared(128);
+        let bar = b.new_barrier();
+        let t1 = b.add_thread();
+        b.on(ThreadId::MAIN)
+            .write(shared.word(0))
+            .barrier(bar, 2)
+            .read(shared.word(8));
+        b.on(t1)
+            .write(shared.word(8))
+            .barrier(bar, 2)
+            .read(shared.word(0));
+        b.build()
+    };
+    vec![
+        ("racy_publication", racy_publication(6), true),
+        ("safe_publication", safe_publication(), false),
+        ("delayed_sharing", delayed_sharing(8, 256, 2), true),
+        ("locked_counter", locked_counter, false),
+        ("barrier_swap", barrier_swap, false),
+    ]
+}
+
 /// [`delayed_sharing`] wrapped in a [`WorkloadSpec`] so the campaign
 /// harness can sweep it across the mode/variant/seed axes. `rounds` is
 /// the `Scale::SMALL` round count; other scales multiply it, floored at
@@ -302,6 +353,17 @@ mod tests {
             trace(spec.program(Scale::TEST, 1)),
             trace(delayed_sharing(64, 4096, 2))
         );
+    }
+
+    #[test]
+    fn conformance_probes_run_and_have_distinct_names() {
+        let probes = conformance_probes();
+        let names: std::collections::HashSet<&str> = probes.iter().map(|p| p.0).collect();
+        assert_eq!(names.len(), probes.len());
+        for (name, program, _) in probes {
+            run_program(program, SchedulerConfig::default(), &mut NullListener)
+                .unwrap_or_else(|e| panic!("probe {name} failed: {e}"));
+        }
     }
 
     #[test]

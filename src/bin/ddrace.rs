@@ -12,6 +12,10 @@
 //!                 [--seeds 1,2,3] [--cores-sweep 1,2,4,8] [--variants SPEC]
 //!                 [--workers N] [--events FILE|-] [--resume FILE]
 //!                 [--out FILE] [--quiet]
+//! ddrace fuzz    [--seed 1] [--count 200] [--workers N] [--fault NAME]
+//!                 [--events FILE|-] [--resume FILE] [--out FILE]
+//!                 [--repro-dir DIR] [--quiet]
+//! ddrace fuzz    --replay FILE
 //! ```
 
 use ddrace::{
@@ -42,6 +46,7 @@ fn main() -> ExitCode {
         "record" => cmd_record(&flags),
         "analyze" => cmd_analyze(&flags),
         "campaign" => cmd_campaign(&flags),
+        "fuzz" => cmd_fuzz(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -73,6 +78,20 @@ USAGE:
                     [--cores-sweep N,N,...] [--variants SPEC]
                     [--detector KIND] [--timeout-secs N] [--events FILE|-]
                     [--resume FILE] [--out FILE] [--quiet]
+    ddrace fuzz    [--seed N] [--count N] [--workers N] [--fault NAME]
+                   [--events FILE|-] [--resume FILE] [--out FILE]
+                   [--repro-dir DIR] [--quiet]
+    ddrace fuzz    --replay FILE
+
+FUZZ:       generates --count program specs from --seed and checks every
+            one against the conformance oracles (FastTrack vs Djit⁺ vs an
+            independent reference detector, demand ⊆ continuous with each
+            miss attributed, scheduler-picker equivalence, and the
+            metamorphic thread/address/padding transforms). Failures are
+            shrunk to minimal reproducer files in --repro-dir (default
+            `.`), replayable with --replay. --fault plants a deliberate
+            reference-detector bug (drop-write-write | ignore-unlock) to
+            demonstrate the oracles catch it; the default is none.
 
 RESUME:     --resume takes a prior run's --events JSONL stream; finished
             jobs are restored from it (validated by spec fingerprint) and
@@ -558,6 +577,142 @@ fn cmd_campaign(flags: &HashMap<String, String>) -> Result<(), String> {
         return Err(format!("{} job(s) failed", report.failed()));
     }
     Ok(())
+}
+
+fn cmd_fuzz(flags: &HashMap<String, String>) -> Result<(), String> {
+    if let Some(path) = flags.get("replay") {
+        return cmd_fuzz_replay(path);
+    }
+    let seed: u64 = flags
+        .get("seed")
+        .map(|s| s.parse().map_err(|_| "--seed takes a number"))
+        .transpose()?
+        .unwrap_or(1);
+    let count: usize = flags
+        .get("count")
+        .map(|s| s.parse().map_err(|_| "--count takes a number"))
+        .transpose()?
+        .unwrap_or(200);
+    let workers: usize = flags
+        .get("workers")
+        .map(|s| s.parse().map_err(|_| "--workers takes a number"))
+        .transpose()?
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        });
+    let fault = ddrace::Fault::parse(flags.get("fault").map(String::as_str).unwrap_or("none"))?;
+    let cfg = ddrace::FuzzConfig {
+        seed,
+        count,
+        workers,
+        fault,
+    };
+
+    // As in `campaign`: read the resume checkpoint *before* opening
+    // --events, so resuming into the path the checkpoint came from does
+    // not truncate it first.
+    let resume_log = flags
+        .get("resume")
+        .map(|path| -> Result<ddrace::harness::CheckpointLog, String> {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("--resume {path}: {e}"))?;
+            ddrace::harness::CheckpointLog::parse(&text)
+                .map_err(|e| format!("--resume {path}: {e}"))
+        })
+        .transpose()?;
+
+    let jsonl: Option<Box<dyn std::io::Write + Send>> = match flags.get("events") {
+        Some(path) if path == "-" => Some(Box::new(std::io::stdout())),
+        Some(path) => Some(Box::new(
+            std::fs::File::create(path).map_err(|e| format!("--events {path}: {e}"))?,
+        )),
+        None => None,
+    };
+    // Fuzz events are deterministic down to the byte (the ci.sh smoke
+    // stage diffs two runs), so wall-clock fields are zeroed.
+    let sink = EventSink::new(jsonl, !flags.contains_key("quiet")).with_deterministic_wall();
+    let skipped = resume_log.as_ref().map(|log| log.finished.len());
+    let report = ddrace::run_fuzz(&cfg, &sink, resume_log.as_ref())?;
+    if let Some(skipped) = skipped {
+        if !flags.contains_key("quiet") {
+            eprintln!("resumed: {skipped} of {count} spec(s) restored from the checkpoint");
+        }
+    }
+
+    let aggregate =
+        ddrace::json::to_string_pretty(&report.aggregate_json()).map_err(|e| e.to_string())?;
+    match flags.get("out") {
+        Some(path) => {
+            std::fs::write(path, &aggregate).map_err(|e| format!("--out {path}: {e}"))?;
+            eprintln!("aggregate written to {path}");
+        }
+        None => println!("{aggregate}"),
+    }
+
+    // Write one replayable reproducer file per failing spec.
+    let repro_dir = flags.get("repro-dir").map(String::as_str).unwrap_or(".");
+    let mut repro_paths = Vec::new();
+    if !report.failing_outcomes().is_empty() {
+        std::fs::create_dir_all(repro_dir).map_err(|e| format!("--repro-dir {repro_dir}: {e}"))?;
+    }
+    for outcome in report.failing_outcomes() {
+        if let Some(spec) = &outcome.reproducer {
+            let path = format!("{repro_dir}/fuzz-repro-s{:016x}.json", outcome.spec_seed);
+            let text = ddrace::json::to_string_pretty(&ddrace::conform::reproducer_json(
+                report.fault,
+                spec,
+            ))
+            .map_err(|e| e.to_string())?;
+            std::fs::write(&path, text).map_err(|e| format!("writing {path}: {e}"))?;
+            repro_paths.push(path);
+        }
+    }
+    for path in &repro_paths {
+        eprintln!("reproducer written to {path} (rerun with: ddrace fuzz --replay {path})");
+    }
+
+    if report.failed() > 0 {
+        return Err(format!("{} fuzz job(s) failed to finish", report.failed()));
+    }
+    if report.violations_total() > 0 {
+        return Err(format!(
+            "{} oracle violation(s) across {} of {} spec(s)",
+            report.violations_total(),
+            report.failing_outcomes().len(),
+            count
+        ));
+    }
+    if !flags.contains_key("quiet") {
+        eprintln!("fuzz: {count} spec(s) checked, no oracle violations");
+    }
+    Ok(())
+}
+
+fn cmd_fuzz_replay(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("--replay {path}: {e}"))?;
+    let (fault, spec) =
+        ddrace::conform::parse_reproducer(&text).map_err(|e| format!("--replay {path}: {e}"))?;
+    let verdict = ddrace::conform::check_spec_with(&spec, fault);
+    eprintln!(
+        "replay: {} op(s), fault {}, races continuous {} / demand {}",
+        spec.op_count(),
+        fault.name(),
+        verdict.races_continuous,
+        verdict.races_demand
+    );
+    if verdict.violations.is_empty() {
+        eprintln!("replay: the spec conforms — failure did not reproduce");
+        return Ok(());
+    }
+    for v in &verdict.violations {
+        eprintln!("violation [{}]: {}", v.oracle, v.detail);
+    }
+    Err(format!(
+        "{} oracle violation(s) reproduced",
+        verdict.violations.len()
+    ))
 }
 
 fn cmd_analyze(flags: &HashMap<String, String>) -> Result<(), String> {

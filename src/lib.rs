@@ -25,6 +25,7 @@
 //! | [`core`] | **the paper's contribution**: demand-driven controller + cost model |
 //! | [`workloads`] | Phoenix-like & PARSEC-like synthetic benchmarks, racy kernels |
 //! | [`harness`] | parallel campaign runner with structured telemetry |
+//! | [`conform`] | differential + metamorphic conformance fuzzer over the stack |
 //! | [`telemetry`] | span/counter sink the simulator emits into during campaigns |
 //! | [`json`] | dependency-free JSON used by traces, specs, and campaign output |
 //!
@@ -54,6 +55,7 @@
 #![forbid(unsafe_code)]
 
 pub use ddrace_cache as cache;
+pub use ddrace_conform as conform;
 pub use ddrace_core as core;
 pub use ddrace_detector as detector;
 pub use ddrace_harness as harness;
@@ -65,6 +67,7 @@ pub use ddrace_telemetry as telemetry;
 pub use ddrace_workloads as workloads;
 
 pub use ddrace_cache::{CacheConfig, CacheHierarchy, CoreId, HitWhere, LevelConfig, SharingKind};
+pub use ddrace_conform::{check_spec, run_fuzz, Fault, FuzzConfig, FuzzSpec};
 pub use ddrace_core::{
     geomean, render_timeline, result_timeline, run_program, AnalysisMode, AnalysisState,
     ControllerConfig, CostModel, DemandController, DetectorKind, EnableScope, RunResult, SimConfig,
