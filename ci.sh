@@ -70,6 +70,27 @@ diff "$FUZZ_SMOKE_DIR/ev8a.sorted" "$FUZZ_SMOKE_DIR/ev8b.sorted"
 diff "$FUZZ_SMOKE_DIR/agg8a.json" "$FUZZ_SMOKE_DIR/agg1.json"
 rm -rf "$FUZZ_SMOKE_DIR"
 
+# Record/ingest pipeline smoke: build a small .ddt corpus, replay it on
+# the worker pool at 1 and 8 workers (and once more at 8), and require
+# byte-identical aggregates — trace ingestion must be as deterministic
+# as live campaigns. The fuzz burst above already runs the live≡replayed
+# conformance oracle over every generated spec.
+echo "==> record/ingest smoke (3-trace corpus, workers 1 and 8)"
+TRACE_SMOKE_DIR=$(mktemp -d)
+for bench in unprotected_counter sparse_race mostly_locked; do
+    ./target/release/ddrace record --bench "$bench" --scale test --seed 42 \
+        --out "$TRACE_SMOKE_DIR/$bench.ddt" > /dev/null
+done
+./target/release/ddrace ingest --corpus "$TRACE_SMOKE_DIR" --workers 8 --quiet \
+    --out "$TRACE_SMOKE_DIR/agg8a.json"
+./target/release/ddrace ingest --corpus "$TRACE_SMOKE_DIR" --workers 8 --quiet \
+    --out "$TRACE_SMOKE_DIR/agg8b.json"
+./target/release/ddrace ingest --corpus "$TRACE_SMOKE_DIR" --workers 1 --quiet \
+    --out "$TRACE_SMOKE_DIR/agg1.json"
+diff "$TRACE_SMOKE_DIR/agg8a.json" "$TRACE_SMOKE_DIR/agg8b.json"
+diff "$TRACE_SMOKE_DIR/agg8a.json" "$TRACE_SMOKE_DIR/agg1.json"
+rm -rf "$TRACE_SMOKE_DIR"
+
 # Smoke-run the substrate bench: gates on panics/divergence (both
 # detector variants must agree), never on perf — CI boxes are too noisy.
 echo "==> bench_substrate --smoke"

@@ -133,6 +133,79 @@ pub fn check_spec_with(spec: &FuzzSpec, fault: Fault) -> SpecVerdict {
         ));
     }
 
+    // Record/replay: live detection and record-then-ingest through the
+    // binary `.ddt` codec must report identical racy keys (live ≡
+    // replayed). The live run records via the simulator's own capture
+    // path, so this exercises recording, the varint encoder, the
+    // streaming decoder, and trace replay end to end on every fuzzed
+    // event shape.
+    {
+        let mut cfg = SimConfig::new(spec.cores.max(1) as usize, AnalysisMode::Continuous);
+        cfg.scheduler = scheduler;
+        match Simulation::new(cfg).run_recorded(spec.to_program()) {
+            Ok((live, records)) => {
+                let keys_live = racy_keys(&live.races.reports);
+                if ddrace_trace::exec_trace(&records) != trace {
+                    verdict.violations.push(Violation::new(
+                        "record-replay",
+                        format!(
+                            "simulator capture diverged from the recorded trace \
+                             ({} records vs {} events)",
+                            records.len(),
+                            trace.events().len()
+                        ),
+                    ));
+                }
+                let meta = ddrace_trace::TraceMeta {
+                    source: "conform".to_string(),
+                    label: format!("spec-s{:016x}", spec.seed),
+                    seed: spec.seed,
+                    fingerprint: spec.seed,
+                };
+                let bytes = ddrace_trace::encode_trace(&meta, &records);
+                match ddrace_trace::decode_trace(&bytes) {
+                    Ok((_, decoded)) => {
+                        if decoded != records {
+                            verdict.violations.push(Violation::new(
+                                "record-replay",
+                                format!(
+                                    "binary codec round-trip altered the stream \
+                                     ({} vs {} records)",
+                                    decoded.len(),
+                                    records.len()
+                                ),
+                            ));
+                        }
+                        let replayed = run(
+                            spec,
+                            AnalysisMode::Continuous,
+                            DetectorKind::FastTrack,
+                            &ddrace_trace::exec_trace(&decoded),
+                        );
+                        let keys_replayed = racy_keys(&replayed.races.reports);
+                        if keys_replayed != keys_live {
+                            verdict.violations.push(Violation::new(
+                                "record-replay",
+                                format!(
+                                    "live and replayed racy keys differ: \
+                                     {keys_live:?} vs {keys_replayed:?}"
+                                ),
+                            ));
+                        }
+                    }
+                    Err(e) => verdict.violations.push(Violation::new(
+                        "record-replay",
+                        format!("decoding the encoded trace failed: {e}"),
+                    )),
+                }
+            }
+            Err(e) => verdict.violations.push(Violation::new(
+                "record-replay",
+                format!("live recorded run failed to schedule: {e}"),
+            )),
+        }
+    }
+
     // Reference divergence: Djit vs the independent HashMap-backed
     // reimplementation, byte-for-byte.
     let mut reference = RefHb::with_fault(DetectorConfig::default(), fault);
@@ -458,6 +531,22 @@ mod tests {
                 v.races_demand + v.quiet_indicator_misses + v.enable_latency_misses
                     >= v.races_continuous,
                 "seed {seed}: misses not fully attributed: {v:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn live_equals_replayed_for_every_archetype() {
+        // The acceptance bar for the record/ingest pipeline: across all
+        // generator archetypes (the seed range below cycles through every
+        // structural bias), the record-replay oracle must hold — live
+        // racy keys equal the keys from ingesting the recorded trace.
+        for seed in 0..20 {
+            let v = check_spec(&generate(seed));
+            assert!(
+                !v.violations.iter().any(|x| x.oracle == "record-replay"),
+                "seed {seed}: {:?}",
+                v.violations
             );
         }
     }

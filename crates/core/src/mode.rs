@@ -154,6 +154,12 @@ pub struct SimConfig {
     pub detector_kind: DetectorKind,
     /// Analysis mode.
     pub mode: AnalysisMode,
+    /// Capture the event stream (plus HITM-indicator samples) while the
+    /// run executes, for emission as a `.ddt` trace. Recording is purely
+    /// observational: a recorded run's [`RunResult`](crate::RunResult)
+    /// is byte-identical to the same run without recording. Retrieve the
+    /// records with [`Simulation::run_recorded`](crate::Simulation::run_recorded).
+    pub record: bool,
 }
 
 impl SimConfig {
@@ -172,6 +178,7 @@ impl SimConfig {
             detector: DetectorConfig::default(),
             detector_kind: DetectorKind::FastTrack,
             mode,
+            record: false,
         }
     }
 

@@ -30,8 +30,9 @@ use ddrace_detector::{Djit, FastTrack, LockSet, RaceDetector};
 use ddrace_pmu::SharingIndicator;
 use ddrace_program::{
     AccessKind, Addr, AddressSpace, Event, ExecutionListener, Op, OpCounts, Program, ScheduleError,
-    Scheduler, ThreadId,
+    Scheduler, ThreadId, TraceEvent,
 };
+use ddrace_trace::TraceRecord;
 
 /// Runs programs under a fixed configuration.
 ///
@@ -113,6 +114,35 @@ impl Simulation {
         };
         state.into_result(schedule, self.config.mode.label())
     }
+
+    /// Executes `program` with trace capture on, returning both the
+    /// result and the captured record stream (scheduler events plus the
+    /// HITM samples the indicator raised), ready for
+    /// [`ddrace_trace::encode_trace`].
+    ///
+    /// Capture is forced on regardless of [`SimConfig::record`]; the
+    /// result is byte-identical to [`Simulation::run`] either way,
+    /// because recording only observes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduler errors (deadlock, sync misuse).
+    pub fn run_recorded(
+        &self,
+        program: Program,
+    ) -> Result<(RunResult, Vec<TraceRecord>), ScheduleError> {
+        // No telemetry span here: conform jobs call this per spec, and
+        // span durations are wall-clock — they would break the fuzz
+        // event stream's byte-determinism that ci.sh pins.
+        let mut config = self.config;
+        config.record = true;
+        let mut state = SimState::new(&config);
+        let schedule = Scheduler::new(program, config.scheduler)
+            .with_pick_strategy(config.pick_strategy)
+            .run(&mut state)?;
+        let records = state.recorder.take().unwrap_or_default();
+        Ok((state.into_result(schedule, config.mode.label()), records))
+    }
 }
 
 /// Runs one program under `mode` with otherwise-default configuration —
@@ -149,6 +179,9 @@ struct SimState {
     enabled_cycles: u64,
     total_cycles: u64,
     timeline: Vec<ToggleEvent>,
+    /// `Some` when [`SimConfig::record`] is set: the `.ddt`-ready record
+    /// stream. Purely observational — no field above reads it.
+    recorder: Option<Vec<TraceRecord>>,
 }
 
 impl SimState {
@@ -197,6 +230,7 @@ impl SimState {
             enabled_cycles: 0,
             total_cycles: 0,
             timeline: Vec::new(),
+            recorder: config.record.then(Vec::new),
         }
     }
 
@@ -257,6 +291,13 @@ impl SimState {
             return 0;
         };
         self.pmis += 1;
+        if let Some(rec) = &mut self.recorder {
+            rec.push(TraceRecord::Hitm {
+                core: signal.core.index() as u32,
+                line: result.line,
+                skid: signal.skid,
+            });
+        }
         let idx = self.controller_index(signal.core);
         if self.controllers[idx].on_sharing_signal() {
             self.charge_toggle(signal.core);
@@ -470,6 +511,9 @@ impl SimState {
 
 impl ExecutionListener for SimState {
     fn on_event(&mut self, event: Event<'_>) {
+        if let Some(rec) = &mut self.recorder {
+            rec.push(TraceRecord::Exec(TraceEvent::from(&event)));
+        }
         match event {
             Event::ThreadStarted { tid, parent } => {
                 if let Some(d) = &mut self.detector {

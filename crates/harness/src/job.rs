@@ -5,8 +5,50 @@ use crate::variant::JobVariant;
 use ddrace_core::{AnalysisMode, DetectorKind, RunResult, SimConfig, Simulation};
 use ddrace_pmu::IndicatorMode;
 use ddrace_program::{PickStrategy, SchedulerConfig};
-use ddrace_workloads::{Scale, WorkloadSpec};
+use ddrace_workloads::{IterProfile, Scale, Structure, Suite, WorkloadSpec};
+use std::path::{Path, PathBuf};
 use std::time::Duration;
+
+/// A recorded `.ddt` trace acting as a campaign input: instead of
+/// generating a workload program and scheduling it, the job replays the
+/// trace's interleaving through the detector configuration.
+///
+/// Identity for resume purposes is the pair (name, header fingerprint) —
+/// *not* the path, so a corpus directory can move between machines
+/// without invalidating its checkpoints, while re-recording a trace with
+/// different contents refuses cleanly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSource {
+    /// Where the trace lives; read lazily when the job runs.
+    pub path: PathBuf,
+    /// Corpus-relative name (file stem), used in labels and events.
+    pub name: String,
+    /// The trace header's program/config identity fingerprint.
+    pub fingerprint: u64,
+}
+
+impl TraceSource {
+    /// Opens `path` far enough to read the trace header and returns the
+    /// source (name = file stem).
+    ///
+    /// # Errors
+    ///
+    /// Returns the decoder's message (version skew, corrupt header, I/O)
+    /// as a string.
+    pub fn from_file(path: impl AsRef<Path>) -> Result<TraceSource, String> {
+        let path = path.as_ref();
+        let meta = ddrace_trace::read_meta(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let name = path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "trace".to_string());
+        Ok(TraceSource {
+            path: path.to_path_buf(),
+            name,
+            fingerprint: meta.fingerprint,
+        })
+    }
+}
 
 /// One unit of campaign work: a workload run under one analysis mode with
 /// one seed, one configuration variant, and explicit overrides.
@@ -47,6 +89,10 @@ pub struct Job {
     /// strategies produce digest-identical results (pinned by the
     /// schedule-equivalence suite), so it cannot affect the outcome.
     pub pick_strategy: PickStrategy,
+    /// `Some` for trace-corpus jobs: replay this recorded trace instead
+    /// of generating and scheduling `workload` (which then only lends
+    /// its name to labels).
+    pub trace: Option<TraceSource>,
     /// Wall-clock budget; `None` means unlimited.
     pub timeout: Option<Duration>,
 }
@@ -109,8 +155,18 @@ impl Job {
         cfg
     }
 
-    /// Runs the simulation synchronously on the calling thread.
+    /// Runs the simulation synchronously on the calling thread: generate
+    /// and schedule the workload, or — for trace-corpus jobs — decode
+    /// and replay the recorded interleaving.
     pub fn run(&self) -> Result<RunResult, String> {
+        if let Some(source) = &self.trace {
+            let _span = ddrace_telemetry::span("job.ingest");
+            ddrace_telemetry::counter("ingest.traces", 1);
+            let (_, records) = ddrace_trace::read_trace_file(&source.path)
+                .map_err(|e| format!("{}: {e}", source.path.display()))?;
+            let trace = ddrace_trace::exec_trace(&records);
+            return Ok(Simulation::new(self.sim_config()).run_trace(&trace));
+        }
         let program = {
             let _span = ddrace_telemetry::span("job.generate");
             ddrace_telemetry::counter("gen.programs", 1);
@@ -119,6 +175,28 @@ impl Job {
         Simulation::new(self.sim_config())
             .run(program)
             .map_err(|e| format!("schedule error: {e}"))
+    }
+}
+
+/// The stand-in workload spec a trace-corpus job carries: it exists so
+/// labels and the aggregate's workload axis have a name; trace jobs
+/// never generate a program from it.
+fn trace_placeholder_workload(name: &str) -> WorkloadSpec {
+    WorkloadSpec {
+        name: name.to_string(),
+        suite: Suite::Kernel,
+        workers: 1,
+        structure: Structure::ForkJoin {
+            iterations: 1,
+            barrier_per_iter: false,
+        },
+        iter: IterProfile::private_only(0),
+        init_shared_words: 0,
+        final_merge_words: 0,
+        private_bytes: 64,
+        shared_bytes: 64,
+        hot_words: 1,
+        lock_count: 1,
     }
 }
 
@@ -147,6 +225,7 @@ impl Campaign {
         CampaignBuilder {
             name: name.into(),
             workloads: Vec::new(),
+            traces: Vec::new(),
             modes: vec![AnalysisMode::Native],
             seeds: vec![42],
             variants: vec![JobVariant::baseline()],
@@ -174,6 +253,7 @@ impl Campaign {
 pub struct CampaignBuilder {
     name: String,
     workloads: Vec<WorkloadSpec>,
+    traces: Vec<TraceSource>,
     modes: Vec<AnalysisMode>,
     seeds: Vec<u64>,
     variants: Vec<JobVariant>,
@@ -189,6 +269,16 @@ impl CampaignBuilder {
     /// Adds workloads to the workload axis.
     pub fn workloads(mut self, specs: impl IntoIterator<Item = WorkloadSpec>) -> Self {
         self.workloads.extend(specs);
+        self
+    }
+
+    /// Adds recorded traces to the workload axis: each source becomes a
+    /// sweep position (after any generated workloads) whose jobs replay
+    /// the trace under every mode × variant × seed instead of scheduling
+    /// a program — so detectors and modes sweep over a recorded corpus
+    /// exactly like they sweep over synthetic workloads.
+    pub fn trace_corpus(mut self, sources: impl IntoIterator<Item = TraceSource>) -> Self {
+        self.traces.extend(sources);
         self
     }
 
@@ -256,10 +346,22 @@ impl CampaignBuilder {
     /// `cores`, `quantum`, and `detector_kind` fields hold the effective
     /// values after its variant's patch is applied.
     pub fn build(self) -> Campaign {
+        // Trace sources join the workload axis after generated workloads,
+        // each carrying a stand-in spec so labels/axes have a name.
+        let sources: Vec<(WorkloadSpec, Option<TraceSource>)> = self
+            .workloads
+            .iter()
+            .map(|w| (w.clone(), None))
+            .chain(
+                self.traces
+                    .iter()
+                    .map(|t| (trace_placeholder_workload(&t.name), Some(t.clone()))),
+            )
+            .collect();
         let mut jobs = Vec::with_capacity(
-            self.workloads.len() * self.modes.len() * self.variants.len() * self.seeds.len(),
+            sources.len() * self.modes.len() * self.variants.len() * self.seeds.len(),
         );
-        for workload in &self.workloads {
+        for (workload, trace) in &sources {
             for &mode in &self.modes {
                 for variant in &self.variants {
                     let patch = &variant.patch;
@@ -275,6 +377,7 @@ impl CampaignBuilder {
                             detector_kind: patch.detector_kind.unwrap_or(self.detector_kind),
                             variant: variant.clone(),
                             pick_strategy: self.pick_strategy,
+                            trace: trace.clone(),
                             timeout: self.timeout,
                         });
                     }
@@ -285,7 +388,7 @@ impl CampaignBuilder {
             name: self.name,
             jobs,
             modes: self.modes,
-            workloads: self.workloads,
+            workloads: sources.into_iter().map(|(w, _)| w).collect(),
             seeds: self.seeds,
             variants: self.variants,
         }

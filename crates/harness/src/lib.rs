@@ -68,7 +68,7 @@ mod variant;
 pub use ddrace_telemetry as telemetry;
 pub use events::EventSink;
 pub use executor::{run_raw, run_raw_prefilled, CancelToken, FailReason, JobRecord, RawJob};
-pub use job::{Campaign, CampaignBuilder, Job};
+pub use job::{Campaign, CampaignBuilder, Job, TraceSource};
 pub use report::{AxisStat, CampaignReport, SeedFold, SuiteRow};
 pub use resume::{
     campaign_fingerprint, fingerprint_hex, fingerprint_of_jobs, fnv1a, job_fingerprint,

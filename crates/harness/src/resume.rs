@@ -78,6 +78,22 @@ fn job_spec_json(job: &Job) -> Value {
             ]),
         ));
     }
+    // Appended only for trace-corpus jobs so workload campaigns keep
+    // their historical fingerprints. Identity is (name, header
+    // fingerprint), not the path: a corpus may move on disk, but a
+    // re-recorded trace with different identity refuses to resume.
+    if let Some(trace) = &job.trace {
+        fields.push((
+            "trace".to_string(),
+            Value::Object(vec![
+                ("name".to_string(), Value::Str(trace.name.clone())),
+                (
+                    "fingerprint".to_string(),
+                    Value::Str(fingerprint_hex(trace.fingerprint)),
+                ),
+            ]),
+        ));
+    }
     Value::Object(fields)
 }
 

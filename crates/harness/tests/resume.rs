@@ -301,6 +301,108 @@ fn killed_variant_sweep_resumes_to_byte_identical_aggregate() {
     }
 }
 
+/// Writes a tiny hand-built racy trace (two threads, one unordered write
+/// pair) as a `.ddt` file with the given header fingerprint.
+fn write_ddt(path: &std::path::Path, label: &str, fingerprint: u64) {
+    use ddrace_program::{Addr, Op, ThreadId, TraceEvent};
+    use ddrace_trace::{write_trace_file, TraceMeta, TraceRecord};
+    let (t0, t1) = (ThreadId(0), ThreadId(1));
+    let events = [
+        TraceEvent::ThreadStarted {
+            tid: t0,
+            parent: None,
+        },
+        TraceEvent::Op {
+            tid: t0,
+            op: Op::Fork { child: t1 },
+        },
+        TraceEvent::ThreadStarted {
+            tid: t1,
+            parent: Some(t0),
+        },
+        TraceEvent::Op {
+            tid: t0,
+            op: Op::Write { addr: Addr(0x1000) },
+        },
+        TraceEvent::Op {
+            tid: t1,
+            op: Op::Write { addr: Addr(0x1000) },
+        },
+        TraceEvent::ThreadFinished { tid: t1 },
+        TraceEvent::Op {
+            tid: t0,
+            op: Op::Join { child: t1 },
+        },
+        TraceEvent::ThreadFinished { tid: t0 },
+    ];
+    let records: Vec<TraceRecord> = events.into_iter().map(TraceRecord::Exec).collect();
+    let meta = TraceMeta {
+        source: "test".to_string(),
+        label: label.to_string(),
+        seed: 1,
+        fingerprint,
+    };
+    write_trace_file(path, &meta, &records).unwrap();
+}
+
+#[test]
+fn ingest_resume_reuses_the_pinned_refusal_wording() {
+    use ddrace_harness::TraceSource;
+    // `ddrace ingest` builds a trace-corpus campaign and resumes through
+    // the same checkpoint machinery as `campaign`/`fuzz`; this pins that
+    // a foreign checkpoint gets the exact shared refusal string.
+    let dir = std::env::temp_dir().join(format!("ddrace-ingest-pin-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let a = dir.join("a.ddt");
+    let b = dir.join("b.ddt");
+    write_ddt(&a, "a", 0x1111);
+    write_ddt(&b, "b", 0x2222);
+
+    let corpus = |paths: &[&std::path::Path]| -> Campaign {
+        Campaign::builder("ingest-corpus")
+            .trace_corpus(paths.iter().map(|p| TraceSource::from_file(p).unwrap()))
+            .modes([AnalysisMode::Continuous])
+            .seeds([0])
+            .cores(2)
+            .build()
+    };
+    let spec = corpus(&[&a, &b]);
+    assert_eq!(spec.jobs.len(), 2);
+    assert_eq!(spec.jobs[0].label(), "a/continuous/s0");
+
+    // Ingest aggregates are byte-identical across worker counts, and a
+    // complete checkpoint resumes to the same bytes.
+    let log = CrashyLog::reliable();
+    let sink = EventSink::new(Some(Box::new(log.clone())), false);
+    let baseline = aggregate(&spec, 1, &sink);
+    drop(sink);
+    for &workers in &worker_counts() {
+        assert_eq!(baseline, aggregate(&spec, workers, &EventSink::null()));
+    }
+    let parsed = ResumeLog::parse(&log.text()).unwrap();
+    let report = resume_campaign(&spec, 2, &EventSink::null(), &parsed).unwrap();
+    assert_eq!(
+        baseline,
+        ddrace_json::to_string_pretty(&report.aggregate_json()).unwrap()
+    );
+
+    // Re-record b.ddt with a different header fingerprint: same paths,
+    // same names, but a foreign corpus. Resume must refuse with the
+    // exact wording campaign/fuzz use.
+    write_ddt(&b, "b", 0x3333);
+    let foreign = corpus(&[&a, &b]);
+    let err = resume_campaign(&foreign, 2, &EventSink::null(), &parsed).unwrap_err();
+    let expected = format!(
+        "resume log was recorded for campaign `ingest-corpus` (fingerprint {}), but the \
+         current campaign is `ingest-corpus` (fingerprint {}); the job set, seeds, or \
+         configuration differ — refusing to resume",
+        fingerprint_hex(campaign_fingerprint(&spec)),
+        fingerprint_hex(campaign_fingerprint(&foreign)),
+    );
+    assert_eq!(err, expected);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn multi_seed_aggregate_carries_seed_folds() {
     let spec = campaign();

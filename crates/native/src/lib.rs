@@ -53,7 +53,8 @@
 #![forbid(unsafe_code)]
 
 use ddrace_detector::{DetectorConfig, FastTrack, RaceDetector, RaceReport};
-use ddrace_program::{AccessKind, Addr, LockId, Op, ThreadId};
+use ddrace_program::{AccessKind, Addr, LockId, Op, ThreadId, TraceEvent};
+use ddrace_trace::TraceRecord;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 use std::sync::Mutex;
@@ -81,7 +82,48 @@ impl ThreadToken {
 #[derive(Debug)]
 pub struct Monitor {
     detector: Mutex<FastTrack>,
+    /// `Some` when recording: per-thread buffered capture of the hook
+    /// stream, emitted as `.ddt` records via [`Monitor::recorded_trace`].
+    recorder: Option<Mutex<Recorder>>,
     next_tid: AtomicU32,
+}
+
+/// Buffered trace capture for real-thread runs.
+///
+/// Data accesses append to a pre-grown per-thread buffer (no global
+/// ordering decision, amortized O(1), no per-event allocation); the
+/// buffer is drained into the global log whenever its thread performs a
+/// synchronization operation. Cross-thread placement of data accesses
+/// *between* sync points is therefore approximate — which is exactly
+/// the precision a happens-before detector needs, since unsynchronized
+/// accesses carry no ordering anyway. Sync and thread-lifecycle events
+/// land in the log in the same global order the detector observed them
+/// (the recorder lock is taken while the detector lock is held).
+#[derive(Debug, Default)]
+struct Recorder {
+    log: Vec<TraceRecord>,
+    buffers: Vec<Vec<TraceRecord>>,
+}
+
+impl Recorder {
+    /// Moves `tid`'s buffered data accesses into the global log.
+    fn flush(&mut self, tid: ThreadId) {
+        if let Some(buf) = self.buffers.get_mut(tid.index()) {
+            self.log.append(buf);
+        }
+    }
+
+    fn buffer(&mut self, tid: ThreadId, op: Op) {
+        let idx = tid.index();
+        if self.buffers.len() <= idx {
+            self.buffers.resize_with(idx + 1, || Vec::with_capacity(64));
+        }
+        self.buffers[idx].push(TraceRecord::Exec(TraceEvent::Op { tid, op }));
+    }
+
+    fn push(&mut self, event: TraceEvent) {
+        self.log.push(TraceRecord::Exec(event));
+    }
 }
 
 impl Monitor {
@@ -92,8 +134,19 @@ impl Monitor {
 
     /// Creates a monitor with an explicit detector configuration.
     pub fn with_config(config: DetectorConfig) -> (Arc<Monitor>, ThreadToken) {
+        Self::build(config, false)
+    }
+
+    /// Creates a monitor that also records the hook stream as a trace
+    /// (see [`Monitor::recorded_trace`]).
+    pub fn recording() -> (Arc<Monitor>, ThreadToken) {
+        Self::build(DetectorConfig::default(), true)
+    }
+
+    fn build(config: DetectorConfig, record: bool) -> (Arc<Monitor>, ThreadToken) {
         let monitor = Arc::new(Monitor {
             detector: Mutex::new(FastTrack::new(config)),
+            recorder: record.then(|| Mutex::new(Recorder::default())),
             next_tid: AtomicU32::new(1),
         });
         let root = ThreadToken { tid: ThreadId(0) };
@@ -102,6 +155,12 @@ impl Monitor {
             .lock()
             .unwrap()
             .on_thread_start(root.tid, None);
+        if let Some(rec) = &monitor.recorder {
+            rec.lock().unwrap().push(TraceEvent::ThreadStarted {
+                tid: root.tid,
+                parent: None,
+            });
+        }
         (monitor, root)
     }
 
@@ -110,10 +169,20 @@ impl Monitor {
     /// thread.
     pub fn fork(&self, parent: ThreadToken) -> ThreadToken {
         let tid = ThreadId(self.next_tid.fetch_add(1, Ordering::Relaxed));
-        self.detector
-            .lock()
-            .unwrap()
-            .on_thread_start(tid, Some(parent.tid));
+        let mut d = self.detector.lock().unwrap();
+        d.on_thread_start(tid, Some(parent.tid));
+        if let Some(rec) = &self.recorder {
+            let mut rec = rec.lock().unwrap();
+            rec.flush(parent.tid);
+            rec.push(TraceEvent::Op {
+                tid: parent.tid,
+                op: Op::Fork { child: tid },
+            });
+            rec.push(TraceEvent::ThreadStarted {
+                tid,
+                parent: Some(parent.tid),
+            });
+        }
         ThreadToken { tid }
     }
 
@@ -123,57 +192,90 @@ impl Monitor {
         let mut d = self.detector.lock().unwrap();
         d.on_thread_finish(child.tid);
         d.on_sync(parent.tid, &Op::Join { child: child.tid });
+        if let Some(rec) = &self.recorder {
+            let mut rec = rec.lock().unwrap();
+            // The child has stopped calling hooks (join returned), so its
+            // remaining buffered accesses precede its finish event.
+            rec.flush(child.tid);
+            rec.flush(parent.tid);
+            rec.push(TraceEvent::ThreadFinished { tid: child.tid });
+            rec.push(TraceEvent::Op {
+                tid: parent.tid,
+                op: Op::Join { child: child.tid },
+            });
+        }
     }
 
     /// Records a read of `addr` by the calling thread. Returns `true` if
     /// this access completed a race.
     pub fn read(&self, token: ThreadToken, addr: Addr) -> bool {
-        self.detector
+        let race = self
+            .detector
             .lock()
             .unwrap()
             .on_access(token.tid, addr, AccessKind::Read)
-            .race
+            .race;
+        if let Some(rec) = &self.recorder {
+            rec.lock().unwrap().buffer(token.tid, Op::Read { addr });
+        }
+        race
     }
 
     /// Records a write of `addr` by the calling thread. Returns `true`
     /// if this access completed a race.
     pub fn write(&self, token: ThreadToken, addr: Addr) -> bool {
-        self.detector
+        let race = self
+            .detector
             .lock()
             .unwrap()
             .on_access(token.tid, addr, AccessKind::Write)
-            .race
+            .race;
+        if let Some(rec) = &self.recorder {
+            rec.lock().unwrap().buffer(token.tid, Op::Write { addr });
+        }
+        race
     }
 
     /// Records that the calling thread acquired lock `lock_id` (call
     /// after the real acquisition).
     pub fn lock_acquired(&self, token: ThreadToken, lock_id: u32) {
-        self.detector.lock().unwrap().on_sync(
-            token.tid,
-            &Op::Lock {
-                lock: LockId(lock_id),
-            },
-        );
+        let op = Op::Lock {
+            lock: LockId(lock_id),
+        };
+        let mut d = self.detector.lock().unwrap();
+        d.on_sync(token.tid, &op);
+        self.record_sync(token.tid, op);
     }
 
     /// Records that the calling thread is about to release lock
     /// `lock_id` (call before the real release).
     pub fn lock_released(&self, token: ThreadToken, lock_id: u32) {
-        self.detector.lock().unwrap().on_sync(
-            token.tid,
-            &Op::Unlock {
-                lock: LockId(lock_id),
-            },
-        );
+        let op = Op::Unlock {
+            lock: LockId(lock_id),
+        };
+        let mut d = self.detector.lock().unwrap();
+        d.on_sync(token.tid, &op);
+        self.record_sync(token.tid, op);
     }
 
     /// Records an acquire-release atomic on `addr` (e.g. around a real
     /// `AtomicUsize` the component synchronizes through).
     pub fn atomic(&self, token: ThreadToken, addr: Addr) {
-        self.detector
-            .lock()
-            .unwrap()
-            .on_sync(token.tid, &Op::AtomicRmw { addr });
+        let op = Op::AtomicRmw { addr };
+        let mut d = self.detector.lock().unwrap();
+        d.on_sync(token.tid, &op);
+        self.record_sync(token.tid, op);
+    }
+
+    /// Appends a sync op to the recorder log (flushing the thread's
+    /// buffered accesses first). Call with the detector lock held so the
+    /// log's sync order matches the order the detector saw.
+    fn record_sync(&self, tid: ThreadId, op: Op) {
+        if let Some(rec) = &self.recorder {
+            let mut rec = rec.lock().unwrap();
+            rec.flush(tid);
+            rec.push(TraceEvent::Op { tid, op });
+        }
     }
 
     /// Number of distinct races found so far.
@@ -184,6 +286,23 @@ impl Monitor {
     /// Snapshot of the distinct race reports found so far.
     pub fn reports(&self) -> Vec<RaceReport> {
         self.detector.lock().unwrap().reports().reports().to_vec()
+    }
+
+    /// Snapshot of the recorded trace, or `None` when the monitor was
+    /// not built with [`Monitor::recording`].
+    ///
+    /// Flushes every thread's buffer, so call it at a quiescent point
+    /// (typically after joining all workers); records buffered by
+    /// still-running threads would otherwise be placed at the snapshot
+    /// point rather than at their next sync boundary.
+    pub fn recorded_trace(&self) -> Option<Vec<TraceRecord>> {
+        let rec = self.recorder.as_ref()?;
+        let mut rec = rec.lock().unwrap();
+        let tids: Vec<ThreadId> = (0..rec.buffers.len() as u32).map(ThreadId).collect();
+        for tid in tids {
+            rec.flush(tid);
+        }
+        Some(rec.log.clone())
     }
 }
 
@@ -334,6 +453,79 @@ mod tests {
         let reports = monitor.reports();
         assert_eq!(reports.len(), 1);
         assert_eq!(reports[0].addr, addr);
+    }
+
+    #[test]
+    fn recording_monitor_captures_the_hook_stream() {
+        let (monitor, root) = Monitor::recording();
+        let data = 0u64;
+        let addr = addr_of(&data);
+        let child = monitor.fork(root);
+        let m = monitor.clone();
+        std::thread::spawn(move || {
+            m.lock_acquired(child, 3);
+            m.write(child, addr);
+            m.lock_released(child, 3);
+        })
+        .join()
+        .unwrap();
+        monitor.write(root, addr);
+        monitor.join(root, child);
+
+        let trace = monitor.recorded_trace().expect("recording is on");
+        let events: Vec<&TraceEvent> = trace
+            .iter()
+            .map(|r| match r {
+                TraceRecord::Exec(e) => e,
+                TraceRecord::Hitm { .. } => panic!("monitor never records HITM samples"),
+            })
+            .collect();
+        // Lifecycle: root + child started, child finished.
+        let starts = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::ThreadStarted { .. }))
+            .count();
+        assert_eq!(starts, 2);
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::ThreadFinished { tid } if *tid == child.tid)));
+        // Both writes survive, attributed to their threads.
+        let writes: Vec<ThreadId> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Op {
+                    tid,
+                    op: Op::Write { addr: a },
+                } if *a == addr => Some(*tid),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(writes.len(), 2);
+        assert!(writes.contains(&root.tid) && writes.contains(&child.tid));
+        // The child's buffered write was flushed before its critical
+        // section closed: it appears before the Unlock in the log.
+        let write_at = events
+            .iter()
+            .position(
+                |e| matches!(e, TraceEvent::Op { tid, op: Op::Write { .. } } if *tid == child.tid),
+            )
+            .unwrap();
+        let unlock_at = events
+            .iter()
+            .position(|e| {
+                matches!(
+                    e,
+                    TraceEvent::Op {
+                        op: Op::Unlock { .. },
+                        ..
+                    }
+                )
+            })
+            .unwrap();
+        assert!(write_at < unlock_at);
+        // A non-recording monitor reports no trace.
+        let (plain, _) = Monitor::new();
+        assert!(plain.recorded_trace().is_none());
     }
 
     #[test]

@@ -45,6 +45,15 @@ pub enum TraceEvent {
     },
 }
 
+impl<'a> From<&Event<'a>> for TraceEvent {
+    /// Owned capture of a borrowed scheduler event — what external
+    /// recorders (the simulator's trace capture, binary trace writers)
+    /// use to persist the stream.
+    fn from(event: &Event<'a>) -> Self {
+        TraceEvent::from_event(event)
+    }
+}
+
 impl TraceEvent {
     fn from_event(event: &Event<'_>) -> Self {
         match *event {

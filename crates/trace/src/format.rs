@@ -1,0 +1,175 @@
+//! On-disk vocabulary of the `.ddt` format: header, records, tags,
+//! and the position-carrying error type.
+
+use ddrace_program::{Trace, TraceEvent};
+use std::fmt;
+
+/// File magic: identifies a `.ddt` trace regardless of version.
+pub const MAGIC: [u8; 8] = *b"DDTRACE\0";
+
+/// The format version this build writes and reads.
+///
+/// Bumped on any change to the header layout or event tag set; readers
+/// refuse other versions (see [`TraceErrorKind::UnsupportedVersion`]).
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Fingerprinted trace identity, stored in the header.
+///
+/// The fingerprint is an opaque 64-bit hash of whatever identifies the
+/// recorded program and configuration to the producer (benchmark name,
+/// scale, seed, mode, ...). Consumers treat it as identity: two traces
+/// with equal fingerprints came from the same recording setup, and the
+/// harness folds it into job fingerprints so `--resume` refuses
+/// checkpoints recorded against a different corpus.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceMeta {
+    /// Producer tag: `"sim"` for simulator runs, `"native"` for the
+    /// in-process monitor, `"conform"` for fuzzer specs.
+    pub source: String,
+    /// Human-readable program identity (benchmark or spec label).
+    pub label: String,
+    /// Seed the recorded interleaving was produced under.
+    pub seed: u64,
+    /// Program/config identity hash (see type docs).
+    pub fingerprint: u64,
+}
+
+/// One record in the event stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceRecord {
+    /// A scheduler event: thread lifecycle, barrier release, or an
+    /// executed operation (read/write/lock/fork/join/barrier/...).
+    Exec(TraceEvent),
+    /// A HITM-indicator sample the PMU raised during the recorded run:
+    /// which core's counter fired, the cache line involved, and the
+    /// sampling skid in effect.
+    Hitm {
+        /// Dense index of the core whose counter overflowed.
+        core: u32,
+        /// Cache-line address of the access that raised the event.
+        line: u64,
+        /// Configured sampling skid, in operations.
+        skid: u32,
+    },
+}
+
+/// What went wrong while decoding (see [`TraceError`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceErrorKind {
+    /// Underlying I/O failure.
+    Io(String),
+    /// The file does not start with [`MAGIC`].
+    BadMagic,
+    /// The file's format version is not [`FORMAT_VERSION`].
+    UnsupportedVersion {
+        /// Version number the file declares.
+        found: u32,
+    },
+    /// Input ended in the middle of a header field or record.
+    Truncated,
+    /// A varint was overlong or overflowed 64 bits.
+    BadVarint,
+    /// An unknown record tag byte.
+    BadTag(u8),
+    /// A header string was not valid UTF-8.
+    BadString,
+    /// A decoded field was out of range for its in-memory type.
+    FieldRange(&'static str),
+}
+
+/// A decoding failure, carrying the byte offset where it happened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceError {
+    /// Byte offset into the input at which decoding failed.
+    pub offset: u64,
+    /// The failure itself.
+    pub kind: TraceErrorKind,
+}
+
+impl TraceError {
+    pub(crate) fn new(offset: u64, kind: TraceErrorKind) -> TraceError {
+        TraceError { offset, kind }
+    }
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            TraceErrorKind::Io(e) => write!(f, "{e} at byte offset {}", self.offset),
+            TraceErrorKind::BadMagic => {
+                write!(f, "not a .ddt trace (bad magic at byte offset 0)")
+            }
+            TraceErrorKind::UnsupportedVersion { found } => write!(
+                f,
+                "unsupported trace format version {found} (this build reads version {FORMAT_VERSION})"
+            ),
+            TraceErrorKind::Truncated => {
+                write!(f, "truncated trace: input ends at byte offset {}", self.offset)
+            }
+            TraceErrorKind::BadVarint => {
+                write!(f, "malformed varint at byte offset {}", self.offset)
+            }
+            TraceErrorKind::BadTag(tag) => write!(
+                f,
+                "unknown record tag 0x{tag:02x} at byte offset {}",
+                self.offset
+            ),
+            TraceErrorKind::BadString => {
+                write!(f, "invalid UTF-8 string at byte offset {}", self.offset)
+            }
+            TraceErrorKind::FieldRange(field) => write!(
+                f,
+                "field `{field}` out of range at byte offset {}",
+                self.offset
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Record tag bytes (version 1). One tag per event shape so every field
+/// after the tag is a plain varint.
+pub(crate) mod tag {
+    pub const THREAD_STARTED: u8 = 0x00;
+    pub const THREAD_FINISHED: u8 = 0x01;
+    pub const BARRIER_RELEASED: u8 = 0x02;
+    pub const OP_READ: u8 = 0x03;
+    pub const OP_WRITE: u8 = 0x04;
+    pub const OP_ATOMIC_RMW: u8 = 0x05;
+    pub const OP_LOCK: u8 = 0x06;
+    pub const OP_UNLOCK: u8 = 0x07;
+    pub const OP_BARRIER: u8 = 0x08;
+    pub const OP_FORK: u8 = 0x09;
+    pub const OP_JOIN: u8 = 0x0a;
+    pub const OP_POST: u8 = 0x0b;
+    pub const OP_WAIT_SEM: u8 = 0x0c;
+    pub const OP_COMPUTE: u8 = 0x0d;
+    pub const HITM: u8 = 0x0e;
+}
+
+/// Extracts the execution events from a record stream as a replayable
+/// [`Trace`], dropping HITM samples (which are PMU observations, not
+/// schedule constraints).
+pub fn exec_trace(records: &[TraceRecord]) -> Trace {
+    records
+        .iter()
+        .filter_map(|r| match r {
+            TraceRecord::Exec(e) => Some(e.clone()),
+            TraceRecord::Hitm { .. } => None,
+        })
+        .collect()
+}
+
+/// FNV-1a 64-bit hash, for producers building header fingerprints.
+///
+/// Same parameters as the harness checkpoint fingerprints, duplicated
+/// here so the format crate stays at the bottom of the dependency graph.
+pub fn fingerprint64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}

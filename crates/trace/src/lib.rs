@@ -1,0 +1,51 @@
+//! # ddrace-trace — the `.ddt` binary trace format
+//!
+//! A compact, versioned, varint-encoded container for one recorded
+//! execution: the per-thread-interleaved event stream (reads, writes,
+//! lock operations, fork/join, barriers, semaphores, compute) plus the
+//! HITM-indicator samples the PMU raised while the run was live, behind
+//! a fingerprinted header carrying program/config identity.
+//!
+//! The format exists to decouple *recording* from *analysis*: a cheap
+//! run (simulator or [`ddrace-native`] monitor) emits a `.ddt` file
+//! once, and any number of detector configurations replay it offline —
+//! the record/replay shape Ronsse & De Bosschere use for production
+//! race detection, on the harness worker pool.
+//!
+//! ## Layout
+//!
+//! ```text
+//! magic    8 bytes   "DDTRACE\0"
+//! version  4 bytes   u32 little-endian (always fixed-width so future
+//!                    readers can name the version they found)
+//! header   varints   seed, fingerprint, source string, label string,
+//!                    reserved-pair count (0 in version 1)
+//! events   tagged    one tag byte + varint fields per record, until EOF
+//! ```
+//!
+//! All integers outside the version field are LEB128 varints
+//! ([`varint`]); strings are varint-length-prefixed UTF-8. Truncated or
+//! corrupt input surfaces as a [`TraceError`] carrying the byte offset
+//! where decoding failed — never a panic.
+//!
+//! ## Versioning policy
+//!
+//! [`FORMAT_VERSION`] bumps on any change to the header layout or the
+//! event tag set. Readers reject other versions with
+//! [`TraceErrorKind::UnsupportedVersion`]; there is no in-place
+//! migration, old traces are re-recorded.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod format;
+mod reader;
+pub mod varint;
+mod writer;
+
+pub use format::{
+    exec_trace, fingerprint64, TraceError, TraceErrorKind, TraceMeta, TraceRecord, FORMAT_VERSION,
+    MAGIC,
+};
+pub use reader::{decode_trace, read_meta, read_trace_file, TraceReader};
+pub use writer::{encode_trace, write_trace_file, TraceWriter};

@@ -1,0 +1,305 @@
+//! Decoding: streaming [`TraceReader`] plus whole-buffer/file helpers.
+
+use crate::format::{
+    tag, TraceError, TraceErrorKind, TraceMeta, TraceRecord, FORMAT_VERSION, MAGIC,
+};
+use crate::varint;
+use ddrace_program::{Addr, BarrierId, LockId, Op, SemId, ThreadId, TraceEvent};
+use std::io::Read;
+use std::path::Path;
+
+/// Streaming `.ddt` decoder over any [`Read`] source.
+///
+/// Construction parses and validates the header; the reader then
+/// iterates records one at a time without materialising the stream,
+/// so corpora larger than memory ingest fine. Every failure carries
+/// the byte offset where decoding stopped (see [`TraceError`]).
+///
+/// Reads are byte-at-a-time against the source — hand it a
+/// `BufReader` (or a slice) rather than a bare `File`.
+pub struct TraceReader<R: Read> {
+    input: R,
+    offset: u64,
+    meta: TraceMeta,
+    done: bool,
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Parses the header from `input` and returns the reader.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceErrorKind::BadMagic`] / [`TraceErrorKind::UnsupportedVersion`]
+    /// for foreign or future files; [`TraceErrorKind::Truncated`] and
+    /// friends for corrupt headers.
+    pub fn new(input: R) -> Result<TraceReader<R>, TraceError> {
+        let mut reader = TraceReader {
+            input,
+            offset: 0,
+            meta: TraceMeta {
+                source: String::new(),
+                label: String::new(),
+                seed: 0,
+                fingerprint: 0,
+            },
+            done: false,
+        };
+        reader.read_header()?;
+        Ok(reader)
+    }
+
+    /// The identity header this trace was recorded with.
+    pub fn meta(&self) -> &TraceMeta {
+        &self.meta
+    }
+
+    /// Bytes consumed so far (header included).
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    fn read_header(&mut self) -> Result<(), TraceError> {
+        let mut magic = [0u8; 8];
+        self.read_exact(&mut magic)?;
+        if magic != MAGIC {
+            return Err(TraceError::new(0, TraceErrorKind::BadMagic));
+        }
+        let mut version = [0u8; 4];
+        self.read_exact(&mut version)?;
+        let version = u32::from_le_bytes(version);
+        if version != FORMAT_VERSION {
+            return Err(TraceError::new(
+                8,
+                TraceErrorKind::UnsupportedVersion { found: version },
+            ));
+        }
+        self.meta.seed = self.read_varint()?;
+        self.meta.fingerprint = self.read_varint()?;
+        self.meta.source = self.read_string()?;
+        self.meta.label = self.read_string()?;
+        // Reserved key/value pairs: ignored by version-1 readers so a
+        // same-version writer may annotate without breaking anyone.
+        let reserved = self.read_varint()?;
+        for _ in 0..reserved {
+            self.read_string()?;
+            self.read_string()?;
+        }
+        Ok(())
+    }
+
+    fn read_exact(&mut self, buf: &mut [u8]) -> Result<(), TraceError> {
+        for slot in buf.iter_mut() {
+            *slot = self.need_byte()?;
+        }
+        Ok(())
+    }
+
+    /// One byte, or `None` at a clean EOF.
+    fn next_byte(&mut self) -> Result<Option<u8>, TraceError> {
+        let mut byte = [0u8; 1];
+        loop {
+            match self.input.read(&mut byte) {
+                Ok(0) => return Ok(None),
+                Ok(_) => {
+                    self.offset += 1;
+                    return Ok(Some(byte[0]));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    return Err(TraceError::new(
+                        self.offset,
+                        TraceErrorKind::Io(e.to_string()),
+                    ))
+                }
+            }
+        }
+    }
+
+    /// One byte, where EOF means the input was truncated.
+    fn need_byte(&mut self) -> Result<u8, TraceError> {
+        self.next_byte()?
+            .ok_or_else(|| TraceError::new(self.offset, TraceErrorKind::Truncated))
+    }
+
+    fn read_varint(&mut self) -> Result<u64, TraceError> {
+        let start = self.offset;
+        let mut buf = [0u8; varint::MAX_LEN];
+        for i in 0..varint::MAX_LEN {
+            buf[i] = self.need_byte()?;
+            if buf[i] & 0x80 == 0 {
+                return varint::decode(&buf[..=i])
+                    .map(|(v, _)| v)
+                    .ok_or_else(|| TraceError::new(start, TraceErrorKind::BadVarint));
+            }
+        }
+        Err(TraceError::new(start, TraceErrorKind::BadVarint))
+    }
+
+    fn read_u32(&mut self, field: &'static str) -> Result<u32, TraceError> {
+        let start = self.offset;
+        let value = self.read_varint()?;
+        u32::try_from(value).map_err(|_| TraceError::new(start, TraceErrorKind::FieldRange(field)))
+    }
+
+    fn read_string(&mut self) -> Result<String, TraceError> {
+        let len = self.read_varint()?;
+        let start = self.offset;
+        let len = usize::try_from(len)
+            .map_err(|_| TraceError::new(start, TraceErrorKind::FieldRange("string length")))?;
+        let mut bytes = vec![0u8; len];
+        self.read_exact(&mut bytes)?;
+        String::from_utf8(bytes).map_err(|_| TraceError::new(start, TraceErrorKind::BadString))
+    }
+
+    fn read_record(&mut self) -> Result<Option<TraceRecord>, TraceError> {
+        let Some(tag_byte) = self.next_byte()? else {
+            return Ok(None); // clean end of stream
+        };
+        let tag_offset = self.offset - 1;
+        let record = match tag_byte {
+            tag::THREAD_STARTED => {
+                let tid = ThreadId(self.read_u32("tid")?);
+                let parent = match self.read_varint()? {
+                    0 => None,
+                    biased => Some(ThreadId(u32::try_from(biased - 1).map_err(|_| {
+                        TraceError::new(tag_offset, TraceErrorKind::FieldRange("parent"))
+                    })?)),
+                };
+                TraceRecord::Exec(TraceEvent::ThreadStarted { tid, parent })
+            }
+            tag::THREAD_FINISHED => TraceRecord::Exec(TraceEvent::ThreadFinished {
+                tid: ThreadId(self.read_u32("tid")?),
+            }),
+            tag::BARRIER_RELEASED => {
+                let barrier = BarrierId(self.read_u32("barrier")?);
+                let count = self.read_varint()?;
+                let mut participants = Vec::with_capacity(count.min(1024) as usize);
+                for _ in 0..count {
+                    participants.push(ThreadId(self.read_u32("participant")?));
+                }
+                TraceRecord::Exec(TraceEvent::BarrierReleased {
+                    barrier,
+                    participants,
+                })
+            }
+            tag::HITM => TraceRecord::Hitm {
+                core: self.read_u32("core")?,
+                line: self.read_varint()?,
+                skid: self.read_u32("skid")?,
+            },
+            op_tag @ tag::OP_READ..=tag::OP_COMPUTE => {
+                let tid = ThreadId(self.read_u32("tid")?);
+                let op = match op_tag {
+                    tag::OP_READ => Op::Read {
+                        addr: Addr(self.read_varint()?),
+                    },
+                    tag::OP_WRITE => Op::Write {
+                        addr: Addr(self.read_varint()?),
+                    },
+                    tag::OP_ATOMIC_RMW => Op::AtomicRmw {
+                        addr: Addr(self.read_varint()?),
+                    },
+                    tag::OP_LOCK => Op::Lock {
+                        lock: LockId(self.read_u32("lock")?),
+                    },
+                    tag::OP_UNLOCK => Op::Unlock {
+                        lock: LockId(self.read_u32("lock")?),
+                    },
+                    tag::OP_BARRIER => Op::Barrier {
+                        barrier: BarrierId(self.read_u32("barrier")?),
+                        participants: self.read_u32("participants")?,
+                    },
+                    tag::OP_FORK => Op::Fork {
+                        child: ThreadId(self.read_u32("child")?),
+                    },
+                    tag::OP_JOIN => Op::Join {
+                        child: ThreadId(self.read_u32("child")?),
+                    },
+                    tag::OP_POST => Op::Post {
+                        sem: SemId(self.read_u32("sem")?),
+                    },
+                    tag::OP_WAIT_SEM => Op::WaitSem {
+                        sem: SemId(self.read_u32("sem")?),
+                    },
+                    _ => Op::Compute {
+                        cycles: self.read_u32("cycles")?,
+                    },
+                };
+                TraceRecord::Exec(TraceEvent::Op { tid, op })
+            }
+            unknown => return Err(TraceError::new(tag_offset, TraceErrorKind::BadTag(unknown))),
+        };
+        Ok(Some(record))
+    }
+}
+
+impl<R: Read> Iterator for TraceReader<R> {
+    type Item = Result<TraceRecord, TraceError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        match self.read_record() {
+            Ok(Some(record)) => Some(Ok(record)),
+            Ok(None) => {
+                self.done = true;
+                None
+            }
+            Err(e) => {
+                self.done = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+/// Decodes a whole in-memory buffer into its header and record list.
+///
+/// # Errors
+///
+/// Any [`TraceError`] the streaming reader would produce.
+pub fn decode_trace(bytes: &[u8]) -> Result<(TraceMeta, Vec<TraceRecord>), TraceError> {
+    let reader = TraceReader::new(bytes)?;
+    let meta = reader.meta().clone();
+    let records = reader.collect::<Result<Vec<_>, _>>()?;
+    Ok((meta, records))
+}
+
+/// Reads a whole trace file.
+///
+/// # Errors
+///
+/// I/O failures surface as [`TraceErrorKind::Io`]; decode failures as
+/// the corresponding [`TraceError`].
+pub fn read_trace_file(
+    path: impl AsRef<Path>,
+) -> Result<(TraceMeta, Vec<TraceRecord>), TraceError> {
+    let file = open(path.as_ref())?;
+    let reader = TraceReader::new(std::io::BufReader::new(file))?;
+    let meta = reader.meta().clone();
+    let records = reader.collect::<Result<Vec<_>, _>>()?;
+    Ok((meta, records))
+}
+
+/// Reads only the header of a trace file — what ingest needs to build
+/// job fingerprints for a corpus without touching the event streams.
+///
+/// # Errors
+///
+/// Same as [`read_trace_file`], for the header portion.
+pub fn read_meta(path: impl AsRef<Path>) -> Result<TraceMeta, TraceError> {
+    let file = open(path.as_ref())?;
+    Ok(TraceReader::new(std::io::BufReader::new(file))?
+        .meta()
+        .clone())
+}
+
+fn open(path: &Path) -> Result<std::fs::File, TraceError> {
+    std::fs::File::open(path).map_err(|e| {
+        TraceError::new(
+            0,
+            TraceErrorKind::Io(format!("cannot open {}: {e}", path.display())),
+        )
+    })
+}

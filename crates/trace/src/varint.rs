@@ -1,0 +1,92 @@
+//! LEB128 variable-length integer encoding.
+//!
+//! Unsigned base-128: seven payload bits per byte, high bit set on every
+//! byte except the last. Small values (the overwhelming majority of
+//! thread ids, lock ids, and deltas in a trace) cost one byte; the full
+//! `u64` range is representable in at most ten.
+
+/// Maximum encoded length of a `u64` varint.
+pub const MAX_LEN: usize = 10;
+
+/// Appends the LEB128 encoding of `value` to `out`.
+pub fn encode(mut value: u64, out: &mut Vec<u8>) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Encoded length of `value` in bytes, without materialising it.
+pub fn encoded_len(value: u64) -> usize {
+    (64 - (value | 1).leading_zeros() as usize).div_ceil(7)
+}
+
+/// Decodes one varint from the front of `input`.
+///
+/// Returns the value and the number of bytes consumed, or `None` when
+/// `input` is truncated mid-varint or the encoding overflows 64 bits
+/// (more than [`MAX_LEN`] bytes, or set bits beyond bit 63).
+pub fn decode(input: &[u8]) -> Option<(u64, usize)> {
+    let mut value: u64 = 0;
+    for (i, &byte) in input.iter().enumerate().take(MAX_LEN) {
+        let payload = u64::from(byte & 0x7f);
+        // The tenth byte may only contribute bit 63.
+        if i == MAX_LEN - 1 && payload > 1 {
+            return None;
+        }
+        value |= payload << (7 * i);
+        if byte & 0x80 == 0 {
+            return Some((value, i + 1));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: u64) -> usize {
+        let mut buf = Vec::new();
+        encode(v, &mut buf);
+        assert_eq!(buf.len(), encoded_len(v), "length mismatch for {v}");
+        let (back, used) = decode(&buf).expect("decodes");
+        assert_eq!(back, v);
+        assert_eq!(used, buf.len());
+        buf.len()
+    }
+
+    #[test]
+    fn edge_values() {
+        assert_eq!(roundtrip(0), 1);
+        assert_eq!(roundtrip(1), 1);
+        assert_eq!(roundtrip(127), 1);
+        assert_eq!(roundtrip(128), 2);
+        assert_eq!(roundtrip(u64::from(u32::MAX)), 5);
+        assert_eq!(roundtrip(u64::MAX), 10);
+    }
+
+    #[test]
+    fn truncated_input_is_none() {
+        let mut buf = Vec::new();
+        encode(u64::MAX, &mut buf);
+        for cut in 0..buf.len() {
+            assert_eq!(decode(&buf[..cut]), None, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn overlong_encoding_is_none() {
+        // Eleven continuation bytes can never terminate within MAX_LEN.
+        assert_eq!(decode(&[0x80; 11]), None);
+        // Tenth byte carrying more than bit 63 overflows u64.
+        let mut buf = vec![0x80; 9];
+        buf.push(0x02);
+        assert_eq!(decode(&buf), None);
+    }
+}

@@ -1,0 +1,208 @@
+//! Encoding: [`TraceWriter`] plus whole-buffer/file conveniences.
+
+use crate::format::{tag, TraceMeta, TraceRecord, FORMAT_VERSION, MAGIC};
+use crate::varint;
+use ddrace_program::{Op, TraceEvent};
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Streaming `.ddt` encoder over any [`Write`] sink.
+///
+/// The header is written on construction; each [`TraceWriter::write`]
+/// appends one record. Records are buffered per call into a small
+/// scratch vector, so writers layered over unbuffered sinks (files)
+/// still see one `write_all` per record — wrap in a `BufWriter` for
+/// high-volume recording.
+pub struct TraceWriter<W: Write> {
+    sink: W,
+    scratch: Vec<u8>,
+    records: u64,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Writes the magic, version, and header for `meta`, returning the
+    /// ready-to-append writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sink I/O errors.
+    pub fn new(mut sink: W, meta: &TraceMeta) -> io::Result<TraceWriter<W>> {
+        let mut head = Vec::with_capacity(64);
+        head.extend_from_slice(&MAGIC);
+        head.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        varint::encode(meta.seed, &mut head);
+        varint::encode(meta.fingerprint, &mut head);
+        encode_str(&meta.source, &mut head);
+        encode_str(&meta.label, &mut head);
+        // Reserved key/value pair count: always zero in version 1.
+        varint::encode(0, &mut head);
+        sink.write_all(&head)?;
+        Ok(TraceWriter {
+            sink,
+            scratch: Vec::with_capacity(32),
+            records: 0,
+        })
+    }
+
+    /// Appends one record to the stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sink I/O errors.
+    pub fn write(&mut self, record: &TraceRecord) -> io::Result<()> {
+        self.scratch.clear();
+        encode_record(record, &mut self.scratch);
+        self.sink.write_all(&self.scratch)?;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Number of records written so far.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Flushes and returns the underlying sink.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sink I/O errors.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+}
+
+fn encode_str(s: &str, out: &mut Vec<u8>) {
+    varint::encode(s.len() as u64, out);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn encode_record(record: &TraceRecord, out: &mut Vec<u8>) {
+    match record {
+        TraceRecord::Exec(event) => encode_event(event, out),
+        TraceRecord::Hitm { core, line, skid } => {
+            out.push(tag::HITM);
+            varint::encode(u64::from(*core), out);
+            varint::encode(*line, out);
+            varint::encode(u64::from(*skid), out);
+        }
+    }
+}
+
+fn encode_event(event: &TraceEvent, out: &mut Vec<u8>) {
+    match event {
+        TraceEvent::ThreadStarted { tid, parent } => {
+            out.push(tag::THREAD_STARTED);
+            varint::encode(u64::from(tid.0), out);
+            // parent is biased by one so "no parent" encodes as 0.
+            varint::encode(parent.map_or(0, |p| u64::from(p.0) + 1), out);
+        }
+        TraceEvent::ThreadFinished { tid } => {
+            out.push(tag::THREAD_FINISHED);
+            varint::encode(u64::from(tid.0), out);
+        }
+        TraceEvent::BarrierReleased {
+            barrier,
+            participants,
+        } => {
+            out.push(tag::BARRIER_RELEASED);
+            varint::encode(u64::from(barrier.0), out);
+            varint::encode(participants.len() as u64, out);
+            for tid in participants {
+                varint::encode(u64::from(tid.0), out);
+            }
+        }
+        TraceEvent::Op { tid, op } => {
+            let t = u64::from(tid.0);
+            match *op {
+                Op::Read { addr } => {
+                    out.push(tag::OP_READ);
+                    varint::encode(t, out);
+                    varint::encode(addr.0, out);
+                }
+                Op::Write { addr } => {
+                    out.push(tag::OP_WRITE);
+                    varint::encode(t, out);
+                    varint::encode(addr.0, out);
+                }
+                Op::AtomicRmw { addr } => {
+                    out.push(tag::OP_ATOMIC_RMW);
+                    varint::encode(t, out);
+                    varint::encode(addr.0, out);
+                }
+                Op::Lock { lock } => {
+                    out.push(tag::OP_LOCK);
+                    varint::encode(t, out);
+                    varint::encode(u64::from(lock.0), out);
+                }
+                Op::Unlock { lock } => {
+                    out.push(tag::OP_UNLOCK);
+                    varint::encode(t, out);
+                    varint::encode(u64::from(lock.0), out);
+                }
+                Op::Barrier {
+                    barrier,
+                    participants,
+                } => {
+                    out.push(tag::OP_BARRIER);
+                    varint::encode(t, out);
+                    varint::encode(u64::from(barrier.0), out);
+                    varint::encode(u64::from(participants), out);
+                }
+                Op::Fork { child } => {
+                    out.push(tag::OP_FORK);
+                    varint::encode(t, out);
+                    varint::encode(u64::from(child.0), out);
+                }
+                Op::Join { child } => {
+                    out.push(tag::OP_JOIN);
+                    varint::encode(t, out);
+                    varint::encode(u64::from(child.0), out);
+                }
+                Op::Post { sem } => {
+                    out.push(tag::OP_POST);
+                    varint::encode(t, out);
+                    varint::encode(u64::from(sem.0), out);
+                }
+                Op::WaitSem { sem } => {
+                    out.push(tag::OP_WAIT_SEM);
+                    varint::encode(t, out);
+                    varint::encode(u64::from(sem.0), out);
+                }
+                Op::Compute { cycles } => {
+                    out.push(tag::OP_COMPUTE);
+                    varint::encode(t, out);
+                    varint::encode(u64::from(cycles), out);
+                }
+            }
+        }
+    }
+}
+
+/// Encodes a whole trace into an in-memory buffer.
+pub fn encode_trace(meta: &TraceMeta, records: &[TraceRecord]) -> Vec<u8> {
+    let mut writer = TraceWriter::new(Vec::new(), meta).expect("Vec sink cannot fail");
+    for record in records {
+        writer.write(record).expect("Vec sink cannot fail");
+    }
+    writer.finish().expect("Vec sink cannot fail")
+}
+
+/// Writes a whole trace to `path` (buffered, created or truncated).
+///
+/// # Errors
+///
+/// Propagates file I/O errors.
+pub fn write_trace_file(
+    path: impl AsRef<Path>,
+    meta: &TraceMeta,
+    records: &[TraceRecord],
+) -> io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut writer = TraceWriter::new(io::BufWriter::new(file), meta)?;
+    for record in records {
+        writer.write(record)?;
+    }
+    writer.finish()?.flush()
+}

@@ -1,0 +1,162 @@
+//! Property-based round-trip tests for the `.ddt` codec.
+
+use ddrace_program::{Addr, BarrierId, LockId, Op, SemId, ThreadId, TraceEvent};
+use ddrace_trace::{
+    decode_trace, encode_trace, varint, TraceError, TraceErrorKind, TraceMeta, TraceRecord,
+};
+use proptest::prelude::*;
+
+fn exec(event: TraceEvent) -> TraceRecord {
+    TraceRecord::Exec(event)
+}
+
+fn op(tid: u32, op: Op) -> TraceRecord {
+    exec(TraceEvent::Op {
+        tid: ThreadId(tid),
+        op,
+    })
+}
+
+/// Every record shape the format knows, with adversarial field ranges
+/// (full-width addresses and cycles included).
+fn arb_record() -> impl Strategy<Value = TraceRecord> {
+    prop_oneof![
+        (0u32..16, 0u32..17).prop_map(|(tid, parent)| exec(TraceEvent::ThreadStarted {
+            tid: ThreadId(tid),
+            parent: parent.checked_sub(1).map(ThreadId),
+        })),
+        (0u32..16).prop_map(|tid| exec(TraceEvent::ThreadFinished { tid: ThreadId(tid) })),
+        (0u32..8, proptest::collection::vec(0u32..16, 0..6)).prop_map(|(b, tids)| {
+            exec(TraceEvent::BarrierReleased {
+                barrier: BarrierId(b),
+                participants: tids.into_iter().map(ThreadId).collect(),
+            })
+        }),
+        (0u32..16, any::<u64>()).prop_map(|(t, a)| op(t, Op::Read { addr: Addr(a) })),
+        (0u32..16, any::<u64>()).prop_map(|(t, a)| op(t, Op::Write { addr: Addr(a) })),
+        (0u32..16, any::<u64>()).prop_map(|(t, a)| op(t, Op::AtomicRmw { addr: Addr(a) })),
+        (0u32..16, any::<u32>()).prop_map(|(t, l)| op(t, Op::Lock { lock: LockId(l) })),
+        (0u32..16, any::<u32>()).prop_map(|(t, l)| op(t, Op::Unlock { lock: LockId(l) })),
+        (0u32..16, 0u32..8, 1u32..16).prop_map(|(t, b, n)| op(
+            t,
+            Op::Barrier {
+                barrier: BarrierId(b),
+                participants: n,
+            }
+        )),
+        (0u32..16, 0u32..16).prop_map(|(t, c)| op(t, Op::Fork { child: ThreadId(c) })),
+        (0u32..16, 0u32..16).prop_map(|(t, c)| op(t, Op::Join { child: ThreadId(c) })),
+        (0u32..16, 0u32..8).prop_map(|(t, s)| op(t, Op::Post { sem: SemId(s) })),
+        (0u32..16, 0u32..8).prop_map(|(t, s)| op(t, Op::WaitSem { sem: SemId(s) })),
+        (0u32..16, any::<u32>()).prop_map(|(t, c)| op(t, Op::Compute { cycles: c })),
+        (any::<u32>(), any::<u64>(), any::<u32>())
+            .prop_map(|(core, line, skid)| { TraceRecord::Hitm { core, line, skid } }),
+    ]
+}
+
+proptest! {
+    /// Arbitrary record sequences encode → decode identically, header
+    /// included.
+    #[test]
+    fn records_roundtrip(
+        records in proptest::collection::vec(arb_record(), 0..60),
+        seed in any::<u64>(),
+        fingerprint in any::<u64>(),
+    ) {
+        let meta = TraceMeta {
+            source: "prop".to_string(),
+            label: format!("spec-{seed:x}"),
+            seed,
+            fingerprint,
+        };
+        let bytes = encode_trace(&meta, &records);
+        let (back_meta, back_records) = decode_trace(&bytes).expect("roundtrip decodes");
+        prop_assert_eq!(back_meta, meta);
+        prop_assert_eq!(back_records, records);
+    }
+
+    /// The varint codec is total over u64.
+    #[test]
+    fn varint_roundtrips(value in any::<u64>()) {
+        let mut buf = Vec::new();
+        varint::encode(value, &mut buf);
+        prop_assert_eq!(varint::decode(&buf), Some((value, buf.len())));
+    }
+
+    /// Every strict prefix of an encoded trace either decodes to a
+    /// prefix of the records (cut landed on a record boundary) or fails
+    /// with a position-carrying error — never a panic, and never
+    /// records the full stream didn't contain.
+    #[test]
+    fn truncation_errors_carry_position(
+        records in proptest::collection::vec(arb_record(), 1..30),
+        cut_frac in 0u32..1000,
+    ) {
+        let meta = TraceMeta {
+            source: "prop".to_string(),
+            label: "truncate".to_string(),
+            seed: 7,
+            fingerprint: 7,
+        };
+        let bytes = encode_trace(&meta, &records);
+        let cut = (bytes.len() - 1) * cut_frac as usize / 1000;
+        match decode_trace(&bytes[..cut]) {
+            Ok((_, partial)) => {
+                prop_assert!(partial.len() < records.len());
+                prop_assert_eq!(&partial[..], &records[..partial.len()]);
+            }
+            Err(TraceError { offset, .. }) => prop_assert!(offset <= cut as u64),
+        }
+    }
+}
+
+#[test]
+fn varint_edge_values() {
+    for value in [0u64, 1, 127, 128, u64::from(u32::MAX), u64::MAX] {
+        let mut buf = Vec::new();
+        varint::encode(value, &mut buf);
+        assert_eq!(varint::decode(&buf), Some((value, buf.len())));
+    }
+    assert_eq!(varint::decode(&[]), None);
+    assert_eq!(varint::decode(&[0x80]), None);
+}
+
+#[test]
+fn unsupported_version_names_found_and_supported() {
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(b"DDTRACE\0");
+    bytes.extend_from_slice(&99u32.to_le_bytes());
+    let err = decode_trace(&bytes).unwrap_err();
+    assert_eq!(err.kind, TraceErrorKind::UnsupportedVersion { found: 99 });
+    assert_eq!(
+        err.to_string(),
+        "unsupported trace format version 99 (this build reads version 1)"
+    );
+}
+
+#[test]
+fn bad_magic_and_empty_input_fail_cleanly() {
+    assert_eq!(
+        decode_trace(b"NOTDDT\0\0rest").unwrap_err().kind,
+        TraceErrorKind::BadMagic
+    );
+    let err = decode_trace(&[]).unwrap_err();
+    assert_eq!(err.kind, TraceErrorKind::Truncated);
+    assert_eq!(err.offset, 0);
+}
+
+#[test]
+fn unknown_tag_reports_its_offset() {
+    let meta = TraceMeta {
+        source: "t".to_string(),
+        label: "t".to_string(),
+        seed: 0,
+        fingerprint: 0,
+    };
+    let mut bytes = encode_trace(&meta, &[]);
+    let tag_at = bytes.len() as u64;
+    bytes.push(0xff);
+    let err = decode_trace(&bytes).unwrap_err();
+    assert_eq!(err.kind, TraceErrorKind::BadTag(0xff));
+    assert_eq!(err.offset, tag_at);
+}

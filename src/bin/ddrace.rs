@@ -6,8 +6,11 @@
 //!                [--seed 42] [--cores 8] [--detector fasttrack]
 //!                [--inject-race N] [--json]
 //! ddrace compare --bench kmeans [--scale small] [--seed 42] [--cores 8]
-//! ddrace record  --bench kmeans --out trace.json [--scale test] [--seed 42]
-//! ddrace analyze --trace trace.json [--mode continuous] [--cores 8]
+//! ddrace record  --bench kmeans --out trace.ddt [--scale test] [--seed 42]
+//! ddrace analyze --trace trace.ddt [--mode continuous] [--cores 8]
+//! ddrace ingest  (--trace trace.ddt | --corpus DIR) [--modes continuous]
+//!                [--detector fasttrack] [--workers N] [--events FILE|-]
+//!                [--resume FILE] [--out FILE] [--quiet]
 //! ddrace campaign [--suite phoenix] [--modes native,continuous,demand-hitm]
 //!                 [--seeds 1,2,3] [--cores-sweep 1,2,4,8] [--variants SPEC]
 //!                 [--workers N] [--events FILE|-] [--resume FILE]
@@ -45,6 +48,7 @@ fn main() -> ExitCode {
         "compare" => cmd_compare(&flags),
         "record" => cmd_record(&flags),
         "analyze" => cmd_analyze(&flags),
+        "ingest" => cmd_ingest(&flags),
         "campaign" => cmd_campaign(&flags),
         "fuzz" => cmd_fuzz(&flags),
         "help" | "--help" | "-h" => {
@@ -71,8 +75,13 @@ USAGE:
                    [--seed N] [--cores N] [--detector KIND] [--inject-race N]
                    [--json] [--detail] [--timeline]
     ddrace compare --bench NAME [--scale SCALE] [--seed N] [--cores N]
-    ddrace record  --bench NAME --out FILE [--scale SCALE] [--seed N]
+    ddrace record  (--bench NAME | --spec FILE) --out FILE [--scale SCALE]
+                   [--seed N] [--cores N] [--mode MODE]
     ddrace analyze --trace FILE [--mode MODE] [--cores N] [--detector KIND]
+    ddrace ingest  (--trace FILE | --corpus DIR) [--modes MODE,MODE,...]
+                   [--detector KIND] [--variants SPEC] [--cores N]
+                   [--workers N] [--timeout-secs N] [--events FILE|-]
+                   [--resume FILE] [--out FILE] [--quiet]
     ddrace campaign [--suite SUITE] [--modes MODE,MODE,...] [--workers N]
                     [--scale SCALE] [--seed N | --seeds N,N,...] [--cores N]
                     [--cores-sweep N,N,...] [--variants SPEC]
@@ -92,6 +101,15 @@ FUZZ:       generates --count program specs from --seed and checks every
             `.`), replayable with --replay. --fault plants a deliberate
             reference-detector bug (drop-write-write | ignore-unlock) to
             demonstrate the oracles catch it; the default is none.
+
+INGEST:     replays recorded `.ddt` traces (see `record`) through the
+            detector stack on the campaign worker pool — one job per
+            trace x mode x variant — instead of generating programs.
+            A corpus directory is swept in name order; aggregates are
+            byte-identical across --workers counts and reruns. A trace
+            whose header this build cannot read (unknown format version,
+            corrupt header) aborts with exit code 2 naming the version
+            found vs supported.
 
 RESUME:     --resume takes a prior run's --events JSONL stream; finished
             jobs are restored from it (validated by spec fingerprint) and
@@ -426,21 +444,170 @@ fn cmd_compare(flags: &HashMap<String, String>) -> Result<(), String> {
 fn cmd_record(flags: &HashMap<String, String>) -> Result<(), String> {
     let common = parse_common(flags)?;
     let out = flags.get("out").ok_or("--out FILE is required")?;
-    let scheduler = SchedulerConfig {
-        quantum: 32,
+    let cfg = sim_config(flags, common.cores, common.seed)?;
+    let (result, records) = Simulation::new(cfg)
+        .run_recorded(common.spec.program(common.scale, common.seed))
+        .map_err(|e| e.to_string())?;
+    // The fingerprint names the recording setup, so `ingest --resume`
+    // refuses checkpoints taken against a differently-recorded corpus.
+    let scale = flags.get("scale").map(String::as_str).unwrap_or("small");
+    let identity = format!(
+        "{}/{}/{}/{}/{}",
+        common.spec.name, scale, common.seed, common.cores, result.mode
+    );
+    let meta = ddrace::TraceMeta {
+        source: "sim".to_string(),
+        label: common.spec.name.clone(),
         seed: common.seed,
-        jitter: true,
+        fingerprint: ddrace::trace::fingerprint64(identity.as_bytes()),
     };
-    let trace =
-        ddrace::program::Trace::record(common.spec.program(common.scale, common.seed), scheduler)
-            .map_err(|e| e.to_string())?;
-    let json = ddrace::json::to_string(&trace).map_err(|e| e.to_string())?;
-    std::fs::write(out, json).map_err(|e| e.to_string())?;
+    ddrace::write_trace_file(out, &meta, &records).map_err(|e| format!("--out {out}: {e}"))?;
+    let exec = ddrace::exec_trace(&records);
     println!(
         "recorded {} ops across {} threads to {out}",
-        trace.op_count(),
-        trace.thread_count()
+        exec.op_count(),
+        exec.thread_count()
     );
+    Ok(())
+}
+
+fn cmd_ingest(flags: &HashMap<String, String>) -> Result<(), String> {
+    let mut paths: Vec<std::path::PathBuf> = Vec::new();
+    match (flags.get("trace"), flags.get("corpus")) {
+        (Some(_), Some(_)) => return Err("--trace and --corpus are mutually exclusive".to_string()),
+        (Some(file), None) => paths.push(file.into()),
+        (None, Some(dir)) => {
+            for entry in std::fs::read_dir(dir).map_err(|e| format!("--corpus {dir}: {e}"))? {
+                let path = entry.map_err(|e| format!("--corpus {dir}: {e}"))?.path();
+                if path.extension().is_some_and(|ext| ext == "ddt") {
+                    paths.push(path);
+                }
+            }
+            // Name order, so the job list (and hence the campaign
+            // fingerprint and aggregate) is independent of readdir order.
+            paths.sort();
+            if paths.is_empty() {
+                return Err(format!("--corpus {dir}: no .ddt traces found"));
+            }
+        }
+        (None, None) => return Err("--trace FILE or --corpus DIR is required".to_string()),
+    }
+
+    let mut sources = Vec::with_capacity(paths.len());
+    for path in &paths {
+        match ddrace::trace::read_meta(path) {
+            Ok(meta) => sources.push(ddrace::TraceSource {
+                path: path.clone(),
+                name: path
+                    .file_stem()
+                    .map(|s| s.to_string_lossy().into_owned())
+                    .unwrap_or_else(|| "trace".to_string()),
+                fingerprint: meta.fingerprint,
+            }),
+            // Header-level failures (unknown format version, bad magic,
+            // truncated header) are format skew, not job failures: exit 2
+            // so scripts can tell "this build cannot read that corpus"
+            // from a detection failure.
+            Err(e) if !matches!(e.kind, ddrace::TraceErrorKind::Io(_)) => {
+                eprintln!("error: {}: {e}", path.display());
+                std::process::exit(2);
+            }
+            Err(e) => return Err(format!("{}: {e}", path.display())),
+        }
+    }
+
+    let modes = flags
+        .get("modes")
+        .map(String::as_str)
+        .unwrap_or("continuous")
+        .split(',')
+        .map(parse_mode)
+        .collect::<Result<Vec<_>, _>>()?;
+    let cores: usize = flags
+        .get("cores")
+        .map(|s| s.parse().map_err(|_| "--cores takes a number"))
+        .transpose()?
+        .unwrap_or(8);
+    let workers: usize = flags
+        .get("workers")
+        .map(|s| s.parse().map_err(|_| "--workers takes a number"))
+        .transpose()?
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        });
+    let variants: Option<Vec<JobVariant>> = flags
+        .get("variants")
+        .map(|spec| parse_variants(spec))
+        .transpose()?;
+
+    let mut builder = Campaign::builder("ingest")
+        .trace_corpus(sources)
+        .modes(modes)
+        .seeds([0])
+        .cores(cores);
+    if let Some(variants) = variants {
+        builder = builder.variants(variants);
+    }
+    if let Some(d) = flags.get("detector") {
+        builder = builder.detector_kind(parse_detector(d)?);
+    }
+    if let Some(t) = flags.get("timeout-secs") {
+        let secs: u64 = t.parse().map_err(|_| "--timeout-secs takes a number")?;
+        builder = builder.timeout(std::time::Duration::from_secs(secs));
+    }
+    let campaign = builder.build();
+
+    // As in `campaign`: read the resume checkpoint *before* opening
+    // --events, so resuming into the path the checkpoint came from does
+    // not truncate it first.
+    let resume_log = flags
+        .get("resume")
+        .map(|path| -> Result<ResumeLog, String> {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("--resume {path}: {e}"))?;
+            ResumeLog::parse(&text).map_err(|e| format!("--resume {path}: {e}"))
+        })
+        .transpose()?;
+
+    let jsonl: Option<Box<dyn std::io::Write + Send>> = match flags.get("events") {
+        Some(path) if path == "-" => Some(Box::new(std::io::stdout())),
+        Some(path) => Some(Box::new(
+            std::fs::File::create(path).map_err(|e| format!("--events {path}: {e}"))?,
+        )),
+        None => None,
+    };
+    // Ingest output is deterministic down to the byte (the ci.sh stage
+    // diffs aggregates across worker counts), so wall-clock is zeroed.
+    let sink = EventSink::new(jsonl, !flags.contains_key("quiet")).with_deterministic_wall();
+    let report = match &resume_log {
+        Some(log) => {
+            let skipped = log.finished.len();
+            let report = resume_campaign(&campaign, workers, &sink, log)?;
+            if !flags.contains_key("quiet") {
+                eprintln!(
+                    "resumed: {skipped} of {} job(s) restored from the checkpoint",
+                    campaign.jobs.len()
+                );
+            }
+            report
+        }
+        None => run_campaign(&campaign, workers, &sink),
+    };
+
+    let aggregate =
+        ddrace::json::to_string_pretty(&report.aggregate_json()).map_err(|e| e.to_string())?;
+    match flags.get("out") {
+        Some(path) => {
+            std::fs::write(path, &aggregate).map_err(|e| format!("--out {path}: {e}"))?;
+            eprintln!("aggregate written to {path}");
+        }
+        None => println!("{aggregate}"),
+    }
+    if report.failed() > 0 {
+        return Err(format!("{} job(s) failed", report.failed()));
+    }
     Ok(())
 }
 
@@ -717,8 +884,16 @@ fn cmd_fuzz_replay(path: &str) -> Result<(), String> {
 
 fn cmd_analyze(flags: &HashMap<String, String>) -> Result<(), String> {
     let path = flags.get("trace").ok_or("--trace FILE is required")?;
-    let json = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
-    let trace: ddrace::program::Trace = ddrace::json::from_str(&json).map_err(|e| e.to_string())?;
+    let bytes = std::fs::read(path).map_err(|e| e.to_string())?;
+    // Sniff the 8-byte magic: `.ddt` binary traces and the legacy JSON
+    // trace dump both replay through the same path.
+    let trace: ddrace::program::Trace = if bytes.starts_with(&ddrace::trace::MAGIC) {
+        let (_, records) = ddrace::decode_trace(&bytes).map_err(|e| format!("{path}: {e}"))?;
+        ddrace::exec_trace(&records)
+    } else {
+        let json = String::from_utf8(bytes).map_err(|_| format!("{path}: not UTF-8"))?;
+        ddrace::json::from_str(&json).map_err(|e| e.to_string())?
+    };
     let cores = flags
         .get("cores")
         .map(|s| s.parse().map_err(|_| "--cores takes a number"))

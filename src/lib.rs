@@ -26,6 +26,7 @@
 //! | [`workloads`] | Phoenix-like & PARSEC-like synthetic benchmarks, racy kernels |
 //! | [`harness`] | parallel campaign runner with structured telemetry |
 //! | [`conform`] | differential + metamorphic conformance fuzzer over the stack |
+//! | [`trace`] | compact versioned `.ddt` trace format: record once, ingest anywhere |
 //! | [`telemetry`] | span/counter sink the simulator emits into during campaigns |
 //! | [`json`] | dependency-free JSON used by traces, specs, and campaign output |
 //!
@@ -64,6 +65,7 @@ pub use ddrace_native as native;
 pub use ddrace_pmu as pmu;
 pub use ddrace_program as program;
 pub use ddrace_telemetry as telemetry;
+pub use ddrace_trace as trace;
 pub use ddrace_workloads as workloads;
 
 pub use ddrace_cache::{CacheConfig, CacheHierarchy, CoreId, HitWhere, LevelConfig, SharingKind};
@@ -78,10 +80,14 @@ pub use ddrace_detector::{
 };
 pub use ddrace_harness::{
     resume_campaign, run_campaign, Campaign, CampaignReport, ConfigPatch, EventSink, Job,
-    JobVariant, ResumeLog,
+    JobVariant, ResumeLog, TraceSource,
 };
 pub use ddrace_pmu::{IndicatorMode, SharingIndicator};
 pub use ddrace_program::{
     AccessKind, Addr, Op, Program, ProgramBuilder, ScheduleError, SchedulerConfig, ThreadId,
+};
+pub use ddrace_trace::{
+    decode_trace, encode_trace, exec_trace, read_trace_file, write_trace_file, TraceError,
+    TraceErrorKind, TraceMeta, TraceRecord,
 };
 pub use ddrace_workloads::{parsec, phoenix, racy, Scale, WorkloadSpec};

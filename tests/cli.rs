@@ -106,7 +106,7 @@ fn compare_prints_all_modes() {
 fn record_then_analyze_roundtrip() {
     let dir = std::env::temp_dir().join(format!("ddrace-cli-test-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
-    let trace_path = dir.join("trace.json");
+    let trace_path = dir.join("trace.ddt");
 
     let out = stdout_of({
         let mut c = ddrace();
@@ -123,6 +123,10 @@ fn record_then_analyze_roundtrip() {
     });
     assert!(out.contains("recorded"));
 
+    // The recorded file is the binary format, not the legacy JSON dump.
+    let bytes = std::fs::read(&trace_path).unwrap();
+    assert!(bytes.starts_with(&ddrace::trace::MAGIC), "not a .ddt file");
+
     let out = stdout_of({
         let mut c = ddrace();
         c.args([
@@ -136,6 +140,131 @@ fn record_then_analyze_roundtrip() {
     });
     assert!(out.contains("races (distinct)"));
     assert!(!out.contains("races (distinct):   0"), "{out}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn analyze_still_reads_legacy_json_traces() {
+    let dir = std::env::temp_dir().join(format!("ddrace-cli-json-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace_path = dir.join("trace.json");
+
+    let spec = ddrace::racy::sparse_race();
+    let scheduler = ddrace::SchedulerConfig {
+        quantum: 32,
+        seed: 42,
+        jitter: true,
+    };
+    let trace =
+        ddrace::program::Trace::record(spec.program(ddrace::Scale::TEST, 42), scheduler).unwrap();
+    std::fs::write(&trace_path, ddrace::json::to_string(&trace).unwrap()).unwrap();
+
+    let out = stdout_of({
+        let mut c = ddrace();
+        c.args([
+            "analyze",
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--mode",
+            "continuous",
+        ]);
+        c
+    });
+    assert!(!out.contains("races (distinct):   0"), "{out}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn ingest_corpus_is_worker_count_invariant() {
+    let dir = std::env::temp_dir().join(format!("ddrace-cli-ingest-{}", std::process::id()));
+    let corpus = dir.join("corpus");
+    std::fs::create_dir_all(&corpus).unwrap();
+    for bench in ["sparse_race", "unprotected_counter"] {
+        let out = stdout_of({
+            let mut c = ddrace();
+            c.args([
+                "record",
+                "--bench",
+                bench,
+                "--scale",
+                "test",
+                "--out",
+                corpus.join(format!("{bench}.ddt")).to_str().unwrap(),
+            ]);
+            c
+        });
+        assert!(out.contains("recorded"), "{out}");
+    }
+    let ingest = |workers: &str| {
+        stdout_of({
+            let mut c = ddrace();
+            c.args([
+                "ingest",
+                "--corpus",
+                corpus.to_str().unwrap(),
+                "--workers",
+                workers,
+                "--quiet",
+            ]);
+            c
+        })
+    };
+    let serial = ingest("1");
+    assert!(serial.contains("\"campaign\": \"ingest\""), "{serial}");
+    assert!(serial.contains("sparse_race"), "{serial}");
+    assert_eq!(serial, ingest("8"), "aggregate depends on worker count");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn ingest_unknown_version_exits_2_naming_both_versions() {
+    let dir = std::env::temp_dir().join(format!("ddrace-cli-skew-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("future.ddt");
+    let mut bytes = ddrace::trace::MAGIC.to_vec();
+    bytes.extend_from_slice(&99u32.to_le_bytes());
+    std::fs::write(&path, bytes).unwrap();
+
+    let out = ddrace()
+        .args(["ingest", "--trace", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "version skew must exit 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("unsupported trace format version 99 (this build reads version 1)"),
+        "{stderr}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn ingest_corrupt_header_exits_2() {
+    let dir = std::env::temp_dir().join(format!("ddrace-cli-corrupt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Right magic and version, but the header ends mid-field.
+    let truncated = dir.join("truncated.ddt");
+    let mut bytes = ddrace::trace::MAGIC.to_vec();
+    bytes.extend_from_slice(&1u32.to_le_bytes());
+    std::fs::write(&truncated, bytes).unwrap();
+
+    // Not a trace at all.
+    let garbage = dir.join("garbage.ddt");
+    std::fs::write(&garbage, b"not a trace").unwrap();
+
+    for (path, needle) in [
+        (&truncated, "truncated trace"),
+        (&garbage, "not a .ddt trace"),
+    ] {
+        let out = ddrace()
+            .args(["ingest", "--trace", path.to_str().unwrap()])
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code(), Some(2), "{} must exit 2", path.display());
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains(needle), "{stderr}");
+    }
     std::fs::remove_dir_all(&dir).ok();
 }
 

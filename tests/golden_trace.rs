@@ -1,0 +1,74 @@
+//! Golden-file byte pin of the `.ddt` trace format: the exact bytes a
+//! fixed seeded workload records are committed under `tests/golden/`.
+//! Any change to the header layout, tag assignment, or varint encoding
+//! shows up as a diff against a reviewed artifact instead of silently
+//! breaking previously-recorded corpora. Compatible changes bump
+//! [`ddrace::trace::FORMAT_VERSION`] instead of editing version 1.
+//!
+//! To regenerate after an *intentional* format change (a version bump):
+//!
+//! ```text
+//! DDRACE_UPDATE_GOLDEN=1 cargo test --test golden_trace
+//! ```
+
+use ddrace::{racy, AnalysisMode, Scale, SchedulerConfig, SimConfig, Simulation, TraceMeta};
+use std::path::PathBuf;
+
+#[test]
+fn recorded_trace_matches_golden_bytes() {
+    // unprotected_counter is the smallest racy kernel at TEST scale
+    // (~45 KiB recorded), keeping the committed artifact light.
+    let spec = racy::unprotected_counter();
+    let mut cfg = SimConfig::new(4, AnalysisMode::demand_hitm());
+    cfg.scheduler = SchedulerConfig {
+        quantum: 32,
+        seed: 42,
+        jitter: true,
+    };
+    let (_, records) = Simulation::new(cfg)
+        .run_recorded(spec.program(Scale::TEST, 42))
+        .expect("golden workload runs clean");
+    let meta = TraceMeta {
+        source: "sim".to_string(),
+        label: spec.name.clone(),
+        seed: 42,
+        fingerprint: ddrace::trace::fingerprint64(b"unprotected_counter/test/42/4/demand-hitm"),
+    };
+    let actual = ddrace::encode_trace(&meta, &records);
+
+    let path =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/unprotected_counter.ddt");
+    if std::env::var("DDRACE_UPDATE_GOLDEN").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read(&path).unwrap_or_else(|e| {
+        panic!(
+            "{}: {e}\nrun with DDRACE_UPDATE_GOLDEN=1 to create it",
+            path.display()
+        )
+    });
+    if actual != expected {
+        let diverge = actual
+            .iter()
+            .zip(&expected)
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| actual.len().min(expected.len()));
+        panic!(
+            "trace bytes diverged from {} at offset {diverge} \
+             (recorded {} bytes, golden {}) — a format change must bump \
+             FORMAT_VERSION and regenerate with DDRACE_UPDATE_GOLDEN=1",
+            path.display(),
+            actual.len(),
+            expected.len()
+        );
+    }
+
+    // The committed artifact must also decode back to exactly what was
+    // recorded — the pin covers both directions of the codec.
+    let (decoded_meta, decoded_records) =
+        ddrace::decode_trace(&expected).expect("golden trace decodes");
+    assert_eq!(decoded_meta, meta);
+    assert_eq!(decoded_records, records);
+}
