@@ -96,4 +96,21 @@ rm -rf "$TRACE_SMOKE_DIR"
 echo "==> bench_substrate --smoke"
 cargo run --release -q -p ddrace-bench --bin bench_substrate -- --smoke
 
+# Smoke-run the native-monitor bench: the binary itself gates on the
+# engines reporting identical racy keys and on the sharded engine not
+# being slower than the single lock at 8+ threads; perf acceptance
+# (the >= 4x speedup) is judged only on full release runs, never in CI.
+# DDRACE_BENCH_OUT opts the smoke run into writing JSON so the schema
+# stays checkable here.
+echo "==> bench_native --smoke"
+NATIVE_SMOKE_DIR=$(mktemp -d)
+DDRACE_BENCH_OUT="$NATIVE_SMOKE_DIR/bench_native.json" \
+    cargo run --release -q -p ddrace-bench --bin bench_native -- --smoke
+for key in '"bench"' '"workload"' '"threads"' '"acceptance"' \
+    '"events_per_sec"' '"speedup_8"' '"speedup_64"'; do
+    grep -q "$key" "$NATIVE_SMOKE_DIR/bench_native.json" \
+        || { echo "bench_native.json missing $key"; exit 1; }
+done
+rm -rf "$NATIVE_SMOKE_DIR"
+
 echo "CI green."

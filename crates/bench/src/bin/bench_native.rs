@@ -1,0 +1,244 @@
+//! Native monitor throughput: the sharded, epoch-filtered shadow state
+//! against the **live** legacy single-lock engine, on real OS threads,
+//! emitting the machine-readable `BENCH_native.json` at the repo root.
+//!
+//! The baseline is not a stored number: the pre-change engine (one
+//! global `Mutex<FastTrack>` around every hook) still exists behind
+//! [`Monitor::legacy`], so every run re-measures before *and* after on
+//! the same machine. Both engines run the identical workload and the
+//! racy-key sets they report are asserted equal before any timing.
+//!
+//! The workload is the shape the sharded engine is built for: each
+//! thread hammers a private hot working set (repeat same-epoch accesses,
+//! served lock-free by the per-thread epoch filter), takes a shared lock
+//! every few thousand operations (advancing its epoch and flushing the
+//! filter), and — when there are at least two threads — lands one
+//! deliberate unsynchronized write pair so the equivalence check has a
+//! race to agree on.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p ddrace-bench --bin bench_native          # full run, writes JSON
+//! cargo run -p ddrace-bench --bin bench_native -- --smoke         # tiny sizes, no JSON (CI)
+//! ```
+//!
+//! `DDRACE_BENCH_OUT` overrides the output path (and, in smoke mode,
+//! opts into writing the JSON at smoke sizes so CI can check the
+//! schema). Debug builds are tagged `"build": "debug"`; acceptance
+//! numbers come from `--release`.
+
+use criterion::{measure_paired, Measurement};
+use ddrace_detector::racy_keys;
+use ddrace_json::Value;
+use ddrace_native::{Monitor, ThreadToken};
+use ddrace_program::Addr;
+use std::sync::Arc;
+
+/// Per-thread hot working set, in words. Small enough to sit entirely
+/// in the epoch filter, large enough that the legacy engine's shadow
+/// lookups don't degenerate to a single slot.
+const HOT_WORDS: u64 = 64;
+
+/// Accesses between lock round-trips. Each round-trip advances the
+/// thread's epoch, so roughly one access in `SYNC_PERIOD / HOT_WORDS`
+/// re-misses the filter — the demand-driven steady state.
+const SYNC_PERIOD: usize = 16 * 1024;
+
+/// The deliberately racy word (threads 0 and 1 write it unsynchronized).
+const RACY: Addr = Addr(0x10);
+
+/// `ops` accesses in write-then-read-thrice groups over the hot working
+/// set (the store-then-reload shape of real hot loops), with a lock
+/// round-trip every [`SYNC_PERIOD`] accesses. `ops` must be a multiple
+/// of [`SYNC_PERIOD`].
+fn worker(monitor: &Monitor, token: ThreadToken, idx: usize, ops: usize) {
+    assert_eq!(ops % SYNC_PERIOD, 0);
+    if idx < 2 {
+        monitor.write(token, RACY);
+    }
+    let base = 0x1_0000u64 * (idx as u64 + 1);
+    for round in 0..ops / SYNC_PERIOD {
+        let first = round as u64;
+        for word in first..first + (SYNC_PERIOD / 4) as u64 {
+            let addr = Addr(base + (word % HOT_WORDS) * 8);
+            monitor.write(token, addr);
+            monitor.read(token, addr);
+            monitor.read(token, addr);
+            monitor.read(token, addr);
+        }
+        monitor.lock_acquired(token, 1);
+        monitor.lock_released(token, 1);
+    }
+}
+
+/// One full run: fork `threads` real OS threads off the root, drive the
+/// workload, join them all, and return the monitor for inspection.
+fn run_once(legacy: bool, threads: usize, ops_per_thread: usize) -> Arc<Monitor> {
+    let (monitor, root) = if legacy {
+        Monitor::legacy()
+    } else {
+        Monitor::new()
+    };
+    let tokens: Vec<ThreadToken> = (0..threads).map(|_| monitor.fork(root)).collect();
+    std::thread::scope(|scope| {
+        for (idx, &token) in tokens.iter().enumerate() {
+            let monitor = &monitor;
+            scope.spawn(move || worker(monitor, token, idx, ops_per_thread));
+        }
+    });
+    for token in tokens {
+        assert!(
+            monitor.join(root, token),
+            "join must succeed once per child"
+        );
+    }
+    monitor
+}
+
+fn keys_of(monitor: &Monitor) -> Vec<u64> {
+    racy_keys(&monitor.reports())
+}
+
+fn measurement_json(m: &Measurement) -> Value {
+    Value::Object(vec![
+        ("median_ns".to_string(), Value::UInt(m.median_ns)),
+        ("elements".to_string(), Value::UInt(m.elements)),
+        ("events_per_sec".to_string(), Value::Float(m.per_sec())),
+    ])
+}
+
+fn delta_json(before: &Measurement, after: &Measurement) -> Value {
+    Value::Object(vec![
+        ("legacy".to_string(), measurement_json(before)),
+        ("sharded".to_string(), measurement_json(after)),
+        (
+            "speedup".to_string(),
+            Value::Float(after.per_sec() / before.per_sec()),
+        ),
+    ])
+}
+
+fn main() {
+    let smoke =
+        std::env::args().any(|a| a == "--smoke") || std::env::var("DDRACE_BENCH_SMOKE").is_ok();
+    let samples = if smoke { 2 } else { 7 };
+    // Per-thread, not total: every thread count runs the same per-thread
+    // budget, so the fixed spawn/join cost is the same fraction of every
+    // configuration's runtime instead of taxing the high-thread rows.
+    let ops_per_thread: usize =
+        (if smoke { 16_384 } else { 500_000 } / SYNC_PERIOD).max(1) * SYNC_PERIOD;
+    let thread_counts = [1usize, 8, 64];
+
+    let mut rows: Vec<(usize, u64, Measurement, Measurement)> = Vec::new();
+    for &threads in &thread_counts {
+        let events = (threads * ops_per_thread + threads.min(2)) as u64;
+
+        // Equivalence gate before any timing: both engines must agree on
+        // which shadow keys race under this workload.
+        let legacy_keys = keys_of(&run_once(true, threads, ops_per_thread));
+        let sharded_keys = keys_of(&run_once(false, threads, ops_per_thread));
+        assert_eq!(
+            legacy_keys, sharded_keys,
+            "engines must report identical racy keys at {threads} threads"
+        );
+        let expected: Vec<u64> = if threads >= 2 {
+            vec![RACY.0 >> 3]
+        } else {
+            vec![]
+        };
+        assert_eq!(
+            sharded_keys, expected,
+            "workload must race exactly on the planted word"
+        );
+
+        println!("native monitor ({threads} threads, {events} events)");
+        // Interleaved sampling: CPU-frequency and load drift hit both
+        // engines equally, so the speedup ratio is stable run to run.
+        let (legacy, sharded) = measure_paired(
+            &format!("t{threads}/legacy_single_lock"),
+            &format!("t{threads}/sharded_filtered"),
+            events,
+            samples,
+            || run_once(true, threads, ops_per_thread).race_count(),
+            || run_once(false, threads, ops_per_thread).race_count(),
+        );
+        println!("{}", legacy.line());
+        println!("{}", sharded.line());
+        rows.push((threads, events, legacy, sharded));
+    }
+
+    let speedup_at = |threads: usize| -> f64 {
+        let (_, _, legacy, sharded) = rows.iter().find(|r| r.0 == threads).unwrap();
+        sharded.per_sec() / legacy.per_sec()
+    };
+    let (s1, s8, s64) = (speedup_at(1), speedup_at(8), speedup_at(64));
+    println!("sharded speedup:  1 thread  {s1:.2}x");
+    println!("sharded speedup:  8 threads {s8:.2}x (target >= 4)");
+    println!("sharded speedup: 64 threads {s64:.2}x (target >= 4)");
+    assert!(
+        s8 >= 1.0 && s64 >= 1.0,
+        "sharded engine must not be slower than the single lock at 8+ threads"
+    );
+
+    let out = std::env::var("DDRACE_BENCH_OUT");
+    if smoke && out.is_err() {
+        println!("smoke mode: skipping BENCH_native.json");
+        return;
+    }
+
+    let doc = Value::Object(vec![
+        ("bench".to_string(), Value::Str("native".to_string())),
+        (
+            "build".to_string(),
+            Value::Str(
+                if cfg!(debug_assertions) {
+                    "debug"
+                } else {
+                    "release"
+                }
+                .to_string(),
+            ),
+        ),
+        (
+            "workload".to_string(),
+            Value::Object(vec![
+                ("hot_words".to_string(), Value::UInt(HOT_WORDS)),
+                ("sync_period".to_string(), Value::UInt(SYNC_PERIOD as u64)),
+                (
+                    "ops_per_thread".to_string(),
+                    Value::UInt(ops_per_thread as u64),
+                ),
+            ]),
+        ),
+        (
+            "threads".to_string(),
+            Value::Array(
+                rows.iter()
+                    .map(|(threads, events, legacy, sharded)| {
+                        Value::Object(vec![
+                            ("threads".to_string(), Value::UInt(*threads as u64)),
+                            ("events".to_string(), Value::UInt(*events)),
+                            ("delta".to_string(), delta_json(legacy, sharded)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "acceptance".to_string(),
+            Value::Object(vec![
+                ("speedup_1".to_string(), Value::Float(s1)),
+                ("speedup_8".to_string(), Value::Float(s8)),
+                ("speedup_64".to_string(), Value::Float(s64)),
+                ("target".to_string(), Value::Float(4.0)),
+                ("pass".to_string(), Value::Bool(s8 >= 4.0 && s64 >= 4.0)),
+            ]),
+        ),
+    ]);
+
+    let out = out.unwrap_or_else(|_| "BENCH_native.json".into());
+    let body = ddrace_json::to_string_pretty(&doc).expect("bench document serializes");
+    std::fs::write(&out, body + "\n").expect("write bench output");
+    println!("wrote {out}");
+}

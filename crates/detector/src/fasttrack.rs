@@ -43,86 +43,115 @@ impl VarState {
     }
 }
 
-/// The FastTrack detector.
+/// One address-sharded slice of FastTrack shadow state: the per-address
+/// access history plus the per-access work counters its checks update.
 ///
-/// # Examples
+/// [`FastTrack`] owns exactly one (covering the whole address space);
+/// `ddrace-native`'s sharded monitor owns N behind per-shard locks, each
+/// fed only the shadow keys that hash to it. The split keeps the race
+/// rules in one place: a shard never touches clock state, so callers
+/// decide how thread clocks are stored and locked.
 ///
-/// Two unsynchronized threads writing the same word race; adding a lock
-/// removes the race:
+/// The intended calling sequence per access is [`try_fast`]
+/// (epoch-only, no vector clock needed) and, on a miss, [`check`] with
+/// the thread's clock. Any race the check finds is *returned*, not
+/// recorded — report collection is the caller's policy.
 ///
-/// ```
-/// use ddrace_detector::{FastTrack, DetectorConfig, RaceDetector};
-/// use ddrace_program::{AccessKind, Addr, ThreadId};
-///
-/// let mut d = FastTrack::new(DetectorConfig::default());
-/// d.on_thread_start(ThreadId(0), None);
-/// d.on_thread_start(ThreadId(1), Some(ThreadId(0)));
-/// d.on_access(ThreadId(0), Addr(0x40), AccessKind::Write);
-/// let r = d.on_access(ThreadId(1), Addr(0x40), AccessKind::Write);
-/// assert!(r.race);
-/// assert_eq!(d.reports().distinct(), 1);
-/// ```
-#[derive(Debug, Clone)]
-pub struct FastTrack {
-    clocks: HbClocks,
+/// [`try_fast`]: FastTrackShard::try_fast
+/// [`check`]: FastTrackShard::check
+#[derive(Debug, Clone, Default)]
+pub struct FastTrackShard {
     shadow: ShadowTable<VarState>,
-    reports: RaceReportSet,
     stats: DetectorStats,
-    granularity: Granularity,
-    max_reports: usize,
 }
 
-impl FastTrack {
-    /// Creates a detector.
-    pub fn new(config: DetectorConfig) -> Self {
-        FastTrack {
-            clocks: HbClocks::new(),
-            shadow: ShadowTable::new(),
-            reports: RaceReportSet::new(),
-            stats: DetectorStats::default(),
-            granularity: config.granularity,
-            max_reports: config.max_reports,
-        }
+impl FastTrackShard {
+    /// Creates an empty shard.
+    pub fn new() -> Self {
+        Self::default()
     }
 
-    /// Shadow units currently tracked.
-    pub fn shadow_size(&self) -> usize {
+    /// Shadow units currently tracked by this shard.
+    pub fn len(&self) -> usize {
         self.shadow.len()
     }
 
-    fn record(&mut self, report: RaceReport) {
-        self.stats.races_observed += 1;
-        if self.reports.distinct() < self.max_reports {
-            self.reports.record(report);
-        } else {
-            // At the cap: still merge occurrences of known races, but
-            // record no new distinct reports.
-            self.reports.merge_only(&report);
+    /// Returns `true` if the shard tracks no shadow units.
+    pub fn is_empty(&self) -> bool {
+        self.shadow.is_empty()
+    }
+
+    /// This shard's counters (`races_observed` and `sync_ops` stay zero:
+    /// shards see neither reports nor sync ops).
+    pub fn stats(&self) -> DetectorStats {
+        self.stats
+    }
+
+    /// Same-epoch O(1) fast path: returns `Some` if `e`'s thread already
+    /// performed an access at this epoch that makes the full check
+    /// redundant (a read at `e` for reads, a write at `e` for writes).
+    /// Counts the access; call it exactly once per access, before
+    /// [`check`](FastTrackShard::check).
+    pub fn try_fast(&mut self, key: u64, e: Epoch, kind: AccessKind) -> Option<AccessReport> {
+        self.stats.accesses_checked += 1;
+        let var = self.shadow.get(key)?;
+        match kind {
+            AccessKind::Read => {
+                if let ReadState::Epoch(r) = var.read {
+                    if r == e {
+                        self.stats.fast_path_hits += 1;
+                        let shared = !var.write.is_zero() && var.write.tid != e.tid;
+                        return Some(AccessReport {
+                            race: false,
+                            shared,
+                        });
+                    }
+                }
+                None
+            }
+            AccessKind::Write | AccessKind::AtomicRmw => {
+                if var.write == e {
+                    self.stats.fast_path_hits += 1;
+                    return Some(AccessReport {
+                        race: false,
+                        shared: false,
+                    });
+                }
+                None
+            }
         }
     }
 
-    fn check_read(&mut self, tid: ThreadId, addr: Addr, key: u64) -> AccessReport {
-        // Epoch-inline fast path: the current epoch is a single counter
-        // read, so a same-epoch re-read returns without ever touching the
-        // thread's full vector clock.
-        let e = self.clocks.epoch(tid);
-        let var = self.shadow.get_or_insert_with(key, VarState::fresh);
-
-        // Same-epoch fast path: this thread already read at this epoch.
-        if let ReadState::Epoch(r) = var.read {
-            if r == e {
-                self.stats.fast_path_hits += 1;
-                let shared = !var.write.is_zero() && var.write.tid != tid;
-                return AccessReport {
-                    race: false,
-                    shared,
-                };
-            }
+    /// The full FastTrack access check against the thread's vector clock
+    /// `tvc` (its epoch `e` passed alongside to avoid a lookup). Updates
+    /// the shadow state and returns the access report plus the race, if
+    /// any, for the caller to record.
+    pub fn check(
+        &mut self,
+        tid: ThreadId,
+        addr: Addr,
+        key: u64,
+        e: Epoch,
+        tvc: &VectorClock,
+        kind: AccessKind,
+    ) -> (AccessReport, Option<RaceReport>) {
+        match kind {
+            AccessKind::Read => self.check_read(tid, addr, key, e, tvc),
+            // Atomic RMWs are synchronization, not checked accesses; treat
+            // a (mis-routed) RMW as its write half.
+            AccessKind::Write | AccessKind::AtomicRmw => self.check_write(tid, addr, key, e, tvc),
         }
+    }
 
-        // Slow path: borrow the vector clock (clocks and shadow are
-        // disjoint fields, so the borrows coexist without a clone).
-        let tvc = self.clocks.thread(tid);
+    fn check_read(
+        &mut self,
+        tid: ThreadId,
+        addr: Addr,
+        key: u64,
+        e: Epoch,
+        tvc: &VectorClock,
+    ) -> (AccessReport, Option<RaceReport>) {
+        let var = self.shadow.get_or_insert_with(key, VarState::fresh);
 
         let shared = (!var.write.is_zero() && var.write.tid != tid)
             || match &var.read {
@@ -169,31 +198,24 @@ impl FastTrack {
             ReadState::Vc(vc) => vc.set(tid, e.clock),
         }
 
-        let raced = race.is_some();
-        if let Some(report) = race {
-            self.record(report);
-        }
-        AccessReport {
-            race: raced,
-            shared,
-        }
+        (
+            AccessReport {
+                race: race.is_some(),
+                shared,
+            },
+            race,
+        )
     }
 
-    fn check_write(&mut self, tid: ThreadId, addr: Addr, key: u64) -> AccessReport {
-        // Epoch-inline fast path, as in `check_read`.
-        let e = self.clocks.epoch(tid);
+    fn check_write(
+        &mut self,
+        tid: ThreadId,
+        addr: Addr,
+        key: u64,
+        e: Epoch,
+        tvc: &VectorClock,
+    ) -> (AccessReport, Option<RaceReport>) {
         let var = self.shadow.get_or_insert_with(key, VarState::fresh);
-
-        // Same-epoch fast path: this thread already wrote at this epoch.
-        if var.write == e {
-            self.stats.fast_path_hits += 1;
-            return AccessReport {
-                race: false,
-                shared: false,
-            };
-        }
-
-        let tvc = self.clocks.thread(tid);
 
         let shared = (!var.write.is_zero() && var.write.tid != tid)
             || match &var.read {
@@ -261,13 +283,73 @@ impl FastTrack {
             var.read = ReadState::Epoch(Epoch::ZERO);
         }
 
-        let raced = race.is_some();
-        if let Some(report) = race {
-            self.record(report);
+        (
+            AccessReport {
+                race: race.is_some(),
+                shared,
+            },
+            race,
+        )
+    }
+}
+
+/// The FastTrack detector.
+///
+/// # Examples
+///
+/// Two unsynchronized threads writing the same word race; adding a lock
+/// removes the race:
+///
+/// ```
+/// use ddrace_detector::{FastTrack, DetectorConfig, RaceDetector};
+/// use ddrace_program::{AccessKind, Addr, ThreadId};
+///
+/// let mut d = FastTrack::new(DetectorConfig::default());
+/// d.on_thread_start(ThreadId(0), None);
+/// d.on_thread_start(ThreadId(1), Some(ThreadId(0)));
+/// d.on_access(ThreadId(0), Addr(0x40), AccessKind::Write);
+/// let r = d.on_access(ThreadId(1), Addr(0x40), AccessKind::Write);
+/// assert!(r.race);
+/// assert_eq!(d.reports().distinct(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FastTrack {
+    clocks: HbClocks,
+    shard: FastTrackShard,
+    reports: RaceReportSet,
+    races_observed: u64,
+    sync_ops: u64,
+    granularity: Granularity,
+    max_reports: usize,
+}
+
+impl FastTrack {
+    /// Creates a detector.
+    pub fn new(config: DetectorConfig) -> Self {
+        FastTrack {
+            clocks: HbClocks::new(),
+            shard: FastTrackShard::new(),
+            reports: RaceReportSet::new(),
+            races_observed: 0,
+            sync_ops: 0,
+            granularity: config.granularity,
+            max_reports: config.max_reports,
         }
-        AccessReport {
-            race: raced,
-            shared,
+    }
+
+    /// Shadow units currently tracked.
+    pub fn shadow_size(&self) -> usize {
+        self.shard.len()
+    }
+
+    fn record(&mut self, report: RaceReport) {
+        self.races_observed += 1;
+        if self.reports.distinct() < self.max_reports {
+            self.reports.record(report);
+        } else {
+            // At the cap: still merge occurrences of known races, but
+            // record no new distinct reports.
+            self.reports.merge_only(&report);
         }
     }
 }
@@ -283,7 +365,7 @@ impl RaceDetector for FastTrack {
 
     fn on_sync(&mut self, tid: ThreadId, op: &Op) {
         if op.is_sync() {
-            self.stats.sync_ops += 1;
+            self.sync_ops += 1;
         }
         self.clocks.on_sync(tid, op);
     }
@@ -293,14 +375,22 @@ impl RaceDetector for FastTrack {
     }
 
     fn on_access(&mut self, tid: ThreadId, addr: Addr, kind: AccessKind) -> AccessReport {
-        self.stats.accesses_checked += 1;
         let key = self.granularity.key(addr);
-        match kind {
-            AccessKind::Read => self.check_read(tid, addr, key),
-            // Atomic RMWs are synchronization, not checked accesses; treat
-            // a (mis-routed) RMW as its write half.
-            AccessKind::Write | AccessKind::AtomicRmw => self.check_write(tid, addr, key),
+        // Epoch-inline fast path: the current epoch is a single counter
+        // read, so a same-epoch re-access returns without ever touching
+        // the thread's full vector clock.
+        let e = self.clocks.epoch(tid);
+        if let Some(report) = self.shard.try_fast(key, e, kind) {
+            return report;
         }
+        // Slow path: borrow the vector clock (clocks and shard are
+        // disjoint fields, so the borrows coexist without a clone).
+        let tvc = self.clocks.thread(tid);
+        let (report, race) = self.shard.check(tid, addr, key, e, tvc, kind);
+        if let Some(race) = race {
+            self.record(race);
+        }
+        report
     }
 
     fn reports(&self) -> &RaceReportSet {
@@ -308,7 +398,10 @@ impl RaceDetector for FastTrack {
     }
 
     fn stats(&self) -> DetectorStats {
-        self.stats
+        let mut stats = self.shard.stats();
+        stats.races_observed = self.races_observed;
+        stats.sync_ops = self.sync_ops;
+        stats
     }
 
     fn name(&self) -> &'static str {

@@ -52,7 +52,7 @@ mod vc;
 
 pub use detector::{AccessReport, DetectorConfig, DetectorStats, Granularity, RaceDetector};
 pub use djit::Djit;
-pub use fasttrack::FastTrack;
+pub use fasttrack::{FastTrack, FastTrackShard};
 pub use hb::HbClocks;
 pub use lockset::LockSet;
 pub use render::{render_report, render_summary};

@@ -149,7 +149,10 @@ pub struct JobRecord<T> {
     pub label: String,
     /// The produced value, or why there is none.
     pub outcome: Result<T, FailReason>,
-    /// Telemetry collected on the job thread; absent after a timeout.
+    /// Telemetry collected on the job thread. Present whenever the body
+    /// ran to completion — including a timed-out body that wound down
+    /// inside the cancellation grace window; absent only when the job
+    /// thread was abandoned still running (or died without reporting).
     pub telemetry: Option<Telemetry>,
     /// Host wall-clock time the job occupied its worker.
     pub wall: Duration,
@@ -277,19 +280,21 @@ fn run_isolated<T: Send + 'static>(job: RawJob<T>, sink: &EventSink) -> JobRecor
             token.cancel();
             match rx.recv_timeout(CANCEL_GRACE) {
                 // Even if it finished during the grace period, the budget
-                // was blown — report the timeout, but reap the thread.
-                Ok(_) => {
+                // was blown — report the timeout, but reap the thread and
+                // keep the telemetry it sent: the counters describe real
+                // work and are exactly the diagnostics a timeout needs.
+                Ok((_, telemetry)) => {
                     let _ = handle.join();
-                    Err(FailReason::Timeout)
+                    Err((FailReason::Timeout, telemetry))
                 }
-                Err(_) => Err(FailReason::Timeout),
+                Err(_) => Err((FailReason::Timeout, None)),
             }
         }
         Err(mpsc::RecvTimeoutError::Disconnected) => {
             // The job thread died without sending — only possible if the
             // catch_unwind machinery itself aborted. Treat as a panic.
             let _ = handle.join();
-            Err(FailReason::Panic("job thread died".to_string()))
+            Err((FailReason::Panic("job thread died".to_string()), None))
         }
         Ok((outcome, telemetry)) => {
             let _ = handle.join();
@@ -305,7 +310,7 @@ fn run_isolated<T: Send + 'static>(job: RawJob<T>, sink: &EventSink) -> JobRecor
             Err(FailReason::Panic(panic_message(payload.as_ref()))),
             telemetry,
         ),
-        Err(reason) => (Err(reason), None),
+        Err((reason, telemetry)) => (Err(reason), telemetry),
     };
     let record = JobRecord {
         id,

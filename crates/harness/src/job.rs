@@ -164,6 +164,10 @@ impl Job {
             ddrace_telemetry::counter("ingest.traces", 1);
             let (_, records) = ddrace_trace::read_trace_file(&source.path)
                 .map_err(|e| format!("{}: {e}", source.path.display()))?;
+            // Reject inconsistent streams (e.g. a duplicate thread
+            // finish) before replaying them into the detector.
+            ddrace_trace::validate_exec(&records)
+                .map_err(|e| format!("{}: {e}", source.path.display()))?;
             let trace = ddrace_trace::exec_trace(&records);
             return Ok(Simulation::new(self.sim_config()).run_trace(&trace));
         }

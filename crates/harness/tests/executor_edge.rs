@@ -51,9 +51,46 @@ fn job_finishing_inside_grace_window_is_still_a_timeout() {
     let records = run_raw(vec![job], 1, &EventSink::null());
     assert_eq!(records[0].outcome, Err(FailReason::Timeout));
     assert!(
-        records[0].telemetry.is_none(),
-        "timeout records carry no telemetry"
+        records[0].telemetry.is_some(),
+        "a body that wound down in the grace window delivered telemetry"
     );
+}
+
+/// Regression: the executor used to discard the `(result, telemetry)`
+/// pair a grace-window finisher sent, so `job_failed` events silently
+/// lost the diagnostics of exactly the jobs that needed them. The
+/// timeout verdict stands, but the counters the body recorded must
+/// survive onto the failure record.
+#[test]
+fn grace_window_timeout_keeps_the_jobs_telemetry() {
+    let mut job = RawJob::new(0, "late-but-counted", |_| {
+        ddrace_telemetry::counter("events_processed", 42);
+        std::thread::sleep(Duration::from_millis(75));
+        ddrace_telemetry::counter("events_processed", 58);
+        Ok(0u64)
+    });
+    job.timeout = Some(Duration::from_millis(25));
+    let records = run_raw(vec![job], 1, &EventSink::null());
+    assert_eq!(records[0].outcome, Err(FailReason::Timeout));
+    let telemetry = records[0]
+        .telemetry
+        .as_ref()
+        .expect("telemetry attached to the timeout record");
+    assert_eq!(telemetry.counter("events_processed"), 100);
+}
+
+/// A job abandoned still running (it never acknowledges the token and
+/// outlives the grace window) genuinely has no telemetry to attach.
+#[test]
+fn abandoned_timeout_still_has_no_telemetry() {
+    let mut job = RawJob::new(0, "stuck", |_| {
+        std::thread::sleep(Duration::from_millis(400));
+        Ok(0u64)
+    });
+    job.timeout = Some(Duration::from_millis(25));
+    let records = run_raw(vec![job], 1, &EventSink::null());
+    assert_eq!(records[0].outcome, Err(FailReason::Timeout));
+    assert!(records[0].telemetry.is_none());
 }
 
 #[test]

@@ -1,0 +1,81 @@
+//! Ingest-level trace validation: a `.ddt` file whose event stream is
+//! internally inconsistent (here, a thread that finishes twice) must be
+//! refused by the trace-job path with a positioned, path-prefixed error
+//! before any replay happens.
+
+use ddrace_core::AnalysisMode;
+use ddrace_harness::{Campaign, TraceSource};
+use ddrace_program::{Addr, Op, ThreadId, TraceEvent};
+use ddrace_trace::{write_trace_file, TraceMeta, TraceRecord};
+
+/// Writes a trace where thread 1 finishes at record indices 5 and 6.
+fn write_duplicate_finish_ddt(path: &std::path::Path) {
+    let (t0, t1) = (ThreadId(0), ThreadId(1));
+    let events = [
+        TraceEvent::ThreadStarted {
+            tid: t0,
+            parent: None,
+        },
+        TraceEvent::Op {
+            tid: t0,
+            op: Op::Fork { child: t1 },
+        },
+        TraceEvent::ThreadStarted {
+            tid: t1,
+            parent: Some(t0),
+        },
+        TraceEvent::Op {
+            tid: t1,
+            op: Op::Write { addr: Addr(0x1000) },
+        },
+        TraceEvent::Op {
+            tid: t0,
+            op: Op::Write { addr: Addr(0x1000) },
+        },
+        TraceEvent::ThreadFinished { tid: t1 },
+        TraceEvent::ThreadFinished { tid: t1 },
+        TraceEvent::Op {
+            tid: t0,
+            op: Op::Join { child: t1 },
+        },
+        TraceEvent::ThreadFinished { tid: t0 },
+    ];
+    let records: Vec<TraceRecord> = events.into_iter().map(TraceRecord::Exec).collect();
+    let meta = TraceMeta {
+        source: "test".to_string(),
+        label: "dup-finish".to_string(),
+        seed: 1,
+        fingerprint: 0xBAD,
+    };
+    write_trace_file(path, &meta, &records).unwrap();
+}
+
+#[test]
+fn ingest_rejects_duplicate_thread_finished_with_a_positioned_error() {
+    let dir = std::env::temp_dir().join(format!("ddrace-ingest-dup-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("dup.ddt");
+    write_duplicate_finish_ddt(&path);
+
+    let spec = Campaign::builder("dup-finish-corpus")
+        .trace_corpus([TraceSource::from_file(&path).unwrap()])
+        .modes([AnalysisMode::Continuous])
+        .seeds([0])
+        .cores(2)
+        .build();
+    assert_eq!(spec.jobs.len(), 1);
+
+    let err = spec.jobs[0]
+        .run()
+        .expect_err("inconsistent trace must be refused");
+    assert!(
+        err.starts_with(&path.display().to_string()),
+        "error names the offending file: {err}"
+    );
+    assert!(err.contains("thread 1 finished twice"), "{err}");
+    assert!(
+        err.contains("record index 6"),
+        "error carries the record index of the second finish: {err}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

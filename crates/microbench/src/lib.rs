@@ -232,6 +232,46 @@ pub fn measure<O>(
     }
 }
 
+/// Times two routines over interleaved samples (`a`, `b`, `a`, `b`, …)
+/// after one untimed warm-up call of each, returning both medians.
+///
+/// Pairing the samples in time means slow environmental drift — CPU
+/// frequency scaling, thermal state, background load — lands on both
+/// routines roughly equally, which stabilizes the *ratio* of the two
+/// results far better than two independent back-to-back [`measure`]
+/// runs, where the second routine sees a different machine than the
+/// first. Use this whenever the quantity of interest is a before/after
+/// speedup rather than an absolute rate.
+pub fn measure_paired<OA, OB>(
+    name_a: &str,
+    name_b: &str,
+    elements: u64,
+    samples: usize,
+    mut a: impl FnMut() -> OA,
+    mut b: impl FnMut() -> OB,
+) -> (Measurement, Measurement) {
+    hint::black_box(a());
+    hint::black_box(b());
+    let mut timings_a: Vec<Duration> = Vec::with_capacity(samples.max(1));
+    let mut timings_b: Vec<Duration> = Vec::with_capacity(samples.max(1));
+    for _ in 0..samples.max(1) {
+        let start = Instant::now();
+        hint::black_box(a());
+        timings_a.push(start.elapsed());
+        let start = Instant::now();
+        hint::black_box(b());
+        timings_b.push(start.elapsed());
+    }
+    timings_a.sort();
+    timings_b.sort();
+    let median = |timings: &[Duration], name: &str| Measurement {
+        name: name.to_string(),
+        median_ns: timings[timings.len() / 2].as_nanos() as u64,
+        elements,
+    };
+    (median(&timings_a, name_a), median(&timings_b, name_b))
+}
+
 fn format_duration(d: Duration) -> String {
     let nanos = d.as_nanos();
     if nanos < 1_000 {
@@ -276,6 +316,24 @@ mod tests {
         assert_eq!(m.elements, 1_000);
         assert!(m.per_sec() > 0.0);
         assert!(m.line().contains("spin"));
+    }
+
+    #[test]
+    fn measure_paired_interleaves_and_reports_both() {
+        let order = std::cell::RefCell::new(Vec::new());
+        let (a, b) = measure_paired(
+            "a",
+            "b",
+            100,
+            3,
+            || order.borrow_mut().push('a'),
+            || order.borrow_mut().push('b'),
+        );
+        assert_eq!(a.name, "a");
+        assert_eq!(b.name, "b");
+        assert_eq!(a.elements, 100);
+        // Warm-up pair plus three interleaved sample pairs.
+        assert_eq!(order.into_inner(), ['a', 'b', 'a', 'b', 'a', 'b', 'a', 'b']);
     }
 
     #[test]

@@ -3,17 +3,37 @@
 //!
 //! The simulation crates reproduce the paper's hardware mechanism; this
 //! crate is the complementary deployment surface the reproduction bands
-//! call feasible — instrumenting native Rust threads. There is no
-//! portable user-space access to HITM performance counters, so the
-//! *demand-driven toggle* stays in the simulator; what carries over is
-//! the detector: annotate the memory accesses and synchronization of a
-//! concurrent component under test, run it on real `std::thread`s, and
-//! get happens-before race reports.
+//! call feasible — instrumenting native Rust threads. The detector
+//! carries over wholesale: annotate the memory accesses and
+//! synchronization of a concurrent component under test, run it on real
+//! `std::thread`s, and get happens-before race reports. The paper's
+//! *demand-driven* posture carries over too, as a monitor-level
+//! [`enable`](Monitor::enable)/[`disable`](Monitor::disable) toggle:
+//! synchronization tracking stays always-on (so clocks are correct the
+//! moment analysis re-enables, exactly as in the paper's tool), while
+//! the expensive per-access checking can be switched off on the hook
+//! fast path at the cost of one atomic load.
 //!
 //! Because detection is happens-before-based, verdicts do not depend on
 //! the actual interleaving the OS produced: two accesses with no
 //! monitor-visible synchronization between them are racy on *every*
 //! schedule, so tests written against [`Monitor`] are deterministic.
+//!
+//! # Sharded shadow state
+//!
+//! The default engine shards FastTrack's per-address shadow state into
+//! [`DEFAULT_SHARDS`] independently locked
+//! [`FastTrackShard`](ddrace_detector::FastTrackShard)s keyed by address
+//! hash, keeps per-thread clocks in lock-free-to-locate per-thread
+//! cells, and front-ends every data hook with a per-thread **epoch
+//! filter**: a small owner-only table remembering which shadow keys this
+//! thread already checked *at its current epoch*. A filter hit needs no
+//! lock at all — within one epoch the thread has published nothing, so
+//! repeating an access it already checked cannot change which addresses
+//! are racy (see DESIGN.md for the argument). The single-global-lock
+//! engine is retained behind [`Monitor::legacy`] so benchmarks
+//! (`bench_native`, emitting `BENCH_native.json`) measure the delta
+//! live.
 //!
 //! # Example
 //!
@@ -52,12 +72,42 @@
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
-use ddrace_detector::{DetectorConfig, FastTrack, RaceDetector, RaceReport};
+use ddrace_detector::{
+    DetectorConfig, DetectorStats, Epoch, FastTrack, FastTrackShard, RaceDetector, RaceReport,
+    RaceReportSet, VectorClock,
+};
 use ddrace_program::{AccessKind, Addr, LockId, Op, ThreadId, TraceEvent};
+use ddrace_shadow::ShadowTable;
 use ddrace_trace::TraceRecord;
-use std::sync::atomic::{AtomicU32, Ordering};
-use std::sync::Arc;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Default shard count for the sharded engine (a power of two).
+///
+/// Sixteen shards keep the per-shard tables small (which the paper's
+/// cache-resident shadow arguments favor) while making same-shard
+/// collisions between unrelated hot addresses rare for the thread counts
+/// the bench exercises (1/8/64); the quiescent drain in
+/// [`Monitor::disable`] stays a sweep of 16 uncontended locks. Use
+/// [`Monitor::with_shards`] to pick another power of two.
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// Multiplier for shard routing and filter slots. Deliberately distinct
+/// from `ShadowTable`'s probe multiplier (`0x9E37_79B9_7F4A_7C15`): the
+/// shard index uses the *top* bits of `key * SHARD_MIX`, and if the two
+/// hashes agreed, every key in a shard would share its high bits and
+/// collapse onto the same in-table home slots.
+const SHARD_MIX: u64 = 0x9FB2_1C65_1E98_DF25;
+
+/// Per-thread epoch-filter slots (direct-mapped, power of two).
+const FILTER_SLOTS: usize = 256;
+
+/// Generation bits stored per filter entry (see [`EpochFilter`]).
+const GEN_BITS: u32 = 30;
+const GEN_MASK: u32 = (1 << GEN_BITS) - 1;
+
+/// Registry segment count: supports `2^SEGMENTS - 1` thread cells.
+const SEGMENTS: usize = 26;
 
 /// Identifies one registered thread to the monitor. Cheap to copy; send
 /// it into the thread it belongs to.
@@ -73,19 +123,321 @@ impl ThreadToken {
     }
 }
 
-/// The race monitor: wraps a [`FastTrack`] detector behind a lock so real
-/// threads can feed it concurrently.
+/// A per-thread, owner-only cache of shadow keys already checked at the
+/// thread's current epoch.
 ///
-/// Lock-serialized hooks are how early dynamic-analysis prototypes worked
-/// (and why the paper's continuous mode is so slow); this crate is a
-/// correctness tool for tests, not a production profiler.
+/// Direct-mapped over [`FILTER_SLOTS`] slots; each entry stores the full
+/// shadow key plus a meta word packing the epoch's clock value, the
+/// monitor's enable generation, and which access kinds were seen
+/// (`wrote` covers both kinds — a cached write makes a same-epoch read
+/// redundant too; a cached read covers only reads, because the first
+/// write at an epoch must still reach the shard to set the write
+/// epoch). Only the owning thread reads or writes its filter, so plain
+/// relaxed atomics suffice (the atomics exist only to keep the type
+/// `Sync` without `unsafe`). Entries are invalidated implicitly: by
+/// epoch advance (the owner's next release op), by slot reuse, and by
+/// the generation bump in [`Monitor::enable`].
+#[derive(Debug, Default)]
+#[repr(align(16))] // a probe's key+meta pair never straddles a cache line
+struct FilterSlot {
+    key: AtomicU64,
+    meta: AtomicU64,
+}
+
+#[derive(Debug)]
+struct EpochFilter {
+    // Stored inline (no indirection): the cell address reaches a slot
+    // with one offset, keeping the hit path's dependent-load chain short.
+    slots: [FilterSlot; FILTER_SLOTS],
+}
+
+impl EpochFilter {
+    fn new() -> Self {
+        EpochFilter {
+            slots: std::array::from_fn(|_| FilterSlot::default()),
+        }
+    }
+
+    #[inline]
+    fn slot(&self, key: u64) -> &FilterSlot {
+        // Low-order key bits, like a hardware cache's index function: a
+        // contiguous hot working set (the common shape — arrays, stack
+        // frames, struct runs) maps collision-free, where a mixed index
+        // would scatter it onto ~63% of the slots and let the colliding
+        // keys evict each other every lap. Pathological strides only
+        // cost hit rate, never correctness.
+        &self.slots[key as usize & (FILTER_SLOTS - 1)]
+    }
+
+    fn pack(clock: u32, generation: u32) -> u64 {
+        (u64::from(clock) << 32) | (u64::from(generation & GEN_MASK) << 2)
+    }
+
+    /// Returns `true` if `key` was already checked at this epoch and
+    /// generation by an access that makes `kind` redundant.
+    #[inline]
+    fn hit(&self, key: u64, clock: u32, generation: u32, kind: AccessKind) -> bool {
+        let s = self.slot(key);
+        if s.key.load(Ordering::Relaxed) != key {
+            return false;
+        }
+        let m = s.meta.load(Ordering::Relaxed);
+        if m & !0b11 != Self::pack(clock, generation) {
+            return false;
+        }
+        match kind {
+            AccessKind::Read => m & 0b11 != 0,
+            AccessKind::Write | AccessKind::AtomicRmw => m & 0b10 != 0,
+        }
+    }
+
+    /// Records that `key` was checked at this epoch and generation.
+    #[inline]
+    fn remember(&self, key: u64, clock: u32, generation: u32, kind: AccessKind) {
+        let s = self.slot(key);
+        let base = Self::pack(clock, generation);
+        let bit = match kind {
+            AccessKind::Read => 0b01,
+            AccessKind::Write | AccessKind::AtomicRmw => 0b10,
+        };
+        // Accumulate kinds while the entry matches; otherwise evict.
+        let m = if s.key.load(Ordering::Relaxed) == key
+            && s.meta.load(Ordering::Relaxed) & !0b11 == base
+        {
+            s.meta.load(Ordering::Relaxed) | bit
+        } else {
+            base | bit
+        };
+        s.key.store(key, Ordering::Relaxed);
+        s.meta.store(m, Ordering::Relaxed);
+    }
+}
+
+/// Per-thread clock state for the sharded engine.
+#[derive(Debug)]
+struct ThreadCell {
+    /// Mirror of `vc[tid]` readable without the clock lock. Only the
+    /// owning thread advances its own component (all increments happen
+    /// in hooks the owner itself calls), so data hooks read it with a
+    /// relaxed load.
+    epoch: AtomicU32,
+    vc: Mutex<VectorClock>,
+    filter: EpochFilter,
+    /// Epoch-filter hits. Owner-only writer, so a load+store pair (no
+    /// read-modify-write) is enough.
+    filter_hits: AtomicU64,
+    /// Set by [`Registry::register`] once the cell holds a real thread's
+    /// clock (segments pre-build blank cells; see [`Registry`]).
+    registered: AtomicBool,
+}
+
+impl ThreadCell {
+    fn blank() -> ThreadCell {
+        ThreadCell {
+            epoch: AtomicU32::new(0),
+            vc: Mutex::new(VectorClock::new()),
+            filter: EpochFilter::new(),
+            filter_hits: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+}
+
+/// Lock-free-to-read registry of [`ThreadCell`]s, indexed by thread id.
+///
+/// Storage is a sequence of power-of-two segments (1, 2, 4, … cells);
+/// each segment is allocated once, on the first registration that lands
+/// in it, with every cell in it fully constructed (blank) up front.
+/// That keeps the data-hook path short — one shift, one acquire load,
+/// one offset — with no per-cell initialization check and no lock.
+/// Registration happens on [`Monitor::fork`], which the per-monitor
+/// sync mutex already serializes; it only *fills in* the pre-built cell
+/// (every cell field is interior-mutable), flipping `registered` last.
+#[derive(Debug)]
+struct Registry {
+    segments: [OnceLock<Box<[ThreadCell]>>; SEGMENTS],
+}
+
+impl Registry {
+    fn new() -> Self {
+        Registry {
+            segments: std::array::from_fn(|_| OnceLock::new()),
+        }
+    }
+
+    #[inline]
+    fn locate(tid: ThreadId) -> (usize, usize) {
+        let n = tid.index() + 1;
+        let seg = (usize::BITS - 1 - n.leading_zeros()) as usize;
+        (seg, n - (1 << seg))
+    }
+
+    fn register(&self, tid: ThreadId, vc: VectorClock, clock: u32) {
+        let (seg, idx) = Self::locate(tid);
+        assert!(seg < SEGMENTS, "thread id space exhausted");
+        let slab = self.segments[seg]
+            .get_or_init(|| (0..1usize << seg).map(|_| ThreadCell::blank()).collect());
+        let cell = &slab[idx];
+        *cell.vc.lock().unwrap() = vc;
+        cell.epoch.store(clock, Ordering::Relaxed);
+        cell.registered.store(true, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn get(&self, tid: ThreadId) -> Option<&ThreadCell> {
+        let (seg, idx) = Self::locate(tid);
+        let cell = self.segments.get(seg)?.get()?.get(idx)?;
+        // The blank pre-built cells in a live segment are
+        // indistinguishable from epoch-0 threads, so gate on the
+        // registration flag in debug builds; the release hot path
+        // elides the check (a foreign token is caller error, and the
+        // segment-allocation checks above still catch most of them).
+        debug_assert!(
+            cell.registered.load(Ordering::Relaxed),
+            "ThreadToken does not belong to this monitor"
+        );
+        Some(cell)
+    }
+
+    fn for_each(&self, mut f: impl FnMut(&ThreadCell)) {
+        for seg in &self.segments {
+            if let Some(slab) = seg.get() {
+                for cell in slab.iter().filter(|c| c.registered.load(Ordering::Relaxed)) {
+                    f(cell);
+                }
+            }
+        }
+    }
+}
+
+/// Clock state of synchronization objects (locks and atomic addresses),
+/// guarded by the sync mutex.
+#[derive(Debug, Default)]
+struct SyncSpace {
+    locks: ShadowTable<VectorClock>,
+    atomics: ShadowTable<VectorClock>,
+}
+
+/// Race-report collection for the sharded engine (a lock of its own, at
+/// the bottom of the hierarchy, taken only when a race fires).
+#[derive(Debug)]
+struct ReportBook {
+    set: RaceReportSet,
+    races_observed: u64,
+    max_reports: usize,
+}
+
+impl ReportBook {
+    fn record(&mut self, report: RaceReport) {
+        self.races_observed += 1;
+        if self.set.distinct() < self.max_reports {
+            self.set.record(report);
+        } else {
+            self.set.merge_only(&report);
+        }
+    }
+}
+
+/// The sharded engine: N independently locked shadow shards, per-thread
+/// clock cells, and a sync mutex serializing clock-transfer operations.
+///
+/// Lock hierarchy (always acquired top-down; reports and the recorder
+/// are leaves):
+///
+/// ```text
+/// sync ops:    sync mutex  → thread cell(s) → recorder
+/// data hooks:  shard mutex → thread cell    → reports / recorder
+/// ```
+///
+/// No path holds a shard and the sync mutex together, and a thread cell
+/// is never held while acquiring a shard or the sync mutex, so the
+/// hierarchy is acyclic.
+#[derive(Debug)]
+struct Sharded {
+    shards: Box<[Mutex<FastTrackShard>]>,
+    shard_bits: u32,
+    registry: Registry,
+    sync: Mutex<SyncSpace>,
+    reports: Mutex<ReportBook>,
+    sync_ops: AtomicU64,
+    /// `config.granularity.shift()`, hoisted so the data-hook hot path
+    /// computes the shadow key with one shift instead of a match.
+    key_shift: u32,
+    /// Whether the epoch filter may answer data hooks (false on a
+    /// recording monitor: every access must reach a shard so it is
+    /// captured). Fixed at construction, so the hot path branches on a
+    /// plain bool instead of probing the recorder option.
+    filtered: bool,
+}
+
+impl Sharded {
+    fn build(config: &DetectorConfig, shards: usize, filtered: bool) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        Sharded {
+            shards: (0..n).map(|_| Mutex::new(FastTrackShard::new())).collect(),
+            shard_bits: n.trailing_zeros(),
+            registry: Registry::new(),
+            sync: Mutex::new(SyncSpace::default()),
+            reports: Mutex::new(ReportBook {
+                set: RaceReportSet::new(),
+                races_observed: 0,
+                max_reports: config.max_reports,
+            }),
+            sync_ops: AtomicU64::new(0),
+            key_shift: config.granularity.shift(),
+            filtered,
+        }
+    }
+
+    fn shard_of(&self, key: u64) -> &Mutex<FastTrackShard> {
+        let i = if self.shard_bits == 0 {
+            0
+        } else {
+            (key.wrapping_mul(SHARD_MIX) >> (64 - self.shard_bits)) as usize
+        };
+        &self.shards[i]
+    }
+
+    fn cell(&self, tid: ThreadId) -> &ThreadCell {
+        self.registry
+            .get(tid)
+            .expect("ThreadToken does not belong to this monitor")
+    }
+}
+
+#[derive(Debug)]
+enum Engine {
+    /// The original single-global-lock engine, kept so the sharded
+    /// engine's win is measured live (`bench_native`).
+    Legacy(Box<Mutex<FastTrack>>),
+    Sharded(Box<Sharded>),
+}
+
+/// The race monitor: feeds real threads' hooks to a FastTrack engine.
+///
+/// [`Monitor::new`] builds the sharded engine (per-shard locks plus
+/// per-thread epoch filters); [`Monitor::legacy`] builds the original
+/// engine that serializes every hook on one global detector lock — the
+/// configuration early dynamic-analysis prototypes used, and why the
+/// paper's continuous mode is so slow.
 #[derive(Debug)]
 pub struct Monitor {
-    detector: Mutex<FastTrack>,
+    engine: Engine,
     /// `Some` when recording: per-thread buffered capture of the hook
     /// stream, emitted as `.ddt` records via [`Monitor::recorded_trace`].
     recorder: Option<Mutex<Recorder>>,
+    /// Demand-driven toggle for access checking (sync tracking ignores
+    /// it), packed with the filter generation so the data-hook fast path
+    /// reads both with a single atomic load: bit 0 is the enabled flag,
+    /// the remaining bits are the generation, bumped on every
+    /// [`Monitor::enable`] so epoch-filter entries cached before a
+    /// disabled window cannot satisfy hits after it.
+    gate: AtomicU64,
     next_tid: AtomicU32,
+    /// `joined[tid]` once `tid` has been joined (the root is born
+    /// joined: it has no joiner). Guards [`Monitor::join`] against
+    /// double joins and unknown children.
+    joined: Mutex<Vec<bool>>,
 }
 
 /// Buffered trace capture for real-thread runs.
@@ -97,8 +449,11 @@ pub struct Monitor {
 /// *between* sync points is therefore approximate — which is exactly
 /// the precision a happens-before detector needs, since unsynchronized
 /// accesses carry no ordering anyway. Sync and thread-lifecycle events
-/// land in the log in the same global order the detector observed them
-/// (the recorder lock is taken while the detector lock is held).
+/// land in the log in the same global order the detector observed them,
+/// and a data access is buffered in the same critical section that
+/// detected it (under the detector lock on the legacy engine, under the
+/// access's shard lock on the sharded engine), so detection and capture
+/// of one access are atomic with respect to the rest of the monitor.
 #[derive(Debug, Default)]
 struct Recorder {
     log: Vec<TraceRecord>,
@@ -127,34 +482,71 @@ impl Recorder {
 }
 
 impl Monitor {
-    /// Creates a monitor and registers the calling thread as the root.
+    /// Creates a sharded monitor and registers the calling thread as the
+    /// root.
     pub fn new() -> (Arc<Monitor>, ThreadToken) {
         Self::with_config(DetectorConfig::default())
     }
 
-    /// Creates a monitor with an explicit detector configuration.
+    /// Creates a sharded monitor with an explicit detector configuration.
     pub fn with_config(config: DetectorConfig) -> (Arc<Monitor>, ThreadToken) {
-        Self::build(config, false)
+        Self::build(config, Some(DEFAULT_SHARDS), false)
     }
 
-    /// Creates a monitor that also records the hook stream as a trace
-    /// (see [`Monitor::recorded_trace`]).
+    /// Creates a sharded monitor with an explicit shard count (rounded
+    /// up to a power of two; `0` behaves as `1`).
+    pub fn with_shards(config: DetectorConfig, shards: usize) -> (Arc<Monitor>, ThreadToken) {
+        Self::build(config, Some(shards), false)
+    }
+
+    /// Creates a sharded monitor that also records the hook stream as a
+    /// trace (see [`Monitor::recorded_trace`]).
     pub fn recording() -> (Arc<Monitor>, ThreadToken) {
-        Self::build(DetectorConfig::default(), true)
+        Self::build(DetectorConfig::default(), Some(DEFAULT_SHARDS), true)
     }
 
-    fn build(config: DetectorConfig, record: bool) -> (Arc<Monitor>, ThreadToken) {
-        let monitor = Arc::new(Monitor {
-            detector: Mutex::new(FastTrack::new(config)),
-            recorder: record.then(|| Mutex::new(Recorder::default())),
-            next_tid: AtomicU32::new(1),
-        });
+    /// Creates a monitor on the legacy single-global-lock engine.
+    pub fn legacy() -> (Arc<Monitor>, ThreadToken) {
+        Self::build(DetectorConfig::default(), None, false)
+    }
+
+    /// Creates a legacy-engine monitor with an explicit configuration.
+    pub fn legacy_with_config(config: DetectorConfig) -> (Arc<Monitor>, ThreadToken) {
+        Self::build(config, None, false)
+    }
+
+    /// Creates a recording monitor on the legacy engine.
+    pub fn legacy_recording() -> (Arc<Monitor>, ThreadToken) {
+        Self::build(DetectorConfig::default(), None, true)
+    }
+
+    fn build(
+        config: DetectorConfig,
+        shards: Option<usize>,
+        record: bool,
+    ) -> (Arc<Monitor>, ThreadToken) {
         let root = ThreadToken { tid: ThreadId(0) };
-        monitor
-            .detector
-            .lock()
-            .unwrap()
-            .on_thread_start(root.tid, None);
+        let engine = match shards {
+            Some(n) => {
+                let sharded = Sharded::build(&config, n, !record);
+                let mut vc = VectorClock::new();
+                let clock = vc.increment(root.tid);
+                sharded.registry.register(root.tid, vc, clock);
+                Engine::Sharded(Box::new(sharded))
+            }
+            None => {
+                let mut detector = FastTrack::new(config);
+                detector.on_thread_start(root.tid, None);
+                Engine::Legacy(Box::new(Mutex::new(detector)))
+            }
+        };
+        let monitor = Arc::new(Monitor {
+            engine,
+            recorder: record.then(|| Mutex::new(Recorder::default())),
+            gate: AtomicU64::new(Self::pack_gate(1, true)),
+            next_tid: AtomicU32::new(1),
+            joined: Mutex::new(vec![true]),
+        });
         if let Some(rec) = &monitor.recorder {
             rec.lock().unwrap().push(TraceEvent::ThreadStarted {
                 tid: root.tid,
@@ -164,112 +556,391 @@ impl Monitor {
         (monitor, root)
     }
 
+    /// Number of shadow shards (1 on the legacy engine).
+    pub fn shard_count(&self) -> usize {
+        match &self.engine {
+            Engine::Legacy(_) => 1,
+            Engine::Sharded(s) => s.shards.len(),
+        }
+    }
+
+    /// Packs the demand-driven gate word: bit 0 enabled, the rest the
+    /// filter generation.
+    fn pack_gate(generation: u64, enabled: bool) -> u64 {
+        (generation << 1) | u64::from(enabled)
+    }
+
+    /// Whether access checking is currently enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.gate.load(Ordering::Acquire) & 1 != 0
+    }
+
+    /// Re-enables access checking after [`Monitor::disable`].
+    ///
+    /// Bumps the filter generation in the same atomic update that
+    /// publishes the flag, so per-thread epoch-filter entries cached
+    /// before the disabled window cannot answer for accesses after it.
+    pub fn enable(&self) {
+        self.gate
+            .fetch_update(Ordering::SeqCst, Ordering::Acquire, |gate| {
+                (gate & 1 == 0).then(|| Self::pack_gate((gate >> 1) + 1, true))
+            })
+            .ok();
+    }
+
+    /// Disables access checking (the demand-driven "off" state).
+    ///
+    /// Synchronization hooks keep maintaining clocks — as in the paper's
+    /// tool, sync tracking is always-on so analysis is correct the
+    /// moment it re-enables — but data hooks become a single atomic
+    /// load, and while disabled a recording monitor captures no data
+    /// accesses.
+    ///
+    /// Quiescent drain: after the flag is cleared, this method acquires
+    /// and releases every shard lock (the detector lock on the legacy
+    /// engine). An access hook re-checks the flag *inside* its shard
+    /// critical section before touching shadow state, and mutex
+    /// ordering guarantees any hook locking a shard after the drain
+    /// swept it observes the cleared flag — so when `disable` returns,
+    /// every in-flight access has either fully completed (detected and,
+    /// if recording, captured) or will complete as a no-op. No access is
+    /// half-applied and no shard update is dropped.
+    pub fn disable(&self) {
+        self.gate.fetch_and(!1, Ordering::SeqCst);
+        match &self.engine {
+            Engine::Legacy(detector) => drop(detector.lock().unwrap()),
+            Engine::Sharded(s) => {
+                for shard in s.shards.iter() {
+                    drop(shard.lock().unwrap());
+                }
+            }
+        }
+    }
+
     /// Registers a new thread forked by `parent`, recording the creation
     /// happens-before edge. Call before (or as the first act of) the new
     /// thread.
     pub fn fork(&self, parent: ThreadToken) -> ThreadToken {
         let tid = ThreadId(self.next_tid.fetch_add(1, Ordering::Relaxed));
-        let mut d = self.detector.lock().unwrap();
-        d.on_thread_start(tid, Some(parent.tid));
-        if let Some(rec) = &self.recorder {
-            let mut rec = rec.lock().unwrap();
-            rec.flush(parent.tid);
-            rec.push(TraceEvent::Op {
-                tid: parent.tid,
-                op: Op::Fork { child: tid },
-            });
-            rec.push(TraceEvent::ThreadStarted {
-                tid,
-                parent: Some(parent.tid),
-            });
+        {
+            let mut joined = self.joined.lock().unwrap();
+            if joined.len() <= tid.index() {
+                joined.resize(tid.index() + 1, false);
+            }
+            joined[tid.index()] = false;
+        }
+        match &self.engine {
+            Engine::Legacy(detector) => {
+                let mut d = detector.lock().unwrap();
+                d.on_thread_start(tid, Some(parent.tid));
+                if let Some(rec) = &self.recorder {
+                    let mut rec = rec.lock().unwrap();
+                    rec.flush(parent.tid);
+                    rec.push(TraceEvent::Op {
+                        tid: parent.tid,
+                        op: Op::Fork { child: tid },
+                    });
+                    rec.push(TraceEvent::ThreadStarted {
+                        tid,
+                        parent: Some(parent.tid),
+                    });
+                }
+            }
+            Engine::Sharded(s) => {
+                let _space = s.sync.lock().unwrap();
+                let pcell = s.cell(parent.tid);
+                // Same edge recipe as `HbClocks::on_thread_start`: the
+                // child adopts the parent's pre-fork clock, then both
+                // sides step into fresh epochs.
+                let (child_vc, child_clock) = {
+                    let mut pvc = pcell.vc.lock().unwrap();
+                    let snapshot = pvc.clone();
+                    let pc = pvc.increment(parent.tid);
+                    pcell.epoch.store(pc, Ordering::Relaxed);
+                    let mut cvc = VectorClock::new();
+                    cvc.join(&snapshot);
+                    let cc = cvc.increment(tid);
+                    (cvc, cc)
+                };
+                s.registry.register(tid, child_vc, child_clock);
+                if let Some(rec) = &self.recorder {
+                    let mut rec = rec.lock().unwrap();
+                    rec.flush(parent.tid);
+                    rec.push(TraceEvent::Op {
+                        tid: parent.tid,
+                        op: Op::Fork { child: tid },
+                    });
+                    rec.push(TraceEvent::ThreadStarted {
+                        tid,
+                        parent: Some(parent.tid),
+                    });
+                }
+            }
         }
         ThreadToken { tid }
     }
 
     /// Records that `parent` joined `child` (call **after** the real
     /// `JoinHandle::join` returns).
-    pub fn join(&self, parent: ThreadToken, child: ThreadToken) {
-        let mut d = self.detector.lock().unwrap();
-        d.on_thread_finish(child.tid);
-        d.on_sync(parent.tid, &Op::Join { child: child.tid });
-        if let Some(rec) = &self.recorder {
-            let mut rec = rec.lock().unwrap();
-            // The child has stopped calling hooks (join returned), so its
-            // remaining buffered accesses precede its finish event.
-            rec.flush(child.tid);
-            rec.flush(parent.tid);
-            rec.push(TraceEvent::ThreadFinished { tid: child.tid });
-            rec.push(TraceEvent::Op {
-                tid: parent.tid,
-                op: Op::Join { child: child.tid },
-            });
+    ///
+    /// Returns `true` if the join was performed. Joining the same child
+    /// twice, a token this monitor never forked, or the root token is a
+    /// no-op returning `false`: a duplicate join would re-run the
+    /// finish edge and log a second `ThreadFinished`, corrupting
+    /// recorded traces on replay.
+    pub fn join(&self, parent: ThreadToken, child: ThreadToken) -> bool {
+        {
+            let mut joined = self.joined.lock().unwrap();
+            let idx = child.tid.index();
+            if joined.get(idx).is_none_or(|done| *done) {
+                return false;
+            }
+            joined[idx] = true;
         }
+        match &self.engine {
+            Engine::Legacy(detector) => {
+                let mut d = detector.lock().unwrap();
+                d.on_thread_finish(child.tid);
+                d.on_sync(parent.tid, &Op::Join { child: child.tid });
+                if let Some(rec) = &self.recorder {
+                    let mut rec = rec.lock().unwrap();
+                    // The child has stopped calling hooks (join
+                    // returned), so its remaining buffered accesses
+                    // precede its finish event.
+                    rec.flush(child.tid);
+                    rec.flush(parent.tid);
+                    rec.push(TraceEvent::ThreadFinished { tid: child.tid });
+                    rec.push(TraceEvent::Op {
+                        tid: parent.tid,
+                        op: Op::Join { child: child.tid },
+                    });
+                }
+            }
+            Engine::Sharded(s) => {
+                let _space = s.sync.lock().unwrap();
+                // Same recipe as `HbClocks`: thread finish is a clock
+                // no-op (the clock is retained for the joiner); the join
+                // edge folds the child's clock into the parent's.
+                let snapshot = s.cell(child.tid).vc.lock().unwrap().clone();
+                s.cell(parent.tid).vc.lock().unwrap().join(&snapshot);
+                s.sync_ops.fetch_add(1, Ordering::Relaxed);
+                if let Some(rec) = &self.recorder {
+                    let mut rec = rec.lock().unwrap();
+                    rec.flush(child.tid);
+                    rec.flush(parent.tid);
+                    rec.push(TraceEvent::ThreadFinished { tid: child.tid });
+                    rec.push(TraceEvent::Op {
+                        tid: parent.tid,
+                        op: Op::Join { child: child.tid },
+                    });
+                }
+            }
+        }
+        true
     }
 
     /// Records a read of `addr` by the calling thread. Returns `true` if
-    /// this access completed a race.
+    /// this access completed a race (always `false` while disabled).
+    #[inline]
     pub fn read(&self, token: ThreadToken, addr: Addr) -> bool {
-        let race = self
-            .detector
-            .lock()
-            .unwrap()
-            .on_access(token.tid, addr, AccessKind::Read)
-            .race;
+        self.access(token, addr, AccessKind::Read)
+    }
+
+    /// Records a write of `addr` by the calling thread. Returns `true`
+    /// if this access completed a race (always `false` while disabled).
+    #[inline]
+    pub fn write(&self, token: ThreadToken, addr: Addr) -> bool {
+        self.access(token, addr, AccessKind::Write)
+    }
+
+    #[inline]
+    fn access(&self, token: ThreadToken, addr: Addr, kind: AccessKind) -> bool {
+        // One load answers both "is checking on?" and "which filter
+        // generation?" — the gate word is the only Monitor state the
+        // filtered fast path touches. Everything past the filter probe
+        // lives in `#[inline(never)]` continuations, so the code that
+        // inlines into instrumented call sites is only this short
+        // straight-line fast path.
+        let gate = self.gate.load(Ordering::Acquire);
+        if gate & 1 == 0 {
+            return false;
+        }
+        match &self.engine {
+            Engine::Legacy(detector) => self.legacy_access(detector, token, addr, kind),
+            Engine::Sharded(s) => {
+                let cell = s.cell(token.tid);
+                // Owner-only epoch: stable for the duration of this hook,
+                // because only the owner's own sync hooks advance it.
+                let clock = cell.epoch.load(Ordering::Relaxed);
+                let key = addr.0 >> s.key_shift;
+                let generation = (gate >> 1) as u32;
+                if s.filtered && cell.filter.hit(key, clock, generation, kind) {
+                    let h = cell.filter_hits.load(Ordering::Relaxed);
+                    cell.filter_hits.store(h + 1, Ordering::Relaxed);
+                    return false;
+                }
+                self.sharded_miss(s, cell, token, addr, key, clock, generation, kind)
+            }
+        }
+    }
+
+    /// The legacy engine's whole access path (every access takes the
+    /// global detector lock).
+    #[inline(never)]
+    fn legacy_access(
+        &self,
+        detector: &Mutex<FastTrack>,
+        token: ThreadToken,
+        addr: Addr,
+        kind: AccessKind,
+    ) -> bool {
+        let mut d = detector.lock().unwrap();
+        if self.gate.load(Ordering::Relaxed) & 1 == 0 {
+            return false;
+        }
+        let race = d.on_access(token.tid, addr, kind).race;
         if let Some(rec) = &self.recorder {
-            rec.lock().unwrap().buffer(token.tid, Op::Read { addr });
+            // Buffer while the detector lock is held so capture is
+            // atomic with detection (lock order detector → recorder,
+            // same as the sync hooks).
+            rec.lock()
+                .unwrap()
+                .buffer(token.tid, Self::access_op(addr, kind));
         }
         race
     }
 
-    /// Records a write of `addr` by the calling thread. Returns `true`
-    /// if this access completed a race.
-    pub fn write(&self, token: ThreadToken, addr: Addr) -> bool {
-        let race = self
-            .detector
-            .lock()
-            .unwrap()
-            .on_access(token.tid, addr, AccessKind::Write)
-            .race;
-        if let Some(rec) = &self.recorder {
-            rec.lock().unwrap().buffer(token.tid, Op::Write { addr });
+    /// The sharded engine past a filter miss: shard-locked detection,
+    /// report recording, capture, and filter refill.
+    #[allow(clippy::too_many_arguments)]
+    #[inline(never)]
+    fn sharded_miss(
+        &self,
+        s: &Sharded,
+        cell: &ThreadCell,
+        token: ThreadToken,
+        addr: Addr,
+        key: u64,
+        clock: u32,
+        generation: u32,
+        kind: AccessKind,
+    ) -> bool {
+        let e = Epoch::new(token.tid, clock);
+        let mut shard = s.shard_of(key).lock().unwrap();
+        if self.gate.load(Ordering::Relaxed) & 1 == 0 {
+            // A disable() drain swept this shard between our pre-check
+            // and the lock: count this access as after the disable.
+            return false;
         }
-        race
+        let (report, race) = match shard.try_fast(key, e, kind) {
+            Some(report) => (report, None),
+            None => {
+                let vc = cell.vc.lock().unwrap();
+                shard.check(token.tid, addr, key, e, &vc, kind)
+            }
+        };
+        if let Some(race) = race {
+            s.reports.lock().unwrap().record(race);
+        }
+        if let Some(rec) = &self.recorder {
+            // Buffer under the shard lock (lock order shard → recorder):
+            // detection and capture of this access are one atomic step.
+            rec.lock()
+                .unwrap()
+                .buffer(token.tid, Self::access_op(addr, kind));
+        } else {
+            cell.filter.remember(key, clock, generation, kind);
+        }
+        report.race
+    }
+
+    fn access_op(addr: Addr, kind: AccessKind) -> Op {
+        match kind {
+            AccessKind::Read => Op::Read { addr },
+            AccessKind::Write | AccessKind::AtomicRmw => Op::Write { addr },
+        }
     }
 
     /// Records that the calling thread acquired lock `lock_id` (call
     /// after the real acquisition).
     pub fn lock_acquired(&self, token: ThreadToken, lock_id: u32) {
-        let op = Op::Lock {
-            lock: LockId(lock_id),
-        };
-        let mut d = self.detector.lock().unwrap();
-        d.on_sync(token.tid, &op);
-        self.record_sync(token.tid, op);
+        self.sync_hook(
+            token,
+            Op::Lock {
+                lock: LockId(lock_id),
+            },
+        );
     }
 
     /// Records that the calling thread is about to release lock
     /// `lock_id` (call before the real release).
     pub fn lock_released(&self, token: ThreadToken, lock_id: u32) {
-        let op = Op::Unlock {
-            lock: LockId(lock_id),
-        };
-        let mut d = self.detector.lock().unwrap();
-        d.on_sync(token.tid, &op);
-        self.record_sync(token.tid, op);
+        self.sync_hook(
+            token,
+            Op::Unlock {
+                lock: LockId(lock_id),
+            },
+        );
     }
 
     /// Records an acquire-release atomic on `addr` (e.g. around a real
     /// `AtomicUsize` the component synchronizes through).
     pub fn atomic(&self, token: ThreadToken, addr: Addr) {
-        let op = Op::AtomicRmw { addr };
-        let mut d = self.detector.lock().unwrap();
-        d.on_sync(token.tid, &op);
-        self.record_sync(token.tid, op);
+        self.sync_hook(token, Op::AtomicRmw { addr });
+    }
+
+    /// Clock-transfer hooks. Always-on regardless of the demand-driven
+    /// toggle, so clocks are correct when analysis re-enables.
+    fn sync_hook(&self, token: ThreadToken, op: Op) {
+        match &self.engine {
+            Engine::Legacy(detector) => {
+                let mut d = detector.lock().unwrap();
+                d.on_sync(token.tid, &op);
+                self.record_sync(token.tid, op);
+            }
+            Engine::Sharded(s) => {
+                // The sync mutex is the registry-wide lock the design
+                // reserves for sync ops: it serializes clock transfers
+                // so the recorded sync order matches detection order.
+                let mut space = s.sync.lock().unwrap();
+                let cell = s.cell(token.tid);
+                match op {
+                    // Same recipes as `HbClocks::on_sync`.
+                    Op::Lock { lock } => {
+                        if let Some(lvc) = space.locks.get(u64::from(lock.0)) {
+                            cell.vc.lock().unwrap().join(lvc);
+                        }
+                    }
+                    Op::Unlock { lock } => {
+                        let vc = &mut *cell.vc.lock().unwrap();
+                        space
+                            .locks
+                            .get_or_insert_with(u64::from(lock.0), VectorClock::new)
+                            .join(vc);
+                        let clock = vc.increment(token.tid);
+                        cell.epoch.store(clock, Ordering::Relaxed);
+                    }
+                    Op::AtomicRmw { addr } => {
+                        let entry = space.atomics.get_or_insert_with(addr.0, VectorClock::new);
+                        let vc = &mut *cell.vc.lock().unwrap();
+                        vc.join(entry);
+                        entry.join(vc);
+                        let clock = vc.increment(token.tid);
+                        cell.epoch.store(clock, Ordering::Relaxed);
+                    }
+                    _ => {}
+                }
+                if op.is_sync() {
+                    s.sync_ops.fetch_add(1, Ordering::Relaxed);
+                }
+                self.record_sync(token.tid, op);
+            }
+        }
     }
 
     /// Appends a sync op to the recorder log (flushing the thread's
-    /// buffered accesses first). Call with the detector lock held so the
-    /// log's sync order matches the order the detector saw.
+    /// buffered accesses first). Call with the detector/sync lock held
+    /// so the log's sync order matches the order the detector saw.
     fn record_sync(&self, tid: ThreadId, op: Op) {
         if let Some(rec) = &self.recorder {
             let mut rec = rec.lock().unwrap();
@@ -280,12 +951,45 @@ impl Monitor {
 
     /// Number of distinct races found so far.
     pub fn race_count(&self) -> usize {
-        self.detector.lock().unwrap().reports().distinct()
+        match &self.engine {
+            Engine::Legacy(detector) => detector.lock().unwrap().reports().distinct(),
+            Engine::Sharded(s) => s.reports.lock().unwrap().set.distinct(),
+        }
     }
 
     /// Snapshot of the distinct race reports found so far.
     pub fn reports(&self) -> Vec<RaceReport> {
-        self.detector.lock().unwrap().reports().reports().to_vec()
+        match &self.engine {
+            Engine::Legacy(detector) => detector.lock().unwrap().reports().reports().to_vec(),
+            Engine::Sharded(s) => s.reports.lock().unwrap().set.reports().to_vec(),
+        }
+    }
+
+    /// Aggregated detector counters: shard counters summed, with
+    /// epoch-filter hits folded into `accesses_checked` and
+    /// `fast_path_hits` (a filter hit *is* the same-epoch fast path,
+    /// answered without a lock).
+    pub fn stats(&self) -> DetectorStats {
+        match &self.engine {
+            Engine::Legacy(detector) => detector.lock().unwrap().stats(),
+            Engine::Sharded(s) => {
+                let mut stats = DetectorStats::default();
+                for shard in s.shards.iter() {
+                    let x = shard.lock().unwrap().stats();
+                    stats.accesses_checked += x.accesses_checked;
+                    stats.fast_path_hits += x.fast_path_hits;
+                    stats.escalations += x.escalations;
+                }
+                s.registry.for_each(|cell| {
+                    let hits = cell.filter_hits.load(Ordering::Relaxed);
+                    stats.accesses_checked += hits;
+                    stats.fast_path_hits += hits;
+                });
+                stats.sync_ops = s.sync_ops.load(Ordering::Relaxed);
+                stats.races_observed = s.reports.lock().unwrap().races_observed;
+                stats
+            }
+        }
     }
 
     /// Snapshot of the recorded trace, or `None` when the monitor was

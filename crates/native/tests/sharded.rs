@@ -1,0 +1,319 @@
+//! Cross-engine and demand-driven-toggle tests for the sharded monitor:
+//! the sharded engine must report the same racy addresses as the legacy
+//! single-lock engine, recorded traces must replay to the same racy
+//! addresses they were detected with live, `join` must be idempotent,
+//! and the enable/disable drain must survive concurrent hammering.
+
+use ddrace_detector::{racy_keys, DetectorConfig, FastTrack, RaceDetector};
+use ddrace_native::{addr_of, Monitor, ThreadToken};
+use ddrace_program::{AccessKind, Addr, Op, TraceEvent};
+use ddrace_trace::TraceRecord;
+use std::sync::Arc;
+use std::sync::Mutex;
+
+/// Fixed addresses so racy-key sets are comparable across runs and
+/// engines (stack addresses would differ per run).
+const LOCKED: Addr = Addr(0x1000);
+const RACY_WW: Addr = Addr(0x2000);
+const RACY_WR: Addr = Addr(0x2040);
+const PRIVATE_BASE: u64 = 0x3000;
+
+/// A deterministic mixed workload: four threads share a lock-protected
+/// counter, two race on a write-write pair, two race on a write-read
+/// pair, and each has a private working set. The racy-address set is
+/// schedule-independent (happens-before judges the sync structure, not
+/// the interleaving).
+fn mixed_workload(monitor: &Arc<Monitor>, root: ThreadToken) {
+    let real_lock = Arc::new(Mutex::new(0u64));
+    let mut tokens = Vec::new();
+    let mut handles = Vec::new();
+    for i in 0..4u64 {
+        let token = monitor.fork(root);
+        tokens.push(token);
+        let m = monitor.clone();
+        let real = real_lock.clone();
+        handles.push(std::thread::spawn(move || {
+            for rep in 0..50 {
+                // Clean: lock-protected shared counter.
+                let guard = real.lock().unwrap();
+                m.lock_acquired(token, 1);
+                m.read(token, LOCKED);
+                m.write(token, LOCKED);
+                m.lock_released(token, 1);
+                drop(guard);
+                // Racy: threads 0 and 1 write RACY_WW unsynchronized;
+                // thread 2 writes RACY_WR, thread 3 reads it.
+                if i < 2 {
+                    m.write(token, RACY_WW);
+                } else if i == 2 {
+                    m.write(token, RACY_WR);
+                } else {
+                    m.read(token, RACY_WR);
+                }
+                // Clean: private working set.
+                let private = Addr(PRIVATE_BASE + i * 0x100 + (rep % 8) * 8);
+                m.write(token, private);
+                m.read(token, private);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    for token in tokens {
+        assert!(monitor.join(root, token));
+    }
+}
+
+fn replay_racy_keys(records: &[TraceRecord]) -> Vec<u64> {
+    let mut d = FastTrack::new(DetectorConfig::default());
+    for record in records {
+        match record {
+            TraceRecord::Exec(event) => match event {
+                TraceEvent::ThreadStarted { tid, parent } => d.on_thread_start(*tid, *parent),
+                TraceEvent::ThreadFinished { tid } => d.on_thread_finish(*tid),
+                TraceEvent::Op { tid, op } => match op {
+                    Op::Read { addr } => {
+                        d.on_access(*tid, *addr, AccessKind::Read);
+                    }
+                    Op::Write { addr } => {
+                        d.on_access(*tid, *addr, AccessKind::Write);
+                    }
+                    other => d.on_sync(*tid, other),
+                },
+                TraceEvent::BarrierReleased {
+                    barrier,
+                    participants,
+                } => d.on_barrier_release(*barrier, participants),
+            },
+            TraceRecord::Hitm { .. } => {}
+        }
+    }
+    racy_keys(d.reports().reports())
+}
+
+#[test]
+fn sharded_and_legacy_report_identical_racy_keys() {
+    for _ in 0..5 {
+        let (sharded, sharded_root) = Monitor::new();
+        mixed_workload(&sharded, sharded_root);
+        let (legacy, legacy_root) = Monitor::legacy();
+        mixed_workload(&legacy, legacy_root);
+
+        let sharded_keys = racy_keys(&sharded.reports());
+        let legacy_keys = racy_keys(&legacy.reports());
+        assert!(!sharded_keys.is_empty(), "the workload has genuine races");
+        assert_eq!(
+            sharded_keys, legacy_keys,
+            "engines must agree on which addresses race"
+        );
+    }
+}
+
+#[test]
+fn shard_count_is_configurable_and_equivalent() {
+    for shards in [1, 4, 64] {
+        let (monitor, root) = Monitor::with_shards(DetectorConfig::default(), shards);
+        assert_eq!(monitor.shard_count(), shards.max(1));
+        mixed_workload(&monitor, root);
+        let (reference, ref_root) = Monitor::legacy();
+        mixed_workload(&reference, ref_root);
+        assert_eq!(
+            racy_keys(&monitor.reports()),
+            racy_keys(&reference.reports())
+        );
+    }
+}
+
+/// The lock-ordering fix, pinned end to end: a multi-threaded recorded
+/// run must replay (as `ddrace ingest` would) to exactly the racy
+/// addresses detected live. Before buffering moved under the shard /
+/// detector lock, a hook could be detected in one order and captured in
+/// another, letting replays disagree with live detection.
+#[test]
+fn recorded_runs_replay_to_the_same_racy_keys() {
+    for _ in 0..5 {
+        let (monitor, root) = Monitor::recording();
+        mixed_workload(&monitor, root);
+        let live = racy_keys(&monitor.reports());
+        let trace = monitor.recorded_trace().expect("recording is on");
+        assert!(!live.is_empty());
+        assert_eq!(replay_racy_keys(&trace), live);
+    }
+    // Same pin for the legacy engine's tightened lock scope.
+    let (monitor, root) = Monitor::legacy_recording();
+    mixed_workload(&monitor, root);
+    let live = racy_keys(&monitor.reports());
+    let trace = monitor.recorded_trace().expect("recording is on");
+    assert_eq!(replay_racy_keys(&trace), live);
+}
+
+#[test]
+fn join_is_idempotent_and_rejects_unknown_children() {
+    let (monitor, root) = Monitor::recording();
+    let child = monitor.fork(root);
+    let m = monitor.clone();
+    std::thread::spawn(move || {
+        m.write(child, RACY_WW);
+    })
+    .join()
+    .unwrap();
+
+    assert!(monitor.join(root, child), "first join is performed");
+    assert!(!monitor.join(root, child), "double join is a no-op");
+    assert!(!monitor.join(root, root), "the root has no joiner");
+
+    // A token this monitor never forked (here: from a different monitor
+    // with more threads) is rejected rather than corrupting state.
+    let (other, other_root) = Monitor::new();
+    let foreign = other.fork(other_root);
+    let foreign = other.fork(foreign);
+    assert!(!monitor.join(root, foreign));
+
+    let trace = monitor.recorded_trace().expect("recording is on");
+    let finishes = trace
+        .iter()
+        .filter(|r| {
+            matches!(
+                r,
+                TraceRecord::Exec(TraceEvent::ThreadFinished { tid }) if *tid == child.thread_id()
+            )
+        })
+        .count();
+    assert_eq!(finishes, 1, "exactly one ThreadFinished despite re-joins");
+}
+
+#[test]
+fn disable_suppresses_detection_and_enable_restores_it() {
+    let (monitor, root) = Monitor::new();
+    assert!(monitor.is_enabled());
+
+    let a = Addr(0x100);
+    let b = Addr(0x200);
+    let c = Addr(0x300);
+
+    // Enabled: an unsynchronized write pair races.
+    let t1 = monitor.fork(root);
+    let m = monitor.clone();
+    std::thread::spawn(move || {
+        m.write(t1, a);
+    })
+    .join()
+    .unwrap();
+    monitor.write(root, a);
+    assert_eq!(monitor.race_count(), 1);
+
+    // Disabled: the same shape goes unobserved, and hooks report no race.
+    monitor.disable();
+    assert!(!monitor.is_enabled());
+    let checked_before = monitor.stats().accesses_checked;
+    let t2 = monitor.fork(root);
+    let m = monitor.clone();
+    std::thread::spawn(move || {
+        assert!(!m.write(t2, b));
+    })
+    .join()
+    .unwrap();
+    assert!(!monitor.write(root, b));
+    assert_eq!(monitor.race_count(), 1, "disabled accesses are not checked");
+    assert_eq!(monitor.stats().accesses_checked, checked_before);
+
+    // Re-enabled: detection resumes (sync tracking never stopped, so the
+    // join edges made while disabled still order accesses correctly).
+    monitor.enable();
+    monitor.join(root, t1);
+    monitor.join(root, t2);
+    let t3 = monitor.fork(root);
+    let m = monitor.clone();
+    std::thread::spawn(move || {
+        m.write(t3, c);
+    })
+    .join()
+    .unwrap();
+    monitor.write(root, c);
+    assert_eq!(monitor.race_count(), 2);
+    // Ordered-by-join accesses stay clean after the toggle round-trip.
+    assert!(!monitor.read(root, a));
+}
+
+/// Hammer the toggle from one thread while workers stream accesses:
+/// exercises the drain protocol (flag, then a sweep of every shard
+/// lock) under real contention. The assertions are completion (no
+/// deadlock — the drain must not hold two locks at once) plus detector
+/// sanity: the racy pair is present, the clean keys stay clean.
+#[test]
+fn toggle_stress_under_concurrent_access() {
+    let (monitor, root) = Monitor::new();
+    let mut tokens = Vec::new();
+    let mut handles = Vec::new();
+    for i in 0..4u64 {
+        let token = monitor.fork(root);
+        tokens.push(token);
+        let m = monitor.clone();
+        handles.push(std::thread::spawn(move || {
+            for rep in 0..5_000u64 {
+                m.write(token, Addr(0x9000 + i * 0x100));
+                m.read(token, Addr(0x9000 + i * 0x100));
+                if i < 2 {
+                    m.write(token, RACY_WW);
+                }
+                if rep % 64 == 0 {
+                    m.atomic(token, Addr(0xA000 + i * 8));
+                }
+            }
+        }));
+    }
+    for _ in 0..100 {
+        monitor.disable();
+        std::thread::yield_now();
+        monitor.enable();
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    for token in tokens {
+        assert!(monitor.join(root, token));
+    }
+    monitor.enable();
+    let keys = racy_keys(&monitor.reports());
+    // Private per-thread addresses never race, toggling or not.
+    assert!(keys.iter().all(|&k| !(0x9000..0xA000).contains(&(k << 3))));
+    let stats = monitor.stats();
+    assert!(stats.accesses_checked <= 4 * 5_000 * 3);
+    assert!(stats.sync_ops > 0);
+}
+
+/// The per-thread epoch filter answers repeat same-epoch accesses
+/// without touching a shard lock, and its hits are folded into the
+/// fast-path counters.
+#[test]
+fn epoch_filter_counts_repeat_accesses_as_fast_path_hits() {
+    let (monitor, root) = Monitor::new();
+    let data = 0u64;
+    let addr = addr_of(&data);
+    for _ in 0..1_000 {
+        monitor.write(root, addr);
+    }
+    let stats = monitor.stats();
+    assert_eq!(stats.accesses_checked, 1_000);
+    assert_eq!(stats.fast_path_hits, 999, "all repeats are fast-path");
+
+    // Epoch advance (a release op) invalidates the cached epoch: the
+    // next access misses the filter and re-checks under the shard lock.
+    monitor.lock_acquired(root, 7);
+    monitor.lock_released(root, 7);
+    monitor.write(root, addr);
+    let stats = monitor.stats();
+    assert_eq!(stats.accesses_checked, 1_001);
+    assert_eq!(stats.fast_path_hits, 999);
+}
+
+/// Unknown thread ids must not be silently registered by data hooks.
+#[test]
+#[should_panic(expected = "does not belong to this monitor")]
+fn foreign_token_data_hook_panics() {
+    let (monitor, _root) = Monitor::new();
+    let (other, other_root) = Monitor::new();
+    let foreign = other.fork(other_root);
+    let _ = monitor.write(foreign, Addr(0x40));
+}

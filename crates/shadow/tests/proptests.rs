@@ -72,6 +72,70 @@ proptest! {
         }
     }
 
+    /// Adversarial wraparound: every key's home slot sits in the last
+    /// two slots of a minimum-capacity table, so probe chains run off
+    /// the end and wrap to slot 0 — and `remove`'s backward-shift
+    /// compaction has to move entries *across* that boundary. A shift
+    /// that compares raw slot indices instead of probe distances would
+    /// either orphan a wrapped entry (later `get` misses it) or smear a
+    /// ghost copy (a second `remove` returns `Some`). Keeping at most 5
+    /// live entries pins the table below its resize load factor, so the
+    /// chains genuinely wrap instead of the table growing out of the
+    /// regime.
+    #[test]
+    fn remove_backward_shift_survives_wraparound(
+        picks in proptest::collection::vec(any::<u64>(), 1..=5),
+        order in proptest::collection::vec(any::<u64>(), 8usize),
+    ) {
+        let mut table: ShadowTable<u64> = ShadowTable::new();
+        // Mirror of the table's multiplicative hash: the home slot is
+        // the top log2(capacity) bits of key * HASH_MUL.
+        const HASH_MUL: u64 = 0x9E37_79B9_7F4A_7C15;
+        let capacity = table.capacity() as u64;
+        let shift = 64 - capacity.trailing_zeros();
+        let pool: Vec<u64> = (1u64..)
+            .filter(|k| k.wrapping_mul(HASH_MUL) >> shift >= capacity - 2)
+            .take(32)
+            .collect();
+        let mut keys: Vec<u64> = Vec::new();
+        for p in picks {
+            let k = pool[(p % pool.len() as u64) as usize];
+            if !keys.contains(&k) {
+                keys.push(k);
+            }
+        }
+        let mut oracle: HashMap<u64, u64> = HashMap::new();
+        for (n, &k) in keys.iter().enumerate() {
+            table.insert(k, n as u64);
+            oracle.insert(k, n as u64);
+        }
+        prop_assert_eq!(
+            table.capacity() as u64,
+            capacity,
+            "must stay in the wraparound regime"
+        );
+        // Fisher–Yates over the random words: removals in arbitrary order.
+        let mut victims = keys.clone();
+        for i in (1..victims.len()).rev() {
+            let j = (order[i % order.len()] % (i as u64 + 1)) as usize;
+            victims.swap(i, j);
+        }
+        for k in victims {
+            prop_assert_eq!(table.remove(k), oracle.remove(&k));
+            prop_assert_eq!(table.remove(k), None, "shift must leave no ghost copy");
+            for (kk, vv) in &oracle {
+                prop_assert_eq!(table.get(*kk), Some(vv), "survivor lost its chain");
+            }
+            prop_assert_eq!(table.len(), oracle.len());
+        }
+        prop_assert!(table.is_empty());
+        // The vacated chain is clean: re-inserts see a fresh table.
+        for &k in &keys {
+            prop_assert_eq!(table.insert(k, 99), None);
+            prop_assert_eq!(table.get(k), Some(&99));
+        }
+    }
+
     #[test]
     fn survives_adversarial_same_home_keys(extras in proptest::collection::vec(any::<u64>(), 0..32)) {
         // Keys whose multiplicative hash lands in one home slot at small

@@ -75,6 +75,14 @@ pub enum TraceErrorKind {
     BadString,
     /// A decoded field was out of range for its in-memory type.
     FieldRange(&'static str),
+    /// A thread finished twice in the event stream (see
+    /// [`validate_exec`]). For this kind, [`TraceError::offset`] is the
+    /// *record index* of the second finish, not a byte offset: the
+    /// stream decoded fine; its content is inconsistent.
+    DuplicateThreadFinished {
+        /// Thread id that finished more than once.
+        tid: u32,
+    },
 }
 
 /// A decoding failure, carrying the byte offset where it happened.
@@ -122,11 +130,41 @@ impl fmt::Display for TraceError {
                 "field `{field}` out of range at byte offset {}",
                 self.offset
             ),
+            TraceErrorKind::DuplicateThreadFinished { tid } => write!(
+                f,
+                "thread {tid} finished twice (second ThreadFinished at record index {})",
+                self.offset
+            ),
         }
     }
 }
 
 impl std::error::Error for TraceError {}
+
+/// Validates the execution content of a decoded record stream before it
+/// is replayed.
+///
+/// A duplicate `ThreadFinished` re-runs the finish edge in a
+/// happens-before replayer and can silently change its verdicts, so
+/// ingestion rejects such traces up front with a positioned error (the
+/// offset is the record index of the offending event) rather than
+/// misdetecting. A run recorded by correct tooling never produces one;
+/// hand-built or corrupted traces can.
+pub fn validate_exec(records: &[TraceRecord]) -> Result<(), TraceError> {
+    let mut finished: Vec<u32> = Vec::new();
+    for (index, record) in records.iter().enumerate() {
+        if let TraceRecord::Exec(TraceEvent::ThreadFinished { tid }) = record {
+            if finished.contains(&tid.0) {
+                return Err(TraceError::new(
+                    index as u64,
+                    TraceErrorKind::DuplicateThreadFinished { tid: tid.0 },
+                ));
+            }
+            finished.push(tid.0);
+        }
+    }
+    Ok(())
+}
 
 /// Record tag bytes (version 1). One tag per event shape so every field
 /// after the tag is a plain varint.
@@ -172,4 +210,39 @@ pub fn fingerprint64(bytes: &[u8]) -> u64 {
         hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
     }
     hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddrace_program::ThreadId;
+
+    fn started(tid: u32) -> TraceRecord {
+        TraceRecord::Exec(TraceEvent::ThreadStarted {
+            tid: ThreadId(tid),
+            parent: (tid > 0).then_some(ThreadId(0)),
+        })
+    }
+
+    fn finished(tid: u32) -> TraceRecord {
+        TraceRecord::Exec(TraceEvent::ThreadFinished { tid: ThreadId(tid) })
+    }
+
+    #[test]
+    fn validate_exec_accepts_single_finishes() {
+        let records = [started(0), started(1), finished(1), finished(0)];
+        assert!(validate_exec(&records).is_ok());
+        assert!(validate_exec(&[]).is_ok());
+    }
+
+    #[test]
+    fn validate_exec_rejects_duplicate_thread_finished() {
+        let records = [started(0), started(1), finished(1), finished(1)];
+        let err = validate_exec(&records).unwrap_err();
+        assert_eq!(err.offset, 3, "offset is the record index of the dup");
+        assert_eq!(err.kind, TraceErrorKind::DuplicateThreadFinished { tid: 1 });
+        let text = err.to_string();
+        assert!(text.contains("thread 1 finished twice"), "{text}");
+        assert!(text.contains("record index 3"), "{text}");
+    }
 }

@@ -44,8 +44,8 @@ pub mod varint;
 mod writer;
 
 pub use format::{
-    exec_trace, fingerprint64, TraceError, TraceErrorKind, TraceMeta, TraceRecord, FORMAT_VERSION,
-    MAGIC,
+    exec_trace, fingerprint64, validate_exec, TraceError, TraceErrorKind, TraceMeta, TraceRecord,
+    FORMAT_VERSION, MAGIC,
 };
 pub use reader::{decode_trace, read_meta, read_trace_file, TraceReader};
 pub use writer::{encode_trace, write_trace_file, TraceWriter};
