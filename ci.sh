@@ -70,25 +70,36 @@ diff "$FUZZ_SMOKE_DIR/ev8a.sorted" "$FUZZ_SMOKE_DIR/ev8b.sorted"
 diff "$FUZZ_SMOKE_DIR/agg8a.json" "$FUZZ_SMOKE_DIR/agg1.json"
 rm -rf "$FUZZ_SMOKE_DIR"
 
-# Record/ingest pipeline smoke: build a small .ddt corpus, replay it on
-# the worker pool at 1 and 8 workers (and once more at 8), and require
-# byte-identical aggregates — trace ingestion must be as deterministic
-# as live campaigns. The fuzz burst above already runs the live≡replayed
-# conformance oracle over every generated spec.
-echo "==> record/ingest smoke (3-trace corpus, workers 1 and 8)"
+# Record/ingest pipeline smoke across the format × engine axes: record
+# the same corpus at both .ddt versions, replay the v1 corpus through
+# the serial engine and the v2 corpus through the pipelined engine at
+# 1 and 8 workers, and require every aggregate byte-identical — the
+# on-disk framing, the ingest engine, and the worker count must all be
+# invisible in what a replay reports. The fuzz burst above already runs
+# the live≡replayed conformance oracle over every generated spec.
+echo "==> record/ingest smoke (v1-serial vs v2-pipelined, workers 1 and 8)"
 TRACE_SMOKE_DIR=$(mktemp -d)
+mkdir -p "$TRACE_SMOKE_DIR/v1" "$TRACE_SMOKE_DIR/v2"
 for bench in unprotected_counter sparse_race mostly_locked; do
-    ./target/release/ddrace record --bench "$bench" --scale test --seed 42 \
-        --out "$TRACE_SMOKE_DIR/$bench.ddt" > /dev/null
+    for fmt in v1 v2; do
+        ./target/release/ddrace record --bench "$bench" --scale test --seed 42 \
+            --format "$fmt" --out "$TRACE_SMOKE_DIR/$fmt/$bench.ddt" > /dev/null
+    done
 done
-./target/release/ddrace ingest --corpus "$TRACE_SMOKE_DIR" --workers 8 --quiet \
-    --out "$TRACE_SMOKE_DIR/agg8a.json"
-./target/release/ddrace ingest --corpus "$TRACE_SMOKE_DIR" --workers 8 --quiet \
-    --out "$TRACE_SMOKE_DIR/agg8b.json"
-./target/release/ddrace ingest --corpus "$TRACE_SMOKE_DIR" --workers 1 --quiet \
-    --out "$TRACE_SMOKE_DIR/agg1.json"
-diff "$TRACE_SMOKE_DIR/agg8a.json" "$TRACE_SMOKE_DIR/agg8b.json"
-diff "$TRACE_SMOKE_DIR/agg8a.json" "$TRACE_SMOKE_DIR/agg1.json"
+for workers in 1 8; do
+    ./target/release/ddrace ingest --corpus "$TRACE_SMOKE_DIR/v1" --engine serial \
+        --workers "$workers" --quiet --out "$TRACE_SMOKE_DIR/v1-serial-w$workers.json"
+    ./target/release/ddrace ingest --corpus "$TRACE_SMOKE_DIR/v2" --engine pipelined \
+        --workers "$workers" --quiet --out "$TRACE_SMOKE_DIR/v2-pipelined-w$workers.json"
+done
+# Repeatability, then engine/format equivalence, then worker-count
+# equivalence — all reduce to one chain of byte-for-byte diffs.
+./target/release/ddrace ingest --corpus "$TRACE_SMOKE_DIR/v2" --engine pipelined \
+    --workers 8 --quiet --out "$TRACE_SMOKE_DIR/v2-pipelined-w8-rerun.json"
+diff "$TRACE_SMOKE_DIR/v2-pipelined-w8.json" "$TRACE_SMOKE_DIR/v2-pipelined-w8-rerun.json"
+diff "$TRACE_SMOKE_DIR/v1-serial-w1.json" "$TRACE_SMOKE_DIR/v2-pipelined-w1.json"
+diff "$TRACE_SMOKE_DIR/v1-serial-w8.json" "$TRACE_SMOKE_DIR/v2-pipelined-w8.json"
+diff "$TRACE_SMOKE_DIR/v1-serial-w1.json" "$TRACE_SMOKE_DIR/v1-serial-w8.json"
 rm -rf "$TRACE_SMOKE_DIR"
 
 # Smoke-run the substrate bench: gates on panics/divergence (both
@@ -112,5 +123,22 @@ for key in '"bench"' '"workload"' '"threads"' '"acceptance"' \
         || { echo "bench_native.json missing $key"; exit 1; }
 done
 rm -rf "$NATIVE_SMOKE_DIR"
+
+# Smoke-run the trace-ingest bench: the binary itself gates on every
+# (format × engine) pair replaying to the byte-identical RunResult and
+# on the planted race being detected; perf acceptance (the >= 4x
+# speedup) is judged only on full release runs, never in CI.
+# DDRACE_BENCH_OUT opts the smoke run into writing JSON so the schema
+# stays checkable here.
+echo "==> bench_trace --smoke"
+TRACE_BENCH_DIR=$(mktemp -d)
+DDRACE_BENCH_OUT="$TRACE_BENCH_DIR/bench_trace.json" \
+    cargo run --release -q -p ddrace-bench --bin bench_trace -- --smoke
+for key in '"bench"' '"workload"' '"sizes"' '"acceptance"' '"events_per_sec"' \
+    '"bytes_v1"' '"bytes_v2"' '"speedup_slab"' '"speedup_pipelined"'; do
+    grep -q "$key" "$TRACE_BENCH_DIR/bench_trace.json" \
+        || { echo "bench_trace.json missing $key"; exit 1; }
+done
+rm -rf "$TRACE_BENCH_DIR"
 
 echo "CI green."

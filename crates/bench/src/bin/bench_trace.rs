@@ -1,0 +1,365 @@
+//! Trace-ingest throughput: the block-framed v2 format with slab decode
+//! and the pipelined decode→detect engine against the v1
+//! read-everything-then-replay path, emitting the machine-readable
+//! `BENCH_trace.json` at the repo root.
+//!
+//! The baseline is not a stored number: the v1 flat format and the
+//! materialising ingest path (`read_trace_file` → `validate_exec` →
+//! `exec_trace` → `run_trace`) both still exist, so every run re-measures
+//! before *and* after on the same machine. All ingest modes replay the
+//! identical record stream and their full [`RunResult`]s — racy reports
+//! included — are asserted equal before any timing.
+//!
+//! The synthetic corpus is the shape demand-driven replay sees in the
+//! wild: eight threads hammering private hot words at wide (heap-like,
+//! multi-byte-varint) addresses, with two of them sharing one hot word
+//! rarely enough that analysis stays off for the bulk of the stream but
+//! a real race is planted for the equivalence gate to agree on.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p ddrace-bench --bin bench_trace          # full run, writes JSON
+//! cargo run -p ddrace-bench --bin bench_trace -- --smoke         # tiny sizes, no JSON (CI)
+//! ```
+//!
+//! `DDRACE_BENCH_OUT` overrides the output path (and, in smoke mode,
+//! opts into writing the JSON at smoke sizes so CI can check the
+//! schema). Debug builds are tagged `"build": "debug"`; acceptance
+//! numbers come from `--release`.
+
+use criterion::{measure_paired, Measurement};
+use ddrace_core::{AnalysisMode, IngestEngine, RunResult, SimConfig, Simulation};
+use ddrace_json::Value;
+use ddrace_program::{Addr, Op, ThreadId, TraceEvent};
+use ddrace_trace::{exec_trace, validate_exec, FormatVersion, TraceMeta, TraceRecord};
+use std::path::PathBuf;
+
+/// Simulated threads in the synthetic trace (one per simulated core, so
+/// sharing between two of them is cross-core and HITM-visible).
+const THREADS: u32 = 8;
+
+/// Per-thread hot working set, in words. Small enough to stay L1-hot —
+/// replay cost is decode plus cheap cache hits, the demand-mode steady
+/// state — while the wide base addresses below keep varints long.
+const HOT_WORDS: u64 = 64;
+
+/// Ops each thread runs back-to-back before the stream rotates to the
+/// next thread, mimicking a scheduler quantum.
+const CHUNK: u64 = 256;
+
+/// Ops at the start of each of threads 0/1's first two chunks spent
+/// hammering the shared word. The first chunk's HITMs enable analysis;
+/// the second chunk's writes land inside the controller's cooldown
+/// while it is still on, so the write/write race is always detected —
+/// after which the stream is sharing-free and analysis switches off for
+/// the bulk of the replay (the demand-driven steady state).
+const RACY_WINDOW: u64 = 64;
+
+/// The deliberately shared (and racy) word.
+const SHARED: Addr = Addr(0x40);
+
+fn op(tid: u32, op: Op) -> TraceRecord {
+    TraceRecord::Exec(TraceEvent::Op {
+        tid: ThreadId(tid),
+        op,
+    })
+}
+
+/// Builds the synthetic record stream: fork all workers, run
+/// `total_ops` memory operations in rotating per-thread chunks, join
+/// and finish everyone.
+fn synth_records(total_ops: u64) -> Vec<TraceRecord> {
+    let mut records = Vec::with_capacity(total_ops as usize + 4 * THREADS as usize);
+    records.push(TraceRecord::Exec(TraceEvent::ThreadStarted {
+        tid: ThreadId(0),
+        parent: None,
+    }));
+    for t in 1..THREADS {
+        records.push(op(0, Op::Fork { child: ThreadId(t) }));
+        records.push(TraceRecord::Exec(TraceEvent::ThreadStarted {
+            tid: ThreadId(t),
+            parent: Some(ThreadId(0)),
+        }));
+    }
+    let per_thread = total_ops / u64::from(THREADS);
+    let mut emitted = [0u64; THREADS as usize];
+    'outer: loop {
+        for t in 0..THREADS {
+            let done = &mut emitted[t as usize];
+            if *done >= per_thread {
+                if t == THREADS - 1 {
+                    break 'outer;
+                }
+                continue;
+            }
+            let end = (*done + CHUNK).min(per_thread);
+            for i in *done..end {
+                // Wide heap-like addresses: 5-byte varints on the wire.
+                let base = (u64::from(t) + 1) << 33;
+                let record = if t < 2 && i < 2 * CHUNK && i % CHUNK < RACY_WINDOW {
+                    // The planted unsynchronized sharing: thread 0
+                    // keeps the line modified, thread 1's loads are the
+                    // HITMs the demand indicator counts (write RFOs are
+                    // excluded by the default indicator).
+                    if t == 0 || i % 2 == 1 {
+                        op(t, Op::Write { addr: SHARED })
+                    } else {
+                        op(t, Op::Read { addr: SHARED })
+                    }
+                } else {
+                    // Store-reload pair on the hot set, then computation
+                    // over what was loaded — the op mix PMU-sampled
+                    // recordings of real kernels produce, where most
+                    // records are not memory accesses.
+                    match i % 32 {
+                        0 => op(
+                            t,
+                            Op::Write {
+                                addr: Addr(base + ((i / 32) % HOT_WORDS) * 8),
+                            },
+                        ),
+                        1 => op(
+                            t,
+                            Op::Read {
+                                addr: Addr(base + ((i / 32) % HOT_WORDS) * 8),
+                            },
+                        ),
+                        _ => op(
+                            t,
+                            Op::Compute {
+                                cycles: 0x1000_0000 | (i as u32 & 0xffff),
+                            },
+                        ),
+                    }
+                };
+                records.push(record);
+            }
+            *done = end;
+        }
+    }
+    for t in 1..THREADS {
+        records.push(TraceRecord::Exec(TraceEvent::ThreadFinished {
+            tid: ThreadId(t),
+        }));
+        records.push(op(0, Op::Join { child: ThreadId(t) }));
+    }
+    records.push(TraceRecord::Exec(TraceEvent::ThreadFinished {
+        tid: ThreadId(0),
+    }));
+    records
+}
+
+fn sim() -> Simulation {
+    Simulation::new(SimConfig::new(
+        THREADS as usize,
+        AnalysisMode::demand_hitm(),
+    ))
+}
+
+/// The pre-v2 ingest path, kept measurable: decode the whole file into
+/// a record vector, validate it, strip to an exec trace, replay.
+fn v1_serial(path: &PathBuf) -> RunResult {
+    let (_, records) = ddrace_trace::read_trace_file(path).expect("v1 trace decodes");
+    validate_exec(&records).expect("v1 trace validates");
+    sim().run_trace(&exec_trace(&records))
+}
+
+fn streamed(path: &PathBuf, engine: IngestEngine) -> RunResult {
+    ddrace_core::ingest_path(&sim(), path, engine).expect("trace ingests")
+}
+
+fn measurement_json(m: &Measurement) -> Value {
+    Value::Object(vec![
+        ("median_ns".to_string(), Value::UInt(m.median_ns)),
+        ("elements".to_string(), Value::UInt(m.elements)),
+        ("events_per_sec".to_string(), Value::Float(m.per_sec())),
+    ])
+}
+
+struct Row {
+    events: u64,
+    bytes_v1: u64,
+    bytes_v2: u64,
+    v1_serial: Measurement,
+    v2_slab: Measurement,
+    v2_pipelined: Measurement,
+}
+
+fn main() {
+    let smoke =
+        std::env::args().any(|a| a == "--smoke") || std::env::var("DDRACE_BENCH_SMOKE").is_ok();
+    let samples = if smoke { 2 } else { 5 };
+    let sizes: &[u64] = if smoke {
+        &[4_096, 16_384]
+    } else {
+        &[65_536, 524_288, 2_097_152]
+    };
+
+    let dir = std::env::temp_dir().join(format!("ddrace-bench-trace-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create bench scratch dir");
+
+    let mut rows: Vec<Row> = Vec::new();
+    for &size in sizes {
+        let records = synth_records(size);
+        let events = records.len() as u64;
+        let meta = TraceMeta {
+            source: "bench".to_string(),
+            label: format!("synth-{size}"),
+            seed: 7,
+            fingerprint: size,
+        };
+        let path_v1 = dir.join(format!("synth-{size}-v1.ddt"));
+        let path_v2 = dir.join(format!("synth-{size}-v2.ddt"));
+        ddrace_trace::write_trace_file_with(&path_v1, &meta, &records, FormatVersion::V1)
+            .expect("write v1 trace");
+        ddrace_trace::write_trace_file_with(&path_v2, &meta, &records, FormatVersion::V2)
+            .expect("write v2 trace");
+        let bytes_v1 = std::fs::metadata(&path_v1).unwrap().len();
+        let bytes_v2 = std::fs::metadata(&path_v2).unwrap().len();
+
+        // Equivalence gate before any timing: every (format, engine)
+        // pair must produce the same full result — races, cycle counts,
+        // timeline, everything — and it must contain the planted race.
+        let baseline = v1_serial(&path_v1);
+        assert!(
+            baseline.races.distinct >= 1,
+            "synthetic trace must contain the planted race at {size} ops"
+        );
+        for (label, result) in [
+            ("v1/serial", streamed(&path_v1, IngestEngine::Serial)),
+            ("v1/pipelined", streamed(&path_v1, IngestEngine::Pipelined)),
+            ("v2/serial", streamed(&path_v2, IngestEngine::Serial)),
+            ("v2/pipelined", streamed(&path_v2, IngestEngine::Pipelined)),
+        ] {
+            assert_eq!(
+                result, baseline,
+                "{label} must equal the materialised v1 replay at {size} ops"
+            );
+        }
+
+        println!("trace ingest ({events} events, v1 {bytes_v1} B, v2 {bytes_v2} B)");
+        // Interleaved sampling: drift hits both sides of each pair
+        // equally, so the ratios are stable run to run. The slab pair
+        // and the acceptance pair each carry their own v1 baseline.
+        let (_, v2_slab) = measure_paired(
+            &format!("e{size}/v1_serial"),
+            &format!("e{size}/v2_slab"),
+            events,
+            samples,
+            || v1_serial(&path_v1).races.distinct,
+            || streamed(&path_v2, IngestEngine::Serial).races.distinct,
+        );
+        let (v1, v2_pipelined) = measure_paired(
+            &format!("e{size}/v1_serial"),
+            &format!("e{size}/v2_pipelined"),
+            events,
+            samples,
+            || v1_serial(&path_v1).races.distinct,
+            || streamed(&path_v2, IngestEngine::Pipelined).races.distinct,
+        );
+        println!("{}", v1.line());
+        println!("{}", v2_slab.line());
+        println!("{}", v2_pipelined.line());
+        rows.push(Row {
+            events,
+            bytes_v1,
+            bytes_v2,
+            v1_serial: v1,
+            v2_slab,
+            v2_pipelined,
+        });
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let speedup = |row: &Row, m: &Measurement| m.per_sec() / row.v1_serial.per_sec();
+    for row in &rows {
+        println!(
+            "{} events: v2-slab {:.2}x, v2-pipelined {:.2}x over v1-serial",
+            row.events,
+            speedup(row, &row.v2_slab),
+            speedup(row, &row.v2_pipelined),
+        );
+    }
+    let large = rows.last().expect("at least one size");
+    let headline = speedup(large, &large.v2_pipelined);
+    println!(
+        "headline: v2-pipelined {headline:.2}x over v1-serial at {} events (target >= 4)",
+        large.events
+    );
+    assert!(
+        headline >= 1.0,
+        "pipelined v2 ingest must never be slower than the materialised v1 path"
+    );
+
+    let out = std::env::var("DDRACE_BENCH_OUT");
+    if smoke && out.is_err() {
+        println!("smoke mode: skipping BENCH_trace.json");
+        return;
+    }
+
+    let doc = Value::Object(vec![
+        ("bench".to_string(), Value::Str("trace".to_string())),
+        (
+            "build".to_string(),
+            Value::Str(
+                if cfg!(debug_assertions) {
+                    "debug"
+                } else {
+                    "release"
+                }
+                .to_string(),
+            ),
+        ),
+        (
+            "workload".to_string(),
+            Value::Object(vec![
+                ("threads".to_string(), Value::UInt(u64::from(THREADS))),
+                ("hot_words".to_string(), Value::UInt(HOT_WORDS)),
+                ("chunk".to_string(), Value::UInt(CHUNK)),
+                ("racy_window".to_string(), Value::UInt(RACY_WINDOW)),
+            ]),
+        ),
+        (
+            "sizes".to_string(),
+            Value::Array(
+                rows.iter()
+                    .map(|row| {
+                        Value::Object(vec![
+                            ("events".to_string(), Value::UInt(row.events)),
+                            ("bytes_v1".to_string(), Value::UInt(row.bytes_v1)),
+                            ("bytes_v2".to_string(), Value::UInt(row.bytes_v2)),
+                            ("v1_serial".to_string(), measurement_json(&row.v1_serial)),
+                            ("v2_slab".to_string(), measurement_json(&row.v2_slab)),
+                            (
+                                "v2_pipelined".to_string(),
+                                measurement_json(&row.v2_pipelined),
+                            ),
+                            (
+                                "speedup_slab".to_string(),
+                                Value::Float(speedup(row, &row.v2_slab)),
+                            ),
+                            (
+                                "speedup_pipelined".to_string(),
+                                Value::Float(speedup(row, &row.v2_pipelined)),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "acceptance".to_string(),
+            Value::Object(vec![
+                ("speedup_large".to_string(), Value::Float(headline)),
+                ("target".to_string(), Value::Float(4.0)),
+                ("pass".to_string(), Value::Bool(headline >= 4.0)),
+            ]),
+        ),
+    ]);
+
+    let out = out.unwrap_or_else(|_| "BENCH_trace.json".into());
+    let body = ddrace_json::to_string_pretty(&doc).expect("bench document serializes");
+    std::fs::write(&out, body + "\n").expect("write bench output");
+    println!("wrote {out}");
+}

@@ -162,41 +162,49 @@ pub fn check_spec_with(spec: &FuzzSpec, fault: Fault) -> SpecVerdict {
                     seed: spec.seed,
                     fingerprint: spec.seed,
                 };
-                let bytes = ddrace_trace::encode_trace(&meta, &records);
-                match ddrace_trace::decode_trace(&bytes) {
-                    Ok((_, decoded)) => {
-                        if decoded != records {
-                            verdict.violations.push(Violation::new(
-                                "record-replay",
-                                format!(
-                                    "binary codec round-trip altered the stream \
-                                     ({} vs {} records)",
-                                    decoded.len(),
-                                    records.len()
-                                ),
-                            ));
+                // Both on-disk versions must round-trip the identical
+                // stream: the flat v1 records and the block-framed,
+                // checksummed v2 are different codecs over one model.
+                for version in [
+                    ddrace_trace::FormatVersion::V1,
+                    ddrace_trace::FormatVersion::V2,
+                ] {
+                    let bytes = ddrace_trace::encode_trace_with(&meta, &records, version);
+                    match ddrace_trace::decode_trace(&bytes) {
+                        Ok((_, decoded)) => {
+                            if decoded != records {
+                                verdict.violations.push(Violation::new(
+                                    "record-replay",
+                                    format!(
+                                        "{version:?} codec round-trip altered the stream \
+                                         ({} vs {} records)",
+                                        decoded.len(),
+                                        records.len()
+                                    ),
+                                ));
+                            }
+                            let replayed = run(
+                                spec,
+                                AnalysisMode::Continuous,
+                                DetectorKind::FastTrack,
+                                &ddrace_trace::exec_trace(&decoded),
+                            );
+                            let keys_replayed = racy_keys(&replayed.races.reports);
+                            if keys_replayed != keys_live {
+                                verdict.violations.push(Violation::new(
+                                    "record-replay",
+                                    format!(
+                                        "live and {version:?}-replayed racy keys differ: \
+                                         {keys_live:?} vs {keys_replayed:?}"
+                                    ),
+                                ));
+                            }
                         }
-                        let replayed = run(
-                            spec,
-                            AnalysisMode::Continuous,
-                            DetectorKind::FastTrack,
-                            &ddrace_trace::exec_trace(&decoded),
-                        );
-                        let keys_replayed = racy_keys(&replayed.races.reports);
-                        if keys_replayed != keys_live {
-                            verdict.violations.push(Violation::new(
-                                "record-replay",
-                                format!(
-                                    "live and replayed racy keys differ: \
-                                     {keys_live:?} vs {keys_replayed:?}"
-                                ),
-                            ));
-                        }
+                        Err(e) => verdict.violations.push(Violation::new(
+                            "record-replay",
+                            format!("decoding the {version:?}-encoded trace failed: {e}"),
+                        )),
                     }
-                    Err(e) => verdict.violations.push(Violation::new(
-                        "record-replay",
-                        format!("decoding the encoded trace failed: {e}"),
-                    )),
                 }
             }
             Err(e) => verdict.violations.push(Violation::new(

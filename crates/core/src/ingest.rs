@@ -1,0 +1,455 @@
+//! Streaming trace ingest: slab-granularity replay with an optional
+//! decode→detect pipeline.
+//!
+//! [`Simulation::run_trace`] needs the whole record stream in memory.
+//! This module replays a `.ddt` file without ever materialising it:
+//! a [`SlabReader`](ddrace_trace::SlabReader) refills a recycled
+//! [`EventSlab`] one block at a time, and [`ReplaySession::exec_slab`]
+//! drains each slab straight into the simulation state — borrowed
+//! events, no per-record heap values, content validation (duplicate
+//! `ThreadFinished`) folded into the same pass.
+//!
+//! [`IngestEngine::Pipelined`] splits the two halves across threads:
+//! a decoder thread fills double-buffered slabs while the detector
+//! thread drains the previous one, with slab ownership bouncing over a
+//! pair of channels. Slabs arrive in block order either way, and the
+//! detector consumes them on one thread in that order, so serial and
+//! pipelined ingest produce **identical** [`RunResult`]s — the pipeline
+//! only overlaps decode latency with detection work.
+
+use crate::result::RunResult;
+use crate::sim::{SimState, Simulation};
+use ddrace_program::{Event, ExecutionListener, RunStats};
+use ddrace_trace::{
+    open_trace_file, EventSlab, SlabReader, SlabRecord, TraceError, TraceErrorKind,
+};
+use std::io::Read;
+use std::path::Path;
+use std::sync::mpsc;
+
+/// How the decode and detect halves of trace ingest are scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IngestEngine {
+    /// Decode a slab, then detect over it, on one thread. The baseline
+    /// the pipelined engine is equivalence-checked against.
+    Serial,
+    /// Decode on a dedicated thread into double-buffered slabs while
+    /// the calling thread runs detection — same results, decode latency
+    /// hidden behind detector work.
+    #[default]
+    Pipelined,
+}
+
+impl IngestEngine {
+    /// Stable lowercase name (CLI flag value, JSON field).
+    pub fn label(self) -> &'static str {
+        match self {
+            IngestEngine::Serial => "serial",
+            IngestEngine::Pipelined => "pipelined",
+        }
+    }
+
+    /// Parses a [`IngestEngine::label`] back to the engine.
+    pub fn from_label(s: &str) -> Option<IngestEngine> {
+        match s {
+            "serial" => Some(IngestEngine::Serial),
+            "pipelined" => Some(IngestEngine::Pipelined),
+            _ => None,
+        }
+    }
+}
+
+/// An in-progress streamed replay: simulation state plus the running
+/// stream statistics [`Simulation::run_trace`] would have computed from
+/// the materialised trace.
+///
+/// Feed decoded slabs in stream order via [`ReplaySession::exec_slab`],
+/// then call [`ReplaySession::finish`]. The result is identical to
+/// decoding the whole file and calling [`Simulation::run_trace`] on it.
+pub struct ReplaySession {
+    state: SimState,
+    mode_label: &'static str,
+    /// Records seen so far — the stream index duplicate-finish errors
+    /// report, counting every record (HITM samples included) exactly as
+    /// [`validate_exec`](ddrace_trace::validate_exec) does.
+    records_seen: u64,
+    finished: Vec<u32>,
+    per_thread_ops: Vec<u64>,
+    ops_executed: u64,
+}
+
+impl ReplaySession {
+    /// Starts a streamed replay under `sim`'s configuration.
+    pub fn new(sim: &Simulation) -> ReplaySession {
+        ReplaySession {
+            state: SimState::new(sim.config()),
+            mode_label: sim.config().mode.label(),
+            records_seen: 0,
+            finished: Vec::new(),
+            per_thread_ops: Vec::new(),
+            ops_executed: 0,
+        }
+    }
+
+    /// Replays one decoded slab: every execution record reaches the
+    /// simulation (HITM samples are PMU observations, not schedule
+    /// edges, and are skipped exactly as [`exec_trace`] drops them),
+    /// with content validation inline.
+    ///
+    /// [`exec_trace`]: ddrace_trace::exec_trace
+    ///
+    /// # Errors
+    ///
+    /// [`TraceErrorKind::DuplicateThreadFinished`] at the offending
+    /// record's stream index, matching the materialised
+    /// [`validate_exec`](ddrace_trace::validate_exec) check.
+    pub fn exec_slab(&mut self, slab: &EventSlab) -> Result<(), TraceError> {
+        let mut index = 0;
+        while index < slab.len() {
+            // Bulk fast path: a same-thread run of compute records —
+            // the bulk of a PMU-derived trace — is charge-only work
+            // that cannot toggle analysis, so it replays in one call
+            // instead of one enum dispatch per record.
+            if let Some((tid, cycles)) = slab.compute_run(index) {
+                let n = cycles.len() as u64;
+                if self.per_thread_ops.len() <= tid.index() {
+                    self.per_thread_ops.resize(tid.index() + 1, 0);
+                }
+                self.per_thread_ops[tid.index()] += n;
+                self.ops_executed += n;
+                self.state.on_compute_run(tid, cycles);
+                self.records_seen += n;
+                index += cycles.len();
+                continue;
+            }
+            match slab.get(index) {
+                SlabRecord::Hitm { .. } => {}
+                SlabRecord::Exec(event) => {
+                    match event {
+                        Event::ThreadFinished { tid } => {
+                            if self.finished.contains(&tid.0) {
+                                return Err(TraceError {
+                                    offset: self.records_seen,
+                                    kind: TraceErrorKind::DuplicateThreadFinished { tid: tid.0 },
+                                });
+                            }
+                            self.finished.push(tid.0);
+                        }
+                        Event::Op { tid, .. } => {
+                            if self.per_thread_ops.len() <= tid.index() {
+                                self.per_thread_ops.resize(tid.index() + 1, 0);
+                            }
+                            self.per_thread_ops[tid.index()] += 1;
+                            self.ops_executed += 1;
+                        }
+                        _ => {}
+                    }
+                    self.state.on_event(event);
+                }
+            }
+            self.records_seen += 1;
+            index += 1;
+        }
+        Ok(())
+    }
+
+    /// Completes the replay. Scheduler-internal statistics that are not
+    /// part of the event stream (blocks, context switches, handoffs)
+    /// are zero, as under [`Simulation::run_trace`].
+    pub fn finish(self) -> RunResult {
+        let schedule = RunStats {
+            ops_executed: self.ops_executed,
+            per_thread_ops: self.per_thread_ops,
+            ..RunStats::default()
+        };
+        self.state.into_result(schedule, self.mode_label)
+    }
+}
+
+impl std::fmt::Debug for ReplaySession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplaySession")
+            .field("mode", &self.mode_label)
+            .field("records_seen", &self.records_seen)
+            .field("ops_executed", &self.ops_executed)
+            .finish()
+    }
+}
+
+/// Number of slabs circulating between the decoder and detector threads
+/// of a pipelined ingest. Two is exactly double buffering: one slab
+/// being decoded into while the other is being detected over.
+const PIPELINE_SLABS: usize = 2;
+
+/// Streams a `.ddt` file through `sim` without materialising the record
+/// stream — the demand-driven analogue of read-everything-then-replay.
+///
+/// # Errors
+///
+/// Any positioned [`TraceError`]: I/O, decode, or content validation.
+pub fn ingest_path(
+    sim: &Simulation,
+    path: impl AsRef<Path>,
+    engine: IngestEngine,
+) -> Result<RunResult, TraceError> {
+    ingest_reader(sim, open_trace_file(path)?, engine)
+}
+
+/// [`ingest_path`] over an already-open [`SlabReader`] (any byte
+/// source; the header has been parsed).
+///
+/// # Errors
+///
+/// Any positioned [`TraceError`]: I/O, decode, or content validation.
+pub fn ingest_reader<R: Read + Send>(
+    sim: &Simulation,
+    mut reader: SlabReader<R>,
+    engine: IngestEngine,
+) -> Result<RunResult, TraceError> {
+    let _span = ddrace_telemetry::span("ingest.replay");
+    let mut session = ReplaySession::new(sim);
+    match engine {
+        IngestEngine::Serial => run_serial(&mut session, &mut reader)?,
+        IngestEngine::Pipelined => {
+            // A decoder thread only helps when it can actually run at
+            // the same time as the detector. On a single-CPU host the
+            // two just timeslice, and the channel hops are pure
+            // overhead — take the serial loop instead. Results are
+            // identical either way; only scheduling differs.
+            if std::thread::available_parallelism().map_or(1, |n| n.get()) > 1 {
+                run_pipelined(&mut session, reader)?;
+            } else {
+                run_serial(&mut session, &mut reader)?;
+            }
+        }
+    }
+    Ok(session.finish())
+}
+
+/// Decode-then-detect on the calling thread, recycling one slab.
+fn run_serial<R: Read>(
+    session: &mut ReplaySession,
+    reader: &mut SlabReader<R>,
+) -> Result<(), TraceError> {
+    let mut slab = EventSlab::new();
+    while reader.read_slab(&mut slab)? {
+        session.exec_slab(&slab)?;
+    }
+    Ok(())
+}
+
+/// The threaded decode→detect loop behind [`IngestEngine::Pipelined`].
+///
+/// Kept separate from the engine dispatch (and called directly by the
+/// tests) so the channel protocol stays covered even on hosts where
+/// [`ingest_reader`] would fall back to the serial loop.
+fn run_pipelined<R: Read + Send>(
+    session: &mut ReplaySession,
+    mut reader: SlabReader<R>,
+) -> Result<(), TraceError> {
+    std::thread::scope(|scope| -> Result<(), TraceError> {
+        // Full slabs flow decoder→detector; drained slabs flow
+        // back for refill. Capacity matches the slab count so
+        // neither send ever blocks longer than the other side's
+        // current batch.
+        let (full_tx, full_rx) =
+            mpsc::sync_channel::<Result<EventSlab, TraceError>>(PIPELINE_SLABS);
+        let (free_tx, free_rx) = mpsc::sync_channel::<EventSlab>(PIPELINE_SLABS);
+        for _ in 0..PIPELINE_SLABS {
+            free_tx
+                .send(EventSlab::new())
+                .expect("channel has capacity");
+        }
+        scope.spawn(move || {
+            // Decoder: exits when the stream ends (dropping
+            // full_tx signals EOF), on the first error, or when
+            // the detector side hangs up after its own error.
+            while let Ok(mut slab) = free_rx.recv() {
+                match reader.read_slab(&mut slab) {
+                    Ok(true) => {
+                        if full_tx.send(Ok(slab)).is_err() {
+                            return;
+                        }
+                    }
+                    Ok(false) => return,
+                    Err(e) => {
+                        let _ = full_tx.send(Err(e));
+                        return;
+                    }
+                }
+            }
+        });
+        for message in full_rx {
+            let slab = message?;
+            session.exec_slab(&slab)?;
+            // The decoder may already have exited cleanly.
+            let _ = free_tx.send(slab);
+        }
+        Ok(())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mode::{AnalysisMode, SimConfig};
+    use ddrace_program::{ProgramBuilder, ThreadId};
+    use ddrace_trace::{
+        encode_trace_with, exec_trace, FormatVersion, TraceMeta, TraceRecord, TraceWriter,
+    };
+
+    fn meta() -> TraceMeta {
+        TraceMeta {
+            source: "test".into(),
+            label: "ingest".into(),
+            seed: 1,
+            fingerprint: 1,
+        }
+    }
+
+    /// Records from a real run: racy enough to exercise the detector
+    /// and demand controller, with HITM samples interleaved.
+    fn recorded_records() -> Vec<TraceRecord> {
+        let mut b = ProgramBuilder::new();
+        let shared = b.alloc_shared(8).base();
+        let priv0 = b.alloc_private(ThreadId::MAIN, 4096);
+        let t1 = b.add_thread();
+        let priv1 = b.alloc_private(t1, 4096);
+        let mut main = b.on(ThreadId::MAIN).fork(t1);
+        for i in 0..100 {
+            main = main.write(priv0.index(i * 8));
+        }
+        for _ in 0..30 {
+            main = main.write(shared).read(shared);
+        }
+        let _ = main.join(t1);
+        let mut w = b.on(t1);
+        for i in 0..100 {
+            w = w.write(priv1.index(i * 8));
+        }
+        for _ in 0..30 {
+            w = w.write(shared).read(shared);
+        }
+        let _ = w;
+        let sim = Simulation::new(SimConfig::new(2, AnalysisMode::demand_hitm()));
+        let (_, records) = sim.run_recorded(b.build()).unwrap();
+        assert!(!records.is_empty());
+        records
+    }
+
+    fn sim() -> Simulation {
+        Simulation::new(SimConfig::new(2, AnalysisMode::demand_hitm()))
+    }
+
+    /// Like [`ingest_reader`], but `Pipelined` always takes the
+    /// threaded loop, so the channel protocol is exercised even on a
+    /// single-CPU test host where the public entry point would fall
+    /// back to the serial loop.
+    fn ingest_with(
+        sim: &Simulation,
+        bytes: &[u8],
+        engine: IngestEngine,
+    ) -> Result<RunResult, TraceError> {
+        let mut reader = SlabReader::new(bytes).unwrap();
+        let mut session = ReplaySession::new(sim);
+        match engine {
+            IngestEngine::Serial => run_serial(&mut session, &mut reader)?,
+            IngestEngine::Pipelined => run_pipelined(&mut session, reader)?,
+        }
+        Ok(session.finish())
+    }
+
+    #[test]
+    fn serial_and_pipelined_match_run_trace_across_versions() {
+        let records = recorded_records();
+        let sim = sim();
+        let baseline = sim.run_trace(&exec_trace(&records));
+        assert!(baseline.races.distinct >= 1, "fixture must be racy");
+        for version in [FormatVersion::V1, FormatVersion::V2] {
+            let bytes = encode_trace_with(&meta(), &records, version);
+            for engine in [IngestEngine::Serial, IngestEngine::Pipelined] {
+                let result = ingest_with(&sim, &bytes, engine).unwrap();
+                assert_eq!(
+                    result,
+                    baseline,
+                    "{version:?}/{} differs from run_trace",
+                    engine.label()
+                );
+                // The public entry point (which may pick either loop
+                // for Pipelined depending on host parallelism) must
+                // agree too.
+                let reader = SlabReader::new(&bytes[..]).unwrap();
+                assert_eq!(ingest_reader(&sim, reader, engine).unwrap(), baseline);
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_crosses_many_blocks() {
+        // Tiny block target: the pipeline's slab recycling actually
+        // cycles, rather than one block covering the whole trace.
+        let records = recorded_records();
+        let mut writer = TraceWriter::new(Vec::new(), &meta())
+            .unwrap()
+            .block_target(64);
+        for r in &records {
+            writer.write(r).unwrap();
+        }
+        let bytes = writer.finish().unwrap();
+        let sim = sim();
+        let baseline = sim.run_trace(&exec_trace(&records));
+        let result = ingest_with(&sim, &bytes, IngestEngine::Pipelined).unwrap();
+        assert_eq!(result, baseline);
+    }
+
+    #[test]
+    fn duplicate_finish_is_rejected_with_stream_index() {
+        use ddrace_program::TraceEvent;
+        let mut records = recorded_records();
+        // Re-finish a thread that already finished; note its index.
+        let dup = records
+            .iter()
+            .find_map(|r| match r {
+                TraceRecord::Exec(TraceEvent::ThreadFinished { tid }) => Some(*tid),
+                _ => None,
+            })
+            .expect("fixture finishes threads");
+        records.push(TraceRecord::Exec(TraceEvent::ThreadFinished { tid: dup }));
+        let expected_index = records.len() as u64 - 1;
+        let bytes = encode_trace_with(&meta(), &records, FormatVersion::V2);
+        for engine in [IngestEngine::Serial, IngestEngine::Pipelined] {
+            let err = ingest_with(&sim(), &bytes, engine).unwrap_err();
+            assert_eq!(
+                err.kind,
+                TraceErrorKind::DuplicateThreadFinished { tid: dup.0 }
+            );
+            assert_eq!(err.offset, expected_index, "{}", engine.label());
+        }
+    }
+
+    #[test]
+    fn decode_errors_propagate_through_the_pipeline() {
+        let records = recorded_records();
+        let mut bytes = encode_trace_with(&meta(), &records, FormatVersion::V2);
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01; // corrupt the final block's payload
+        for engine in [IngestEngine::Serial, IngestEngine::Pipelined] {
+            let err = ingest_with(&sim(), &bytes, engine).unwrap_err();
+            assert_eq!(
+                err.kind,
+                TraceErrorKind::BadBlock("checksum mismatch"),
+                "{}",
+                engine.label()
+            );
+        }
+    }
+
+    #[test]
+    fn engine_labels_roundtrip() {
+        for engine in [IngestEngine::Serial, IngestEngine::Pipelined] {
+            assert_eq!(IngestEngine::from_label(engine.label()), Some(engine));
+        }
+        assert_eq!(IngestEngine::from_label("warp"), None);
+        assert_eq!(IngestEngine::default(), IngestEngine::Pipelined);
+    }
+}

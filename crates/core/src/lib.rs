@@ -48,6 +48,7 @@
 
 mod controller;
 mod cost;
+mod ingest;
 mod mode;
 mod result;
 mod sim;
@@ -55,6 +56,7 @@ mod timeline;
 
 pub use controller::{AnalysisState, ControllerStats, DemandController};
 pub use cost::CostModel;
+pub use ingest::{ingest_path, ingest_reader, IngestEngine, ReplaySession};
 pub use mode::{AnalysisMode, ControllerConfig, DetectorKind, EnableScope, SimConfig};
 pub use result::{geomean, RaceSummary, RunResult};
 pub use sim::{run_program, Simulation};

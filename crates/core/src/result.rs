@@ -22,7 +22,7 @@ pub struct RaceSummary {
 }
 
 /// Everything measured in one run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunResult {
     /// The mode label ("native", "continuous", "demand-hitm", ...).
     pub mode: String,

@@ -159,7 +159,7 @@ pub fn run_program(
     Simulation::new(SimConfig::new(cores, mode)).run(program)
 }
 
-struct SimState {
+pub(crate) struct SimState {
     cores: usize,
     cost: CostModel,
     tool_attached: bool,
@@ -185,7 +185,7 @@ struct SimState {
 }
 
 impl SimState {
-    fn new(config: &SimConfig) -> Self {
+    pub(crate) fn new(config: &SimConfig) -> Self {
         let detector: Option<Box<dyn RaceDetector>> = if config.mode.tool_attached() {
             Some(match config.detector_kind {
                 DetectorKind::FastTrack => Box::new(FastTrack::new(config.detector)),
@@ -235,7 +235,11 @@ impl SimState {
     }
 
     fn core_of(&self, tid: ThreadId) -> CoreId {
-        CoreId((tid.index() % self.cores) as u32)
+        // Replay-hot: skip the hardware divide when thread ids fit the
+        // core count (the common case), since `t % n == t` for `t < n`.
+        let t = tid.index();
+        let core = if t < self.cores { t } else { t % self.cores };
+        CoreId(core as u32)
     }
 
     fn controller_index(&self, core: CoreId) -> usize {
@@ -380,6 +384,43 @@ impl SimState {
         self.charge(core, cycles, analysis_on);
     }
 
+    /// Replays a run of consecutive `Op::Compute` records for one
+    /// thread in a single pass — the batched form of the
+    /// [`Op::Compute`] arm of [`SimState::handle_op`], with identical
+    /// arithmetic: each record's cycles are translated individually
+    /// (integer rounding per op, not per batch) and the per-op charges
+    /// are summed, which is associative over `u64`. Compute ops touch
+    /// no memory and raise no signal, so analysis state cannot change
+    /// mid-run and is sampled once.
+    pub(crate) fn on_compute_run(&mut self, tid: ThreadId, cycles: &[u64]) {
+        if self.recorder.is_some() {
+            // Recording replays must capture one record per event;
+            // take the unbatched path.
+            for &c in cycles {
+                self.on_event(Event::Op {
+                    tid,
+                    op: Op::Compute { cycles: c as u32 },
+                });
+            }
+            return;
+        }
+        let core = self.core_of(tid);
+        let analysis_on = self.analysis_on(core);
+        let mut charged = 0u64;
+        let mut declared = 0u64;
+        for &c in cycles {
+            let c = c as u32;
+            declared += u64::from(c);
+            charged += if self.tool_attached {
+                u64::from(self.cost.translated(c))
+            } else {
+                u64::from(c)
+            };
+        }
+        self.ops.record_compute_run(cycles.len() as u64, declared);
+        self.charge(core, charged, analysis_on);
+    }
+
     fn handle_op(&mut self, tid: ThreadId, op: Op) {
         self.ops.record(&op);
         match op {
@@ -454,7 +495,7 @@ impl SimState {
         }
     }
 
-    fn into_result(self, schedule: ddrace_program::RunStats, mode: &str) -> RunResult {
+    pub(crate) fn into_result(self, schedule: ddrace_program::RunStats, mode: &str) -> RunResult {
         self.emit_telemetry();
         // Scheduler counters are deterministic too; emitted here because
         // the run stats only arrive when the schedule completes.

@@ -2,7 +2,7 @@
 //! a declarative set of jobs built from sweep axes.
 
 use crate::variant::JobVariant;
-use ddrace_core::{AnalysisMode, DetectorKind, RunResult, SimConfig, Simulation};
+use ddrace_core::{AnalysisMode, DetectorKind, IngestEngine, RunResult, SimConfig, Simulation};
 use ddrace_pmu::IndicatorMode;
 use ddrace_program::{PickStrategy, SchedulerConfig};
 use ddrace_workloads::{IterProfile, Scale, Structure, Suite, WorkloadSpec};
@@ -93,6 +93,12 @@ pub struct Job {
     /// of generating and scheduling `workload` (which then only lends
     /// its name to labels).
     pub trace: Option<TraceSource>,
+    /// How trace-corpus jobs schedule decode vs. detection. Like
+    /// `pick_strategy`, not part of the job fingerprint: both engines
+    /// produce identical results (pinned by the ingest-equivalence
+    /// suite), so it cannot affect the outcome — it only trades wall
+    /// clock.
+    pub ingest_engine: IngestEngine,
     /// Wall-clock budget; `None` means unlimited.
     pub timeout: Option<Duration>,
 }
@@ -162,14 +168,15 @@ impl Job {
         if let Some(source) = &self.trace {
             let _span = ddrace_telemetry::span("job.ingest");
             ddrace_telemetry::counter("ingest.traces", 1);
-            let (_, records) = ddrace_trace::read_trace_file(&source.path)
-                .map_err(|e| format!("{}: {e}", source.path.display()))?;
-            // Reject inconsistent streams (e.g. a duplicate thread
-            // finish) before replaying them into the detector.
-            ddrace_trace::validate_exec(&records)
-                .map_err(|e| format!("{}: {e}", source.path.display()))?;
-            let trace = ddrace_trace::exec_trace(&records);
-            return Ok(Simulation::new(self.sim_config()).run_trace(&trace));
+            // Streamed slab-at-a-time replay: the record stream is never
+            // materialised, and content validation (duplicate thread
+            // finishes) happens inline before events reach the detector.
+            return ddrace_core::ingest_path(
+                &Simulation::new(self.sim_config()),
+                &source.path,
+                self.ingest_engine,
+            )
+            .map_err(|e| format!("{}: {e}", source.path.display()));
         }
         let program = {
             let _span = ddrace_telemetry::span("job.generate");
@@ -238,6 +245,7 @@ impl Campaign {
             quantum: 32,
             detector_kind: DetectorKind::default(),
             pick_strategy: PickStrategy::default(),
+            ingest_engine: IngestEngine::default(),
             timeout: None,
         }
     }
@@ -266,6 +274,7 @@ pub struct CampaignBuilder {
     quantum: u32,
     detector_kind: DetectorKind,
     pick_strategy: PickStrategy,
+    ingest_engine: IngestEngine,
     timeout: Option<Duration>,
 }
 
@@ -337,6 +346,13 @@ impl CampaignBuilder {
         self
     }
 
+    /// Sets the ingest engine trace-corpus jobs replay through (default
+    /// [`IngestEngine::Pipelined`]); generated-workload jobs ignore it.
+    pub fn ingest_engine(mut self, engine: IngestEngine) -> Self {
+        self.ingest_engine = engine;
+        self
+    }
+
     /// Sets a per-job wall-clock timeout.
     pub fn timeout(mut self, timeout: Duration) -> Self {
         self.timeout = Some(timeout);
@@ -382,6 +398,7 @@ impl CampaignBuilder {
                             variant: variant.clone(),
                             pick_strategy: self.pick_strategy,
                             trace: trace.clone(),
+                            ingest_engine: self.ingest_engine,
                             timeout: self.timeout,
                         });
                     }

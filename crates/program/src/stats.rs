@@ -69,6 +69,15 @@ impl OpCounts {
         }
     }
 
+    /// Records a batch of `count` compute operations declaring
+    /// `total_cycles` between them — identical to calling
+    /// [`OpCounts::record`] once per op, for consumers that replay
+    /// compute runs in bulk.
+    pub fn record_compute_run(&mut self, count: u64, total_cycles: u64) {
+        self.computes += count;
+        self.compute_cycles += total_cycles;
+    }
+
     /// Total data memory accesses (reads + writes + atomics).
     pub fn memory_accesses(&self) -> u64 {
         self.reads + self.writes + self.atomics

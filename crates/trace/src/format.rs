@@ -7,11 +7,56 @@ use std::fmt;
 /// File magic: identifies a `.ddt` trace regardless of version.
 pub const MAGIC: [u8; 8] = *b"DDTRACE\0";
 
-/// The format version this build writes and reads.
+/// The newest format version this build writes and reads.
 ///
-/// Bumped on any change to the header layout or event tag set; readers
-/// refuse other versions (see [`TraceErrorKind::UnsupportedVersion`]).
-pub const FORMAT_VERSION: u32 = 1;
+/// Bumped on any change to the header layout, event tag set, or stream
+/// framing; readers refuse versions outside
+/// [`MIN_FORMAT_VERSION`]`..=`[`FORMAT_VERSION`] (see
+/// [`TraceErrorKind::UnsupportedVersion`]).
+pub const FORMAT_VERSION: u32 = 2;
+
+/// The oldest format version this build still reads.
+///
+/// Version 1 (flat record stream) stays fully readable; version 2 adds
+/// length-prefixed, checksummed event blocks after the same header.
+pub const MIN_FORMAT_VERSION: u32 = 1;
+
+/// A concrete `.ddt` format version a writer can target.
+///
+/// Readers sniff the version from the fixed-width header field; writers
+/// pick one explicitly ([`TraceWriter::with_version`]) or default to the
+/// newest ([`FormatVersion::V2`]).
+///
+/// [`TraceWriter::with_version`]: crate::TraceWriter::with_version
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FormatVersion {
+    /// Version 1: header followed by a flat tagged record stream to EOF.
+    V1,
+    /// Version 2: header followed by length-prefixed event blocks, each
+    /// framed as varint event count + varint byte length + 8-byte
+    /// little-endian FNV-1a checksum + payload.
+    #[default]
+    V2,
+}
+
+impl FormatVersion {
+    /// The on-disk version number.
+    pub fn number(self) -> u32 {
+        match self {
+            FormatVersion::V1 => 1,
+            FormatVersion::V2 => 2,
+        }
+    }
+
+    /// Maps an on-disk version number back to the enum, when supported.
+    pub fn from_number(n: u32) -> Option<FormatVersion> {
+        match n {
+            1 => Some(FormatVersion::V1),
+            2 => Some(FormatVersion::V2),
+            _ => None,
+        }
+    }
+}
 
 /// Fingerprinted trace identity, stored in the header.
 ///
@@ -60,11 +105,17 @@ pub enum TraceErrorKind {
     Io(String),
     /// The file does not start with [`MAGIC`].
     BadMagic,
-    /// The file's format version is not [`FORMAT_VERSION`].
+    /// The file's format version is outside
+    /// [`MIN_FORMAT_VERSION`]`..=`[`FORMAT_VERSION`].
     UnsupportedVersion {
         /// Version number the file declares.
         found: u32,
     },
+    /// A version-2 event block failed its frame invariants: the payload
+    /// checksum did not match, or the decoded event count disagreed with
+    /// the frame's declared count. The offset is the start of the
+    /// offending block's frame.
+    BadBlock(&'static str),
     /// Input ended in the middle of a header field or record.
     Truncated,
     /// A varint was overlong or overflowed 64 bits.
@@ -109,7 +160,12 @@ impl fmt::Display for TraceError {
             }
             TraceErrorKind::UnsupportedVersion { found } => write!(
                 f,
-                "unsupported trace format version {found} (this build reads version {FORMAT_VERSION})"
+                "unsupported trace format version: found v{found}, supports v{MIN_FORMAT_VERSION}\u{2013}v{FORMAT_VERSION}"
+            ),
+            TraceErrorKind::BadBlock(what) => write!(
+                f,
+                "bad event block ({what}) at byte offset {}",
+                self.offset
             ),
             TraceErrorKind::Truncated => {
                 write!(f, "truncated trace: input ends at byte offset {}", self.offset)

@@ -19,33 +19,49 @@
 //! version  4 bytes   u32 little-endian (always fixed-width so future
 //!                    readers can name the version they found)
 //! header   varints   seed, fingerprint, source string, label string,
-//!                    reserved-pair count (0 in version 1)
-//! events   tagged    one tag byte + varint fields per record, until EOF
+//!                    reserved-pair count (0 so far)
+//! events   version 1: one tag byte + varint fields per record, to EOF
+//!          version 2: length-prefixed blocks, each framed as
+//!                     varint event count + varint payload length +
+//!                     8-byte LE FNV-1a payload checksum + payload
+//!                     (the same tagged records, concatenated), to EOF
 //! ```
 //!
-//! All integers outside the version field are LEB128 varints
-//! ([`varint`]); strings are varint-length-prefixed UTF-8. Truncated or
-//! corrupt input surfaces as a [`TraceError`] carrying the byte offset
-//! where decoding failed — never a panic.
+//! All integers outside the version field and block checksums are
+//! LEB128 varints ([`varint`]); strings are varint-length-prefixed
+//! UTF-8. Truncated or corrupt input surfaces as a [`TraceError`]
+//! carrying the byte offset where decoding failed — never a panic; in a
+//! version-2 file checksum and count mismatches are reported at the
+//! offending block's frame.
 //!
 //! ## Versioning policy
 //!
-//! [`FORMAT_VERSION`] bumps on any change to the header layout or the
-//! event tag set. Readers reject other versions with
-//! [`TraceErrorKind::UnsupportedVersion`]; there is no in-place
-//! migration, old traces are re-recorded.
+//! [`FORMAT_VERSION`] bumps on any change to the header layout, the
+//! event tag set, or the stream framing. Readers accept the full range
+//! [`MIN_FORMAT_VERSION`]`..=`[`FORMAT_VERSION`] and reject anything
+//! outside it with [`TraceErrorKind::UnsupportedVersion`]; there is no
+//! in-place migration, old traces stay readable or are re-recorded.
+//! Writers default to the newest version; [`TraceWriter::with_version`]
+//! targets an older one for byte-compatible output.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod format;
 mod reader;
+mod slab;
 pub mod varint;
 mod writer;
 
 pub use format::{
-    exec_trace, fingerprint64, validate_exec, TraceError, TraceErrorKind, TraceMeta, TraceRecord,
-    FORMAT_VERSION, MAGIC,
+    exec_trace, fingerprint64, validate_exec, FormatVersion, TraceError, TraceErrorKind, TraceMeta,
+    TraceRecord, FORMAT_VERSION, MAGIC, MIN_FORMAT_VERSION,
 };
-pub use reader::{decode_trace, read_meta, read_trace_file, TraceReader};
-pub use writer::{encode_trace, write_trace_file, TraceWriter};
+pub use reader::{
+    decode_trace, open_trace_file, read_meta, read_trace_file, SlabReader, TraceReader,
+};
+pub use slab::{decode_block_into, EventSlab, SlabRecord};
+pub use writer::{
+    encode_records, encode_trace, encode_trace_with, write_trace_file, write_trace_file_with,
+    TraceWriter, BLOCK_TARGET_BYTES,
+};

@@ -1,39 +1,38 @@
-//! Decoding: streaming [`TraceReader`] plus whole-buffer/file helpers.
+//! Decoding: streaming [`TraceReader`] and [`SlabReader`] plus
+//! whole-buffer/file helpers.
 
 use crate::format::{
-    tag, TraceError, TraceErrorKind, TraceMeta, TraceRecord, FORMAT_VERSION, MAGIC,
+    fingerprint64, tag, FormatVersion, TraceError, TraceErrorKind, TraceMeta, TraceRecord,
+    FORMAT_VERSION, MAGIC, MIN_FORMAT_VERSION,
 };
+use crate::slab::{decode_block_into, EventSlab};
 use crate::varint;
 use ddrace_program::{Addr, BarrierId, LockId, Op, SemId, ThreadId, TraceEvent};
 use std::io::Read;
 use std::path::Path;
 
-/// Streaming `.ddt` decoder over any [`Read`] source.
-///
-/// Construction parses and validates the header; the reader then
-/// iterates records one at a time without materialising the stream,
-/// so corpora larger than memory ingest fine. Every failure carries
-/// the byte offset where decoding stopped (see [`TraceError`]).
-///
-/// Reads are byte-at-a-time against the source — hand it a
-/// `BufReader` (or a slice) rather than a bare `File`.
-pub struct TraceReader<R: Read> {
+/// How many version-1 records a [`SlabReader`] batches per slab. One
+/// version-2 block holds roughly this many records at default block
+/// size, so both versions hand the detector similar batch grain.
+const V1_SLAB_RECORDS: usize = 8 * 1024;
+
+/// Payload bytes read per chunk while filling a block buffer, so a
+/// corrupt frame declaring a huge length hits `Truncated` at the real
+/// EOF instead of pre-allocating the lie.
+const PAYLOAD_CHUNK: usize = 64 * 1024;
+
+/// The shared decode state under both readers: the byte source, the
+/// running offset, and the parsed header.
+struct Decoder<R: Read> {
     input: R,
     offset: u64,
     meta: TraceMeta,
-    done: bool,
+    version: FormatVersion,
 }
 
-impl<R: Read> TraceReader<R> {
-    /// Parses the header from `input` and returns the reader.
-    ///
-    /// # Errors
-    ///
-    /// [`TraceErrorKind::BadMagic`] / [`TraceErrorKind::UnsupportedVersion`]
-    /// for foreign or future files; [`TraceErrorKind::Truncated`] and
-    /// friends for corrupt headers.
-    pub fn new(input: R) -> Result<TraceReader<R>, TraceError> {
-        let mut reader = TraceReader {
+impl<R: Read> Decoder<R> {
+    fn new(input: R) -> Result<Decoder<R>, TraceError> {
+        let mut d = Decoder {
             input,
             offset: 0,
             meta: TraceMeta {
@@ -42,20 +41,10 @@ impl<R: Read> TraceReader<R> {
                 seed: 0,
                 fingerprint: 0,
             },
-            done: false,
+            version: FormatVersion::V1,
         };
-        reader.read_header()?;
-        Ok(reader)
-    }
-
-    /// The identity header this trace was recorded with.
-    pub fn meta(&self) -> &TraceMeta {
-        &self.meta
-    }
-
-    /// Bytes consumed so far (header included).
-    pub fn offset(&self) -> u64 {
-        self.offset
+        d.read_header()?;
+        Ok(d)
     }
 
     fn read_header(&mut self) -> Result<(), TraceError> {
@@ -67,17 +56,15 @@ impl<R: Read> TraceReader<R> {
         let mut version = [0u8; 4];
         self.read_exact(&mut version)?;
         let version = u32::from_le_bytes(version);
-        if version != FORMAT_VERSION {
-            return Err(TraceError::new(
-                8,
-                TraceErrorKind::UnsupportedVersion { found: version },
-            ));
-        }
+        self.version = FormatVersion::from_number(version).ok_or_else(|| {
+            debug_assert!(!(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version));
+            TraceError::new(8, TraceErrorKind::UnsupportedVersion { found: version })
+        })?;
         self.meta.seed = self.read_varint()?;
         self.meta.fingerprint = self.read_varint()?;
         self.meta.source = self.read_string()?;
         self.meta.label = self.read_string()?;
-        // Reserved key/value pairs: ignored by version-1 readers so a
+        // Reserved key/value pairs: ignored by current readers so a
         // same-version writer may annotate without breaking anyone.
         let reserved = self.read_varint()?;
         for _ in 0..reserved {
@@ -87,9 +74,28 @@ impl<R: Read> TraceReader<R> {
         Ok(())
     }
 
+    /// Fills `buf` with bulk reads (never consuming past its length).
+    /// EOF mid-fill is [`TraceErrorKind::Truncated`] at the offset where
+    /// the bytes ran out, exactly as byte-at-a-time reads would report.
     fn read_exact(&mut self, buf: &mut [u8]) -> Result<(), TraceError> {
-        for slot in buf.iter_mut() {
-            *slot = self.need_byte()?;
+        let mut filled = 0;
+        while filled < buf.len() {
+            match self.input.read(&mut buf[filled..]) {
+                Ok(0) => {
+                    return Err(TraceError::new(self.offset, TraceErrorKind::Truncated));
+                }
+                Ok(n) => {
+                    filled += n;
+                    self.offset += n as u64;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    return Err(TraceError::new(
+                        self.offset,
+                        TraceErrorKind::Io(e.to_string()),
+                    ))
+                }
+            }
         }
         Ok(())
     }
@@ -122,9 +128,19 @@ impl<R: Read> TraceReader<R> {
     }
 
     fn read_varint(&mut self) -> Result<u64, TraceError> {
-        let start = self.offset;
+        let first = self.need_byte()?;
+        self.read_varint_cont(first)
+    }
+
+    /// The rest of a varint whose first byte is already consumed.
+    fn read_varint_cont(&mut self, first: u8) -> Result<u64, TraceError> {
+        let start = self.offset - 1;
         let mut buf = [0u8; varint::MAX_LEN];
-        for i in 0..varint::MAX_LEN {
+        buf[0] = first;
+        if first & 0x80 == 0 {
+            return Ok(u64::from(first));
+        }
+        for i in 1..varint::MAX_LEN {
             buf[i] = self.need_byte()?;
             if buf[i] & 0x80 == 0 {
                 return varint::decode(&buf[..=i])
@@ -151,6 +167,7 @@ impl<R: Read> TraceReader<R> {
         String::from_utf8(bytes).map_err(|_| TraceError::new(start, TraceErrorKind::BadString))
     }
 
+    /// One version-1 record, or `None` at a clean end of stream.
     fn read_record(&mut self) -> Result<Option<TraceRecord>, TraceError> {
         let Some(tag_byte) = self.next_byte()? else {
             return Ok(None); // clean end of stream
@@ -231,6 +248,146 @@ impl<R: Read> TraceReader<R> {
         };
         Ok(Some(record))
     }
+
+    /// Reads and verifies one version-2 block frame into `payload`,
+    /// returning the frame's declared event count and the payload's file
+    /// offset, or `None` at a clean EOF (which is only clean exactly at
+    /// a frame boundary).
+    fn read_block(&mut self, payload: &mut Vec<u8>) -> Result<Option<(u64, u64)>, TraceError> {
+        let frame_start = self.offset;
+        let Some(first) = self.next_byte()? else {
+            return Ok(None); // clean end of stream
+        };
+        let count = self.read_varint_cont(first)?;
+        let len_field = self.offset;
+        let len = self.read_varint()?;
+        let len = usize::try_from(len)
+            .map_err(|_| TraceError::new(len_field, TraceErrorKind::FieldRange("block length")))?;
+        let mut checksum = [0u8; 8];
+        self.read_exact(&mut checksum)?;
+        let checksum = u64::from_le_bytes(checksum);
+        let payload_base = self.offset;
+        payload.clear();
+        // Chunked fill: a frame lying about its length runs into EOF (a
+        // positioned Truncated) instead of a giant up-front allocation.
+        while payload.len() < len {
+            let chunk = (len - payload.len()).min(PAYLOAD_CHUNK);
+            let start = payload.len();
+            payload.resize(start + chunk, 0);
+            self.read_exact(&mut payload[start..])?;
+        }
+        if fingerprint64(payload) != checksum {
+            return Err(TraceError::new(
+                frame_start,
+                TraceErrorKind::BadBlock("checksum mismatch"),
+            ));
+        }
+        Ok(Some((count, payload_base)))
+    }
+}
+
+/// Decodes one already-verified block into `slab`, enforcing the
+/// frame's declared event count.
+fn decode_block(
+    slab: &mut EventSlab,
+    payload: &[u8],
+    count: u64,
+    payload_base: u64,
+) -> Result<(), TraceError> {
+    let before = slab.len() as u64;
+    decode_block_into(payload, payload_base, slab)?;
+    if slab.len() as u64 - before != count {
+        return Err(TraceError::new(
+            frame_start_of(payload_base, count, payload.len()),
+            TraceErrorKind::BadBlock("event count mismatch"),
+        ));
+    }
+    Ok(())
+}
+
+/// The file offset of a block's frame, recovered from its payload
+/// offset and the frame fields (count varint + length varint + 8-byte
+/// checksum precede the payload).
+fn frame_start_of(payload_base: u64, count: u64, payload_len: usize) -> u64 {
+    payload_base
+        - 8
+        - varint::encoded_len(payload_len as u64) as u64
+        - varint::encoded_len(count) as u64
+}
+
+/// Streaming `.ddt` decoder over any [`Read`] source.
+///
+/// Construction parses and validates the header; the reader then
+/// iterates records one at a time without materialising the stream,
+/// so corpora larger than memory ingest fine. Both format versions
+/// decode behind the same iterator: version 1 straight off the byte
+/// stream, version 2 block by block through an internal slab. Every
+/// failure carries the byte offset where decoding stopped (see
+/// [`TraceError`]).
+///
+/// Version-1 reads are byte-at-a-time against the source — hand it a
+/// `BufReader` (or a slice) rather than a bare `File`.
+pub struct TraceReader<R: Read> {
+    decoder: Decoder<R>,
+    /// Version 2 only: the current block's records and read cursor.
+    slab: EventSlab,
+    cursor: usize,
+    payload: Vec<u8>,
+    done: bool,
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Parses the header from `input` and returns the reader.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceErrorKind::BadMagic`] / [`TraceErrorKind::UnsupportedVersion`]
+    /// for foreign or future files; [`TraceErrorKind::Truncated`] and
+    /// friends for corrupt headers.
+    pub fn new(input: R) -> Result<TraceReader<R>, TraceError> {
+        Ok(TraceReader {
+            decoder: Decoder::new(input)?,
+            slab: EventSlab::new(),
+            cursor: 0,
+            payload: Vec::new(),
+            done: false,
+        })
+    }
+
+    /// The identity header this trace was recorded with.
+    pub fn meta(&self) -> &TraceMeta {
+        &self.decoder.meta
+    }
+
+    /// The format version the file declares.
+    pub fn version(&self) -> FormatVersion {
+        self.decoder.version
+    }
+
+    /// Bytes consumed so far (header included).
+    pub fn offset(&self) -> u64 {
+        self.decoder.offset
+    }
+
+    fn next_record(&mut self) -> Result<Option<TraceRecord>, TraceError> {
+        match self.decoder.version {
+            FormatVersion::V1 => self.decoder.read_record(),
+            FormatVersion::V2 => {
+                while self.cursor >= self.slab.len() {
+                    let Some((count, payload_base)) = self.decoder.read_block(&mut self.payload)?
+                    else {
+                        return Ok(None);
+                    };
+                    self.slab.clear();
+                    self.cursor = 0;
+                    decode_block(&mut self.slab, &self.payload, count, payload_base)?;
+                }
+                let record = self.slab.record(self.cursor);
+                self.cursor += 1;
+                Ok(Some(record))
+            }
+        }
+    }
 }
 
 impl<R: Read> Iterator for TraceReader<R> {
@@ -240,7 +397,7 @@ impl<R: Read> Iterator for TraceReader<R> {
         if self.done {
             return None;
         }
-        match self.read_record() {
+        match self.next_record() {
             Ok(Some(record)) => Some(Ok(record)),
             Ok(None) => {
                 self.done = true;
@@ -249,6 +406,87 @@ impl<R: Read> Iterator for TraceReader<R> {
             Err(e) => {
                 self.done = true;
                 Some(Err(e))
+            }
+        }
+    }
+}
+
+/// Streaming slab-granularity `.ddt` decoder: the ingest hot path.
+///
+/// Instead of yielding one enum value per record, [`SlabReader::read_slab`]
+/// refills a caller-owned [`EventSlab`] with the next batch — one whole
+/// block for version-2 files, up to a fixed record budget for version-1
+/// files — recycling the slab's allocations across calls. The caller
+/// drains the slab (borrowed events, no materialisation) and hands it
+/// back for the next refill, which is what lets a decoder thread and a
+/// detector thread double-buffer.
+pub struct SlabReader<R: Read> {
+    decoder: Decoder<R>,
+    payload: Vec<u8>,
+    done: bool,
+}
+
+impl<R: Read> SlabReader<R> {
+    /// Parses the header from `input` and returns the reader.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TraceReader::new`].
+    pub fn new(input: R) -> Result<SlabReader<R>, TraceError> {
+        Ok(SlabReader {
+            decoder: Decoder::new(input)?,
+            payload: Vec::new(),
+            done: false,
+        })
+    }
+
+    /// The identity header this trace was recorded with.
+    pub fn meta(&self) -> &TraceMeta {
+        &self.decoder.meta
+    }
+
+    /// The format version the file declares.
+    pub fn version(&self) -> FormatVersion {
+        self.decoder.version
+    }
+
+    /// Clears `slab` and refills it with the next batch of records.
+    /// Returns `false` (slab left empty) at a clean end of stream.
+    ///
+    /// # Errors
+    ///
+    /// Any positioned [`TraceError`]; after an error the reader is done.
+    pub fn read_slab(&mut self, slab: &mut EventSlab) -> Result<bool, TraceError> {
+        slab.clear();
+        if self.done {
+            return Ok(false);
+        }
+        let result = self.fill_slab(slab);
+        match &result {
+            Ok(true) => {}
+            Ok(false) | Err(_) => self.done = true,
+        }
+        result
+    }
+
+    fn fill_slab(&mut self, slab: &mut EventSlab) -> Result<bool, TraceError> {
+        match self.decoder.version {
+            FormatVersion::V1 => {
+                while slab.len() < V1_SLAB_RECORDS {
+                    match self.decoder.read_record()? {
+                        Some(record) => slab.push_record(&record),
+                        None => break,
+                    }
+                }
+                Ok(!slab.is_empty())
+            }
+            FormatVersion::V2 => {
+                let Some((count, payload_base)) = self.decoder.read_block(&mut self.payload)?
+                else {
+                    return Ok(false);
+                };
+                decode_block(slab, &self.payload, count, payload_base)?;
+                Ok(true)
             }
         }
     }
@@ -282,17 +520,31 @@ pub fn read_trace_file(
     Ok((meta, records))
 }
 
+/// Opens a trace file at slab granularity for streaming ingest.
+///
+/// # Errors
+///
+/// Same as [`read_trace_file`], for the header portion.
+pub fn open_trace_file(
+    path: impl AsRef<Path>,
+) -> Result<SlabReader<std::io::BufReader<std::fs::File>>, TraceError> {
+    let file = open(path.as_ref())?;
+    SlabReader::new(std::io::BufReader::new(file))
+}
+
 /// Reads only the header of a trace file — what ingest needs to build
 /// job fingerprints for a corpus without touching the event streams.
+///
+/// The file is read unbuffered, byte by byte, so exactly the header
+/// bytes are consumed — a corpus-wide metadata sweep never pulls event
+/// blocks through the page cache.
 ///
 /// # Errors
 ///
 /// Same as [`read_trace_file`], for the header portion.
 pub fn read_meta(path: impl AsRef<Path>) -> Result<TraceMeta, TraceError> {
     let file = open(path.as_ref())?;
-    Ok(TraceReader::new(std::io::BufReader::new(file))?
-        .meta()
-        .clone())
+    Ok(Decoder::new(file)?.meta)
 }
 
 fn open(path: &Path) -> Result<std::fs::File, TraceError> {

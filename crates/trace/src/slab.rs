@@ -1,0 +1,470 @@
+//! Allocation-free event slabs: the bulk-decode representation.
+//!
+//! A [`EventSlab`] holds one batch of decoded records in struct-of-arrays
+//! form — parallel `Vec`s of tag bytes and scalar fields plus a shared
+//! participant pool — instead of a `Vec<TraceRecord>` of enums. Decoding
+//! a version-2 block into a recycled slab touches no allocator once the
+//! vectors have grown to steady state, and replaying one yields borrowed
+//! [`Event`]s straight out of the arrays, so the decode→detect hot path
+//! never materialises per-event heap values.
+
+use crate::format::{tag, TraceError, TraceErrorKind, TraceRecord};
+use crate::varint;
+use ddrace_program::{Addr, BarrierId, Event, LockId, Op, SemId, ThreadId, TraceEvent};
+
+/// One decoded record viewed out of a slab.
+///
+/// Execution records borrow directly from the slab (barrier participant
+/// lists point into its pool); HITM samples are plain scalars.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlabRecord<'a> {
+    /// A scheduler event, borrowing participant lists from the slab.
+    Exec(Event<'a>),
+    /// A HITM-indicator sample (PMU observation, not a schedule edge).
+    Hitm {
+        /// Dense index of the core whose counter overflowed.
+        core: u32,
+        /// Cache-line address of the access that raised the event.
+        line: u64,
+        /// Configured sampling skid, in operations.
+        skid: u32,
+    },
+}
+
+/// A recyclable batch of decoded records in struct-of-arrays form.
+///
+/// Field meaning is tag-dependent (`a`/`b`/`c` mirror the on-disk field
+/// order): thread id / primary payload / secondary payload for ops,
+/// barrier id / pool offset / participant count for barrier releases,
+/// core / line / skid for HITM samples. [`EventSlab::clear`] resets the
+/// lengths but keeps every allocation, which is the point.
+#[derive(Debug, Default, Clone)]
+pub struct EventSlab {
+    tags: Vec<u8>,
+    a: Vec<u32>,
+    b: Vec<u64>,
+    c: Vec<u32>,
+    parts: Vec<ThreadId>,
+}
+
+impl EventSlab {
+    /// An empty slab; vectors grow on first use and are then recycled.
+    pub fn new() -> EventSlab {
+        EventSlab::default()
+    }
+
+    /// Number of records currently in the slab.
+    pub fn len(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// True when the slab holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.tags.is_empty()
+    }
+
+    /// Empties the slab, retaining capacity for the next block.
+    pub fn clear(&mut self) {
+        self.tags.clear();
+        self.a.clear();
+        self.b.clear();
+        self.c.clear();
+        self.parts.clear();
+    }
+
+    fn push(&mut self, tag: u8, a: u32, b: u64, c: u32) {
+        self.tags.push(tag);
+        self.a.push(a);
+        self.b.push(b);
+        self.c.push(c);
+    }
+
+    /// Appends one materialised record (the write-side mirror of
+    /// [`EventSlab::get`]; the version-1 slab reader uses it to batch a
+    /// flat record stream).
+    pub fn push_record(&mut self, record: &TraceRecord) {
+        match record {
+            TraceRecord::Hitm { core, line, skid } => {
+                self.push(tag::HITM, *core, *line, *skid);
+            }
+            TraceRecord::Exec(event) => match event {
+                TraceEvent::ThreadStarted { tid, parent } => {
+                    let biased = parent.map_or(0, |p| u64::from(p.0) + 1);
+                    self.push(tag::THREAD_STARTED, tid.0, biased, 0);
+                }
+                TraceEvent::ThreadFinished { tid } => {
+                    self.push(tag::THREAD_FINISHED, tid.0, 0, 0);
+                }
+                TraceEvent::BarrierReleased {
+                    barrier,
+                    participants,
+                } => {
+                    let offset = self.parts.len() as u64;
+                    self.parts.extend_from_slice(participants);
+                    self.push(
+                        tag::BARRIER_RELEASED,
+                        barrier.0,
+                        offset,
+                        participants.len() as u32,
+                    );
+                }
+                TraceEvent::Op { tid, op } => {
+                    let (t, b, c) = match *op {
+                        Op::Read { addr } => (tag::OP_READ, addr.0, 0),
+                        Op::Write { addr } => (tag::OP_WRITE, addr.0, 0),
+                        Op::AtomicRmw { addr } => (tag::OP_ATOMIC_RMW, addr.0, 0),
+                        Op::Lock { lock } => (tag::OP_LOCK, u64::from(lock.0), 0),
+                        Op::Unlock { lock } => (tag::OP_UNLOCK, u64::from(lock.0), 0),
+                        Op::Barrier {
+                            barrier,
+                            participants,
+                        } => (tag::OP_BARRIER, u64::from(barrier.0), participants),
+                        Op::Fork { child } => (tag::OP_FORK, u64::from(child.0), 0),
+                        Op::Join { child } => (tag::OP_JOIN, u64::from(child.0), 0),
+                        Op::Post { sem } => (tag::OP_POST, u64::from(sem.0), 0),
+                        Op::WaitSem { sem } => (tag::OP_WAIT_SEM, u64::from(sem.0), 0),
+                        Op::Compute { cycles } => (tag::OP_COMPUTE, u64::from(cycles), 0),
+                    };
+                    self.push(t, tid.0, b, c);
+                }
+            },
+        }
+    }
+
+    /// The record at `index`, borrowing from the slab.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    pub fn get(&self, index: usize) -> SlabRecord<'_> {
+        self.view(
+            self.tags[index],
+            self.a[index],
+            self.b[index],
+            self.c[index],
+        )
+    }
+
+    /// All records in order, borrowing from the slab. The replay hot
+    /// path: one pass over the parallel arrays with no per-index bounds
+    /// checks.
+    pub fn iter(&self) -> impl Iterator<Item = SlabRecord<'_>> {
+        self.tags
+            .iter()
+            .zip(&self.a)
+            .zip(&self.b)
+            .zip(&self.c)
+            .map(move |(((&tag, &a), &b), &c)| self.view(tag, a, b, c))
+    }
+
+    /// The run of consecutive `Op::Compute` records for a single thread
+    /// starting at `from`: its thread id and the cycle payload of every
+    /// record in the run. `None` when the record at `from` is not a
+    /// compute op.
+    ///
+    /// This is the struct-of-arrays payoff for replay: compute records
+    /// dominate PMU-derived traces, and a same-thread run of them is
+    /// charge-only work for a consumer (no memory access, no
+    /// synchronization edge), so scanning the tag array for the run and
+    /// handing back the cycle column lets the hot loop skip per-record
+    /// enum dispatch entirely.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from >= self.len()`.
+    pub fn compute_run(&self, from: usize) -> Option<(ThreadId, &[u64])> {
+        if self.tags[from] != tag::OP_COMPUTE {
+            return None;
+        }
+        let tid = self.a[from];
+        let mut end = from + 1;
+        while end < self.tags.len() && self.tags[end] == tag::OP_COMPUTE && self.a[end] == tid {
+            end += 1;
+        }
+        Some((ThreadId(tid), &self.b[from..end]))
+    }
+
+    fn view(&self, tag_byte: u8, a: u32, b: u64, c: u32) -> SlabRecord<'_> {
+        let tid = ThreadId(a);
+        SlabRecord::Exec(Event::Op {
+            tid,
+            op: match tag_byte {
+                tag::OP_READ => Op::Read { addr: Addr(b) },
+                tag::OP_WRITE => Op::Write { addr: Addr(b) },
+                tag::OP_ATOMIC_RMW => Op::AtomicRmw { addr: Addr(b) },
+                tag::OP_LOCK => Op::Lock {
+                    lock: LockId(b as u32),
+                },
+                tag::OP_UNLOCK => Op::Unlock {
+                    lock: LockId(b as u32),
+                },
+                tag::OP_BARRIER => Op::Barrier {
+                    barrier: BarrierId(b as u32),
+                    participants: c,
+                },
+                tag::OP_FORK => Op::Fork {
+                    child: ThreadId(b as u32),
+                },
+                tag::OP_JOIN => Op::Join {
+                    child: ThreadId(b as u32),
+                },
+                tag::OP_POST => Op::Post {
+                    sem: SemId(b as u32),
+                },
+                tag::OP_WAIT_SEM => Op::WaitSem {
+                    sem: SemId(b as u32),
+                },
+                tag::OP_COMPUTE => Op::Compute { cycles: b as u32 },
+                tag::THREAD_STARTED => {
+                    return SlabRecord::Exec(Event::ThreadStarted {
+                        tid,
+                        parent: (b > 0).then(|| ThreadId((b - 1) as u32)),
+                    })
+                }
+                tag::THREAD_FINISHED => return SlabRecord::Exec(Event::ThreadFinished { tid }),
+                tag::BARRIER_RELEASED => {
+                    let offset = b as usize;
+                    return SlabRecord::Exec(Event::BarrierReleased {
+                        barrier: BarrierId(a),
+                        participants: &self.parts[offset..offset + c as usize],
+                    });
+                }
+                tag::HITM => {
+                    return SlabRecord::Hitm {
+                        core: a,
+                        line: b,
+                        skid: c,
+                    }
+                }
+                other => unreachable!("slab holds only validated tags, got 0x{other:02x}"),
+            },
+        })
+    }
+
+    /// The record at `index`, materialised as an owned [`TraceRecord`] —
+    /// the compatibility bridge for callers that still want enum values
+    /// (the iterator API, the conform oracles).
+    pub fn record(&self, index: usize) -> TraceRecord {
+        match self.get(index) {
+            SlabRecord::Hitm { core, line, skid } => TraceRecord::Hitm { core, line, skid },
+            SlabRecord::Exec(event) => TraceRecord::Exec(TraceEvent::from(&event)),
+        }
+    }
+}
+
+/// Decodes one version-2 block payload into `slab` (appending), using
+/// the bulk slice decoder — no per-byte I/O, no per-event allocation
+/// outside slab growth.
+///
+/// `base` is the payload's byte offset in the whole input, so every
+/// error is positioned in file coordinates. The payload must decode
+/// exactly: trailing bytes after the last record surface as a decode
+/// error on the garbage, and an event-count mismatch against the frame
+/// is the caller's check (it knows the declared count).
+///
+/// # Errors
+///
+/// [`TraceErrorKind::BadTag`], [`TraceErrorKind::BadVarint`],
+/// [`TraceErrorKind::Truncated`], or [`TraceErrorKind::FieldRange`],
+/// each at the file offset where the payload went wrong.
+pub fn decode_block_into(
+    payload: &[u8],
+    base: u64,
+    slab: &mut EventSlab,
+) -> Result<(), TraceError> {
+    let mut pos = 0usize;
+    while pos < payload.len() {
+        let tag_offset = base + pos as u64;
+        let tag_byte = payload[pos];
+        pos += 1;
+        // Field readers over the slice cursor, mirroring the streaming
+        // reader's error positions: varint failures point at the varint's
+        // first byte, range failures at the field, truncation at the end
+        // of the available bytes.
+        macro_rules! next_varint {
+            () => {{
+                let field_start = pos;
+                match varint::decode_slice(payload, &mut pos) {
+                    Some(v) => v,
+                    None => {
+                        return Err(if payload[field_start..].len() < varint::MAX_LEN {
+                            TraceError::new(base + payload.len() as u64, TraceErrorKind::Truncated)
+                        } else {
+                            TraceError::new(base + field_start as u64, TraceErrorKind::BadVarint)
+                        })
+                    }
+                }
+            }};
+        }
+        macro_rules! next_u32 {
+            ($field:expr) => {{
+                let field_start = pos;
+                let value = next_varint!();
+                match u32::try_from(value) {
+                    Ok(v) => v,
+                    Err(_) => {
+                        return Err(TraceError::new(
+                            base + field_start as u64,
+                            TraceErrorKind::FieldRange($field),
+                        ))
+                    }
+                }
+            }};
+        }
+        match tag_byte {
+            tag::THREAD_STARTED => {
+                let tid = next_u32!("tid");
+                let biased = next_varint!();
+                if biased > 0 && u32::try_from(biased - 1).is_err() {
+                    return Err(TraceError::new(
+                        tag_offset,
+                        TraceErrorKind::FieldRange("parent"),
+                    ));
+                }
+                slab.push(tag::THREAD_STARTED, tid, biased, 0);
+            }
+            tag::THREAD_FINISHED => {
+                let tid = next_u32!("tid");
+                slab.push(tag::THREAD_FINISHED, tid, 0, 0);
+            }
+            tag::BARRIER_RELEASED => {
+                let barrier = next_u32!("barrier");
+                let count = next_varint!();
+                let offset = slab.parts.len() as u64;
+                slab.parts.reserve(count.min(1024) as usize);
+                for _ in 0..count {
+                    slab.parts.push(ThreadId(next_u32!("participant")));
+                }
+                let count = u32::try_from(count).map_err(|_| {
+                    TraceError::new(tag_offset, TraceErrorKind::FieldRange("participants"))
+                })?;
+                slab.push(tag::BARRIER_RELEASED, barrier, offset, count);
+            }
+            tag::HITM => {
+                let core = next_u32!("core");
+                let line = next_varint!();
+                let skid = next_u32!("skid");
+                slab.push(tag::HITM, core, line, skid);
+            }
+            op_tag @ tag::OP_READ..=tag::OP_COMPUTE => {
+                let tid = next_u32!("tid");
+                let (b, c) = match op_tag {
+                    tag::OP_READ | tag::OP_WRITE | tag::OP_ATOMIC_RMW => (next_varint!(), 0),
+                    tag::OP_LOCK | tag::OP_UNLOCK => (u64::from(next_u32!("lock")), 0),
+                    tag::OP_BARRIER => (u64::from(next_u32!("barrier")), next_u32!("participants")),
+                    tag::OP_FORK | tag::OP_JOIN => (u64::from(next_u32!("child")), 0),
+                    tag::OP_POST | tag::OP_WAIT_SEM => (u64::from(next_u32!("sem")), 0),
+                    _ => (u64::from(next_u32!("cycles")), 0),
+                };
+                slab.push(op_tag, tid, b, c);
+            }
+            unknown => return Err(TraceError::new(tag_offset, TraceErrorKind::BadTag(unknown))),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::encode_records;
+
+    fn sample_records() -> Vec<TraceRecord> {
+        vec![
+            TraceRecord::Exec(TraceEvent::ThreadStarted {
+                tid: ThreadId(0),
+                parent: None,
+            }),
+            TraceRecord::Exec(TraceEvent::ThreadStarted {
+                tid: ThreadId(1),
+                parent: Some(ThreadId(0)),
+            }),
+            TraceRecord::Exec(TraceEvent::Op {
+                tid: ThreadId(1),
+                op: Op::Write {
+                    addr: Addr(0x00de_adbe_ef00),
+                },
+            }),
+            TraceRecord::Exec(TraceEvent::Op {
+                tid: ThreadId(0),
+                op: Op::Barrier {
+                    barrier: BarrierId(3),
+                    participants: 2,
+                },
+            }),
+            TraceRecord::Exec(TraceEvent::BarrierReleased {
+                barrier: BarrierId(3),
+                participants: vec![ThreadId(0), ThreadId(1)],
+            }),
+            TraceRecord::Hitm {
+                core: 2,
+                line: 0x40,
+                skid: 5,
+            },
+            TraceRecord::Exec(TraceEvent::ThreadFinished { tid: ThreadId(1) }),
+            TraceRecord::Exec(TraceEvent::ThreadFinished { tid: ThreadId(0) }),
+        ]
+    }
+
+    #[test]
+    fn push_record_and_get_roundtrip() {
+        let records = sample_records();
+        let mut slab = EventSlab::new();
+        for r in &records {
+            slab.push_record(r);
+        }
+        assert_eq!(slab.len(), records.len());
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(&slab.record(i), r, "record {i}");
+        }
+    }
+
+    #[test]
+    fn decode_block_matches_push_record() {
+        let records = sample_records();
+        let mut payload = Vec::new();
+        encode_records(&records, &mut payload);
+        let mut decoded = EventSlab::new();
+        decode_block_into(&payload, 0, &mut decoded).unwrap();
+        assert_eq!(decoded.len(), records.len());
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(&decoded.record(i), r, "record {i}");
+        }
+    }
+
+    #[test]
+    fn clear_recycles_capacity() {
+        let mut slab = EventSlab::new();
+        for r in &sample_records() {
+            slab.push_record(r);
+        }
+        let caps = (slab.tags.capacity(), slab.parts.capacity());
+        slab.clear();
+        assert!(slab.is_empty());
+        assert_eq!((slab.tags.capacity(), slab.parts.capacity()), caps);
+    }
+
+    #[test]
+    fn decode_block_positions_errors_in_file_coordinates() {
+        // Unknown tag at payload position 0, block based at 100.
+        let err = decode_block_into(&[0x77], 100, &mut EventSlab::new()).unwrap_err();
+        assert_eq!(err.offset, 100);
+        assert_eq!(err.kind, TraceErrorKind::BadTag(0x77));
+
+        // A record whose trailing varint runs off the payload end.
+        let mut payload = Vec::new();
+        encode_records(
+            &[TraceRecord::Exec(TraceEvent::Op {
+                tid: ThreadId(1),
+                op: Op::Write {
+                    addr: Addr(u64::MAX),
+                },
+            })],
+            &mut payload,
+        );
+        let cut = &payload[..payload.len() - 1];
+        let err = decode_block_into(cut, 100, &mut EventSlab::new()).unwrap_err();
+        assert_eq!(err.kind, TraceErrorKind::Truncated);
+        assert_eq!(err.offset, 100 + cut.len() as u64);
+    }
+}

@@ -47,6 +47,58 @@ pub fn decode(input: &[u8]) -> Option<(u64, usize)> {
     None
 }
 
+/// Decodes one varint from `buf` at `*pos`, advancing the cursor.
+///
+/// This is the block-decode hot path. Single-byte encodings — the
+/// overwhelming majority of tags, thread ids, and lock ids in a trace —
+/// are one load and one branch. Encodings of two to eight bytes (every
+/// address and cycle count a real trace carries) go through a
+/// word-at-a-time path: one unaligned 8-byte load, the terminator found
+/// with a continuation-bit mask, and the 7-bit groups compressed
+/// branch-free. Only nine/ten-byte encodings and loads that would cross
+/// the end of the buffer fall back to the byte loop in [`decode`].
+///
+/// On failure (truncated or overlong input) `*pos` is left unchanged so
+/// the caller can report the offset where the bad varint started.
+#[inline]
+pub fn decode_slice(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let rest = buf.get(*pos..)?;
+    let &first = rest.first()?;
+    if first & 0x80 == 0 {
+        *pos += 1;
+        return Some(u64::from(first));
+    }
+    if let Some(window) = rest.get(..8) {
+        let word = u64::from_le_bytes(window.try_into().expect("8-byte window"));
+        let terminators = !word & 0x8080_8080_8080_8080;
+        if terminators != 0 {
+            let len = terminators.trailing_zeros() as usize / 8 + 1;
+            let keep = if len == 8 {
+                u64::MAX
+            } else {
+                (1u64 << (8 * len)) - 1
+            };
+            let word = word & keep;
+            // Byte i holds value bits 7i..7i+7 at bit position 8i;
+            // shifting right by i realigns them, and the group mask
+            // drops both the continuation bit and the neighbour's bits.
+            let value = (word & 0x7f)
+                | ((word >> 1) & (0x7f << 7))
+                | ((word >> 2) & (0x7f << 14))
+                | ((word >> 3) & (0x7f << 21))
+                | ((word >> 4) & (0x7f << 28))
+                | ((word >> 5) & (0x7f << 35))
+                | ((word >> 6) & (0x7f << 42))
+                | ((word >> 7) & (0x7f << 49));
+            *pos += len;
+            return Some(value);
+        }
+    }
+    let (value, used) = decode(rest)?;
+    *pos += used;
+    Some(value)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -88,5 +140,45 @@ mod tests {
         let mut buf = vec![0x80; 9];
         buf.push(0x02);
         assert_eq!(decode(&buf), None);
+    }
+
+    #[test]
+    fn decode_slice_matches_decode() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            129,
+            16_383,
+            16_384,
+            u64::from(u32::MAX),
+            u64::MAX,
+        ] {
+            let mut buf = vec![0xffu8; 3]; // leading garbage the cursor skips
+            encode(v, &mut buf);
+            let mut pos = 3;
+            assert_eq!(decode_slice(&buf, &mut pos), Some(v));
+            assert_eq!(pos, 3 + encoded_len(v), "cursor advance for {v}");
+        }
+    }
+
+    #[test]
+    fn decode_slice_failure_leaves_cursor() {
+        let mut buf = Vec::new();
+        encode(u64::MAX, &mut buf);
+        for cut in 0..buf.len() {
+            let mut pos = 0;
+            assert_eq!(decode_slice(&buf[..cut], &mut pos), None, "cut at {cut}");
+            assert_eq!(pos, 0, "cursor must not move on failure");
+        }
+        // Cursor past the end of the buffer.
+        let mut pos = 5;
+        assert_eq!(decode_slice(&[0x01], &mut pos), None);
+        assert_eq!(pos, 5);
+        // Overlong input fails through the fallback too.
+        let mut pos = 0;
+        assert_eq!(decode_slice(&[0x80; 11], &mut pos), None);
+        assert_eq!(pos, 0);
     }
 }

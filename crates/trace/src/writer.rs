@@ -1,47 +1,96 @@
 //! Encoding: [`TraceWriter`] plus whole-buffer/file conveniences.
 
-use crate::format::{tag, TraceMeta, TraceRecord, FORMAT_VERSION, MAGIC};
+use crate::format::{fingerprint64, tag, FormatVersion, TraceMeta, TraceRecord, MAGIC};
 use crate::varint;
 use ddrace_program::{Op, TraceEvent};
 use std::io::{self, Write};
 use std::path::Path;
 
+/// Block-size threshold for version-2 writers: a pending block is framed
+/// and flushed once its payload reaches this many bytes. Big enough that
+/// frame overhead (two varints + an 8-byte checksum) is noise and the
+/// reader decodes long runs from one slice; small enough that a
+/// double-buffered pipeline stays responsive.
+pub const BLOCK_TARGET_BYTES: usize = 64 * 1024;
+
 /// Streaming `.ddt` encoder over any [`Write`] sink.
 ///
 /// The header is written on construction; each [`TraceWriter::write`]
-/// appends one record. Records are buffered per call into a small
-/// scratch vector, so writers layered over unbuffered sinks (files)
-/// still see one `write_all` per record — wrap in a `BufWriter` for
-/// high-volume recording.
+/// appends one record. Version-2 writers (the default) batch records
+/// into length-prefixed, checksummed blocks and flush a block to the
+/// sink whenever its payload reaches [`BLOCK_TARGET_BYTES`] (plus a
+/// trailing partial block on [`TraceWriter::finish`]), so the sink sees
+/// large sequential writes. Version-1 writers emit the legacy flat
+/// stream, one `write_all` per record — wrap in a `BufWriter` for
+/// high-volume version-1 recording.
 pub struct TraceWriter<W: Write> {
     sink: W,
-    scratch: Vec<u8>,
+    version: FormatVersion,
+    /// Version 1: per-record scratch. Version 2: the pending block payload.
+    buf: Vec<u8>,
+    block_events: u64,
     records: u64,
+    target: usize,
 }
 
 impl<W: Write> TraceWriter<W> {
-    /// Writes the magic, version, and header for `meta`, returning the
-    /// ready-to-append writer.
+    /// Writes the magic, version, and header for `meta`, returning a
+    /// ready-to-append writer targeting the newest format version.
     ///
     /// # Errors
     ///
     /// Propagates sink I/O errors.
-    pub fn new(mut sink: W, meta: &TraceMeta) -> io::Result<TraceWriter<W>> {
+    pub fn new(sink: W, meta: &TraceMeta) -> io::Result<TraceWriter<W>> {
+        TraceWriter::with_version(sink, meta, FormatVersion::default())
+    }
+
+    /// [`TraceWriter::new`] targeting an explicit format version —
+    /// version 1 for byte-compatible legacy output, version 2 for the
+    /// block-framed stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sink I/O errors.
+    pub fn with_version(
+        mut sink: W,
+        meta: &TraceMeta,
+        version: FormatVersion,
+    ) -> io::Result<TraceWriter<W>> {
         let mut head = Vec::with_capacity(64);
         head.extend_from_slice(&MAGIC);
-        head.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        head.extend_from_slice(&version.number().to_le_bytes());
         varint::encode(meta.seed, &mut head);
         varint::encode(meta.fingerprint, &mut head);
         encode_str(&meta.source, &mut head);
         encode_str(&meta.label, &mut head);
-        // Reserved key/value pair count: always zero in version 1.
+        // Reserved key/value pair count: always zero so far.
         varint::encode(0, &mut head);
         sink.write_all(&head)?;
         Ok(TraceWriter {
             sink,
-            scratch: Vec::with_capacity(32),
+            version,
+            buf: Vec::with_capacity(match version {
+                FormatVersion::V1 => 32,
+                FormatVersion::V2 => BLOCK_TARGET_BYTES + 64,
+            }),
+            block_events: 0,
             records: 0,
+            target: BLOCK_TARGET_BYTES,
         })
+    }
+
+    /// The format version this writer emits.
+    pub fn version(&self) -> FormatVersion {
+        self.version
+    }
+
+    /// Overrides the block-flush threshold (version 2 only; ignored for
+    /// version-1 writers). Tiny targets force records to spread across
+    /// many blocks — what the framing tests use to exercise block
+    /// boundaries without megabyte fixtures.
+    pub fn block_target(mut self, bytes: usize) -> Self {
+        self.target = bytes.max(1);
+        self
     }
 
     /// Appends one record to the stream.
@@ -50,10 +99,39 @@ impl<W: Write> TraceWriter<W> {
     ///
     /// Propagates sink I/O errors.
     pub fn write(&mut self, record: &TraceRecord) -> io::Result<()> {
-        self.scratch.clear();
-        encode_record(record, &mut self.scratch);
-        self.sink.write_all(&self.scratch)?;
+        match self.version {
+            FormatVersion::V1 => {
+                self.buf.clear();
+                encode_record(record, &mut self.buf);
+                self.sink.write_all(&self.buf)?;
+            }
+            FormatVersion::V2 => {
+                encode_record(record, &mut self.buf);
+                self.block_events += 1;
+                if self.buf.len() >= self.target {
+                    self.flush_block()?;
+                }
+            }
+        }
         self.records += 1;
+        Ok(())
+    }
+
+    /// Frames and writes the pending block: varint event count, varint
+    /// payload length, 8-byte little-endian FNV-1a payload checksum,
+    /// then the payload itself.
+    fn flush_block(&mut self) -> io::Result<()> {
+        if self.block_events == 0 {
+            return Ok(());
+        }
+        let mut frame = Vec::with_capacity(2 * varint::MAX_LEN + 8);
+        varint::encode(self.block_events, &mut frame);
+        varint::encode(self.buf.len() as u64, &mut frame);
+        frame.extend_from_slice(&fingerprint64(&self.buf).to_le_bytes());
+        self.sink.write_all(&frame)?;
+        self.sink.write_all(&self.buf)?;
+        self.buf.clear();
+        self.block_events = 0;
         Ok(())
     }
 
@@ -62,12 +140,15 @@ impl<W: Write> TraceWriter<W> {
         self.records
     }
 
-    /// Flushes and returns the underlying sink.
+    /// Flushes any pending block and the sink, returning the sink.
     ///
     /// # Errors
     ///
     /// Propagates sink I/O errors.
     pub fn finish(mut self) -> io::Result<W> {
+        if self.version == FormatVersion::V2 {
+            self.flush_block()?;
+        }
         self.sink.flush()?;
         Ok(self.sink)
     }
@@ -76,6 +157,15 @@ impl<W: Write> TraceWriter<W> {
 fn encode_str(s: &str, out: &mut Vec<u8>) {
     varint::encode(s.len() as u64, out);
     out.extend_from_slice(s.as_bytes());
+}
+
+/// Encodes a flat run of records (no header, no framing) — the shared
+/// payload encoding both format versions use, exposed for tests and
+/// tooling that hand-build block payloads.
+pub fn encode_records(records: &[TraceRecord], out: &mut Vec<u8>) {
+    for record in records {
+        encode_record(record, out);
+    }
 }
 
 fn encode_record(record: &TraceRecord, out: &mut Vec<u8>) {
@@ -180,16 +270,28 @@ fn encode_event(event: &TraceEvent, out: &mut Vec<u8>) {
     }
 }
 
-/// Encodes a whole trace into an in-memory buffer.
+/// Encodes a whole trace into an in-memory buffer at the newest format
+/// version.
 pub fn encode_trace(meta: &TraceMeta, records: &[TraceRecord]) -> Vec<u8> {
-    let mut writer = TraceWriter::new(Vec::new(), meta).expect("Vec sink cannot fail");
+    encode_trace_with(meta, records, FormatVersion::default())
+}
+
+/// [`encode_trace`] targeting an explicit format version.
+pub fn encode_trace_with(
+    meta: &TraceMeta,
+    records: &[TraceRecord],
+    version: FormatVersion,
+) -> Vec<u8> {
+    let mut writer =
+        TraceWriter::with_version(Vec::new(), meta, version).expect("Vec sink cannot fail");
     for record in records {
         writer.write(record).expect("Vec sink cannot fail");
     }
     writer.finish().expect("Vec sink cannot fail")
 }
 
-/// Writes a whole trace to `path` (buffered, created or truncated).
+/// Writes a whole trace to `path` (buffered, created or truncated) at
+/// the newest format version.
 ///
 /// # Errors
 ///
@@ -199,8 +301,22 @@ pub fn write_trace_file(
     meta: &TraceMeta,
     records: &[TraceRecord],
 ) -> io::Result<()> {
+    write_trace_file_with(path, meta, records, FormatVersion::default())
+}
+
+/// [`write_trace_file`] targeting an explicit format version.
+///
+/// # Errors
+///
+/// Propagates file I/O errors.
+pub fn write_trace_file_with(
+    path: impl AsRef<Path>,
+    meta: &TraceMeta,
+    records: &[TraceRecord],
+    version: FormatVersion,
+) -> io::Result<()> {
     let file = std::fs::File::create(path)?;
-    let mut writer = TraceWriter::new(io::BufWriter::new(file), meta)?;
+    let mut writer = TraceWriter::with_version(io::BufWriter::new(file), meta, version)?;
     for record in records {
         writer.write(record)?;
     }

@@ -1,8 +1,11 @@
-//! Property-based round-trip tests for the `.ddt` codec.
+//! Property-based round-trip and framing tests for the `.ddt` codec,
+//! covering both the flat version-1 stream and the block-framed
+//! version 2.
 
 use ddrace_program::{Addr, BarrierId, LockId, Op, SemId, ThreadId, TraceEvent};
 use ddrace_trace::{
-    decode_trace, encode_trace, varint, TraceError, TraceErrorKind, TraceMeta, TraceRecord,
+    decode_trace, encode_trace_with, varint, FormatVersion, TraceError, TraceErrorKind, TraceMeta,
+    TraceRecord, TraceWriter,
 };
 use proptest::prelude::*;
 
@@ -15,6 +18,27 @@ fn op(tid: u32, op: Op) -> TraceRecord {
         tid: ThreadId(tid),
         op,
     })
+}
+
+fn meta(label: &str) -> TraceMeta {
+    TraceMeta {
+        source: "prop".to_string(),
+        label: label.to_string(),
+        seed: 7,
+        fingerprint: 7,
+    }
+}
+
+/// Encodes at version 2 with a tiny block target, so even short record
+/// lists spread across several checksummed blocks.
+fn encode_v2_small_blocks(meta: &TraceMeta, records: &[TraceRecord], target: usize) -> Vec<u8> {
+    let mut writer = TraceWriter::new(Vec::new(), meta)
+        .expect("Vec sink cannot fail")
+        .block_target(target);
+    for record in records {
+        writer.write(record).expect("Vec sink cannot fail");
+    }
+    writer.finish().expect("Vec sink cannot fail")
 }
 
 /// Every record shape the format knows, with adversarial field ranges
@@ -55,13 +79,15 @@ fn arb_record() -> impl Strategy<Value = TraceRecord> {
 }
 
 proptest! {
-    /// Arbitrary record sequences encode → decode identically, header
-    /// included.
+    /// Arbitrary record sequences encode → decode identically at both
+    /// format versions, header included — version 2 forced through tiny
+    /// blocks so the sequence straddles many block boundaries.
     #[test]
     fn records_roundtrip(
         records in proptest::collection::vec(arb_record(), 0..60),
         seed in any::<u64>(),
         fingerprint in any::<u64>(),
+        target in 1usize..64,
     ) {
         let meta = TraceMeta {
             source: "prop".to_string(),
@@ -69,45 +95,115 @@ proptest! {
             seed,
             fingerprint,
         };
-        let bytes = encode_trace(&meta, &records);
-        let (back_meta, back_records) = decode_trace(&bytes).expect("roundtrip decodes");
-        prop_assert_eq!(back_meta, meta);
-        prop_assert_eq!(back_records, records);
+        let v1 = encode_trace_with(&meta, &records, FormatVersion::V1);
+        let (m1, r1) = decode_trace(&v1).expect("v1 roundtrip decodes");
+        prop_assert_eq!(&m1, &meta);
+        prop_assert_eq!(&r1[..], &records[..]);
+
+        let v2 = encode_v2_small_blocks(&meta, &records, target);
+        let (m2, r2) = decode_trace(&v2).expect("v2 roundtrip decodes");
+        prop_assert_eq!(&m2, &meta);
+        prop_assert_eq!(&r2[..], &records[..]);
     }
 
-    /// The varint codec is total over u64.
+    /// The varint codec is total over u64, through both entry points.
     #[test]
     fn varint_roundtrips(value in any::<u64>()) {
         let mut buf = Vec::new();
         varint::encode(value, &mut buf);
         prop_assert_eq!(varint::decode(&buf), Some((value, buf.len())));
+        let mut pos = 0;
+        prop_assert_eq!(varint::decode_slice(&buf, &mut pos), Some(value));
+        prop_assert_eq!(pos, buf.len());
     }
 
-    /// Every strict prefix of an encoded trace either decodes to a
-    /// prefix of the records (cut landed on a record boundary) or fails
-    /// with a position-carrying error — never a panic, and never
-    /// records the full stream didn't contain.
+    /// Every strict prefix of an encoded trace — either version —
+    /// either decodes to a prefix of the records (the cut landed on a
+    /// record or block boundary) or fails with a position-carrying
+    /// error inside the prefix — never a panic, and never records the
+    /// full stream didn't contain.
     #[test]
     fn truncation_errors_carry_position(
         records in proptest::collection::vec(arb_record(), 1..30),
         cut_frac in 0u32..1000,
+        target in 1usize..64,
     ) {
-        let meta = TraceMeta {
-            source: "prop".to_string(),
-            label: "truncate".to_string(),
-            seed: 7,
-            fingerprint: 7,
-        };
-        let bytes = encode_trace(&meta, &records);
-        let cut = (bytes.len() - 1) * cut_frac as usize / 1000;
-        match decode_trace(&bytes[..cut]) {
-            Ok((_, partial)) => {
-                prop_assert!(partial.len() < records.len());
-                prop_assert_eq!(&partial[..], &records[..partial.len()]);
+        for bytes in [
+            encode_trace_with(&meta("truncate"), &records, FormatVersion::V1),
+            encode_v2_small_blocks(&meta("truncate"), &records, target),
+        ] {
+            let cut = (bytes.len() - 1) * cut_frac as usize / 1000;
+            match decode_trace(&bytes[..cut]) {
+                Ok((_, partial)) => {
+                    prop_assert!(partial.len() < records.len());
+                    prop_assert_eq!(&partial[..], &records[..partial.len()]);
+                }
+                Err(TraceError { offset, .. }) => prop_assert!(offset <= cut as u64),
             }
-            Err(TraceError { offset, .. }) => prop_assert!(offset <= cut as u64),
         }
     }
+
+    /// Flipping any payload bit in a version-2 block is caught by the
+    /// block checksum and reported at the block's frame offset, before
+    /// any of the corrupted payload is decoded.
+    #[test]
+    fn v2_checksum_catches_payload_corruption(
+        records in proptest::collection::vec(arb_record(), 1..30),
+        target in 1usize..64,
+        pick in any::<u64>(),
+        bit in 0u8..8,
+    ) {
+        let mut bytes = encode_v2_small_blocks(&meta("corrupt"), &records, target);
+        let blocks = block_frames(&bytes);
+        prop_assert!(!blocks.is_empty());
+        let (frame_start, payload_start, payload_len) =
+            blocks[(pick % blocks.len() as u64) as usize];
+        prop_assert!(payload_len > 0);
+        let victim = payload_start + (pick as usize % payload_len);
+        bytes[victim] ^= 1 << bit;
+        let err = decode_trace(&bytes).expect_err("corruption must not decode");
+        prop_assert_eq!(err.kind, TraceErrorKind::BadBlock("checksum mismatch"));
+        prop_assert_eq!(err.offset, frame_start as u64);
+    }
+}
+
+/// Parses the block frames of an encoded version-2 trace from the
+/// outside: returns `(frame_start, payload_start, payload_len)` per
+/// block. Panics on malformed input — these are test fixtures.
+fn block_frames(bytes: &[u8]) -> Vec<(usize, usize, usize)> {
+    let mut pos = header_len(bytes);
+    let mut frames = Vec::new();
+    while pos < bytes.len() {
+        let frame_start = pos;
+        let (_count, used) = varint::decode(&bytes[pos..]).expect("count varint");
+        pos += used;
+        let (len, used) = varint::decode(&bytes[pos..]).expect("length varint");
+        pos += used;
+        pos += 8; // checksum
+        frames.push((frame_start, pos, len as usize));
+        pos += len as usize;
+    }
+    assert_eq!(pos, bytes.len(), "frames tile the stream exactly");
+    frames
+}
+
+/// Byte length of the header (magic through reserved-pair count) of an
+/// encoded trace with no reserved pairs.
+fn header_len(bytes: &[u8]) -> usize {
+    let mut pos = 12; // magic + version
+    for _ in 0..2 {
+        // seed, fingerprint
+        let (_, used) = varint::decode(&bytes[pos..]).expect("header varint");
+        pos += used;
+    }
+    for _ in 0..2 {
+        // source, label strings
+        let (len, used) = varint::decode(&bytes[pos..]).expect("string length");
+        pos += used + len as usize;
+    }
+    let (reserved, used) = varint::decode(&bytes[pos..]).expect("reserved count");
+    assert_eq!(reserved, 0);
+    pos + used
 }
 
 #[test]
@@ -122,7 +218,7 @@ fn varint_edge_values() {
 }
 
 #[test]
-fn unsupported_version_names_found_and_supported() {
+fn unsupported_version_names_found_and_supported_range() {
     let mut bytes = Vec::new();
     bytes.extend_from_slice(b"DDTRACE\0");
     bytes.extend_from_slice(&99u32.to_le_bytes());
@@ -130,7 +226,15 @@ fn unsupported_version_names_found_and_supported() {
     assert_eq!(err.kind, TraceErrorKind::UnsupportedVersion { found: 99 });
     assert_eq!(
         err.to_string(),
-        "unsupported trace format version 99 (this build reads version 1)"
+        "unsupported trace format version: found v99, supports v1–v2"
+    );
+    // Version 0 is below the supported floor, not a legacy alias.
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(b"DDTRACE\0");
+    bytes.extend_from_slice(&0u32.to_le_bytes());
+    assert_eq!(
+        decode_trace(&bytes).unwrap_err().kind,
+        TraceErrorKind::UnsupportedVersion { found: 0 }
     );
 }
 
@@ -146,17 +250,80 @@ fn bad_magic_and_empty_input_fail_cleanly() {
 }
 
 #[test]
-fn unknown_tag_reports_its_offset() {
-    let meta = TraceMeta {
-        source: "t".to_string(),
-        label: "t".to_string(),
-        seed: 0,
-        fingerprint: 0,
-    };
-    let mut bytes = encode_trace(&meta, &[]);
+fn unknown_tag_reports_its_offset_v1() {
+    let mut bytes = encode_trace_with(&meta("t"), &[], FormatVersion::V1);
     let tag_at = bytes.len() as u64;
     bytes.push(0xff);
     let err = decode_trace(&bytes).unwrap_err();
     assert_eq!(err.kind, TraceErrorKind::BadTag(0xff));
     assert_eq!(err.offset, tag_at);
+}
+
+#[test]
+fn v2_truncation_at_every_prefix_length() {
+    // Enough records over a tiny block target that every frame field —
+    // count, length, checksum, payload — lands under some cut.
+    let records: Vec<TraceRecord> = (0..40)
+        .map(|i| {
+            op(
+                i % 4,
+                Op::Write {
+                    addr: Addr(u64::from(i) << 33), // multi-byte varints
+                },
+            )
+        })
+        .collect();
+    let bytes = encode_v2_small_blocks(&meta("cuts"), &records, 24);
+    let head = header_len(&bytes);
+    assert!(bytes.len() > head + 64, "fixture spans several blocks");
+    let mut boundary_cuts = 0;
+    for cut in head..bytes.len() {
+        match decode_trace(&bytes[..cut]) {
+            Ok((_, partial)) => {
+                // Only a cut exactly between frames decodes cleanly, to
+                // the whole blocks before the cut.
+                boundary_cuts += 1;
+                assert!(partial.len() < records.len(), "cut {cut}");
+                assert_eq!(&partial[..], &records[..partial.len()], "cut {cut}");
+            }
+            Err(TraceError { offset, kind }) => {
+                assert!(offset <= cut as u64, "cut {cut}: offset {offset} past cut");
+                assert!(
+                    matches!(
+                        kind,
+                        TraceErrorKind::Truncated
+                            | TraceErrorKind::BadVarint
+                            | TraceErrorKind::BadBlock(_)
+                    ),
+                    "cut {cut}: unexpected kind {kind:?}"
+                );
+            }
+        }
+    }
+    let frames = block_frames(&bytes).len();
+    assert_eq!(
+        boundary_cuts, frames,
+        "clean decodes happen exactly at frame starts (header end included)"
+    );
+}
+
+#[test]
+fn v2_event_count_mismatch_is_positioned_at_frame() {
+    // Build one valid block, then rewrite its count varint (same
+    // encoded width) and refresh nothing else — the checksum still
+    // matches, so the count check must catch it.
+    let records = vec![
+        op(1, Op::Read { addr: Addr(8) }),
+        op(2, Op::Compute { cycles: 3 }),
+    ];
+    let mut bytes = encode_v2_small_blocks(&meta("count"), &records, usize::MAX >> 1);
+    let frames = block_frames(&bytes);
+    assert_eq!(frames.len(), 1);
+    let (frame_start, _, _) = frames[0];
+    assert_eq!(bytes[frame_start], 2, "single-byte count varint of 2");
+    bytes[frame_start] = 1;
+    let err = decode_trace(&bytes).unwrap_err();
+    assert_eq!(err.kind, TraceErrorKind::BadBlock("event count mismatch"));
+    assert_eq!(err.offset, frame_start as u64);
+    assert!(err.to_string().contains("event count mismatch"), "{err}");
 }

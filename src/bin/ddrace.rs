@@ -76,11 +76,12 @@ USAGE:
                    [--json] [--detail] [--timeline]
     ddrace compare --bench NAME [--scale SCALE] [--seed N] [--cores N]
     ddrace record  (--bench NAME | --spec FILE) --out FILE [--scale SCALE]
-                   [--seed N] [--cores N] [--mode MODE]
+                   [--seed N] [--cores N] [--mode MODE] [--format v1|v2]
     ddrace analyze --trace FILE [--mode MODE] [--cores N] [--detector KIND]
     ddrace ingest  (--trace FILE | --corpus DIR) [--modes MODE,MODE,...]
                    [--detector KIND] [--variants SPEC] [--cores N]
-                   [--workers N] [--timeout-secs N] [--events FILE|-]
+                   [--engine serial|pipelined] [--workers N]
+                   [--timeout-secs N] [--events FILE|-]
                    [--resume FILE] [--out FILE] [--quiet]
     ddrace campaign [--suite SUITE] [--modes MODE,MODE,...] [--workers N]
                     [--scale SCALE] [--seed N | --seeds N,N,...] [--cores N]
@@ -105,11 +106,19 @@ FUZZ:       generates --count program specs from --seed and checks every
 INGEST:     replays recorded `.ddt` traces (see `record`) through the
             detector stack on the campaign worker pool — one job per
             trace x mode x variant — instead of generating programs.
-            A corpus directory is swept in name order; aggregates are
-            byte-identical across --workers counts and reruns. A trace
-            whose header this build cannot read (unknown format version,
-            corrupt header) aborts with exit code 2 naming the version
-            found vs supported.
+            Traces stream slab-at-a-time (never fully in memory);
+            --engine picks serial (decode+detect on one thread) or
+            pipelined (decode on a second thread, the default) — both
+            produce byte-identical aggregates. A corpus directory is
+            swept in name order; aggregates are byte-identical across
+            --workers counts and reruns. A trace whose header this
+            build cannot read (unknown format version, corrupt header)
+            aborts with exit code 2 naming the version found vs the
+            supported range.
+
+RECORD:     --format picks the `.ddt` version to write: v2 (default,
+            block-framed + checksummed) or v1 (the legacy flat stream,
+            byte-compatible with older readers).
 
 RESUME:     --resume takes a prior run's --events JSONL stream; finished
             jobs are restored from it (validated by spec fingerprint) and
@@ -461,7 +470,13 @@ fn cmd_record(flags: &HashMap<String, String>) -> Result<(), String> {
         seed: common.seed,
         fingerprint: ddrace::trace::fingerprint64(identity.as_bytes()),
     };
-    ddrace::write_trace_file(out, &meta, &records).map_err(|e| format!("--out {out}: {e}"))?;
+    let version = match flags.get("format").map(String::as_str) {
+        None | Some("v2") => ddrace::FormatVersion::V2,
+        Some("v1") => ddrace::FormatVersion::V1,
+        Some(other) => return Err(format!("unknown --format `{other}` (expected v1 or v2)")),
+    };
+    ddrace::write_trace_file_with(out, &meta, &records, version)
+        .map_err(|e| format!("--out {out}: {e}"))?;
     let exec = ddrace::exec_trace(&records);
     println!(
         "recorded {} ops across {} threads to {out}",
@@ -542,11 +557,18 @@ fn cmd_ingest(flags: &HashMap<String, String>) -> Result<(), String> {
         .map(|spec| parse_variants(spec))
         .transpose()?;
 
+    let engine = match flags.get("engine").map(String::as_str) {
+        None => ddrace::IngestEngine::default(),
+        Some(name) => ddrace::IngestEngine::from_label(name)
+            .ok_or_else(|| format!("unknown --engine `{name}` (expected serial or pipelined)"))?,
+    };
+
     let mut builder = Campaign::builder("ingest")
         .trace_corpus(sources)
         .modes(modes)
         .seeds([0])
-        .cores(cores);
+        .cores(cores)
+        .ingest_engine(engine);
     if let Some(variants) = variants {
         builder = builder.variants(variants);
     }

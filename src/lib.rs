@@ -71,9 +71,9 @@ pub use ddrace_workloads as workloads;
 pub use ddrace_cache::{CacheConfig, CacheHierarchy, CoreId, HitWhere, LevelConfig, SharingKind};
 pub use ddrace_conform::{check_spec, run_fuzz, Fault, FuzzConfig, FuzzSpec};
 pub use ddrace_core::{
-    geomean, render_timeline, result_timeline, run_program, AnalysisMode, AnalysisState,
-    ControllerConfig, CostModel, DemandController, DetectorKind, EnableScope, RunResult, SimConfig,
-    Simulation,
+    geomean, ingest_path, render_timeline, result_timeline, run_program, AnalysisMode,
+    AnalysisState, ControllerConfig, CostModel, DemandController, DetectorKind, EnableScope,
+    IngestEngine, RunResult, SimConfig, Simulation,
 };
 pub use ddrace_detector::{
     DetectorConfig, FastTrack, Granularity, RaceDetector, RaceKind, RaceReport,
@@ -87,7 +87,7 @@ pub use ddrace_program::{
     AccessKind, Addr, Op, Program, ProgramBuilder, ScheduleError, SchedulerConfig, ThreadId,
 };
 pub use ddrace_trace::{
-    decode_trace, encode_trace, exec_trace, read_trace_file, write_trace_file, TraceError,
-    TraceErrorKind, TraceMeta, TraceRecord,
+    decode_trace, encode_trace, exec_trace, read_trace_file, write_trace_file,
+    write_trace_file_with, FormatVersion, TraceError, TraceErrorKind, TraceMeta, TraceRecord,
 };
 pub use ddrace_workloads::{parsec, phoenix, racy, Scale, WorkloadSpec};

@@ -232,7 +232,7 @@ fn ingest_unknown_version_exits_2_naming_both_versions() {
     assert_eq!(out.status.code(), Some(2), "version skew must exit 2");
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(
-        stderr.contains("unsupported trace format version 99 (this build reads version 1)"),
+        stderr.contains("unsupported trace format version: found v99, supports v1\u{2013}v2"),
         "{stderr}"
     );
     std::fs::remove_dir_all(&dir).ok();

@@ -1,0 +1,81 @@
+//! Version-skew behaviour of the `ddrace` CLI: a trace written by a
+//! *newer* build (an on-disk version this build does not know) must be
+//! rejected up front with exit code 2 — distinct from both usage errors
+//! (1) and detection results — and an error naming the version found
+//! versus the range supported, so corpus-driving scripts can separate
+//! "this build cannot read that corpus" from a real failure.
+
+use std::process::Command;
+
+fn ddrace() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ddrace"))
+}
+
+/// A syntactically plausible `.ddt` header from the future: correct
+/// magic, version number 3, followed by bytes this build would only
+/// misparse if it wrongly pressed on past the version check.
+fn v3_trace_bytes() -> Vec<u8> {
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&ddrace::trace::MAGIC);
+    bytes.extend_from_slice(&3u32.to_le_bytes());
+    bytes.extend_from_slice(&[0xde, 0xad, 0xbe, 0xef]);
+    bytes
+}
+
+#[test]
+fn ingesting_a_newer_format_version_exits_2_naming_the_skew() {
+    let dir = std::env::temp_dir().join(format!("ddrace-skew-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("future.ddt");
+    std::fs::write(&path, v3_trace_bytes()).unwrap();
+
+    let out = ddrace()
+        .args(["ingest", "--trace"])
+        .arg(&path)
+        .output()
+        .expect("binary runs");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "version skew must exit 2, got {:?}\nstderr: {stderr}",
+        out.status.code()
+    );
+    assert!(
+        stderr.contains("found v3, supports v1\u{2013}v2"),
+        "stderr must name found vs supported versions:\n{stderr}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_supported_version_is_not_mistaken_for_skew() {
+    // Same harness, current-version file: whatever the outcome of the
+    // (trivial) ingest, it must not take the skew exit path.
+    let dir = std::env::temp_dir().join(format!("ddrace-noskew-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("current.ddt");
+    let meta = ddrace::TraceMeta {
+        source: "test".to_string(),
+        label: "skew-check".to_string(),
+        seed: 1,
+        fingerprint: 1,
+    };
+    std::fs::write(&path, ddrace::encode_trace(&meta, &[])).unwrap();
+
+    let out = ddrace()
+        .args(["ingest", "--trace"])
+        .arg(&path)
+        .output()
+        .expect("binary runs");
+    assert_ne!(
+        out.status.code(),
+        Some(2),
+        "a current-version trace must never be reported as version skew\nstderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

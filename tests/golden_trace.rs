@@ -1,9 +1,11 @@
-//! Golden-file byte pin of the `.ddt` trace format: the exact bytes a
-//! fixed seeded workload records are committed under `tests/golden/`.
-//! Any change to the header layout, tag assignment, or varint encoding
-//! shows up as a diff against a reviewed artifact instead of silently
-//! breaking previously-recorded corpora. Compatible changes bump
-//! [`ddrace::trace::FORMAT_VERSION`] instead of editing version 1.
+//! Golden-file byte pins of the `.ddt` trace format: the exact bytes a
+//! fixed seeded workload records are committed under `tests/golden/`,
+//! one artifact per on-disk format version. Any change to the header
+//! layout, tag assignment, varint encoding, or (for version 2) block
+//! framing shows up as a diff against a reviewed artifact instead of
+//! silently breaking previously-recorded corpora. Version 1 is frozen:
+//! its artifact must never change. Compatible format changes add a new
+//! version (and a new golden) instead of editing an existing one.
 //!
 //! To regenerate after an *intentional* format change (a version bump):
 //!
@@ -11,13 +13,15 @@
 //! DDRACE_UPDATE_GOLDEN=1 cargo test --test golden_trace
 //! ```
 
+use ddrace::trace::{encode_trace_with, FormatVersion, TraceRecord};
 use ddrace::{racy, AnalysisMode, Scale, SchedulerConfig, SimConfig, Simulation, TraceMeta};
 use std::path::PathBuf;
 
-#[test]
-fn recorded_trace_matches_golden_bytes() {
-    // unprotected_counter is the smallest racy kernel at TEST scale
-    // (~45 KiB recorded), keeping the committed artifact light.
+/// The fixed seeded workload every golden pin encodes.
+///
+/// unprotected_counter is the smallest racy kernel at TEST scale
+/// (~45 KiB recorded), keeping the committed artifacts light.
+fn golden_workload() -> (TraceMeta, Vec<TraceRecord>) {
     let spec = racy::unprotected_counter();
     let mut cfg = SimConfig::new(4, AnalysisMode::demand_hitm());
     cfg.scheduler = SchedulerConfig {
@@ -34,10 +38,14 @@ fn recorded_trace_matches_golden_bytes() {
         seed: 42,
         fingerprint: ddrace::trace::fingerprint64(b"unprotected_counter/test/42/4/demand-hitm"),
     };
-    let actual = ddrace::encode_trace(&meta, &records);
+    (meta, records)
+}
 
-    let path =
-        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/unprotected_counter.ddt");
+fn check_golden(file: &str, version: FormatVersion) {
+    let (meta, records) = golden_workload();
+    let actual = encode_trace_with(&meta, &records, version);
+
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(format!("tests/golden/{file}"));
     if std::env::var("DDRACE_UPDATE_GOLDEN").is_ok() {
         std::fs::create_dir_all(path.parent().unwrap()).unwrap();
         std::fs::write(&path, &actual).unwrap();
@@ -56,9 +64,10 @@ fn recorded_trace_matches_golden_bytes() {
             .position(|(a, b)| a != b)
             .unwrap_or_else(|| actual.len().min(expected.len()));
         panic!(
-            "trace bytes diverged from {} at offset {diverge} \
-             (recorded {} bytes, golden {}) — a format change must bump \
-             FORMAT_VERSION and regenerate with DDRACE_UPDATE_GOLDEN=1",
+            "{version:?} trace bytes diverged from {} at offset {diverge} \
+             (recorded {} bytes, golden {}) — a format change must add a \
+             new FORMAT_VERSION and a new golden, regenerated with \
+             DDRACE_UPDATE_GOLDEN=1",
             path.display(),
             actual.len(),
             expected.len()
@@ -66,9 +75,29 @@ fn recorded_trace_matches_golden_bytes() {
     }
 
     // The committed artifact must also decode back to exactly what was
-    // recorded — the pin covers both directions of the codec.
+    // recorded — each pin covers both directions of its codec.
     let (decoded_meta, decoded_records) =
         ddrace::decode_trace(&expected).expect("golden trace decodes");
     assert_eq!(decoded_meta, meta);
     assert_eq!(decoded_records, records);
+}
+
+#[test]
+fn recorded_trace_matches_golden_bytes_v1() {
+    check_golden("unprotected_counter.ddt", FormatVersion::V1);
+}
+
+#[test]
+fn recorded_trace_matches_golden_bytes_v2() {
+    check_golden("unprotected_counter_v2.ddt", FormatVersion::V2);
+}
+
+#[test]
+fn default_encoding_is_the_newest_version() {
+    let (meta, records) = golden_workload();
+    assert_eq!(
+        ddrace::encode_trace(&meta, &records),
+        encode_trace_with(&meta, &records, FormatVersion::V2),
+        "encode_trace must track the newest on-disk version"
+    );
 }
